@@ -1,0 +1,55 @@
+//! Solver ablation (DESIGN.md): exact simplex vs certified Frank–Wolfe on
+//! the min-MLU LP, at Abilene and GEANT scale, plus warm-start benefit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_datasets::{abilene, geant};
+use harp_opt::{solve_fw, solve_fw_warm, FwConfig, MluOracle, PathProgram};
+use harp_paths::TunnelSet;
+use harp_traffic::{gravity_series, GravityConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn program_for(topo: &harp_topology::Topology, k: usize, seed: u64) -> PathProgram {
+    let n = topo.num_nodes();
+    let tunnels = TunnelSet::k_shortest(topo, &(0..n).collect::<Vec<_>>(), k, 0.0);
+    let cfg = GravityConfig::uniform(n, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tm = gravity_series(&cfg, &mut rng, 1).remove(0);
+    let scale = harp_datasets::calibrate_demand_scale(topo, &tunnels, &[tm.clone()], 0.7);
+    PathProgram::new(topo, &tunnels, &tm.scaled(scale))
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let abi = program_for(&abilene(), 4, 1);
+    let gea = program_for(&geant(), 8, 2);
+
+    let oracle = MluOracle::default();
+    c.bench_function("simplex_exact_abilene", |b| {
+        b.iter(|| oracle.solve_exact(&abi).mlu)
+    });
+    c.bench_function("fw_certified_abilene", |b| {
+        b.iter(|| solve_fw(&abi, FwConfig::default()).mlu)
+    });
+    c.bench_function("fw_certified_geant", |b| {
+        b.iter(|| solve_fw(&gea, FwConfig::default()).mlu)
+    });
+
+    // warm start: perturb demands slightly, resolve from previous optimum
+    let base = solve_fw(&gea, FwConfig::default());
+    let mut gea2 = gea.clone();
+    for f in gea2.flows.iter_mut() {
+        f.demand *= 1.05;
+    }
+    c.bench_function("fw_warm_start_geant_5pct_demand_shift", |b| {
+        b.iter(|| solve_fw_warm(&gea2, Some(&base.splits), FwConfig::default()).mlu)
+    });
+    c.bench_function("fw_cold_start_geant_5pct_demand_shift", |b| {
+        b.iter(|| solve_fw(&gea2, FwConfig::default()).mlu)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_solvers
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Figure 1: variation in node and link counts over the AnonNet dataset
+//! (total vs active vs edge nodes; total vs active links), normalized by
+//! the maximum across snapshots.
+
+use harp_bench::{cli::Ctx, data, report};
+
+fn main() {
+    let ctx = Ctx::from_args();
+    report::section("Figure 1: AnonNet topology variation over time");
+    let ds = data::anonnet(&ctx);
+
+    let mut series = Vec::new();
+    for c in &ds.clusters {
+        for s in &c.snapshots {
+            series.push((
+                s.time,
+                s.meta.total_nodes,
+                s.meta.active_nodes,
+                s.meta.edge_node_count,
+                s.meta.total_links,
+                s.meta.active_links,
+            ));
+        }
+    }
+    let max_nodes = series.iter().map(|r| r.1).max().unwrap() as f64;
+    let max_links = series.iter().map(|r| r.4).max().unwrap() as f64;
+
+    println!(
+        "snapshots: {}   clusters: {}   max total nodes: {}   max total links: {}",
+        series.len(),
+        ds.clusters.len(),
+        max_nodes,
+        max_links
+    );
+
+    // Paper's qualitative claims to check (§2.2, Fig 1):
+    let first = series.first().unwrap();
+    let last = series.last().unwrap();
+    let grew = last.1 > first.1 || last.4 > first.4;
+    let active_below_total =
+        series.iter().filter(|r| r.2 < r.1 || r.5 < r.4).count() as f64 / series.len() as f64;
+    let edge_variation = {
+        let mut vals: Vec<usize> = series.iter().map(|r| r.3).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len()
+    };
+    report::kv_table(&[
+        ("organic growth (start -> end)", format!("{}", grew)),
+        (
+            "fraction of snapshots with active < total",
+            format!("{:.1}%", 100.0 * active_below_total),
+        ),
+        (
+            "distinct edge-node-set sizes",
+            format!("{}", edge_variation),
+        ),
+        ("nodes start -> end", format!("{} -> {}", first.1, last.1)),
+        ("links start -> end", format!("{} -> {}", first.4, last.4)),
+    ]);
+
+    // print a coarse time series like the figure's lines
+    println!("\n  time   totN  actN  edgeN  totL  actL   (normalized to max)");
+    let stride = (series.len() / 24).max(1);
+    for r in series.iter().step_by(stride) {
+        println!(
+            "  t={:<5} {:.2}  {:.2}  {:.2}   {:.2}  {:.2}",
+            r.0,
+            r.1 as f64 / max_nodes,
+            r.2 as f64 / max_nodes,
+            r.3 as f64 / max_nodes,
+            r.4 as f64 / max_links,
+            r.5 as f64 / max_links
+        );
+    }
+
+    let json = serde_json::json!({
+        "series": series.iter().map(|r| serde_json::json!({
+            "t": r.0, "total_nodes": r.1, "active_nodes": r.2,
+            "edge_nodes": r.3, "total_links": r.4, "active_links": r.5,
+        })).collect::<Vec<_>>(),
+        "checks": {
+            "organic_growth": grew,
+            "frac_active_below_total": active_below_total,
+            "distinct_edge_node_counts": edge_variation,
+        }
+    });
+    ctx.write_json("fig01", &json);
+}

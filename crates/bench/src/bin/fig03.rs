@@ -1,0 +1,122 @@
+//! Figure 3: link-capacity variation within one of the largest AnonNet
+//! clusters (a: CDF of unique capacity values per link; b: CDF of
+//! min-to-max capacity ratio) and (c) tunnel churn between the first and
+//! last clusters.
+
+use harp_bench::{cli::Ctx, data, report};
+use harp_core::cdf_points;
+use harp_paths::tunnel_churn;
+
+fn main() {
+    let ctx = Ctx::from_args();
+    report::section("Figure 3: capacity variation within a large cluster + tunnel churn");
+    let ds = data::anonnet(&ctx);
+    let large = ds.largest_clusters(1)[0];
+    let cluster = &ds.clusters[large];
+    println!(
+        "using cluster {} with {} snapshots, {} links",
+        large,
+        cluster.snapshots.len(),
+        cluster.topo.links().len()
+    );
+
+    // per *undirected link*: unique capacity values and min/max ratio
+    let mut unique_counts = Vec::new();
+    let mut ratios = Vec::new();
+    let mut zero_links = 0usize;
+    let zero_cap = ds.cfg.zero_cap;
+    for (_, _, f, _) in cluster.topo.links() {
+        let vals: Vec<f64> = cluster.snapshots.iter().map(|s| s.capacities[f]).collect();
+        let mut sorted: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        unique_counts.push(sorted.len() as f64);
+        let mn = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = vals.iter().cloned().fold(0.0f64, f64::max);
+        if mn <= zero_cap {
+            zero_links += 1;
+        }
+        ratios.push(if mx > 0.0 { (mn / mx).min(1.0) } else { 0.0 });
+    }
+
+    let multi =
+        unique_counts.iter().filter(|&&c| c > 1.0).count() as f64 / unique_counts.len() as f64;
+    let max_unique = unique_counts.iter().cloned().fold(0.0, f64::max);
+    let low_ratio = ratios.iter().filter(|&&r| r <= 0.8).count() as f64 / ratios.len() as f64;
+    report::kv_table(&[
+        (
+            "links with >1 capacity value",
+            format!("{:.1}% (paper: ~40%)", 100.0 * multi),
+        ),
+        (
+            "max unique capacity values",
+            format!("{} (paper: 7)", max_unique as usize),
+        ),
+        (
+            "links with min/max <= 0.8",
+            format!("{:.1}% (paper: ~20%)", 100.0 * low_ratio),
+        ),
+        (
+            "links hitting zero capacity",
+            format!(
+                "{:.1}% (paper: ~5%)",
+                100.0 * zero_links as f64 / ratios.len() as f64
+            ),
+        ),
+    ]);
+
+    // distinct capacity configurations across the cluster
+    let mut configs: Vec<Vec<u64>> = cluster
+        .snapshots
+        .iter()
+        .map(|s| s.capacities.iter().map(|c| c.to_bits()).collect())
+        .collect();
+    configs.sort();
+    configs.dedup();
+    println!("  distinct capacity configurations: {}", configs.len());
+
+    // (c) tunnel churn first vs last cluster
+    let first = &ds.clusters[0];
+    let last = ds.clusters.last().unwrap();
+    let (common, only_last, only_first) =
+        tunnel_churn(&first.tunnels, &first.topo, &last.tunnels, &last.topo);
+    let last_total = (common + only_last) as f64;
+    let first_total = (common + only_first) as f64;
+    report::kv_table(&[
+        (
+            "tunnels unique to LastCluster",
+            format!(
+                "{:.1}% of last ({} of {}; paper: ~20%)",
+                100.0 * only_last as f64 / last_total,
+                only_last,
+                last_total as usize
+            ),
+        ),
+        (
+            "tunnels of FirstCluster no longer present",
+            format!(
+                "{:.1}% of first ({} of {}; paper: ~8%)",
+                100.0 * only_first as f64 / first_total,
+                only_first,
+                first_total as usize
+            ),
+        ),
+    ]);
+
+    let json = serde_json::json!({
+        "cluster": large,
+        "unique_capacity_cdf": cdf_points(&unique_counts),
+        "min_max_ratio_cdf": cdf_points(&ratios),
+        "frac_links_multi_value": multi,
+        "max_unique_values": max_unique,
+        "frac_ratio_le_0_8": low_ratio,
+        "frac_links_zero": zero_links as f64 / ratios.len() as f64,
+        "capacity_configurations": configs.len(),
+        "tunnel_churn": {
+            "common": common,
+            "unique_to_last": only_last,
+            "missing_from_last": only_first,
+        },
+    });
+    ctx.write_json("fig03", &json);
+}

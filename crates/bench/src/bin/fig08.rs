@@ -1,0 +1,92 @@
+//! Figure 8: partial failures on KDL — schemes trained on the original
+//! topology, tested on topologies where a random link lost 50-90% of its
+//! capacity (40 scenarios × test TMs in the paper).
+
+use harp_bench::{cli::Ctx, data, report, zoo};
+use harp_core::{evaluate_model, norm_mlu, Instance};
+use harp_topology::{fail_link_partial, random_partial_failures};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let ctx = Ctx::from_args();
+    report::section("Figure 8: partial failures on KDL");
+    let setup = data::kdl_setup(&ctx);
+    let mut cache = data::OracleCache::open(&ctx.cache_path("kdl_opt"));
+
+    // the same trained models as fig07 (zoo cache)
+    let cap = if ctx.quick { 24 } else { 170 };
+    let train_idx: Vec<usize> = (0..setup.train_end)
+        .step_by((setup.train_end / cap.min(setup.train_end)).max(1))
+        .collect();
+    let val_idx: Vec<usize> = (setup.train_end..setup.val_end).collect();
+    let train_insts: Vec<Instance> = train_idx.iter().map(|&i| setup.instance(i)).collect();
+    let val_insts: Vec<Instance> = val_idx.iter().map(|&i| setup.instance(i)).collect();
+    let tp: Vec<(usize, &Instance)> = train_idx.iter().copied().zip(train_insts.iter()).collect();
+    let vp: Vec<(usize, &Instance)> = val_idx.iter().copied().zip(val_insts.iter()).collect();
+    let train_opts = data::static_oracles(&mut cache, "kdl", "base", &tp);
+    let val_opts = data::static_oracles(&mut cache, "kdl", "base", &vp);
+    let train: Vec<(&Instance, f64)> = train_insts.iter().zip(train_opts.iter().copied()).collect();
+    let val: Vec<(&Instance, f64)> = val_insts.iter().zip(val_opts.iter().copied()).collect();
+
+    let schemes = [
+        zoo::Scheme::Harp { rau_iters: 7 },
+        zoo::Scheme::Dote,
+        zoo::Scheme::Teal {
+            tunnels_per_flow: 4,
+        },
+    ];
+    let models: Vec<zoo::ZooModel> = schemes
+        .iter()
+        .map(|&s| {
+            zoo::train_or_load(
+                &ctx,
+                &format!("kdl-{}", s.label()),
+                s,
+                &train,
+                &val,
+                zoo::train_config(&ctx),
+            )
+        })
+        .collect();
+
+    // failure scenarios
+    let n_scenarios = if ctx.quick { 12 } else { 40 };
+    let mut rng = StdRng::seed_from_u64(8080);
+    let scenarios = random_partial_failures(&setup.topo, &mut rng, n_scenarios, 0.5, 0.9);
+    let test_idx = setup.test_indices(if ctx.quick { 6 } else { 78 });
+
+    let mut nms: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for (si, scenario) in scenarios.iter().enumerate() {
+        let failed_topo = fail_link_partial(&setup.topo, *scenario);
+        for &i in &test_idx {
+            let inst = setup.instance_on(&failed_topo, i);
+            let pair = [(i, &inst)];
+            let opt = data::static_oracles(&mut cache, "kdl", &format!("pfail{si}"), &pair)[0];
+            for (mi, (scheme, zm)) in schemes.iter().zip(&models).enumerate() {
+                let (mlu, _) =
+                    evaluate_model(zm.as_model(), &zm.store, &inst, scheme.eval_options());
+                nms[mi].push(norm_mlu(mlu, opt));
+            }
+        }
+        if si % 4 == 3 {
+            cache.save();
+            println!("  ... {} scenarios done", si + 1);
+        }
+    }
+    cache.save();
+
+    report::section("Figure 8 result (CDF over scenarios x test TMs)");
+    let mut json = serde_json::Map::new();
+    for ((scheme, zm), v) in schemes.iter().zip(&models).zip(&nms) {
+        report::normmlu_summary(zm.model.name(), v);
+        json.insert(
+            scheme.label(),
+            serde_json::json!({
+                "cdf": report::cdf_json(v, 150),
+                "stats": report::stats_json(v),
+            }),
+        );
+    }
+    println!("\n  paper: HARP < 1.09 everywhere; DOTE p75 = 1.46, TEAL p75 = 1.48");
+    ctx.write_json("fig08", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,39 @@
+//! Figure 10: Abilene single-link failure drill — pooled NormMLU CDF over
+//! all (test TM x failure scenario) combinations for HARP, DOTE, TEAL.
+//! Shares trained models and the oracle cache with fig17.
+
+use harp_bench::{cli::Ctx, data, drill, report, zoo};
+
+fn main() {
+    let ctx = Ctx::from_args();
+    report::section("Figure 10: Abilene failures (pooled CDF)");
+    let setup = data::abilene_setup(&ctx);
+    let mut cache = data::OracleCache::open(&ctx.cache_path("abilene_opt"));
+    let schemes = [
+        zoo::Scheme::Harp { rau_iters: 7 },
+        zoo::Scheme::Dote,
+        zoo::Scheme::Teal {
+            tunnels_per_flow: 8,
+        },
+    ];
+    let models = drill::drill_models(&ctx, &setup, &mut cache, &schemes);
+    let result = drill::run_drill(&ctx, &setup, &mut cache, &schemes, &models);
+
+    let mut json = serde_json::Map::new();
+    for (mi, name) in result.scheme_names.iter().enumerate() {
+        let pooled = result.pooled(mi);
+        report::normmlu_summary(name, &pooled);
+        json.insert(
+            schemes[mi].label(),
+            serde_json::json!({
+                "cdf": report::cdf_json(&pooled, 150),
+                "stats": report::stats_json(&pooled),
+            }),
+        );
+    }
+    println!(
+        "\n  paper: HARP median 1.0 / worst 1.33; DOTE and TEAL significantly\n  \
+         worse (long tails beyond 2x optimal)"
+    );
+    ctx.write_json("fig10", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,143 @@
+//! Figure 11: computation-time comparison — DOTE, HARP, TEAL inference vs
+//! the LP solver ("Gurobi") across topologies of increasing size.
+//!
+//! Substitutions (DESIGN.md): all timings are same-machine CPU wall-clock
+//! (the paper used an A100 for the ML schemes and a 64-core EPYC for
+//! Gurobi); UsCarrier/KDL instances use a seeded edge-node subset so the
+//! neural instances fit CPU memory — every scheme *and* the LP see the
+//! identical instance, preserving the figure's relative ordering.
+
+use std::time::Instant;
+
+use harp_bench::{cli::Ctx, data, report, zoo};
+use harp_core::Instance;
+use harp_opt::MluOracle;
+use harp_paths::TunnelSet;
+use harp_tensor::Tape;
+use harp_topology::Topology;
+use harp_traffic::{gravity_series, GravityConfig};
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn instance_for(topo: &Topology, edge_nodes: &[usize], k: usize, seed: u64) -> Instance {
+    let tunnels = TunnelSet::k_shortest(topo, edge_nodes, k, 0.0);
+    let mut cfg = GravityConfig::uniform(topo.num_nodes(), 1.0);
+    cfg.edge_nodes = edge_nodes.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tm = gravity_series(&cfg, &mut rng, 1).remove(0);
+    let scale = harp_datasets::calibrate_demand_scale(topo, &tunnels, &[tm.clone()], 0.7);
+    Instance::compile(topo, &tunnels, &tm.scaled(scale))
+}
+
+fn time_forward(
+    model: &dyn harp_core::SplitModel,
+    store: &harp_tensor::ParamStore,
+    inst: &Instance,
+    reps: usize,
+) -> f64 {
+    // warm-up
+    let mut tape = Tape::new();
+    let _ = model.forward(&mut tape, store, inst);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut tape = Tape::new();
+        let _ = model.forward(&mut tape, store, inst);
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let ctx = Ctx::from_args();
+    report::section("Figure 11: computation time vs topology size");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let subset = |topo: &Topology, n: usize, rng: &mut StdRng| -> Vec<usize> {
+        let mut nodes: Vec<usize> = (0..topo.num_nodes()).collect();
+        nodes.shuffle(rng);
+        let mut e = nodes[..n.min(topo.num_nodes())].to_vec();
+        e.sort_unstable();
+        e
+    };
+
+    // (name, topology, edge nodes, tunnels per flow)
+    let mut cases: Vec<(String, Topology, Vec<usize>, usize)> = Vec::new();
+    let abilene = harp_datasets::abilene();
+    cases.push((
+        "Abilene (12)".into(),
+        abilene.clone(),
+        (0..abilene.num_nodes()).collect(),
+        8,
+    ));
+    let geant = harp_datasets::geant();
+    cases.push((
+        "GEANT (22)".into(),
+        geant.clone(),
+        (0..geant.num_nodes()).collect(),
+        8,
+    ));
+    let ds = harp_datasets::AnonNetDataset::generate(&harp_datasets::AnonNetConfig::default());
+    let c0 = &ds.clusters[0];
+    cases.push((
+        format!("AnonNet ({})", ds.cfg.universe_nodes),
+        c0.topo.clone(),
+        c0.edge_nodes.clone(),
+        ds.cfg.tunnels_per_flow,
+    ));
+    let usc = harp_datasets::us_carrier_like();
+    let usc_edges = subset(&usc, if ctx.quick { 24 } else { 40 }, &mut rng);
+    cases.push(("UsCarrier (158)".into(), usc, usc_edges, 8));
+    if !ctx.quick {
+        let kdl = harp_datasets::kdl_like();
+        let kdl_edges = subset(&kdl, 40, &mut rng);
+        cases.push(("KDL (754)".into(), kdl, kdl_edges, 4));
+    } else {
+        let kdl = harp_datasets::kdl_small();
+        let kdl_edges = subset(&kdl, 24, &mut rng);
+        cases.push(("KDL-small (96)".into(), kdl, kdl_edges, 4));
+    }
+
+    println!(
+        "\n  {:<16} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "Topology", "flows", "tunnels", "DOTE", "HARP", "TEAL", "LP(Gurobi)"
+    );
+    let reps = if ctx.quick { 3 } else { 10 };
+    let mut rows = Vec::new();
+    for (name, topo, edge_nodes, k) in &cases {
+        let inst = instance_for(topo, edge_nodes, *k, 99);
+        let mut times = Vec::new();
+        for scheme in [
+            zoo::Scheme::Dote,
+            zoo::Scheme::Harp { rau_iters: 7 },
+            zoo::Scheme::Teal {
+                tunnels_per_flow: *k,
+            },
+        ] {
+            let (model, store) = zoo::build_model(scheme, &inst, 3);
+            times.push(time_forward(&*model, &store, &inst, reps));
+        }
+        let t0 = Instant::now();
+        let sol = MluOracle::default().solve(&inst.program);
+        let lp_time = t0.elapsed().as_secs_f64();
+        let _ = sol;
+        println!(
+            "  {:<16} {:>8} {:>8} {:>9.4}s {:>9.4}s {:>9.4}s {:>9.4}s",
+            name, inst.num_flows, inst.num_tunnels, times[0], times[1], times[2], lp_time
+        );
+        rows.push(serde_json::json!({
+            "topology": name,
+            "flows": inst.num_flows,
+            "tunnels": inst.num_tunnels,
+            "dote_s": times[0],
+            "harp_s": times[1],
+            "teal_s": times[2],
+            "lp_s": lp_time,
+        }));
+        let _ = data::OracleCache::open(&ctx.cache_path("unused")); // keep cache dir warm
+    }
+
+    println!(
+        "\n  paper: DOTE < TEAL ~ HARP << Gurobi, with over an order of magnitude\n  \
+         between HARP and Gurobi on KDL"
+    );
+    ctx.write_json("fig11", &serde_json::json!({ "rows": rows }));
+}

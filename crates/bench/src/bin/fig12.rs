@@ -1,0 +1,184 @@
+//! Figure 12: HARP-Pred vs Gurobi-Pred (our LP oracle on the predicted
+//! matrix) under three TM predictors — MovAvg(12), ExpSmooth(0.5),
+//! LinReg(12). Split ratios are produced from the *predicted* matrix; the
+//! reported NormMLU is measured on the *true* matrix, normalized by the
+//! true matrix's optimal MLU (§5.7).
+
+use harp_bench::{cli::Ctx, data, report, zoo};
+use harp_core::{mlu_loss, norm_mlu, Instance};
+use harp_nn::{clip_grad_norm, Adam, AdamConfig};
+use harp_opt::MluOracle;
+use harp_tensor::Tape;
+use harp_traffic::predict::{ExpSmooth, LinReg, MovAvg, Predictor};
+use harp_traffic::TrafficMatrix;
+
+/// (predicted-TM instance, true-TM instance, true optimal MLU)
+type PredPair = (Instance, Instance, f64);
+
+fn build_pairs(
+    ds: &harp_datasets::AnonNetDataset,
+    cache: &mut data::OracleCache,
+    predictor: &dyn Predictor,
+    cids: std::ops::Range<usize>,
+    cap: usize,
+) -> Vec<PredPair> {
+    let mut out = Vec::new();
+    for cid in cids {
+        let cluster = &ds.clusters[cid];
+        let true_opts = {
+            let instances = data::compile_cluster(ds, cid);
+            data::cluster_oracles(cache, "anonnet", cid, &instances)
+        };
+        let tms: Vec<TrafficMatrix> = cluster.snapshots.iter().map(|s| s.tm.clone()).collect();
+        let n = cluster.snapshots.len();
+        let stride = ((n.saturating_sub(1)) / cap.min(n.max(1))).max(1);
+        for sid in (1..n).step_by(stride) {
+            let hist_start = sid.saturating_sub(12);
+            let pred_tm = predictor.predict(&tms[hist_start..sid]);
+            let topo = cluster.topo_at(&cluster.snapshots[sid]);
+            let inst_pred = Instance::compile(&topo, &cluster.tunnels, &pred_tm);
+            let inst_true = Instance::compile(&topo, &cluster.tunnels, &tms[sid]);
+            out.push((inst_pred, inst_true, true_opts[sid]));
+        }
+    }
+    cache.save();
+    out
+}
+
+/// Train HARP on predicted inputs with the loss computed on true demands.
+fn train_harp_pred(ctx: &Ctx, name: &str, train: &[PredPair], val: &[PredPair]) -> zoo::ZooModel {
+    let (model, mut store) =
+        zoo::build_model(zoo::Scheme::Harp { rau_iters: 7 }, &train[0].0, 4242);
+    let path = ctx.model_path(name);
+    if path.exists() && harp_nn::load_params(&mut store, &path).is_ok() {
+        println!("[zoo] loaded {name}");
+        return zoo::ZooModel {
+            model,
+            store,
+            report: None,
+        };
+    }
+    let cfg = zoo::train_config(ctx);
+    let mut opt = Adam::new(&store, AdamConfig::with_lr(cfg.lr));
+    let mut best = f64::INFINITY;
+    let mut best_params = store.snapshot();
+    let t0 = std::time::Instant::now();
+    for epoch in 0..cfg.epochs {
+        for chunk in train.chunks(cfg.batch_size) {
+            store.zero_grads();
+            for (inst_pred, inst_true, opt_mlu) in chunk {
+                let mut tape = Tape::new();
+                let splits = model.forward(&mut tape, &store, inst_pred);
+                // the loss sees the TRUE demands
+                let mlu = mlu_loss(&mut tape, splits, inst_true);
+                let norm = if *opt_mlu > 0.0 { 1.0 / *opt_mlu } else { 1.0 } as f32;
+                let loss = tape.mul_scalar(mlu, norm / chunk.len() as f32);
+                tape.backward(loss, &mut store);
+            }
+            clip_grad_norm(&mut store, cfg.clip_norm);
+            opt.step_and_zero(&mut store);
+        }
+        let score: f64 = val
+            .iter()
+            .map(|(ip, it, o)| {
+                let mut tape = Tape::new();
+                let s = model.forward(&mut tape, &store, ip);
+                let splits: Vec<f64> = tape.value(s).iter().map(|&x| x as f64).collect();
+                norm_mlu(it.program.mlu(&it.program.normalize_splits(&splits)), *o)
+            })
+            .sum::<f64>()
+            / val.len().max(1) as f64;
+        if score < best {
+            best = score;
+            best_params = store.snapshot();
+        }
+        println!("[harp-pred] epoch {epoch}: val NormMLU {score:.4}");
+    }
+    store.restore(&best_params);
+    println!(
+        "[harp-pred] trained {name}: best {best:.4} in {:.0?}",
+        t0.elapsed()
+    );
+    harp_nn::save_params(&store, &path).expect("save");
+    zoo::ZooModel {
+        model,
+        store,
+        report: None,
+    }
+}
+
+fn main() {
+    let ctx = Ctx::from_args();
+    report::section("Figure 12: HARP-Pred vs Gurobi-Pred (LP on predicted TMs)");
+    let ds = data::anonnet(&ctx);
+    let mut cache = data::OracleCache::open(&ctx.cache_path("anonnet_opt"));
+    let cap = if ctx.quick { 12 } else { 40 };
+    let test_cap = if ctx.quick { 5 } else { usize::MAX };
+    let test_range = if ctx.quick {
+        6..30
+    } else {
+        6..ds.clusters.len()
+    };
+
+    let predictors: Vec<Box<dyn Predictor>> = vec![
+        Box::new(MovAvg { window: 12 }),
+        Box::new(ExpSmooth { alpha: 0.5 }),
+        Box::new(LinReg { window: 12 }),
+    ];
+
+    let mut json = serde_json::Map::new();
+    for predictor in &predictors {
+        let pname = predictor.name();
+        report::section(&format!("predictor: {pname}"));
+        // train on clusters 1-3 (cluster 0 reserved, as the paper reserves
+        // it for fitting LinReg), validate on 4-5, test on the rest
+        let train = build_pairs(&ds, &mut cache, &**predictor, 1..4, cap);
+        let val = build_pairs(&ds, &mut cache, &**predictor, 4..6, cap / 2);
+        let zm = train_harp_pred(
+            &ctx,
+            &format!("anonnet-harp-pred-{}", pname.to_lowercase()),
+            &train,
+            &val,
+        );
+
+        let mut harp_nms = Vec::new();
+        let mut lp_nms = Vec::new();
+        for cid in test_range.clone() {
+            let pairs = build_pairs(&ds, &mut cache, &**predictor, cid..cid + 1, test_cap);
+            let mut warm: Option<Vec<f64>> = None;
+            for (inst_pred, inst_true, opt_mlu) in &pairs {
+                // HARP-Pred
+                let mut tape = Tape::new();
+                let s = zm.model.forward(&mut tape, &zm.store, inst_pred);
+                let splits: Vec<f64> = tape.value(s).iter().map(|&x| x as f64).collect();
+                let mlu = inst_true
+                    .program
+                    .mlu(&inst_true.program.normalize_splits(&splits));
+                harp_nms.push(norm_mlu(mlu, *opt_mlu));
+                // Gurobi-Pred: optimal for the predicted matrix, applied to
+                // the true matrix
+                let sol = MluOracle::default().solve_warm(&inst_pred.program, warm.as_deref());
+                lp_nms.push(norm_mlu(inst_true.program.mlu(&sol.splits), *opt_mlu));
+                warm = Some(sol.splits);
+            }
+        }
+        report::normmlu_summary("HARP-Pred", &harp_nms);
+        report::normmlu_summary("Gurobi-Pred", &lp_nms);
+        json.insert(
+            pname.to_string(),
+            serde_json::json!({
+                "harp_pred": { "cdf": report::cdf_json(&harp_nms, 150),
+                                "stats": report::stats_json(&harp_nms) },
+                "lp_pred": { "cdf": report::cdf_json(&lp_nms, 150),
+                              "stats": report::stats_json(&lp_nms) },
+            }),
+        );
+    }
+    cache.save();
+
+    println!(
+        "\n  paper: LinReg — HARP-Pred median 1.02 / p90 1.07 vs Gurobi-Pred 1.08 / 1.17;\n  \
+         MovAvg — HARP-Pred median 1.05 vs Gurobi-Pred 1.16 (5-10% median reduction)"
+    );
+    ctx.write_json("fig12", &serde_json::Value::Object(json));
+}

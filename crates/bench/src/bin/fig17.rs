@@ -1,0 +1,38 @@
+//! Figure 17 (appendix): Abilene single-link failure drill — per-scenario
+//! NormMLU boxplots for HARP, DOTE, and TEAL.
+
+use harp_bench::{cli::Ctx, data, drill, report, zoo};
+
+fn main() {
+    let ctx = Ctx::from_args();
+    report::section("Figure 17: Abilene single-link failures (boxplots)");
+    let setup = data::abilene_setup(&ctx);
+    let mut cache = data::OracleCache::open(&ctx.cache_path("abilene_opt"));
+    let schemes = [
+        zoo::Scheme::Harp { rau_iters: 7 },
+        zoo::Scheme::Dote,
+        zoo::Scheme::Teal {
+            tunnels_per_flow: 8,
+        },
+    ];
+    let models = drill::drill_models(&ctx, &setup, &mut cache, &schemes);
+    let result = drill::run_drill(&ctx, &setup, &mut cache, &schemes, &models);
+
+    let mut json_links = Vec::new();
+    for (mi, name) in result.scheme_names.iter().enumerate() {
+        report::section(&format!("{name} per-failure boxplots"));
+        for (label, per_scheme) in &result.per_link {
+            report::boxplot_row(label, &per_scheme[mi]);
+        }
+    }
+    for (label, per_scheme) in &result.per_link {
+        json_links.push(serde_json::json!({
+            "link": label,
+            "schemes": result.scheme_names.iter().zip(per_scheme).map(|(n, v)| {
+                serde_json::json!({ "scheme": n, "stats": report::stats_json(v) })
+            }).collect::<Vec<_>>(),
+        }));
+    }
+    println!("\n  paper: HARP tight near 1.0; DOTE/TEAL show wide boxes up to ~3");
+    ctx.write_json("fig17", &serde_json::json!({ "links": json_links }));
+}

@@ -1,0 +1,176 @@
+//! Table 1: design-element comparison of HARP, DOTE and TEAL.
+//!
+//! Unlike the paper (which argues these properties analytically), this
+//! binary *measures* them: each scheme is run on a snapshot and on the same
+//! snapshot with (a) relabeled nodes and (b) reordered tunnels, and we
+//! check whether the outputs map through the permutation. "Models topology"
+//! is probed by perturbing a link capacity and checking whether any split
+//! changes. "Aligned architecture" reports whether the scheme contains an
+//! iterative solver-like refinement loop (HARP's RAU).
+
+use harp_bench::{cli::Ctx, report, zoo};
+use harp_core::{Instance, SplitModel};
+use harp_paths::TunnelSet;
+use harp_tensor::{ParamStore, Tape};
+use harp_topology::Topology;
+use harp_traffic::TrafficMatrix;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn topo() -> Topology {
+    let mut t = Topology::new(5);
+    t.add_link(0, 1, 10.0).unwrap();
+    t.add_link(1, 2, 10.0).unwrap();
+    t.add_link(2, 3, 20.0).unwrap();
+    t.add_link(3, 4, 20.0).unwrap();
+    t.add_link(4, 0, 15.0).unwrap();
+    t.add_link(1, 3, 15.0).unwrap();
+    t
+}
+
+fn tm() -> TrafficMatrix {
+    let mut m = TrafficMatrix::zeros(5);
+    m.set_demand(0, 2, 4.0);
+    m.set_demand(2, 0, 2.0);
+    m.set_demand(0, 3, 3.0);
+    m.set_demand(3, 0, 5.0);
+    m
+}
+
+fn splits_of(model: &dyn SplitModel, store: &ParamStore, inst: &Instance) -> Vec<f32> {
+    let mut tape = Tape::new();
+    let s = model.forward(&mut tape, store, inst);
+    tape.value(s).to_vec()
+}
+
+/// Does the scheme produce permutation-consistent outputs under node
+/// relabeling?
+fn node_relabel_invariant(model: &dyn SplitModel, store: &ParamStore, strict: bool) -> bool {
+    let t = topo();
+    let perm = vec![3usize, 0, 4, 1, 2];
+    let pt = t.permute_nodes(&perm).unwrap();
+    let edge_nodes = vec![0usize, 2, 3];
+    let tun = TunnelSet::k_shortest(&t, &edge_nodes, 3, 0.0);
+    // the *same* tunnels under new node ids (flows re-sorted by new ids,
+    // within-flow order preserved) — the paper's relabeling semantics
+    let ptun = tun.relabeled(&t, &pt, &perm);
+    let m = tm();
+    let pm = m.permute(&perm);
+    let inst = Instance::compile(&t, &tun, &m);
+    let pinst = Instance::compile(&pt, &ptun, &pm);
+    if strict && (inst.num_tunnels != pinst.num_tunnels) {
+        return false;
+    }
+    let a = splits_of(model, store, &inst);
+    let b = splits_of(model, store, &pinst);
+    // match tunnels by node sequence
+    let sa = tun.node_sequences(&t);
+    let sb = ptun.node_sequences(&pt);
+    for (i, seq) in sa.iter().enumerate() {
+        let mapped: Vec<usize> = seq.iter().map(|&u| perm[u]).collect();
+        match sb.iter().position(|s| *s == mapped) {
+            Some(j) => {
+                if (a[i] - b[j]).abs() > 1e-4 {
+                    return false;
+                }
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Does the scheme produce consistent outputs when tunnels are reordered?
+fn tunnel_reorder_invariant(model: &dyn SplitModel, store: &ParamStore) -> bool {
+    let t = topo();
+    let edge_nodes = vec![0usize, 2, 3];
+    let tun = TunnelSet::k_shortest(&t, &edge_nodes, 3, 0.0);
+    let mut rng = StdRng::seed_from_u64(9);
+    let shuf = tun.shuffled(&mut rng);
+    let m = tm();
+    let inst = Instance::compile(&t, &tun, &m);
+    let sinst = Instance::compile(&t, &shuf, &m);
+    let a = splits_of(model, store, &inst);
+    let b = splits_of(model, store, &sinst);
+    let sa = tun.node_sequences(&t);
+    let sb = shuf.node_sequences(&t);
+    for (i, seq) in sa.iter().enumerate() {
+        let j = sb.iter().position(|s| s == seq).unwrap();
+        if (a[i] - b[j]).abs() > 1e-4 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does a capacity change reach the output at all?
+fn models_topology(model: &dyn SplitModel, store: &ParamStore) -> bool {
+    let t = topo();
+    let edge_nodes = vec![0usize, 2, 3];
+    let tun = TunnelSet::k_shortest(&t, &edge_nodes, 3, 0.0);
+    let m = tm();
+    let inst = Instance::compile(&t, &tun, &m);
+    let mut t2 = t.clone();
+    // halve one link's capacity both ways
+    let (_, _, f, r) = t2.links()[1];
+    let c = t2.capacity(f);
+    t2.set_capacity(f, c / 2.0).unwrap();
+    t2.set_capacity(r, c / 2.0).unwrap();
+    let inst2 = Instance::compile(&t2, &tun, &m);
+    let a = splits_of(model, store, &inst);
+    let b = splits_of(model, store, &inst2);
+    a.iter().zip(&b).any(|(x, y)| (x - y).abs() > 1e-6)
+}
+
+fn main() {
+    let ctx = Ctx::from_args();
+    report::section("Table 1: design elements (measured, not asserted)");
+
+    // generic (untrained) parameters expose the architectural properties
+    let t = topo();
+    let edge_nodes = vec![0usize, 2, 3];
+    let tun = TunnelSet::k_shortest(&t, &edge_nodes, 3, 0.0);
+    let sample = Instance::compile(&t, &tun, &tm());
+
+    let schemes = [
+        (zoo::Scheme::Dote, false),
+        (
+            zoo::Scheme::Teal {
+                tunnels_per_flow: 3,
+            },
+            false,
+        ),
+        (zoo::Scheme::Harp { rau_iters: 5 }, true),
+    ];
+
+    println!(
+        "\n  {:<8} {:<16} {:<18} {:<18} {:<12}",
+        "Scheme", "Models topology", "Node-relabel inv.", "Tunnel-order inv.", "Aligned arch"
+    );
+    let mut rows = Vec::new();
+    for (scheme, aligned) in schemes {
+        let (model, store) = zoo::build_model(scheme, &sample, 5);
+        // DOTE cannot even ingest a different layout; relabeling keeps the
+        // layout here, so the check runs, but positional inputs break it.
+        let mt = models_topology(&*model, &store);
+        let nri = node_relabel_invariant(&*model, &store, false);
+        let toi = tunnel_reorder_invariant(&*model, &store);
+        let tick = |b: bool| if b { "yes" } else { "NO" };
+        println!(
+            "  {:<8} {:<16} {:<18} {:<18} {:<12}",
+            model.name(),
+            tick(mt),
+            tick(nri),
+            tick(toi),
+            tick(aligned)
+        );
+        rows.push(serde_json::json!({
+            "scheme": model.name(),
+            "models_topology": mt,
+            "node_relabel_invariant": nri,
+            "tunnel_order_invariant": toi,
+            "aligned_architecture": aligned,
+        }));
+    }
+    println!("\n  paper's Table 1: DOTE no/no/no/no, TEAL yes/yes/no/no, HARP yes/yes/yes/yes");
+    ctx.write_json("table1", &serde_json::json!({ "rows": rows }));
+}

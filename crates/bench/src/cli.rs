@@ -1,0 +1,79 @@
+//! Minimal CLI handling shared by every experiment binary.
+
+use std::path::PathBuf;
+
+/// Execution context for an experiment binary.
+#[derive(Clone, Debug)]
+pub struct Ctx {
+    /// Reduced sizes for a fast run (the default); `--full` disables.
+    pub quick: bool,
+    /// Output directory for JSON results (`results/` by default).
+    pub results_dir: PathBuf,
+}
+
+impl Ctx {
+    /// Parse `--quick` (default) / `--full` / `--results <dir>` from argv.
+    pub fn from_args() -> Ctx {
+        let mut quick = true;
+        let mut results_dir = PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--full" => quick = false,
+                "--results" => {
+                    results_dir =
+                        PathBuf::from(args.next().expect("--results requires a directory"));
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--quick|--full] [--results <dir>]\n\
+                         --quick  reduced sizes (default)\n\
+                         --full   paper-scale run (slow)\n"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("warning: ignoring unknown argument '{other}'");
+                }
+            }
+        }
+        std::fs::create_dir_all(&results_dir).expect("create results dir");
+        std::fs::create_dir_all(results_dir.join("cache")).expect("create cache dir");
+        std::fs::create_dir_all(results_dir.join("models")).expect("create models dir");
+        Ctx { quick, results_dir }
+    }
+
+    /// Suffix distinguishing quick/full artifacts.
+    pub fn mode(&self) -> &'static str {
+        if self.quick {
+            "quick"
+        } else {
+            "full"
+        }
+    }
+
+    /// Write a JSON result file (`results/<name>.<mode>.json`).
+    pub fn write_json(&self, name: &str, value: &serde_json::Value) {
+        let path = self
+            .results_dir
+            .join(format!("{name}.{}.json", self.mode()));
+        std::fs::write(&path, serde_json::to_string_pretty(value).unwrap())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("[results -> {}]", path.display());
+    }
+
+    /// Path inside the cache directory, mode-qualified.
+    pub fn cache_path(&self, name: &str) -> PathBuf {
+        self.results_dir
+            .join("cache")
+            .join(format!("{name}.{}.json", self.mode()))
+    }
+
+    /// Path inside the models directory, mode-qualified.
+    pub fn model_path(&self, name: &str) -> PathBuf {
+        self.results_dir
+            .join("models")
+            .join(format!("{name}.{}.json", self.mode()))
+    }
+}

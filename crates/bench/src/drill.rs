@@ -1,0 +1,153 @@
+//! The single-link failure drill shared by the GEANT and Abilene
+//! experiments (Figs 9, 10, 17): train each scheme on the healthy topology,
+//! then test every (test TM × single complete link failure) combination.
+//! Tunnels are *not* recomputed (the paper's setting): HARP must move
+//! traffic off dead tunnels on its own; DOTE/TEAL get local rescaling.
+
+use harp_core::{evaluate_model, norm_mlu, Instance};
+
+use crate::cli::Ctx;
+use crate::data::{static_oracles, OracleCache, StaticSetup};
+use crate::zoo::{self, Scheme, ZooModel};
+
+/// NormMLU samples per failure scenario per scheme.
+pub struct DrillResult {
+    /// `(link label, per-scheme NormMLU vectors over test TMs)`.
+    pub per_link: Vec<(String, Vec<Vec<f64>>)>,
+    /// Scheme names, aligned with the inner vectors.
+    pub scheme_names: Vec<String>,
+}
+
+impl DrillResult {
+    /// All samples of scheme `i` pooled across failure scenarios.
+    pub fn pooled(&self, scheme: usize) -> Vec<f64> {
+        self.per_link
+            .iter()
+            .flat_map(|(_, per_scheme)| per_scheme[scheme].iter().copied())
+            .collect()
+    }
+}
+
+/// Train (or load) the three schemes on the healthy topology.
+pub fn drill_models(
+    ctx: &Ctx,
+    setup: &StaticSetup,
+    cache: &mut OracleCache,
+    schemes: &[Scheme],
+) -> Vec<ZooModel> {
+    let cap = if ctx.quick { 24 } else { 96 };
+    let train_idx: Vec<usize> = (0..setup.train_end)
+        .step_by((setup.train_end / cap.min(setup.train_end)).max(1))
+        .collect();
+    let val_idx: Vec<usize> = (setup.train_end..setup.val_end).collect();
+    let train_insts: Vec<Instance> = train_idx.iter().map(|&i| setup.instance(i)).collect();
+    let val_insts: Vec<Instance> = val_idx.iter().map(|&i| setup.instance(i)).collect();
+    let tp: Vec<(usize, &Instance)> = train_idx.iter().copied().zip(train_insts.iter()).collect();
+    let vp: Vec<(usize, &Instance)> = val_idx.iter().copied().zip(val_insts.iter()).collect();
+    let train_opts = static_oracles(cache, setup.name, "base", &tp);
+    let val_opts = static_oracles(cache, setup.name, "base", &vp);
+    // Partial-failure augmentation for the *training* set only: random
+    // links lose 50-95% of capacity. Complete failures remain unseen (they
+    // are what the drill tests); this teaches the RAU's bottleneck-feedback
+    // rule at larger utilization magnitudes so it extrapolates to dead
+    // links — the behaviour §4 of the paper reports for HARP
+    // ("automatically ensures no traffic is carried on unavailable
+    // tunnels"). See EXPERIMENTS.md for the negative result without it.
+    let mut aug_insts: Vec<Instance> = Vec::new();
+    {
+        use rand::seq::SliceRandom;
+        use rand::Rng;
+        let mut arng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(4242);
+        let links = setup.topo.links();
+        for (ai, &i) in train_idx.iter().enumerate().step_by(2) {
+            let mut topo = setup.topo.clone();
+            for _ in 0..(1 + ai % 2) {
+                let &(_, _, f, r) = links.choose(&mut arng).expect("links");
+                // half mild (50-90%), half near-complete (95-99.5%) —
+                // complete failures (the capacity floor) remain unseen
+                let sev = if arng.gen_bool(0.5) {
+                    arng.gen_range(0.5..0.9)
+                } else {
+                    arng.gen_range(0.95..0.995)
+                };
+                let c = topo.capacity(f);
+                topo.set_capacity(f, c * (1.0 - sev)).expect("cap");
+                let c = topo.capacity(r);
+                topo.set_capacity(r, c * (1.0 - sev)).expect("cap");
+            }
+            aug_insts.push(setup.instance_on(&topo, i));
+        }
+    }
+    let aug_pairs: Vec<(usize, &Instance)> = aug_insts.iter().enumerate().collect();
+    let aug_opts = static_oracles(cache, setup.name, "aug", &aug_pairs);
+    cache.save();
+    let mut train: Vec<(&Instance, f64)> =
+        train_insts.iter().zip(train_opts.iter().copied()).collect();
+    let n_aug = aug_insts.len();
+    // keep the last two augmented instances for validation so model
+    // selection cannot early-stop on a trivially-perfect healthy val set
+    train.extend(
+        aug_insts[..n_aug.saturating_sub(2)]
+            .iter()
+            .zip(aug_opts.iter().copied()),
+    );
+    let mut val: Vec<(&Instance, f64)> =
+        val_insts.iter().zip(val_opts.iter().copied()).collect();
+    val.extend(
+        aug_insts[n_aug.saturating_sub(2)..]
+            .iter()
+            .zip(aug_opts[n_aug.saturating_sub(2)..].iter().copied()),
+    );
+    schemes
+        .iter()
+        .map(|&s| {
+            zoo::train_or_load(
+                ctx,
+                &format!("{}-{}", setup.name, s.label()),
+                s,
+                &train,
+                &val,
+                zoo::train_config(ctx),
+            )
+        })
+        .collect()
+}
+
+/// Run the drill: every undirected link failed completely (capacity floored
+/// at `1e-4`), over the setup's test TMs.
+pub fn run_drill(
+    ctx: &Ctx,
+    setup: &StaticSetup,
+    cache: &mut OracleCache,
+    schemes: &[Scheme],
+    models: &[ZooModel],
+) -> DrillResult {
+    let test_idx = setup.test_indices(if ctx.quick { 6 } else { 32 });
+    let mut per_link = Vec::new();
+    for (li, (u, v, f, r)) in setup.topo.links().into_iter().enumerate() {
+        let mut failed = setup.topo.clone();
+        failed.set_capacity(f, 1e-4).expect("edge");
+        failed.set_capacity(r, 1e-4).expect("edge");
+        let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+        for &i in &test_idx {
+            let inst = setup.instance_on(&failed, i);
+            let pair = [(i, &inst)];
+            let opt = static_oracles(cache, setup.name, &format!("fail{li}"), &pair)[0];
+            for (mi, (scheme, zm)) in schemes.iter().zip(models).enumerate() {
+                let (mlu, _) =
+                    evaluate_model(zm.as_model(), &zm.store, &inst, scheme.eval_options());
+                per_scheme[mi].push(norm_mlu(mlu, opt));
+            }
+        }
+        per_link.push((format!("{u}-{v}"), per_scheme));
+        if li % 8 == 7 {
+            cache.save();
+            println!("  ... {} links drilled", li + 1);
+        }
+    }
+    cache.save();
+    DrillResult {
+        per_link,
+        scheme_names: models.iter().map(|m| m.model.name().to_string()).collect(),
+    }
+}

@@ -1,0 +1,13 @@
+//! # harp-bench
+//!
+//! The experiment harness: shared dataset construction, oracle caching,
+//! model training/caching ("the zoo"), and reporting utilities used by the
+//! per-figure binaries (`fig01` ... `fig18`, `table1`) that regenerate every
+//! table and figure of the paper's evaluation. See `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub mod cli;
+pub mod data;
+pub mod drill;
+pub mod report;
+pub mod zoo;

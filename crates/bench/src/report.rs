@@ -1,0 +1,102 @@
+//! Terminal reporting: aligned tables, CDF summaries, and JSON helpers.
+
+use harp_core::{boxplot_stats, fraction_at_most, percentile};
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Print an aligned two-column table.
+pub fn kv_table(rows: &[(&str, String)]) {
+    let w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    for (k, v) in rows {
+        println!("  {k:<w$}  {v}");
+    }
+}
+
+/// Print a CDF summary line for a NormMLU distribution, mirroring how the
+/// paper quotes its CDFs (median / p90 / p98 / p99.9 / max, plus the
+/// fraction within 1.10 of optimal).
+pub fn normmlu_summary(label: &str, values: &[f64]) {
+    if values.is_empty() {
+        println!("  {label:<14} (no data)");
+        return;
+    }
+    println!(
+        "  {label:<14} n={:<6} median={:.3} p90={:.3} p98={:.3} p99.9={:.3} max={:.3}  frac<=1.10: {:.1}%",
+        values.len(),
+        percentile(values, 50.0),
+        percentile(values, 90.0),
+        percentile(values, 98.0),
+        percentile(values, 99.9),
+        percentile(values, 100.0),
+        100.0 * fraction_at_most(values, 1.10),
+    );
+}
+
+/// Print a boxplot row (the paper's per-failure-scenario plots).
+pub fn boxplot_row(label: &str, values: &[f64]) {
+    let b = boxplot_stats(values);
+    println!(
+        "  {label:<18} min={:.3} q1={:.3} med={:.3} q3={:.3} p90={:.3} max={:.3}",
+        b.min, b.q1, b.median, b.q3, b.p90, b.max
+    );
+}
+
+/// Downsampled CDF points as JSON (at most `max_points`).
+pub fn cdf_json(values: &[f64], max_points: usize) -> serde_json::Value {
+    let pts = harp_core::cdf_points(values);
+    let stride = (pts.len() / max_points.max(1)).max(1);
+    let sampled: Vec<serde_json::Value> = pts
+        .iter()
+        .step_by(stride)
+        .chain(pts.last())
+        .map(|(v, f)| serde_json::json!([v, f]))
+        .collect();
+    serde_json::Value::Array(sampled)
+}
+
+/// Summary statistics as JSON.
+pub fn stats_json(values: &[f64]) -> serde_json::Value {
+    if values.is_empty() {
+        return serde_json::json!({ "n": 0 });
+    }
+    serde_json::json!({
+        "n": values.len(),
+        "median": percentile(values, 50.0),
+        "p90": percentile(values, 90.0),
+        "p98": percentile(values, 98.0),
+        "p999": percentile(values, 99.9),
+        "max": percentile(values, 100.0),
+        "mean": values.iter().sum::<f64>() / values.len() as f64,
+        "frac_within_1_10": fraction_at_most(values, 1.10),
+        "frac_within_1_11": fraction_at_most(values, 1.11),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_json_downsamples_and_keeps_last() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let json = cdf_json(&values, 50);
+        let arr = json.as_array().unwrap();
+        assert!(arr.len() <= 52);
+        let last = arr.last().unwrap().as_array().unwrap();
+        assert_eq!(last[0].as_f64().unwrap(), 999.0);
+        assert!((last[1].as_f64().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_json_fields() {
+        let v = vec![1.0, 1.05, 1.2, 2.0];
+        let s = stats_json(&v);
+        assert_eq!(s["n"], 4);
+        assert!(s["median"].as_f64().unwrap() > 1.0);
+        assert!((s["frac_within_1_10"].as_f64().unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(stats_json(&[])["n"], 0);
+    }
+}

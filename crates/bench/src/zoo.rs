@@ -1,0 +1,167 @@
+//! The model zoo: construct, train-or-load, and cache trained models so
+//! figures sharing a model (e.g. fig09/fig11 both use GEANT-trained HARP)
+//! pay the training cost once.
+
+use harp_core::{
+    train_model, Dote, EvalOptions, Harp, HarpConfig, Instance, SplitModel, Teal, TealConfig,
+    TrainConfig, TrainReport,
+};
+use harp_nn::{load_params, save_params};
+use harp_tensor::ParamStore;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::cli::Ctx;
+
+/// A model plus its parameter store.
+pub struct ZooModel {
+    /// The model (trait object so callers can mix schemes).
+    pub model: Box<dyn SplitModel>,
+    /// Its parameters (trained or loaded).
+    pub store: ParamStore,
+    /// Training report when training actually ran this invocation.
+    pub report: Option<TrainReport>,
+}
+
+impl ZooModel {
+    /// Shorthand for `&*self.model`.
+    pub fn as_model(&self) -> &dyn SplitModel {
+        &*self.model
+    }
+}
+
+/// Which scheme to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// HARP with the given RAU iterations (`0` = HARP-NoRAU).
+    Harp {
+        /// RAU recursions.
+        rau_iters: usize,
+    },
+    /// DOTE (fixed layout, sized from the first training instance).
+    Dote,
+    /// TEAL with the given tunnels-per-flow policy width.
+    Teal {
+        /// Policy width (max tunnels per flow).
+        tunnels_per_flow: usize,
+    },
+}
+
+impl Scheme {
+    /// Scheme label for file names and reports.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Harp { rau_iters: 0 } => "harp-norau".into(),
+            Scheme::Harp { .. } => "harp".into(),
+            Scheme::Dote => "dote".into(),
+            Scheme::Teal { .. } => "teal".into(),
+        }
+    }
+
+    /// Evaluation options the paper applies to this scheme (rescaling for
+    /// DOTE/TEAL/NoRAU, none for HARP).
+    pub fn eval_options(&self) -> EvalOptions {
+        match self {
+            Scheme::Harp { rau_iters } if *rau_iters > 0 => EvalOptions::default(),
+            _ => EvalOptions::with_rescaling(),
+        }
+    }
+}
+
+/// Instantiate a scheme's model with fresh parameters (seeded).
+pub fn build_model(
+    scheme: Scheme,
+    sample_instance: &Instance,
+    seed: u64,
+) -> (Box<dyn SplitModel>, ParamStore) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model: Box<dyn SplitModel> = match scheme {
+        Scheme::Harp { rau_iters } => Box::new(Harp::new(
+            &mut store,
+            &mut rng,
+            HarpConfig {
+                rau_iters,
+                ..HarpConfig::default()
+            },
+        )),
+        Scheme::Dote => Box::new(Dote::new(
+            &mut store,
+            &mut rng,
+            sample_instance,
+            &[128, 128],
+        )),
+        Scheme::Teal { tunnels_per_flow } => Box::new(Teal::new(
+            &mut store,
+            &mut rng,
+            TealConfig {
+                tunnels_per_flow,
+                ..TealConfig::default()
+            },
+        )),
+    };
+    (model, store)
+}
+
+/// Default training config scaled by mode.
+pub fn train_config(ctx: &Ctx) -> TrainConfig {
+    TrainConfig {
+        epochs: if ctx.quick { 18 } else { 40 },
+        batch_size: 8,
+        lr: 3e-3,
+        clip_norm: 5.0,
+        seed: 17,
+        patience: if ctx.quick { 6 } else { 10 },
+    }
+}
+
+/// Train a scheme on `(instance, optimal)` pairs, or load a cached
+/// checkpoint from a previous run with the same `name` and mode.
+pub fn train_or_load(
+    ctx: &Ctx,
+    name: &str,
+    scheme: Scheme,
+    train: &[(&Instance, f64)],
+    val: &[(&Instance, f64)],
+    cfg: TrainConfig,
+) -> ZooModel {
+    assert!(!train.is_empty(), "zoo: empty training set for {name}");
+    let (model, mut store) = build_model(scheme, train[0].0, 1000 + seed_of(name));
+    let path = ctx.model_path(name);
+    if path.exists() {
+        if load_params(&mut store, &path).is_ok() {
+            println!("[zoo] loaded {name} from {}", path.display());
+            return ZooModel {
+                model,
+                store,
+                report: None,
+            };
+        }
+        eprintln!("[zoo] stale checkpoint for {name}; retraining");
+    }
+    let t0 = std::time::Instant::now();
+    let report = train_model(&*model, &mut store, train, val, cfg, scheme.eval_options());
+    println!(
+        "[zoo] trained {name}: best val NormMLU {:.4} (epoch {}) in {:.1?} over {} epochs",
+        report.best_val,
+        report.best_epoch,
+        t0.elapsed(),
+        report.history.len()
+    );
+    for h in &report.history {
+        println!(
+            "[zoo]   epoch {:>3}: train {:.4}  val {:.4}",
+            h.epoch, h.train_loss, h.val_norm_mlu
+        );
+    }
+    save_params(&store, &path).expect("save checkpoint");
+    ZooModel {
+        model,
+        store,
+        report: Some(report),
+    }
+}
+
+fn seed_of(name: &str) -> u64 {
+    name.bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64))
+}

@@ -1,0 +1,185 @@
+//! Evaluation: NormMLU against the optimal oracle, CDFs, percentiles and
+//! boxplot statistics (the paper's reporting vocabulary).
+
+use harp_tensor::{ParamStore, Tape};
+
+use crate::loss::splits_from_forward;
+use crate::{Instance, SplitModel};
+
+/// Evaluation-time policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Apply the paper's *local rescaling* around fully-failed links (used
+    /// for DOTE/TEAL/HARP-NoRAU; HARP runs without rescaling, §4).
+    pub rescale_failed: bool,
+    /// Capacity at or below this counts as a full failure.
+    pub failed_threshold: f64,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            rescale_failed: false,
+            failed_threshold: 1e-4,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Options with local rescaling enabled.
+    pub fn with_rescaling() -> Self {
+        EvalOptions {
+            rescale_failed: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Run `model` on `instance` and return `(mlu, splits)` evaluated exactly
+/// (f64 path program), applying rescaling if requested.
+pub fn evaluate_model(
+    model: &dyn SplitModel,
+    store: &ParamStore,
+    instance: &Instance,
+    opts: EvalOptions,
+) -> (f64, Vec<f64>) {
+    let mut tape = Tape::new();
+    let out = model.forward(&mut tape, store, instance);
+    let mut splits = splits_from_forward(&tape, out);
+    // guard against tiny float drift in the softmax
+    splits = instance.program.normalize_splits(&splits);
+    if opts.rescale_failed {
+        splits = instance
+            .program
+            .rescale_around_failures(&splits, opts.failed_threshold);
+    }
+    let mlu = instance.program.mlu(&splits);
+    (mlu, splits)
+}
+
+/// NormMLU: the scheme's MLU over the optimal MLU, floored at 1 (tiny
+/// solver gaps can otherwise make a scheme look "better than optimal").
+pub fn norm_mlu(model_mlu: f64, optimal_mlu: f64) -> f64 {
+    if optimal_mlu <= 0.0 {
+        if model_mlu <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (model_mlu / optimal_mlu).max(1.0)
+    }
+}
+
+/// Sorted `(value, cumulative_fraction)` pairs for CDF plotting.
+pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len().max(1) as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// The `p`-th percentile (0..=100) by linear interpolation.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p));
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if v.len() == 1 {
+        return v[0];
+    }
+    let pos = p / 100.0 * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    v[lo] * (1.0 - frac) + v[hi] * frac
+}
+
+/// Fraction of values `<= threshold` (e.g. "98% of snapshots are within
+/// 1.11 of optimal").
+pub fn fraction_at_most(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= threshold).count() as f64 / values.len() as f64
+}
+
+/// Five-number summary plus p90 (the paper's boxplots mark p90 with a
+/// dashed line and run the top whisker to the max).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxplotStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Compute [`BoxplotStats`].
+pub fn boxplot_stats(values: &[f64]) -> BoxplotStats {
+    BoxplotStats {
+        min: percentile(values, 0.0),
+        q1: percentile(values, 25.0),
+        median: percentile(values, 50.0),
+        q3: percentile(values, 75.0),
+        p90: percentile(values, 90.0),
+        max: percentile(values, 100.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_mlu_floors_at_one() {
+        assert_eq!(norm_mlu(0.5, 1.0), 1.0);
+        assert_eq!(norm_mlu(2.0, 1.0), 2.0);
+        assert_eq!(norm_mlu(1.0, 0.0), f64::INFINITY);
+        assert_eq!(norm_mlu(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let pts = cdf_points(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert!((percentile(&v, 90.0) - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_counts() {
+        let v = [1.0, 1.05, 1.11, 1.5];
+        assert_eq!(fraction_at_most(&v, 1.11), 0.75);
+        assert_eq!(fraction_at_most(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn boxplot_summary() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let b = boxplot_stats(&v);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 100.0);
+        assert!((b.median - 50.5).abs() < 1e-9);
+        assert!(b.q1 < b.median && b.median < b.q3 && b.q3 < b.p90);
+    }
+}

@@ -1,0 +1,481 @@
+//! The HARP model (§3 of the paper).
+//!
+//! Pipeline per instance:
+//!
+//! 1. **GCN edge embeddings** (§3.3): node features (adjacent capacity,
+//!    degree) run through a small GCN stack; per-layer node embeddings are
+//!    concatenated (Fig 14). The embedding of edge `(i, j)` is the *sum* of
+//!    the two node embeddings concatenated with the edge capacity — so
+//!    `h_ij == h_ji` exactly when `C_ij == C_ji` — projected to the model
+//!    width.
+//! 2. **SETTRANS tunnel embeddings** (§3.4): each tunnel is the *set* of
+//!    its edges' embeddings plus a learned CLS vector; a transformer
+//!    encoder **without positional encodings** produces edge-conditioned
+//!    ("edge-tunnel") embeddings and the CLS row is the tunnel embedding.
+//! 3. **MLP1 initial splits**: tunnel embedding ⊕ demand → unnormalized
+//!    split logit `u`, the same MLP applied to every tunnel.
+//! 4. **RAU refinement** (§3.5): `rau_iters` times, compute per-flow
+//!    softmax splits, link utilizations, the network MLU and each tunnel's
+//!    bottleneck link; feed (bottleneck edge-tunnel embedding, bottleneck
+//!    utilization, MLU, demand) to the shared RAU MLP, whose output is
+//!    *added* to the logits. A final softmax yields the splits.
+//!
+//! `rau_iters = 0` is the paper's HARP-NoRAU ablation.
+
+use harp_nn::{Activation, GcnConv, Linear, Mlp, TransformerEncoder};
+use harp_tensor::{ParamId, ParamStore, Tape, Var};
+use rand::Rng;
+
+use crate::loss::utilization;
+use crate::{Instance, SplitModel};
+
+/// Architecture hyperparameters (defaults follow the paper's small-model
+/// regime — the AnonNet model selected in validation has ~21K parameters).
+#[derive(Clone, Copy, Debug)]
+pub struct HarpConfig {
+    /// GCN layers (paper searches 2, 3, 6).
+    pub gnn_layers: usize,
+    /// GCN hidden width per layer.
+    pub gnn_hidden: usize,
+    /// Model width r (edge/tunnel embedding dim; must be divisible by
+    /// `heads`).
+    pub d_model: usize,
+    /// SETTRANS encoder layers (paper searches 2, 3).
+    pub settrans_layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// SETTRANS feed-forward width.
+    pub d_ff: usize,
+    /// Hidden width of MLP1 and the RAU MLP.
+    pub mlp_hidden: usize,
+    /// RAU recursions (paper searches 3, 7, 14; 0 = HARP-NoRAU).
+    pub rau_iters: usize,
+}
+
+impl Default for HarpConfig {
+    fn default() -> Self {
+        HarpConfig {
+            gnn_layers: 2,
+            gnn_hidden: 8,
+            d_model: 16,
+            settrans_layers: 2,
+            heads: 2,
+            d_ff: 32,
+            mlp_hidden: 32,
+            rau_iters: 7,
+        }
+    }
+}
+
+impl HarpConfig {
+    /// The HARP-NoRAU ablation of this config.
+    pub fn no_rau(mut self) -> Self {
+        self.rau_iters = 0;
+        self
+    }
+}
+
+/// The HARP model. Holds parameter handles into a [`ParamStore`]; the same
+/// four modules (GNN, SETTRANS, MLP1, RAU) are shared across all edges,
+/// tunnels and recursions.
+#[derive(Clone, Debug)]
+pub struct Harp {
+    cfg: HarpConfig,
+    gnn: Vec<GcnConv>,
+    edge_proj: Linear,
+    settrans: TransformerEncoder,
+    mlp1: Mlp,
+    rau: Mlp,
+    cls: ParamId,
+}
+
+impl Harp {
+    /// Construct with freshly-initialized parameters registered in `store`.
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, cfg: HarpConfig) -> Self {
+        assert!(cfg.gnn_layers >= 1 && cfg.d_model.is_multiple_of(cfg.heads));
+        let mut gnn = Vec::with_capacity(cfg.gnn_layers);
+        let mut in_dim = 2;
+        for l in 0..cfg.gnn_layers {
+            gnn.push(GcnConv::new(
+                store,
+                rng,
+                &format!("harp.gnn.{l}"),
+                in_dim,
+                cfg.gnn_hidden,
+                Activation::Tanh,
+            ));
+            in_dim = cfg.gnn_hidden;
+        }
+        // node embedding = concat of all layer outputs; edge embedding =
+        // sum of endpoints' node embeddings ⊕ capacity, projected to r.
+        let node_dim = cfg.gnn_hidden * cfg.gnn_layers;
+        let edge_proj = Linear::new(
+            store,
+            rng,
+            "harp.edge_proj",
+            node_dim + 1,
+            cfg.d_model,
+            true,
+        );
+        let settrans = TransformerEncoder::new(
+            store,
+            rng,
+            "harp.settrans",
+            cfg.settrans_layers,
+            cfg.d_model,
+            cfg.heads,
+            cfg.d_ff,
+        );
+        let mlp1 = Mlp::new(
+            store,
+            rng,
+            "harp.mlp1",
+            &[cfg.d_model + 1, cfg.mlp_hidden, 1],
+            Activation::LeakyRelu(0.01),
+            Activation::Identity,
+        );
+        let rau = Mlp::new(
+            store,
+            rng,
+            "harp.rau",
+            &[cfg.d_model + 4, cfg.mlp_hidden, 1],
+            Activation::LeakyRelu(0.01),
+            Activation::Identity,
+        );
+        let cls = store.register(
+            "harp.cls",
+            vec![1, cfg.d_model],
+            harp_nn::xavier_vec(rng, 1, cfg.d_model),
+        );
+        Harp {
+            cfg,
+            gnn,
+            edge_proj,
+            settrans,
+            mlp1,
+            rau,
+            cls,
+        }
+    }
+
+    /// The configured hyperparameters.
+    pub fn config(&self) -> HarpConfig {
+        self.cfg
+    }
+
+    /// A view of the same trained parameters running `n` RAU recursions.
+    ///
+    /// The RAU is a *shared-parameter* fixed-point improver, so inference
+    /// may iterate more (or less) than training did — the alignment
+    /// property §3.5 leans on. Useful for the RAU-depth ablation.
+    pub fn with_rau_iters(&self, n: usize) -> Harp {
+        let mut m = self.clone();
+        m.cfg.rau_iters = n;
+        m
+    }
+
+    /// Edge embeddings `[E, d_model]` (stage 1).
+    fn edge_embeddings(&self, t: &mut Tape, s: &ParamStore, inst: &Instance) -> Var {
+        let adj = t.constant(vec![inst.num_nodes, inst.num_nodes], inst.adj_norm.clone());
+        let mut x = t.constant(vec![inst.num_nodes, 2], inst.node_feats.clone());
+        let mut layer_outs = Vec::with_capacity(self.gnn.len());
+        for layer in &self.gnn {
+            x = layer.forward(t, s, adj, x);
+            layer_outs.push(x);
+        }
+        let node_emb = if layer_outs.len() == 1 {
+            layer_outs[0]
+        } else {
+            t.concat_cols(&layer_outs)
+        };
+        let src_emb = t.gather_rows(node_emb, inst.edge_src.clone());
+        let dst_emb = t.gather_rows(node_emb, inst.edge_dst.clone());
+        let sum = t.add(src_emb, dst_emb);
+        let caps = t.constant(vec![inst.num_edges, 1], inst.edge_caps.clone());
+        let with_cap = t.concat_cols(&[sum, caps]);
+        self.edge_proj.forward(t, s, with_cap)
+    }
+
+    /// Stage 2: SETTRANS over padded tunnel sequences. Returns the flat
+    /// `[T * seq_len, d_model]` edge-tunnel embedding table.
+    fn tunnel_table(&self, t: &mut Tape, s: &ParamStore, inst: &Instance, edge_emb: Var) -> Var {
+        let cls = t.param(s, self.cls);
+        let table = t.concat_rows(&[cls, edge_emb]); // row 0 = CLS
+        let seqs = t.gather_rows(table, inst.seq_index.clone());
+        let seqs3 = t.reshape(seqs, vec![inst.num_tunnels, inst.seq_len, self.cfg.d_model]);
+        let out = self
+            .settrans
+            .forward(t, s, seqs3, Some(inst.score_mask.clone()));
+        t.reshape(out, vec![inst.num_tunnels * inst.seq_len, self.cfg.d_model])
+    }
+}
+
+impl SplitModel for Harp {
+    fn forward(&self, t: &mut Tape, s: &ParamStore, inst: &Instance) -> Var {
+        let edge_emb = self.edge_embeddings(t, s, inst);
+        let table = self.tunnel_table(t, s, inst, edge_emb);
+
+        // tunnel embeddings = CLS rows (position 0 of each sequence)
+        let cls_rows: Vec<usize> = (0..inst.num_tunnels).map(|i| i * inst.seq_len).collect();
+        let tunnel_emb = t.gather_rows(table, std::sync::Arc::new(cls_rows));
+
+        let demand_col = t.constant(vec![inst.num_tunnels, 1], inst.tunnel_demand.clone());
+        let mlp1_in = t.concat_cols(&[tunnel_emb, demand_col]);
+        let u0 = self.mlp1.forward(t, s, mlp1_in);
+        let mut u = t.reshape(u0, vec![inst.num_tunnels]);
+
+        for _ in 0..self.cfg.rau_iters {
+            let w = t.segment_softmax(u, inst.tunnel_flow.clone(), inst.num_flows);
+            let utils = utilization(t, w, inst);
+            let mlu = t.max_all(utils);
+
+            // per-tunnel bottleneck: max utilization over the tunnel's edges
+            let pair_util = t.gather_rows(utils, inst.pair_edge.clone());
+            let bott_util = t.segment_max(pair_util, inst.pair_tunnel.clone(), inst.num_tunnels);
+            // data-dependent gather of the bottleneck edge-tunnel embedding
+            let argmax_pairs = t.segment_argmax_of(bott_util).to_vec();
+            let bott_rows: Vec<usize> = argmax_pairs.iter().map(|&p| inst.pair_row[p]).collect();
+            let bott_emb = t.gather_rows(table, std::sync::Arc::new(bott_rows));
+
+            // Utilizations can reach ~1e7 on failed (capacity-floored)
+            // links; feed the RAU log-compressed magnitudes plus the
+            // *bounded* ratio U(l)/MLU — "RAU compares the network-wide
+            // MLU with U(l)" (§3.5) — so the comparison signal stays well
+            // conditioned regardless of failure severity.
+            let bott_log = {
+                let p1 = t.add_scalar(bott_util, 1.0);
+                let l = t.ln(p1);
+                t.reshape(l, vec![inst.num_tunnels, 1])
+            };
+            let mlu_log = {
+                let p1 = t.add_scalar(mlu, 1.0);
+                let l = t.ln(p1);
+                let v = t.broadcast_scalar(l, inst.num_tunnels);
+                t.reshape(v, vec![inst.num_tunnels, 1])
+            };
+            let ratio = {
+                let inv_mlu = t.recip(mlu, 1e-9);
+                let inv_vec = t.broadcast_scalar(inv_mlu, inst.num_tunnels);
+                let r = t.mul(bott_util, inv_vec);
+                t.reshape(r, vec![inst.num_tunnels, 1])
+            };
+            let rau_in = t.concat_cols(&[bott_emb, bott_log, mlu_log, ratio, demand_col]);
+            let delta = self.rau.forward(t, s, rau_in);
+            let delta = t.reshape(delta, vec![inst.num_tunnels]);
+            u = t.add(u, delta);
+        }
+
+        t.segment_softmax(u, inst.tunnel_flow.clone(), inst.num_flows)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.cfg.rau_iters == 0 {
+            "HARP-NoRAU"
+        } else {
+            "HARP"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mlu_loss;
+    use harp_paths::TunnelSet;
+    use harp_topology::Topology;
+    use harp_traffic::TrafficMatrix;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn diamond_instance() -> Instance {
+        let mut topo = Topology::new(4);
+        topo.add_link(0, 1, 10.0).unwrap();
+        topo.add_link(1, 3, 10.0).unwrap();
+        topo.add_link(0, 2, 20.0).unwrap();
+        topo.add_link(2, 3, 20.0).unwrap();
+        let tunnels = TunnelSet::k_shortest(&topo, &[0, 3], 2, 0.0);
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set_demand(0, 3, 12.0);
+        tm.set_demand(3, 0, 6.0);
+        Instance::compile(&topo, &tunnels, &tm)
+    }
+
+    fn small_cfg() -> HarpConfig {
+        HarpConfig {
+            gnn_layers: 2,
+            gnn_hidden: 4,
+            d_model: 8,
+            settrans_layers: 1,
+            heads: 1,
+            d_ff: 16,
+            mlp_hidden: 16,
+            rau_iters: 3,
+        }
+    }
+
+    #[test]
+    fn forward_produces_valid_splits() {
+        let inst = diamond_instance();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let harp = Harp::new(&mut store, &mut rng, small_cfg());
+        let mut t = Tape::new();
+        let splits = harp.forward(&mut t, &store, &inst);
+        let s: Vec<f64> = t.value(splits).iter().map(|&x| x as f64).collect();
+        assert!(inst.program.splits_are_valid(&s, 1e-4), "splits {s:?}");
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        let inst = diamond_instance();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let harp = Harp::new(&mut store, &mut rng, small_cfg());
+        let loss_of = |store: &ParamStore| {
+            let mut t = Tape::new();
+            let splits = harp.forward(&mut t, store, &inst);
+            let l = mlu_loss(&mut t, splits, &inst);
+            (t, l)
+        };
+        let (t0, l0) = loss_of(&store);
+        let before = t0.scalar_value(l0);
+        let mut opt = harp_nn::Adam::new(&store, harp_nn::AdamConfig::with_lr(5e-3));
+        for _ in 0..30 {
+            let (t, l) = loss_of(&store);
+            store.zero_grads();
+            t.backward(l, &mut store);
+            opt.step_and_zero(&mut store);
+        }
+        let (t1, l1) = loss_of(&store);
+        assert!(
+            t1.scalar_value(l1) < before,
+            "{} !< {}",
+            t1.scalar_value(l1),
+            before
+        );
+    }
+
+    #[test]
+    fn node_relabeling_invariance() {
+        // Build the same network with permuted node ids; the per-tunnel
+        // splits must be identical for corresponding tunnels.
+        let mut topo = Topology::new(4);
+        topo.add_link(0, 1, 10.0).unwrap();
+        topo.add_link(1, 3, 10.0).unwrap();
+        topo.add_link(0, 2, 20.0).unwrap();
+        topo.add_link(2, 3, 20.0).unwrap();
+        let perm = vec![2usize, 3, 1, 0];
+        let ptopo = topo.permute_nodes(&perm).unwrap();
+
+        let tunnels = TunnelSet::k_shortest(&topo, &[0, 3], 2, 0.0);
+        let edge_nodes_p: Vec<usize> = vec![perm[0], perm[3]];
+        let ptunnels = TunnelSet::k_shortest(&ptopo, &edge_nodes_p, 2, 0.0);
+
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set_demand(0, 3, 12.0);
+        tm.set_demand(3, 0, 6.0);
+        let ptm = tm.permute(&perm);
+
+        let inst = Instance::compile(&topo, &tunnels, &tm);
+        let pinst = Instance::compile(&ptopo, &ptunnels, &ptm);
+
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let harp = Harp::new(&mut store, &mut rng, small_cfg());
+
+        let run = |inst: &Instance| {
+            let mut t = Tape::new();
+            let s = harp.forward(&mut t, &store, inst);
+            t.value(s).to_vec()
+        };
+        let a = run(&inst);
+        let b = run(&pinst);
+
+        // match tunnels across instances by their (permuted) node sequence
+        let seq_a = tunnels.node_sequences(&topo);
+        let seq_b = ptunnels.node_sequences(&ptopo);
+        for (i, sa) in seq_a.iter().enumerate() {
+            let mapped: Vec<usize> = sa.iter().map(|&n| perm[n]).collect();
+            let j = seq_b
+                .iter()
+                .position(|sb| *sb == mapped)
+                .expect("tunnel exists in permuted instance");
+            assert!(
+                (a[i] - b[j]).abs() < 1e-4,
+                "tunnel {i}: {} vs {}",
+                a[i],
+                b[j]
+            );
+        }
+    }
+
+    #[test]
+    fn tunnel_reordering_invariance() {
+        let mut topo = Topology::new(4);
+        topo.add_link(0, 1, 10.0).unwrap();
+        topo.add_link(1, 3, 10.0).unwrap();
+        topo.add_link(0, 2, 20.0).unwrap();
+        topo.add_link(2, 3, 20.0).unwrap();
+        let tunnels = TunnelSet::k_shortest(&topo, &[0, 3], 2, 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let shuffled = tunnels.shuffled(&mut rng);
+
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set_demand(0, 3, 12.0);
+        tm.set_demand(3, 0, 6.0);
+
+        let inst = Instance::compile(&topo, &tunnels, &tm);
+        let sinst = Instance::compile(&topo, &shuffled, &tm);
+
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let harp = Harp::new(&mut store, &mut rng, small_cfg());
+
+        let mut t1 = Tape::new();
+        let s1 = harp.forward(&mut t1, &store, &inst);
+        let mut t2 = Tape::new();
+        let s2 = harp.forward(&mut t2, &store, &sinst);
+
+        let seq_a = tunnels.node_sequences(&topo);
+        let seq_b = shuffled.node_sequences(&topo);
+        for (i, sa) in seq_a.iter().enumerate() {
+            let j = seq_b.iter().position(|sb| sb == sa).unwrap();
+            assert!(
+                (t1.value(s1)[i] - t2.value(s2)[j]).abs() < 1e-5,
+                "tunnel {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn norau_has_fewer_graph_ops() {
+        let inst = diamond_instance();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let harp = Harp::new(&mut store, &mut rng, small_cfg());
+        let mut store2 = ParamStore::new();
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let norau = Harp::new(&mut store2, &mut rng2, small_cfg().no_rau());
+        assert_eq!(norau.name(), "HARP-NoRAU");
+        assert_eq!(harp.name(), "HARP");
+
+        let mut t1 = Tape::new();
+        harp.forward(&mut t1, &store, &inst);
+        let mut t2 = Tape::new();
+        norau.forward(&mut t2, &store2, &inst);
+        assert!(t2.len() < t1.len());
+    }
+
+    #[test]
+    fn param_count_is_small() {
+        // sanity: the default config stays in the paper's "tiny model"
+        // regime (paper: 21K params for AnonNet's selected model)
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = Harp::new(&mut store, &mut rng, HarpConfig::default());
+        assert!(
+            store.num_scalars() < 60_000,
+            "params = {}",
+            store.num_scalars()
+        );
+    }
+}

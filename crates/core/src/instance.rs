@@ -1,0 +1,243 @@
+//! Instance compilation: one snapshot, ready for both the neural models
+//! (f32 index tensors, shared via `Arc` across tape builds) and the exact
+//! evaluators (`f64` path program).
+
+use std::sync::Arc;
+
+use harp_nn::{expand_key_mask, normalized_adjacency};
+use harp_opt::PathProgram;
+use harp_paths::TunnelSet;
+use harp_topology::{node_features, Topology};
+use harp_traffic::TrafficMatrix;
+
+/// A compiled snapshot. Build once with [`Instance::compile`], reuse across
+/// every forward pass (index arrays are `Arc`-shared into the tapes).
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Nodes in the (universe) topology.
+    pub num_nodes: usize,
+    /// Directed edges.
+    pub num_edges: usize,
+    /// Flows (ordered source/destination pairs with tunnels).
+    pub num_flows: usize,
+    /// Total tunnels across flows.
+    pub num_tunnels: usize,
+    /// Padded tunnel sequence length **including** the CLS slot.
+    pub seq_len: usize,
+
+    /// Dense `n x n` symmetric-normalized adjacency for the GCN.
+    pub adj_norm: Vec<f32>,
+    /// `[n, 2]` node features (total adjacent capacity, degree).
+    pub node_feats: Vec<f32>,
+    /// Source node of each edge.
+    pub edge_src: Arc<Vec<usize>>,
+    /// Destination node of each edge.
+    pub edge_dst: Arc<Vec<usize>>,
+    /// Edge capacities in *scaled* units (divided by the mean capacity).
+    pub edge_caps: Vec<f32>,
+    /// `1 / capacity` in scaled units (clamped for the zero-cap floor).
+    pub edge_inv_caps: Vec<f32>,
+    /// The scale factor: original capacity units per scaled unit.
+    pub cap_unit: f64,
+
+    /// Flow demands in scaled units.
+    pub flow_demands: Vec<f32>,
+    /// Tunnel -> flow index (segment ids for the per-flow softmax).
+    pub tunnel_flow: Arc<Vec<usize>>,
+    /// Demand of each tunnel's flow (scaled), `[T]`.
+    pub tunnel_demand: Vec<f32>,
+
+    /// `[T * seq_len]` index into the `[1 + E]`-row embedding table
+    /// (row 0 = CLS, row e+1 = edge e); padding slots point at row 0 and
+    /// are masked out.
+    pub seq_index: Arc<Vec<usize>>,
+    /// `[T, seq_len]` key validity mask (1 = CLS or real edge, 0 = pad).
+    pub key_mask: Vec<f32>,
+    /// Pre-expanded `[T, seq_len, seq_len]` attention score mask.
+    pub score_mask: Arc<Vec<f32>>,
+
+    /// Incidence pairs (tunnel, edge): pair -> tunnel.
+    pub pair_tunnel: Arc<Vec<usize>>,
+    /// Incidence pairs: pair -> edge.
+    pub pair_edge: Arc<Vec<usize>>,
+    /// Incidence pairs: pair -> flat row `t * seq_len + pos` in the
+    /// set-transformer output (for bottleneck edge-tunnel embeddings).
+    pub pair_row: Arc<Vec<usize>>,
+
+    /// Exact-arithmetic program for evaluation/normalization.
+    pub program: PathProgram,
+}
+
+impl Instance {
+    /// Compile a snapshot. `topo` must already carry the snapshot's
+    /// capacities; `tunnels` must have been computed on (a version of) this
+    /// topology; `tm` is indexed by `topo` node ids.
+    pub fn compile(topo: &Topology, tunnels: &TunnelSet, tm: &TrafficMatrix) -> Instance {
+        let n = topo.num_nodes();
+        let m = topo.num_edges();
+        let num_flows = tunnels.num_flows();
+        let num_tunnels = tunnels.num_tunnels();
+        assert!(num_tunnels > 0, "instance needs at least one tunnel");
+
+        let program = PathProgram::new(topo, tunnels, tm);
+
+        // capacity scaling
+        let caps: Vec<f64> = topo.capacities();
+        let mean_cap = {
+            let pos: Vec<f64> = caps.iter().copied().filter(|c| *c > 1e-3).collect();
+            if pos.is_empty() {
+                1.0
+            } else {
+                pos.iter().sum::<f64>() / pos.len() as f64
+            }
+        };
+        let edge_caps: Vec<f32> = caps.iter().map(|c| (c / mean_cap) as f32).collect();
+        let edge_inv_caps: Vec<f32> = edge_caps.iter().map(|c| 1.0 / c.max(1e-9)).collect();
+
+        let edge_src: Vec<usize> = topo.edges().iter().map(|e| e.src).collect();
+        let edge_dst: Vec<usize> = topo.edges().iter().map(|e| e.dst).collect();
+
+        // flows and demands
+        let flow_demands: Vec<f32> = tunnels
+            .flows()
+            .iter()
+            .map(|&(s, t)| (tm.demand(s, t) / mean_cap) as f32)
+            .collect();
+        let mut tunnel_flow = Vec::with_capacity(num_tunnels);
+        let mut tunnel_demand = Vec::with_capacity(num_tunnels);
+        for (f, _, _) in tunnels.iter_flat() {
+            tunnel_flow.push(f);
+            tunnel_demand.push(flow_demands[f]);
+        }
+
+        // padded tunnel sequences (+1 for the CLS slot at position 0)
+        let max_len = tunnels.max_tunnel_len();
+        let seq_len = max_len + 1;
+        let mut seq_index = vec![0usize; num_tunnels * seq_len];
+        let mut key_mask = vec![0.0f32; num_tunnels * seq_len];
+        let mut pair_tunnel = Vec::new();
+        let mut pair_edge = Vec::new();
+        let mut pair_row = Vec::new();
+        for (t_idx, (_, _, path)) in tunnels.iter_flat().enumerate() {
+            key_mask[t_idx * seq_len] = 1.0; // CLS
+            for (pos, &e) in path.0.iter().enumerate() {
+                let slot = t_idx * seq_len + pos + 1;
+                seq_index[slot] = e + 1;
+                key_mask[slot] = 1.0;
+                pair_tunnel.push(t_idx);
+                pair_edge.push(e);
+                pair_row.push(slot);
+            }
+        }
+        let score_mask = expand_key_mask(&key_mask, num_tunnels, seq_len);
+
+        Instance {
+            num_nodes: n,
+            num_edges: m,
+            num_flows,
+            num_tunnels,
+            seq_len,
+            adj_norm: normalized_adjacency(
+                n,
+                &topo
+                    .edges()
+                    .iter()
+                    .map(|e| (e.src, e.dst))
+                    .collect::<Vec<_>>(),
+            ),
+            node_feats: node_features(topo),
+            edge_src: Arc::new(edge_src),
+            edge_dst: Arc::new(edge_dst),
+            edge_caps,
+            edge_inv_caps,
+            cap_unit: mean_cap,
+            flow_demands,
+            tunnel_flow: Arc::new(tunnel_flow),
+            tunnel_demand,
+            seq_index: Arc::new(seq_index),
+            key_mask,
+            score_mask: Arc::new(score_mask),
+            pair_tunnel: Arc::new(pair_tunnel),
+            pair_edge: Arc::new(pair_edge),
+            pair_row: Arc::new(pair_row),
+            program,
+        }
+    }
+
+    /// Number of (tunnel, edge) incidence pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pair_edge.len()
+    }
+
+    /// Tunnels-per-flow counts.
+    pub fn tunnels_per_flow(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_flows];
+        for &f in self.tunnel_flow.iter() {
+            counts[f] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_instance() -> Instance {
+        let mut topo = Topology::new(4);
+        topo.add_link(0, 1, 10.0).unwrap();
+        topo.add_link(1, 2, 10.0).unwrap();
+        topo.add_link(2, 3, 10.0).unwrap();
+        topo.add_link(3, 0, 10.0).unwrap();
+        let tunnels = TunnelSet::k_shortest(&topo, &[0, 2], 2, 0.0);
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set_demand(0, 2, 4.0);
+        tm.set_demand(2, 0, 2.0);
+        Instance::compile(&topo, &tunnels, &tm)
+    }
+
+    #[test]
+    fn dimensions() {
+        let inst = square_instance();
+        assert_eq!(inst.num_nodes, 4);
+        assert_eq!(inst.num_edges, 8);
+        assert_eq!(inst.num_flows, 2);
+        assert_eq!(inst.num_tunnels, 4);
+        assert_eq!(inst.seq_len, 3); // 2-hop max + CLS
+        assert_eq!(inst.num_pairs(), 8); // each tunnel has 2 edges
+        assert_eq!(inst.tunnels_per_flow(), vec![2, 2]);
+    }
+
+    #[test]
+    fn capacity_scaling_preserves_utilization() {
+        let inst = square_instance();
+        // scaled demand / scaled cap == raw demand / raw cap
+        let raw_ratio = 4.0 / 10.0;
+        let f = inst.flow_demands[0] / inst.edge_caps[0];
+        assert!((f as f64 - raw_ratio).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seq_index_points_at_real_edges() {
+        let inst = square_instance();
+        for t in 0..inst.num_tunnels {
+            // CLS slot
+            assert_eq!(inst.seq_index[t * inst.seq_len], 0);
+            assert_eq!(inst.key_mask[t * inst.seq_len], 1.0);
+        }
+        // every pair row is a valid masked-in slot
+        for (&row, &e) in inst.pair_row.iter().zip(inst.pair_edge.iter()) {
+            assert_eq!(inst.key_mask[row], 1.0);
+            assert_eq!(inst.seq_index[row], e + 1);
+        }
+    }
+
+    #[test]
+    fn program_matches_instance_layout() {
+        let inst = square_instance();
+        assert_eq!(inst.program.num_tunnels(), inst.num_tunnels);
+        assert_eq!(inst.program.num_edges, inst.num_edges);
+        let uni = inst.program.uniform_splits();
+        assert!(inst.program.mlu(&uni) > 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # harp-core
+//!
+//! The paper's models and the harness around them:
+//!
+//! * [`Instance`] — a (topology, tunnels, traffic matrix) snapshot compiled
+//!   into the index tensors every model consumes, plus the `f64`
+//!   [`harp_opt::PathProgram`] used for exact evaluation.
+//! * [`Harp`] — the paper's model: GCN edge embeddings → set-transformer
+//!   tunnel/edge-tunnel embeddings → MLP1 initial split logits → K
+//!   recurrent-adjustment (RAU) refinements driven by bottleneck-link
+//!   feedback → per-flow softmax splits. `rau_iters = 0` gives the
+//!   HARP-NoRAU ablation.
+//! * [`Dote`] — the DOTE baseline: an MLP from the (fixed-layout) demand
+//!   vector straight to split logits; blind to topology and capacities.
+//! * [`Teal`] — the TEAL-like baseline: bipartite edge↔tunnel FlowGNN plus
+//!   a per-flow policy MLP over *concatenated* (order-sensitive) tunnel
+//!   embeddings. Trained with the same differentiable MLU loss (documented
+//!   substitution for RL — see DESIGN.md).
+//! * `train` / `eval` — mini-batch trainer with validation-based model
+//!   selection, NormMLU evaluation, CDFs and boxplot statistics.
+//!
+//! All models implement [`SplitModel`]; the differentiable MLU objective
+//! ([`mlu_loss`]) is shared.
+
+mod dote;
+mod eval;
+mod harp;
+mod instance;
+mod loss;
+mod teal;
+mod train;
+
+pub use dote::Dote;
+pub use eval::{
+    boxplot_stats, cdf_points, evaluate_model, fraction_at_most, norm_mlu, percentile,
+    BoxplotStats, EvalOptions,
+};
+pub use harp::{Harp, HarpConfig};
+pub use instance::Instance;
+pub use loss::{
+    mlu_loss, mlu_with_mean_util_loss, splits_from_forward, throughput_loss, utilization,
+};
+pub use teal::{Teal, TealConfig};
+pub use train::{train_model, EpochStats, TrainConfig, TrainReport};
+
+use harp_tensor::{ParamStore, Tape, Var};
+
+/// A TE scheme that maps a compiled [`Instance`] to per-tunnel split
+/// ratios (a rank-1 tensor of length `instance.num_tunnels`, already
+/// normalized per flow by a segment softmax).
+pub trait SplitModel {
+    /// Record the forward pass on `tape` and return the splits node.
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, instance: &Instance) -> Var;
+
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,292 @@
+//! Mini-batch training with validation-based model selection.
+//!
+//! The paper's protocol (§4): train until convergence, checkpoint every
+//! epoch, pick the checkpoint with the best validation score. Losses are
+//! per-snapshot MLU, optionally normalized by the snapshot's optimal MLU
+//! (a per-instance constant supplied by the caller, which conditions the
+//! objective across heterogeneous snapshots).
+
+use harp_nn::{clip_grad_norm, Adam, AdamConfig};
+use harp_tensor::{ParamStore, Tape};
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::eval::{evaluate_model, norm_mlu, EvalOptions};
+use crate::loss::mlu_loss;
+use crate::{Instance, SplitModel};
+
+/// Training hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Snapshots per gradient step.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub clip_norm: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Stop after this many epochs without validation improvement
+    /// (0 disables early stopping).
+    pub patience: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 8,
+            lr: 2e-3,
+            clip_norm: 5.0,
+            seed: 17,
+            patience: 8,
+        }
+    }
+}
+
+/// Per-epoch record.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean (normalized) training loss.
+    pub train_loss: f64,
+    /// Mean validation NormMLU.
+    pub val_norm_mlu: f64,
+}
+
+/// The outcome of a training run. The store is left holding the
+/// best-validation parameters.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Per-epoch statistics.
+    pub history: Vec<EpochStats>,
+    /// Index of the selected epoch.
+    pub best_epoch: usize,
+    /// Its validation NormMLU.
+    pub best_val: f64,
+}
+
+/// Train `model` (whose parameters live in `store`).
+///
+/// `train` and `val` pair each instance with its **optimal MLU** (from
+/// `harp-opt`); training losses are normalized by it and validation uses
+/// NormMLU. `val_opts` controls rescaling at validation (match how the
+/// scheme will be evaluated).
+pub fn train_model(
+    model: &dyn SplitModel,
+    store: &mut ParamStore,
+    train: &[(&Instance, f64)],
+    val: &[(&Instance, f64)],
+    cfg: TrainConfig,
+    val_opts: EvalOptions,
+) -> TrainReport {
+    assert!(!train.is_empty(), "empty training set");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(store, AdamConfig::with_lr(cfg.lr));
+
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut best_val = f64::INFINITY;
+    let mut best_epoch = 0usize;
+    let mut best_params = store.snapshot();
+    let mut since_best = 0usize;
+
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            store.zero_grads();
+            for &i in chunk {
+                let (inst, opt_mlu) = &train[i];
+                let mut tape = Tape::new();
+                let splits = model.forward(&mut tape, store, inst);
+                let mlu = mlu_loss(&mut tape, splits, inst);
+                // normalize: loss = MLU / optimal, averaged over the batch
+                let norm = if *opt_mlu > 0.0 {
+                    (1.0 / opt_mlu) as f32
+                } else {
+                    1.0
+                };
+                let loss = tape.mul_scalar(mlu, norm / chunk.len() as f32);
+                epoch_loss +=
+                    tape.scalar_value(loss) as f64 * chunk.len() as f64 / train.len() as f64;
+                tape.backward(loss, store);
+            }
+            if cfg.clip_norm > 0.0 {
+                clip_grad_norm(store, cfg.clip_norm);
+            }
+            opt.step_and_zero(store);
+        }
+
+        // validation
+        let val_score = if val.is_empty() {
+            epoch_loss
+        } else {
+            let mut sum = 0.0;
+            for (inst, opt_mlu) in val {
+                let (mlu, _) = evaluate_model(model, store, inst, val_opts);
+                sum += norm_mlu(mlu, *opt_mlu);
+            }
+            sum / val.len() as f64
+        };
+        history.push(EpochStats {
+            epoch,
+            train_loss: epoch_loss,
+            val_norm_mlu: val_score,
+        });
+
+        if val_score < best_val {
+            best_val = val_score;
+            best_epoch = epoch;
+            best_params = store.snapshot();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if cfg.patience > 0 && since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+
+    store.restore(&best_params);
+    TrainReport {
+        history,
+        best_epoch,
+        best_val,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Harp, HarpConfig};
+    use harp_opt::MluOracle;
+    use harp_paths::TunnelSet;
+    use harp_topology::Topology;
+    use harp_traffic::TrafficMatrix;
+    use rand::Rng;
+
+    fn diamond() -> (Topology, TunnelSet) {
+        let mut topo = Topology::new(4);
+        topo.add_link(0, 1, 10.0).unwrap();
+        topo.add_link(1, 3, 10.0).unwrap();
+        topo.add_link(0, 2, 20.0).unwrap();
+        topo.add_link(2, 3, 20.0).unwrap();
+        let tunnels = TunnelSet::k_shortest(&topo, &[0, 3], 2, 0.0);
+        (topo, tunnels)
+    }
+
+    #[test]
+    fn training_improves_validation_norm_mlu() {
+        let (topo, tunnels) = diamond();
+        let mut rng = StdRng::seed_from_u64(5);
+        let oracle = MluOracle::default();
+        let make = |rng: &mut StdRng| {
+            let mut tm = TrafficMatrix::zeros(4);
+            tm.set_demand(0, 3, rng.gen_range(5.0..15.0));
+            tm.set_demand(3, 0, rng.gen_range(2.0..8.0));
+            let inst = Instance::compile(&topo, &tunnels, &tm);
+            let opt = oracle.solve(&inst.program).mlu;
+            (inst, opt)
+        };
+        let train_set: Vec<(Instance, f64)> = (0..8).map(|_| make(&mut rng)).collect();
+        let val_set: Vec<(Instance, f64)> = (0..3).map(|_| make(&mut rng)).collect();
+        let train_refs: Vec<(&Instance, f64)> = train_set.iter().map(|(i, o)| (i, *o)).collect();
+        let val_refs: Vec<(&Instance, f64)> = val_set.iter().map(|(i, o)| (i, *o)).collect();
+
+        let mut store = ParamStore::new();
+        let mut mrng = StdRng::seed_from_u64(1);
+        let cfg = HarpConfig {
+            gnn_layers: 2,
+            gnn_hidden: 4,
+            d_model: 8,
+            settrans_layers: 1,
+            heads: 1,
+            d_ff: 16,
+            mlp_hidden: 16,
+            rau_iters: 3,
+        };
+        let harp = Harp::new(&mut store, &mut mrng, cfg);
+
+        // pre-training validation score
+        let mut pre = 0.0;
+        for (inst, o) in &val_refs {
+            let (mlu, _) = evaluate_model(&harp, &store, inst, EvalOptions::default());
+            pre += norm_mlu(mlu, *o);
+        }
+        pre /= val_refs.len() as f64;
+
+        let report = train_model(
+            &harp,
+            &mut store,
+            &train_refs,
+            &val_refs,
+            TrainConfig {
+                epochs: 15,
+                batch_size: 4,
+                lr: 5e-3,
+                ..Default::default()
+            },
+            EvalOptions::default(),
+        );
+        assert!(!report.history.is_empty());
+        assert!(
+            report.best_val <= pre + 1e-9,
+            "best {} vs pre {}",
+            report.best_val,
+            pre
+        );
+        // the store holds the best checkpoint: re-evaluating reproduces it
+        let mut post = 0.0;
+        for (inst, o) in &val_refs {
+            let (mlu, _) = evaluate_model(&harp, &store, inst, EvalOptions::default());
+            post += norm_mlu(mlu, *o);
+        }
+        post /= val_refs.len() as f64;
+        assert!((post - report.best_val).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let (topo, tunnels) = diamond();
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set_demand(0, 3, 10.0);
+        let inst = Instance::compile(&topo, &tunnels, &tm);
+        let oracle = MluOracle::default();
+        let opt = oracle.solve(&inst.program).mlu;
+        let train_refs = vec![(&inst, opt)];
+        let val_refs = vec![(&inst, opt)];
+        let mut store = ParamStore::new();
+        let mut mrng = StdRng::seed_from_u64(2);
+        let cfg = HarpConfig {
+            gnn_layers: 1,
+            gnn_hidden: 4,
+            d_model: 8,
+            settrans_layers: 1,
+            heads: 1,
+            d_ff: 8,
+            mlp_hidden: 8,
+            rau_iters: 1,
+        };
+        let harp = Harp::new(&mut store, &mut mrng, cfg);
+        let report = train_model(
+            &harp,
+            &mut store,
+            &train_refs,
+            &val_refs,
+            TrainConfig {
+                epochs: 200,
+                batch_size: 1,
+                lr: 1e-3,
+                patience: 3,
+                ..Default::default()
+            },
+            EvalOptions::default(),
+        );
+        assert!(report.history.len() <= 200);
+        assert!(report.history.len() > report.best_epoch);
+    }
+}

@@ -1,0 +1,66 @@
+//! Demand calibration: scale a traffic series so a topology is loaded to a
+//! target uniform-split MLU (keeping the optimal MLU comfortably below 1,
+//! as the paper arranges by its choice of tunnel count).
+
+use harp_opt::PathProgram;
+use harp_paths::TunnelSet;
+use harp_topology::Topology;
+use harp_traffic::TrafficMatrix;
+
+/// Return the factor by which `tms` should be scaled so that the *median*
+/// matrix, routed with uniform splits over `tunnels`, hits `target_mlu`.
+/// Returns 1.0 when the series carries no load.
+pub fn calibrate_demand_scale(
+    topo: &Topology,
+    tunnels: &TunnelSet,
+    tms: &[TrafficMatrix],
+    target_mlu: f64,
+) -> f64 {
+    assert!(target_mlu > 0.0, "target MLU must be positive");
+    assert!(!tms.is_empty(), "need at least one traffic matrix");
+    let mut mlus: Vec<f64> = tms
+        .iter()
+        .map(|tm| {
+            let prog = PathProgram::new(topo, tunnels, tm);
+            prog.mlu(&prog.uniform_splits())
+        })
+        .filter(|m| m.is_finite() && *m > 0.0)
+        .collect();
+    if mlus.is_empty() {
+        return 1.0;
+    }
+    mlus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = mlus[mlus.len() / 2];
+    target_mlu / median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_traffic::{gravity_series, GravityConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn calibration_hits_target() {
+        let mut topo = Topology::new(4);
+        topo.add_link(0, 1, 100.0).unwrap();
+        topo.add_link(1, 2, 100.0).unwrap();
+        topo.add_link(2, 3, 100.0).unwrap();
+        topo.add_link(3, 0, 100.0).unwrap();
+        let tunnels = TunnelSet::k_shortest(&topo, &[0, 1, 2, 3], 2, 0.0);
+        let cfg = GravityConfig::uniform(4, 50.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tms = gravity_series(&cfg, &mut rng, 9);
+        let scale = calibrate_demand_scale(&topo, &tunnels, &tms, 0.8);
+        let scaled: Vec<_> = tms.iter().map(|t| t.scaled(scale)).collect();
+        let mut mlus: Vec<f64> = scaled
+            .iter()
+            .map(|tm| {
+                let p = PathProgram::new(&topo, &tunnels, tm);
+                p.mlu(&p.uniform_splits())
+            })
+            .collect();
+        mlus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((mlus[mlus.len() / 2] - 0.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # harp-datasets
+//!
+//! Datasets for the HARP reproduction:
+//!
+//! * [`abilene`] / [`geant`] — embedded research WAN topologies (real link
+//!   structure; GEANT capacities are representative tiers since the exact
+//!   historical capacity map is not shipped with this repo).
+//! * [`kdl_like`] / [`us_carrier_like`] / [`kdl_small`] — seeded synthetic
+//!   graphs standing in for the Topology-Zoo KDL (754 nodes) and UsCarrier
+//!   (158 nodes) graphs the paper uses for scale experiments.
+//! * [`AnonNetConfig`] / [`AnonNetDataset`] — a seeded generator producing
+//!   an evolving multi-cluster WAN snapshot stream with the statistical
+//!   properties the paper reports for its private AnonNet dataset (§5.1):
+//!   organic growth, active < total nodes/links, edge-node churn, per-link
+//!   capacity levels from sub-link failures, rare full link failures, and
+//!   tunnel churn across clusters.
+//! * [`calibrate_demand_scale`] — scales a traffic series so a topology is
+//!   meaningfully (but not hopelessly) loaded.
+
+mod anonnet;
+mod calibrate;
+mod real;
+mod zoo;
+
+pub use anonnet::{AnonNetConfig, AnonNetDataset, Cluster, Snapshot, SnapshotMeta};
+pub use calibrate::calibrate_demand_scale;
+pub use real::{abilene, geant};
+pub use zoo::{kdl_like, kdl_small, us_carrier_like};

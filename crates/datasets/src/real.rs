@@ -1,0 +1,152 @@
+//! Embedded research WAN topologies.
+
+use harp_topology::Topology;
+
+/// The Abilene research backbone: 12 nodes (including the ATLA-M5
+/// measurement node used by the public TM dataset), 15 bidirectional
+/// links. Capacities are the historical OC-192 (~9.92 Gbps) trunks with the
+/// OC-48 (~2.48 Gbps) ATLA–ATLA-M5 spur, in Mbps.
+///
+/// Node order: 0 STTL, 1 SNVA, 2 DNVR, 3 LOSA, 4 HSTN, 5 KSCY, 6 IPLS,
+/// 7 ATLA, 8 WASH, 9 NYCM, 10 CHIN, 11 ATLA-M5.
+pub fn abilene() -> Topology {
+    let oc192 = 9920.0;
+    let oc48 = 2480.0;
+    let links = [
+        (0usize, 1usize, oc192), // STTL - SNVA
+        (0, 2, oc192),           // STTL - DNVR
+        (1, 3, oc192),           // SNVA - LOSA
+        (1, 2, oc192),           // SNVA - DNVR
+        (3, 4, oc192),           // LOSA - HSTN
+        (2, 5, oc192),           // DNVR - KSCY
+        (4, 5, oc192),           // HSTN - KSCY
+        (4, 7, oc192),           // HSTN - ATLA
+        (5, 6, oc192),           // KSCY - IPLS
+        (6, 10, oc192),          // IPLS - CHIN
+        (6, 7, oc192),           // IPLS - ATLA
+        (10, 9, oc192),          // CHIN - NYCM
+        (7, 8, oc192),           // ATLA - WASH
+        (8, 9, oc192),           // WASH - NYCM
+        (7, 11, oc48),           // ATLA - ATLA-M5
+    ];
+    let mut t = Topology::new(12);
+    for (u, v, c) in links {
+        t.add_link(u, v, c).expect("abilene link");
+    }
+    t
+}
+
+/// A 22-node GEANT-like European research backbone with 38 bidirectional
+/// links. The node set and mesh density match the GEANT snapshot used by
+/// the TOTEM traffic-matrix dataset; the exact adjacency is an
+/// approximation (documented substitution — see DESIGN.md), with capacity
+/// tiers of 10 Gbps core, 2.5 Gbps regional and 622 Mbps spur links (Mbps).
+///
+/// Node order: 0 AT, 1 BE, 2 CH, 3 CZ, 4 DE, 5 ES, 6 FR, 7 GR, 8 HR, 9 HU,
+/// 10 IE, 11 IL, 12 IT, 13 LU, 14 NL, 15 PL, 16 PT, 17 SE, 18 SI, 19 SK,
+/// 20 UK, 21 NY (US peering).
+pub fn geant() -> Topology {
+    let g10 = 10_000.0;
+    let g2 = 2_500.0;
+    let g06 = 622.0;
+    let links = [
+        // 10G core ring + meshes
+        (4usize, 6usize, g10), // DE - FR
+        (4, 14, g10),          // DE - NL
+        (4, 12, g10),          // DE - IT
+        (4, 2, g10),           // DE - CH
+        (4, 17, g10),          // DE - SE
+        (4, 15, g10),          // DE - PL
+        (4, 3, g10),           // DE - CZ
+        (4, 0, g10),           // DE - AT
+        (6, 2, g10),           // FR - CH
+        (6, 20, g10),          // FR - UK
+        (6, 5, g10),           // FR - ES
+        (14, 20, g10),         // NL - UK
+        (14, 1, g10),          // NL - BE
+        (20, 21, g10),         // UK - NY
+        (4, 21, g10),          // DE - NY
+        (12, 2, g10),          // IT - CH
+        (12, 0, g10),          // IT - AT
+        (0, 9, g10),           // AT - HU
+        (0, 18, g2),           // AT - SI
+        (0, 3, g2),            // AT - CZ
+        // 2.5G regional
+        (1, 6, g2),   // BE - FR
+        (3, 19, g2),  // CZ - SK
+        (19, 9, g2),  // SK - HU
+        (9, 8, g2),   // HU - HR
+        (18, 8, g2),  // SI - HR
+        (15, 3, g2),  // PL - CZ
+        (17, 15, g2), // SE - PL
+        (20, 10, g2), // UK - IE
+        (5, 16, g2),  // ES - PT
+        (5, 12, g2),  // ES - IT
+        (7, 12, g2),  // GR - IT
+        (7, 0, g2),   // GR - AT
+        (11, 12, g2), // IL - IT
+        (13, 4, g2),  // LU - DE
+        (13, 6, g2),  // LU - FR
+        // spurs
+        (16, 20, g06), // PT - UK
+        (11, 14, g06), // IL - NL
+        (10, 14, g06), // IE - NL
+    ];
+    let mut t = Topology::new(22);
+    for (u, v, c) in links {
+        t.add_link(u, v, c).expect("geant link");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abilene_shape() {
+        let t = abilene();
+        assert_eq!(t.num_nodes(), 12);
+        assert_eq!(t.links().len(), 15);
+        assert!(t.is_strongly_connected(0.0));
+    }
+
+    #[test]
+    fn geant_shape() {
+        let t = geant();
+        assert_eq!(t.num_nodes(), 22);
+        assert_eq!(t.links().len(), 38);
+        assert!(t.is_strongly_connected(0.0));
+    }
+
+    #[test]
+    fn geant_survives_any_single_link_failure() {
+        // the paper's failure drills require the graph to stay connected
+        let t = geant();
+        for (u, v, f, r) in t.links() {
+            let mut t2 = t.clone();
+            t2.set_capacity(f, 0.0).unwrap();
+            t2.set_capacity(r, 0.0).unwrap();
+            assert!(
+                t2.is_strongly_connected(1e-9),
+                "failure of {u}-{v} disconnects GEANT"
+            );
+        }
+    }
+
+    #[test]
+    fn abilene_single_failures_leave_at_most_spur_disconnected() {
+        // the ATLA-M5 spur is the only cut link in Abilene
+        let t = abilene();
+        let mut cut_links = 0;
+        for (_, _, f, r) in t.links() {
+            let mut t2 = t.clone();
+            t2.set_capacity(f, 0.0).unwrap();
+            t2.set_capacity(r, 0.0).unwrap();
+            if !t2.is_strongly_connected(1e-9) {
+                cut_links += 1;
+            }
+        }
+        assert_eq!(cut_links, 1);
+    }
+}

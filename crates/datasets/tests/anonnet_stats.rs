@@ -1,0 +1,112 @@
+//! Golden-statistics test: the default AnonNet configuration must keep the
+//! §5.1 distributional properties the experiments rely on. If a generator
+//! change drifts these, figures 1/3/15 stop matching the paper — fail fast
+//! here instead.
+
+use harp_datasets::{AnonNetConfig, AnonNetDataset};
+use harp_paths::tunnel_churn;
+use std::collections::HashMap;
+
+fn dataset() -> AnonNetDataset {
+    AnonNetDataset::generate(&AnonNetConfig::default())
+}
+
+#[test]
+fn cluster_count_matches_paper() {
+    let ds = dataset();
+    assert_eq!(
+        ds.clusters.len(),
+        78,
+        "paper groups snapshots into 78 clusters"
+    );
+    assert!(ds.num_snapshots() > 500);
+}
+
+#[test]
+fn organic_growth_and_activity_gap() {
+    let ds = dataset();
+    let first = &ds.clusters.first().unwrap().snapshots[0].meta;
+    let last = &ds.clusters.last().unwrap().snapshots[0].meta;
+    assert!(last.total_nodes >= first.total_nodes);
+    assert!(last.total_links >= first.total_links);
+    // a meaningful share of snapshots must have inactive capacity somewhere
+    let mut with_gap = 0usize;
+    let mut total = 0usize;
+    for c in &ds.clusters {
+        for s in &c.snapshots {
+            total += 1;
+            if s.meta.active_links < s.meta.total_links {
+                with_gap += 1;
+            }
+        }
+    }
+    assert!(
+        with_gap as f64 / total as f64 > 0.5,
+        "active < total in only {with_gap}/{total} snapshots"
+    );
+}
+
+#[test]
+fn tunnel_churn_in_paper_range() {
+    let ds = dataset();
+    let first = &ds.clusters[0];
+    let last = ds.clusters.last().unwrap();
+    let (common, only_last, only_first) =
+        tunnel_churn(&first.tunnels, &first.topo, &last.tunnels, &last.topo);
+    let frac_new = only_last as f64 / (common + only_last) as f64;
+    let frac_gone = only_first as f64 / (common + only_first) as f64;
+    // paper: ~20% new, ~8% gone; allow generous bands
+    assert!(
+        (0.05..0.45).contains(&frac_new),
+        "unique-to-last fraction {frac_new}"
+    );
+    assert!(frac_gone < 0.30, "gone-from-first fraction {frac_gone}");
+}
+
+#[test]
+fn capacity_variation_spread_over_dataset() {
+    let ds = dataset();
+    let mut per_link: HashMap<(usize, usize), Vec<u64>> = HashMap::new();
+    for c in &ds.clusters {
+        for (u, v, f, _) in c.topo.links() {
+            let e = per_link.entry((u, v)).or_default();
+            for s in &c.snapshots {
+                e.push(s.capacities[f].to_bits());
+            }
+        }
+    }
+    let n = per_link.len() as f64;
+    let multi = per_link
+        .values()
+        .filter(|vals| {
+            let mut v = (*vals).clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len() > 1
+        })
+        .count() as f64;
+    // paper: ~80% of links see more than one capacity value
+    assert!(
+        (0.5..=1.0).contains(&(multi / n)),
+        "multi-value fraction {}",
+        multi / n
+    );
+}
+
+#[test]
+fn every_cluster_is_usable_for_te() {
+    let ds = dataset();
+    for c in &ds.clusters {
+        assert!(c.tunnels.num_flows() >= 2, "cluster {} has no flows", c.id);
+        // every flow keeps at least one tunnel and demands are present
+        let s = &c.snapshots[0];
+        let demand: f64 = c
+            .edge_nodes
+            .iter()
+            .flat_map(|&a| c.edge_nodes.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| s.tm.demand(a, b))
+            .sum();
+        assert!(demand > 0.0, "cluster {} carries no demand", c.id);
+    }
+}

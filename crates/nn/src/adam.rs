@@ -1,0 +1,170 @@
+//! The Adam optimizer (Kingma & Ba) plus gradient clipping, operating
+//! directly on a [`harp_tensor::ParamStore`].
+
+use harp_tensor::ParamStore;
+
+/// Hyperparameters for [`Adam`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    /// L2 weight decay (decoupled, AdamW-style; 0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// Default config with the given learning rate.
+    pub fn with_lr(lr: f32) -> Self {
+        AdamConfig {
+            lr,
+            ..Default::default()
+        }
+    }
+}
+
+/// Adam optimizer state (first/second moments per parameter scalar).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: u64,
+}
+
+impl Adam {
+    /// Create optimizer state matching the store's current layout.
+    pub fn new(store: &ParamStore, cfg: AdamConfig) -> Self {
+        let m = store
+            .ids()
+            .map(|id| vec![0.0; store.data(id).len()])
+            .collect();
+        let v = store
+            .ids()
+            .map(|id| vec![0.0; store.data(id).len()])
+            .collect();
+        Adam { cfg, m, v, t: 0 }
+    }
+
+    /// The configured learning rate.
+    pub fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    /// Override the learning rate (e.g. for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+
+    /// Apply one update using the gradients accumulated in `store`, then
+    /// leave gradients untouched (call [`ParamStore::zero_grads`] yourself,
+    /// or use [`Adam::step_and_zero`]).
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let b1t = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        let ids: Vec<_> = store.ids().collect();
+        for (pi, id) in ids.into_iter().enumerate() {
+            let g: Vec<f32> = store.grad(id).to_vec();
+            let data = store.data_mut(id);
+            let m = &mut self.m[pi];
+            let v = &mut self.v[pi];
+            for i in 0..data.len() {
+                let mut gi = g[i];
+                if !gi.is_finite() {
+                    gi = 0.0; // drop non-finite grads rather than poison state
+                }
+                m[i] = self.cfg.beta1 * m[i] + (1.0 - self.cfg.beta1) * gi;
+                v[i] = self.cfg.beta2 * v[i] + (1.0 - self.cfg.beta2) * gi * gi;
+                let mhat = m[i] / b1t;
+                let vhat = v[i] / b2t;
+                let mut upd = self.cfg.lr * mhat / (vhat.sqrt() + self.cfg.eps);
+                if self.cfg.weight_decay > 0.0 {
+                    upd += self.cfg.lr * self.cfg.weight_decay * data[i];
+                }
+                data[i] -= upd;
+            }
+        }
+    }
+
+    /// [`Adam::step`] followed by zeroing the gradients.
+    pub fn step_and_zero(&mut self, store: &mut ParamStore) {
+        self.step(store);
+        store.zero_grads();
+    }
+}
+
+/// Clip gradients to a maximum global L2 norm; returns the pre-clip norm.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    let norm = store.grad_norm();
+    if norm.is_finite() && norm > max_norm && norm > 0.0 {
+        store.scale_grads(max_norm / norm);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harp_tensor::Tape;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // minimize (x - 3)^2 from x = 0
+        let mut store = ParamStore::new();
+        let x = store.register("x", vec![1], vec![0.0]);
+        let mut opt = Adam::new(&store, AdamConfig::with_lr(0.1));
+        for _ in 0..300 {
+            let mut t = Tape::new();
+            let xv = t.param(&store, x);
+            let c = t.constant(vec![1], vec![3.0]);
+            let d = t.sub(xv, c);
+            let l = t.mul(d, d);
+            store.zero_grads();
+            t.backward(l, &mut store);
+            opt.step_and_zero(&mut store);
+        }
+        assert!(
+            (store.data(x)[0] - 3.0).abs() < 1e-2,
+            "x = {}",
+            store.data(x)[0]
+        );
+    }
+
+    #[test]
+    fn clip_caps_norm() {
+        let mut store = ParamStore::new();
+        let x = store.register("x", vec![2], vec![0.0, 0.0]);
+        store.grad_mut(x).copy_from_slice(&[3.0, 4.0]);
+        let pre = clip_grad_norm(&mut store, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nonfinite_grads_are_dropped() {
+        let mut store = ParamStore::new();
+        let x = store.register("x", vec![1], vec![1.0]);
+        store.grad_mut(x)[0] = f32::NAN;
+        let mut opt = Adam::new(&store, AdamConfig::default());
+        opt.step(&mut store);
+        assert!(store.data(x)[0].is_finite());
+    }
+}

@@ -1,0 +1,137 @@
+//! Graph convolution (Kipf–Welling GCN) for node embeddings.
+//!
+//! HARP's first stage feeds the topology (nodes with total-capacity and
+//! degree features) through a small stack of GCN layers and concatenates the
+//! per-layer node embeddings (§A.1 / Figure 14 of the paper).
+
+use harp_tensor::{ParamStore, Tape, Var};
+use rand::Rng;
+
+use crate::{Activation, Linear};
+
+/// Build the symmetric-normalized adjacency with self loops,
+/// `Â = D^{-1/2} (A + I) D^{-1/2}`, as a dense `n x n` row-major matrix.
+///
+/// `edges` are directed `(u, v)` pairs; both directions contribute (the
+/// matrix is symmetrized) because GCN message passing treats a WAN link as
+/// bidirectional connectivity.
+pub fn normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Vec<f32> {
+    let mut a = vec![0.0f32; n * n];
+    for i in 0..n {
+        a[i * n + i] = 1.0;
+    }
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge ({u},{v}) out of {n} nodes");
+        a[u * n + v] = 1.0;
+        a[v * n + u] = 1.0;
+    }
+    let mut deg = vec![0.0f32; n];
+    for i in 0..n {
+        deg[i] = a[i * n..(i + 1) * n].iter().sum();
+    }
+    let inv_sqrt: Vec<f32> = deg.iter().map(|d| 1.0 / d.max(1e-12).sqrt()).collect();
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] *= inv_sqrt[i] * inv_sqrt[j];
+        }
+    }
+    a
+}
+
+/// One GCN layer: `H' = act(Â H W + b)`.
+#[derive(Clone, Debug)]
+pub struct GcnConv {
+    lin: Linear,
+    act: Activation,
+}
+
+impl GcnConv {
+    /// Create a GCN layer mapping `in_dim` node features to `out_dim`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+    ) -> Self {
+        GcnConv {
+            lin: Linear::new(store, rng, name, in_dim, out_dim, true),
+            act,
+        }
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.lin.out_dim()
+    }
+
+    /// Apply the layer. `adj` is the (constant) normalized adjacency
+    /// `[n, n]`; `x` the node features `[n, in_dim]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, adj: Var, x: Var) -> Var {
+        let agg = tape.matmul(adj, x);
+        let y = self.lin.forward(tape, store, agg);
+        self.act.apply(tape, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normalized_adjacency_is_symmetric_with_self_loops() {
+        let a = normalized_adjacency(3, &[(0, 1), (1, 2)]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((a[i * 3 + j] - a[j * 3 + i]).abs() < 1e-6);
+            }
+            // self loops present and normalized to 1/deg
+            assert!(a[i * 3 + i] > 0.0);
+        }
+        // node 0 has degree 2 (self + link to 1): Â[0,0] = 1/2
+        assert!((a[0] - 0.5).abs() < 1e-6);
+        // non-adjacent pair stays zero
+        assert_eq!(a[2], 0.0);
+    }
+
+    #[test]
+    fn gcn_permutation_equivariance() {
+        // Relabeling nodes permutes the output embeddings identically —
+        // HARP design Principle 1(b).
+        let n = 4;
+        let edges = vec![(0usize, 1usize), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let perm = [2usize, 0, 3, 1]; // new id of old node i
+        let permuted_edges: Vec<(usize, usize)> =
+            edges.iter().map(|&(u, v)| (perm[u], perm[v])).collect();
+
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gcn = GcnConv::new(&mut store, &mut rng, "g", 2, 3, Activation::Tanh);
+
+        let feats: Vec<f32> = (0..n * 2).map(|i| 0.3 * i as f32).collect();
+        let mut permuted_feats = vec![0.0f32; n * 2];
+        for i in 0..n {
+            permuted_feats[perm[i] * 2..perm[i] * 2 + 2].copy_from_slice(&feats[i * 2..i * 2 + 2]);
+        }
+
+        let run = |edges: &[(usize, usize)], feats: &[f32]| {
+            let mut t = Tape::new();
+            let adj = t.constant(vec![n, n], normalized_adjacency(n, edges));
+            let x = t.constant(vec![n, 2], feats.to_vec());
+            let y = gcn.forward(&mut t, &store, adj, x);
+            t.value(y).to_vec()
+        };
+
+        let out = run(&edges, &feats);
+        let out_p = run(&permuted_edges, &permuted_feats);
+        for i in 0..n {
+            for j in 0..3 {
+                let a = out[i * 3 + j];
+                let b = out_p[perm[i] * 3 + j];
+                assert!((a - b).abs() < 1e-5, "node {i} dim {j}: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Fully-connected (affine) layer.
+
+use harp_tensor::{ParamId, ParamStore, Tape, Var};
+use rand::Rng;
+
+use crate::init::xavier_vec;
+
+/// `y = x W + b` over the rows of `x` (`x: [n, in]`, `y: [n, out]`).
+///
+/// Rank-3 inputs `[b, s, in]` are supported transparently (flattened to
+/// rows, matmul, reshaped back) — this is how per-tunnel weights are shared
+/// across all tunnels and sequence positions.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Create a layer with Xavier-initialized weights and zero bias.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.register(
+            &format!("{name}.w"),
+            vec![in_dim, out_dim],
+            xavier_vec(rng, in_dim, out_dim),
+        );
+        let b =
+            bias.then(|| store.register(&format!("{name}.b"), vec![out_dim], vec![0.0; out_dim]));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Apply the layer. Accepts rank-2 `[n, in]` or rank-3 `[b, s, in]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let shape = tape.shape(x).0.clone();
+        let last = *shape.last().expect("linear: input must have rank >= 1");
+        assert_eq!(
+            last, self.in_dim,
+            "linear: input feature dim {} != layer in_dim {}",
+            last, self.in_dim
+        );
+        let rows: usize = shape[..shape.len() - 1].iter().product::<usize>().max(1);
+        let x2 = if shape.len() == 2 {
+            x
+        } else {
+            tape.reshape(x, vec![rows, self.in_dim])
+        };
+        let w = tape.param(store, self.w);
+        let mut y = tape.matmul(x2, w);
+        if let Some(b) = self.b {
+            let bv = tape.param(store, b);
+            y = tape.add_bias(y, bv);
+        }
+        if shape.len() == 2 {
+            y
+        } else {
+            let mut out_shape = shape;
+            *out_shape.last_mut().unwrap() = self.out_dim;
+            tape.reshape(y, out_shape)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_shapes_rank2_and_rank3() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, &mut rng, "l", 4, 3, true);
+        let mut t = Tape::new();
+        let x2 = t.constant(vec![5, 4], vec![0.1; 20]);
+        let y2 = lin.forward(&mut t, &store, x2);
+        assert_eq!(t.shape(y2).as_matrix(), (5, 3));
+        let x3 = t.constant(vec![2, 5, 4], vec![0.1; 40]);
+        let y3 = lin.forward(&mut t, &store, x3);
+        assert_eq!(t.shape(y3).as_batched(), (2, 5, 3));
+        // rank-3 rows equal the rank-2 result row-wise
+        assert_eq!(t.value(y3)[..15], t.value(y2)[..15]);
+    }
+
+    #[test]
+    fn trains_toward_target() {
+        // One gradient step reduces a simple quadratic loss.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new(&mut store, &mut rng, "l", 2, 1, true);
+        let loss_at = |store: &ParamStore| {
+            let mut t = Tape::new();
+            let x = t.constant(vec![1, 2], vec![1.0, -1.0]);
+            let y = lin.forward(&mut t, store, x);
+            let target = t.constant(vec![1, 1], vec![2.0]);
+            let d = t.sub(y, target);
+            let sq = t.mul(d, d);
+            let l = t.sum_all(sq);
+            (t, l)
+        };
+        let (t, l) = loss_at(&store);
+        let before = t.scalar_value(l);
+        store.zero_grads();
+        t.backward(l, &mut store);
+        for id in store.ids().collect::<Vec<_>>() {
+            let g: Vec<f32> = store.grad(id).to_vec();
+            for (d, gi) in store.data_mut(id).iter_mut().zip(g) {
+                *d -= 0.05 * gi;
+            }
+        }
+        let (t, l) = loss_at(&store);
+        assert!(t.scalar_value(l) < before);
+    }
+}

@@ -1,0 +1,56 @@
+//! Layer normalization with a learnable affine transform.
+
+use harp_tensor::{ParamId, ParamStore, Tape, Var};
+
+/// `y = gamma * LN(x) + beta` over the last axis.
+#[derive(Clone, Debug)]
+pub struct LayerNormAffine {
+    gamma: ParamId,
+    beta: ParamId,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNormAffine {
+    /// Create a layer norm over feature width `dim` (gamma=1, beta=0).
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.register(&format!("{name}.gamma"), vec![dim], vec![1.0; dim]);
+        let beta = store.register(&format!("{name}.beta"), vec![dim], vec![0.0; dim]);
+        LayerNormAffine {
+            gamma,
+            beta,
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Apply to any tensor whose last dimension equals `dim`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        assert_eq!(
+            tape.shape(x).last_dim(),
+            self.dim,
+            "layer norm: feature width mismatch"
+        );
+        let n = tape.layer_norm(x, self.eps);
+        let g = tape.param(store, self.gamma);
+        let b = tape.param(store, self.beta);
+        let scaled = tape.mul_row(n, g);
+        tape.add_bias(scaled, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_affine_is_plain_layernorm() {
+        let mut store = ParamStore::new();
+        let ln = LayerNormAffine::new(&mut store, "ln", 4);
+        let mut t = Tape::new();
+        let x = t.constant(vec![2, 4], vec![1., 2., 3., 4., -1., 0., 1., 2.]);
+        let y = ln.forward(&mut t, &store, x);
+        let plain = t.layer_norm(x, 1e-5);
+        assert_eq!(t.value(y), t.value(plain));
+    }
+}

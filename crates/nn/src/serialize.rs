@@ -1,0 +1,99 @@
+//! Parameter (de)serialization: checkpoints as a JSON name→(shape, data)
+//! map, so trained models survive process restarts and can be shipped with
+//! experiment results.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use harp_tensor::ParamStore;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct SavedParam {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+/// Write every parameter in `store` to `path` as JSON.
+pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
+    let mut map = BTreeMap::new();
+    for id in store.ids() {
+        map.insert(
+            store.name(id).to_string(),
+            SavedParam {
+                shape: store.shape(id).0.clone(),
+                data: store.data(id).to_vec(),
+            },
+        );
+    }
+    let json = serde_json::to_string(&map).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Load parameter values saved with [`save_params`] into a store whose
+/// registered names/shapes must match (the model must be constructed with
+/// the same architecture and names first).
+pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
+    let json = fs::read_to_string(path)?;
+    let map: BTreeMap<String, SavedParam> =
+        serde_json::from_str(&json).map_err(io::Error::other)?;
+    let ids: Vec<_> = store.ids().collect();
+    for id in ids {
+        let name = store.name(id).to_string();
+        let saved = map.get(&name).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint missing parameter '{name}'"),
+            )
+        })?;
+        if saved.shape != store.shape(id).0 || saved.data.len() != store.data(id).len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint shape mismatch for '{name}'"),
+            ));
+        }
+        store.data_mut(id).copy_from_slice(&saved.data);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("harp_nn_serialize_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        let mut store = ParamStore::new();
+        let a = store.register("a", vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = store.register("b", vec![3], vec![5.0, 6.0, 7.0]);
+        save_params(&store, &path).unwrap();
+
+        store.data_mut(a).copy_from_slice(&[0.0; 4]);
+        store.data_mut(b).copy_from_slice(&[0.0; 3]);
+        load_params(&mut store, &path).unwrap();
+        assert_eq!(store.data(a), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(store.data(b), &[5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn missing_param_is_error() {
+        let dir = std::env::temp_dir().join("harp_nn_serialize_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        let mut small = ParamStore::new();
+        small.register("a", vec![1], vec![1.0]);
+        save_params(&small, &path).unwrap();
+
+        let mut bigger = ParamStore::new();
+        bigger.register("a", vec![1], vec![0.0]);
+        bigger.register("extra", vec![1], vec![0.0]);
+        assert!(load_params(&mut bigger, &path).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # harp-opt
+//!
+//! Optimal-MLU computation for the HARP reproduction — the stand-in for the
+//! Gurobi oracle the paper normalizes every result against.
+//!
+//! Minimizing Maximum Link Utilization over a fixed tunnel set is a linear
+//! program:
+//!
+//! ```text
+//! min θ
+//! s.t.  Σ_k x_{f,k} = 1                              for every flow f
+//!       Σ_{(f,k): e ∈ tunnel_{f,k}} d_f x_{f,k} ≤ θ c_e   for every edge e
+//!       x ≥ 0
+//! ```
+//!
+//! Two solvers are provided and cross-validated against each other:
+//!
+//! * `simplex` — an exact dense two-phase primal simplex. Exact, but the
+//!   tableau is `O((F + E) · (T + F + E))`, so it is reserved for
+//!   small/medium instances (Abilene/GEANT scale).
+//! * `fw` — a Frank–Wolfe / multiplicative-weights solver whose every
+//!   iterate yields both a feasible routing (upper bound) **and** an LP dual
+//!   certificate (lower bound); it terminates on a proven relative gap.
+//!   Scales to the largest topologies.
+//!
+//! [`MluOracle`] picks a solver by instance size; [`PathProgram`] is the
+//! shared instance representation (also used by `harp-core` to evaluate
+//! model outputs and to rescale around failures).
+
+mod fw;
+mod oracle;
+mod program;
+mod simplex;
+
+pub use fw::{solve_fw, solve_fw_warm, FwConfig, FwSolution};
+pub use oracle::{MluOracle, OracleSolution};
+pub use program::{FlowSpec, PathProgram};
+pub use simplex::{solve_lp, LpError, LpProblem, LpSolution, SimplexStatus};

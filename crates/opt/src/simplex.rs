@@ -1,0 +1,463 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! General form accepted:
+//!
+//! ```text
+//! min c' x   s.t.   A_eq x = b_eq,   A_ub x <= b_ub,   x >= 0
+//! ```
+//!
+//! with all right-hand sides nonnegative (the min-MLU LP satisfies this by
+//! construction). The implementation is a classic tableau simplex with
+//! Dantzig pricing and an automatic switch to Bland's rule to guarantee
+//! termination; it is exact up to floating-point roundoff and is used both
+//! as the optimal oracle on small instances and as the ground truth the
+//! approximate solver is validated against.
+
+/// Sparse row: list of `(column, coefficient)` plus right-hand side.
+type SparseRow = (Vec<(usize, f64)>, f64);
+
+/// An LP in the accepted general form.
+#[derive(Clone, Debug, Default)]
+pub struct LpProblem {
+    /// Number of structural variables.
+    pub num_vars: usize,
+    /// Objective coefficients (length `num_vars`), minimized.
+    pub objective: Vec<f64>,
+    /// Equality rows (rhs must be >= 0).
+    pub eq: Vec<SparseRow>,
+    /// `<=` rows (rhs must be >= 0).
+    pub ub: Vec<SparseRow>,
+}
+
+/// Solver outcome classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimplexStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints are infeasible.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration limit was hit (treat as a solver failure).
+    IterLimit,
+}
+
+/// A solved LP.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Outcome status.
+    pub status: SimplexStatus,
+    /// Objective value (meaningful only for `Optimal`).
+    pub objective: f64,
+    /// Primal values of the structural variables.
+    pub x: Vec<f64>,
+    /// Simplex pivots performed (diagnostics).
+    pub pivots: usize,
+}
+
+/// Errors for malformed LPs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpError {
+    /// A right-hand side was negative.
+    NegativeRhs {
+        /// The offending rhs value.
+        rhs: f64,
+    },
+    /// Coefficient/objective indices out of range.
+    BadIndex {
+        /// The offending column index.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::NegativeRhs { rhs } => write!(f, "negative rhs {rhs} (not supported)"),
+            LpError::BadIndex { col } => write!(f, "column {col} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    m: usize,
+    ncols: usize, // structural + slack + artificial
+    n_structural: usize,
+    n_artificial_start: usize,
+    rows: Vec<Vec<f64>>, // m rows, each ncols long
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    pivots: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize, obj: &mut Vec<f64>, obj_val: &mut f64) {
+        self.pivots += 1;
+        let p = self.rows[row][col];
+        debug_assert!(p.abs() > EPS, "pivot on ~zero element");
+        let inv = 1.0 / p;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        self.rhs[row] *= inv;
+        let prow = self.rows[row].clone();
+        let prhs = self.rhs[row];
+        for r in 0..self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][col];
+            if factor.abs() > 0.0 {
+                for (v, pv) in self.rows[r].iter_mut().zip(&prow) {
+                    *v -= factor * pv;
+                }
+                self.rhs[r] -= factor * prhs;
+            }
+        }
+        let factor = obj[col];
+        if factor.abs() > 0.0 {
+            for (v, pv) in obj.iter_mut().zip(&prow) {
+                *v -= factor * pv;
+            }
+            *obj_val -= factor * prhs;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run the simplex loop on the current canonical objective row.
+    /// `allow_col` filters entering candidates.
+    fn optimize(
+        &mut self,
+        obj: &mut Vec<f64>,
+        obj_val: &mut f64,
+        allow_col: impl Fn(usize) -> bool,
+        max_iters: usize,
+    ) -> SimplexStatus {
+        let bland_after = max_iters / 2;
+        for iter in 0..max_iters {
+            // entering variable
+            let use_bland = iter >= bland_after;
+            let mut enter: Option<usize> = None;
+            if use_bland {
+                for j in 0..self.ncols {
+                    if allow_col(j) && obj[j] < -EPS {
+                        enter = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -EPS;
+                for j in 0..self.ncols {
+                    if allow_col(j) && obj[j] < best {
+                        best = obj[j];
+                        enter = Some(j);
+                    }
+                }
+            }
+            let enter = match enter {
+                Some(j) => j,
+                None => return SimplexStatus::Optimal,
+            };
+            // ratio test (Bland tie-break on basis index)
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.m {
+                let a = self.rows[r][enter];
+                if a > EPS {
+                    let ratio = self.rhs[r] / a;
+                    let better = match leave {
+                        None => true,
+                        Some((lr, lratio)) => {
+                            ratio < lratio - EPS
+                                || (ratio < lratio + EPS && self.basis[r] < self.basis[lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, ratio));
+                    }
+                }
+            }
+            let (leave_row, _) = match leave {
+                Some(l) => l,
+                None => return SimplexStatus::Unbounded,
+            };
+            self.pivot(leave_row, enter, obj, obj_val);
+        }
+        SimplexStatus::IterLimit
+    }
+}
+
+/// Solve an [`LpProblem`]. `max_iters` bounds the total pivots per phase
+/// (use e.g. `50 * (rows + vars)`).
+pub fn solve_lp(problem: &LpProblem, max_iters: usize) -> Result<LpSolution, LpError> {
+    let n = problem.num_vars;
+    if problem.objective.len() != n {
+        return Err(LpError::BadIndex {
+            col: problem.objective.len(),
+        });
+    }
+    for (row, rhs) in problem.eq.iter().chain(&problem.ub) {
+        if *rhs < 0.0 {
+            return Err(LpError::NegativeRhs { rhs: *rhs });
+        }
+        for &(c, _) in row {
+            if c >= n {
+                return Err(LpError::BadIndex { col: c });
+            }
+        }
+    }
+
+    let n_eq = problem.eq.len();
+    let n_ub = problem.ub.len();
+    let m = n_eq + n_ub;
+    if m == 0 {
+        // trivially minimized at x = 0 (x >= 0, min c'x with c arbitrary —
+        // unbounded if any c < 0)
+        if problem.objective.iter().any(|c| *c < -EPS) {
+            return Ok(LpSolution {
+                status: SimplexStatus::Unbounded,
+                objective: f64::NEG_INFINITY,
+                x: vec![0.0; n],
+                pivots: 0,
+            });
+        }
+        return Ok(LpSolution {
+            status: SimplexStatus::Optimal,
+            objective: 0.0,
+            x: vec![0.0; n],
+            pivots: 0,
+        });
+    }
+
+    let n_slack = n_ub;
+    let n_art = n_eq;
+    let ncols = n + n_slack + n_art;
+    let mut rows = vec![vec![0.0f64; ncols]; m];
+    let mut rhs = vec![0.0f64; m];
+    let mut basis = vec![0usize; m];
+
+    // equality rows first (artificial basis), then ub rows (slack basis)
+    for (i, (row, b)) in problem.eq.iter().enumerate() {
+        for &(c, v) in row {
+            rows[i][c] += v;
+        }
+        rows[i][n + n_slack + i] = 1.0; // artificial
+        rhs[i] = *b;
+        basis[i] = n + n_slack + i;
+    }
+    for (i, (row, b)) in problem.ub.iter().enumerate() {
+        let r = n_eq + i;
+        for &(c, v) in row {
+            rows[r][c] += v;
+        }
+        rows[r][n + i] = 1.0; // slack
+        rhs[r] = *b;
+        basis[r] = n + i;
+    }
+
+    let mut t = Tableau {
+        m,
+        ncols,
+        n_structural: n,
+        n_artificial_start: n + n_slack,
+        rows,
+        rhs,
+        basis,
+        pivots: 0,
+    };
+
+    // ---- Phase 1: minimize sum of artificials ----
+    if n_art > 0 {
+        // canonical objective row: c_j - sum over artificial-basic rows
+        let mut obj = vec![0.0f64; ncols];
+        for j in t.n_artificial_start..ncols {
+            obj[j] = 1.0;
+        }
+        let mut obj_val = 0.0;
+        for r in 0..n_eq {
+            // basic artificial has cost 1: subtract its row
+            for j in 0..ncols {
+                obj[j] -= t.rows[r][j];
+            }
+            obj_val -= t.rhs[r];
+        }
+        let status = t.optimize(&mut obj, &mut obj_val, |_| true, max_iters);
+        if status == SimplexStatus::IterLimit {
+            return Ok(LpSolution {
+                status,
+                objective: f64::NAN,
+                x: vec![0.0; n],
+                pivots: t.pivots,
+            });
+        }
+        // phase-1 objective value = -obj_val (we tracked z as negative)
+        let phase1 = -obj_val;
+        if phase1 > 1e-6 {
+            return Ok(LpSolution {
+                status: SimplexStatus::Infeasible,
+                objective: f64::NAN,
+                x: vec![0.0; n],
+                pivots: t.pivots,
+            });
+        }
+        // Drive remaining artificials out of the basis when possible.
+        for r in 0..t.m {
+            if t.basis[r] >= t.n_artificial_start {
+                if let Some(col) = (0..t.n_artificial_start).find(|&j| t.rows[r][j].abs() > 1e-7) {
+                    let mut dummy_obj = vec![0.0; ncols];
+                    let mut dummy_val = 0.0;
+                    t.pivot(r, col, &mut dummy_obj, &mut dummy_val);
+                }
+                // else: redundant row; leaving the zero artificial basic is
+                // harmless (its value is 0 and it never re-enters).
+            }
+        }
+    }
+
+    // ---- Phase 2: original objective ----
+    let mut obj = vec![0.0f64; ncols];
+    obj[..n].copy_from_slice(&problem.objective);
+    let mut obj_val = 0.0;
+    // canonicalize w.r.t. the current basis
+    for r in 0..t.m {
+        let b = t.basis[r];
+        let cb = if b < n { problem.objective[b] } else { 0.0 };
+        if cb != 0.0 {
+            for j in 0..ncols {
+                obj[j] -= cb * t.rows[r][j];
+            }
+            obj_val -= cb * t.rhs[r];
+        }
+    }
+    let art_start = t.n_artificial_start;
+    let status = t.optimize(&mut obj, &mut obj_val, |j| j < art_start, max_iters);
+
+    let mut x = vec![0.0f64; n];
+    for r in 0..t.m {
+        if t.basis[r] < t.n_structural {
+            x[t.basis[r]] = t.rhs[r].max(0.0);
+        }
+    }
+    let objective: f64 = problem.objective.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+    Ok(LpSolution {
+        status,
+        objective,
+        x,
+        pivots: t.pivots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_max_as_min() {
+        // max x1 + 2 x2  s.t. x1 + x2 <= 4, x2 <= 3  → x = (1, 3), obj 7
+        let lp = LpProblem {
+            num_vars: 2,
+            objective: vec![-1.0, -2.0],
+            eq: vec![],
+            ub: vec![(vec![(0, 1.0), (1, 1.0)], 4.0), (vec![(1, 1.0)], 3.0)],
+        };
+        let sol = solve_lp(&lp, 1000).unwrap();
+        assert_eq!(sol.status, SimplexStatus::Optimal);
+        assert!((sol.objective + 7.0).abs() < 1e-8);
+        assert!((sol.x[0] - 1.0).abs() < 1e-8);
+        assert!((sol.x[1] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x1 + x2 s.t. x1 + 2 x2 = 4 → x = (0, 2), obj 2
+        let lp = LpProblem {
+            num_vars: 2,
+            objective: vec![1.0, 1.0],
+            eq: vec![(vec![(0, 1.0), (1, 2.0)], 4.0)],
+            ub: vec![],
+        };
+        let sol = solve_lp(&lp, 1000).unwrap();
+        assert_eq!(sol.status, SimplexStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-8);
+        assert!((sol.x[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x1 = 2 and x1 <= 1
+        let lp = LpProblem {
+            num_vars: 1,
+            objective: vec![0.0],
+            eq: vec![(vec![(0, 1.0)], 2.0)],
+            ub: vec![(vec![(0, 1.0)], 1.0)],
+        };
+        let sol = solve_lp(&lp, 1000).unwrap();
+        assert_eq!(sol.status, SimplexStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x1, no constraints binding x1
+        let lp = LpProblem {
+            num_vars: 2,
+            objective: vec![-1.0, 0.0],
+            eq: vec![],
+            ub: vec![(vec![(1, 1.0)], 1.0)],
+        };
+        let sol = solve_lp(&lp, 1000).unwrap();
+        assert_eq!(sol.status, SimplexStatus::Unbounded);
+    }
+
+    #[test]
+    fn rejects_negative_rhs() {
+        let lp = LpProblem {
+            num_vars: 1,
+            objective: vec![1.0],
+            eq: vec![],
+            ub: vec![(vec![(0, 1.0)], -1.0)],
+        };
+        assert!(matches!(
+            solve_lp(&lp, 100),
+            Err(LpError::NegativeRhs { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // multiple redundant constraints through the origin
+        let lp = LpProblem {
+            num_vars: 3,
+            objective: vec![-1.0, -1.0, -1.0],
+            eq: vec![],
+            ub: vec![
+                (vec![(0, 1.0), (1, 1.0)], 1.0),
+                (vec![(0, 1.0), (1, 1.0), (2, 0.0)], 1.0),
+                (vec![(2, 1.0)], 0.0),
+                (vec![(0, 1.0), (2, 1.0)], 1.0),
+            ],
+        };
+        let sol = solve_lp(&lp, 10_000).unwrap();
+        assert_eq!(sol.status, SimplexStatus::Optimal);
+        assert!((sol.objective + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        // x1 + x2 = 2 twice
+        let lp = LpProblem {
+            num_vars: 2,
+            objective: vec![1.0, 2.0],
+            eq: vec![
+                (vec![(0, 1.0), (1, 1.0)], 2.0),
+                (vec![(0, 1.0), (1, 1.0)], 2.0),
+            ],
+            ub: vec![],
+        };
+        let sol = solve_lp(&lp, 1000).unwrap();
+        assert_eq!(sol.status, SimplexStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-8); // all on x1
+    }
+}

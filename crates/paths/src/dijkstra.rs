@@ -1,0 +1,184 @@
+//! Deterministic Dijkstra over hop count with optional node/edge bans —
+//! the primitive Yen's algorithm builds on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use harp_topology::{EdgeId, NodeId, Topology};
+
+use crate::Path;
+
+/// Node/edge exclusion sets for a constrained shortest-path query.
+#[derive(Clone, Debug, Default)]
+pub struct PathFilter {
+    /// Banned directed edges (e.g. the deviating edges in Yen's loop).
+    pub banned_edges: Vec<bool>,
+    /// Banned nodes (e.g. the root-path prefix in Yen's loop).
+    pub banned_nodes: Vec<bool>,
+}
+
+impl PathFilter {
+    /// A filter banning nothing, sized for `topo`.
+    pub fn none(topo: &Topology) -> Self {
+        PathFilter {
+            banned_edges: vec![false; topo.num_edges()],
+            banned_nodes: vec![false; topo.num_nodes()],
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapItem {
+    dist: u64,
+    node: NodeId,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap by (dist, node id) for determinism
+        other
+            .dist
+            .cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest path by hop count from `src` to `dst`, ignoring banned
+/// nodes/edges and edges with capacity <= `cap_threshold`. Ties are broken
+/// deterministically by preferring the lowest predecessor edge id.
+///
+/// Returns `None` when `dst` is unreachable.
+pub fn shortest_path(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    filter: &PathFilter,
+    cap_threshold: f64,
+) -> Option<Path> {
+    assert!(
+        src < topo.num_nodes() && dst < topo.num_nodes(),
+        "endpoint range"
+    );
+    if src == dst || filter.banned_nodes[src] || filter.banned_nodes[dst] {
+        return None;
+    }
+    let n = topo.num_nodes();
+    let mut dist = vec![u64::MAX; n];
+    let mut pred_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0;
+    heap.push(HeapItem { dist: 0, node: src });
+
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        for &(v, e) in topo.out_neighbors(u) {
+            if filter.banned_edges[e] || filter.banned_nodes[v] {
+                continue;
+            }
+            if topo.capacity(e) <= cap_threshold {
+                continue;
+            }
+            let nd = d + 1;
+            // Tie-break on the *predecessor node id* (not the edge id):
+            // node ids are stable across topology rebuilds while edge ids
+            // shift, so recomputed tunnel sets stay maximally aligned.
+            let better = nd < dist[v]
+                || (nd == dist[v]
+                    && pred_edge[v].is_some_and(|pe| topo.edge(e).src < topo.edge(pe).src));
+            if better {
+                dist[v] = nd;
+                pred_edge[v] = Some(e);
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+
+    if dist[dst] == u64::MAX {
+        return None;
+    }
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let e = pred_edge[cur].expect("predecessor chain");
+        edges.push(e);
+        cur = topo.edge(e).src;
+    }
+    edges.reverse();
+    Some(Path(edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Topology {
+        // 0 -> {1, 2} -> 3, plus long way 0 -> 4 -> 5 -> 3
+        let mut t = Topology::new(6);
+        t.add_link(0, 1, 1.0).unwrap();
+        t.add_link(1, 3, 1.0).unwrap();
+        t.add_link(0, 2, 1.0).unwrap();
+        t.add_link(2, 3, 1.0).unwrap();
+        t.add_link(0, 4, 1.0).unwrap();
+        t.add_link(4, 5, 1.0).unwrap();
+        t.add_link(5, 3, 1.0).unwrap();
+        t
+    }
+
+    #[test]
+    fn finds_shortest_and_is_deterministic() {
+        let t = diamond();
+        let f = PathFilter::none(&t);
+        let p = shortest_path(&t, 0, 3, &f, 0.0).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.is_valid(&t, 0, 3));
+        // deterministic tie-break: the 0->1->3 path has lower edge ids
+        let p2 = shortest_path(&t, 0, 3, &f, 0.0).unwrap();
+        assert_eq!(p, p2);
+        let nodes = p.nodes(&t);
+        assert_eq!(nodes, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn respects_bans() {
+        let t = diamond();
+        let mut f = PathFilter::none(&t);
+        f.banned_nodes[1] = true;
+        let p = shortest_path(&t, 0, 3, &f, 0.0).unwrap();
+        assert_eq!(p.nodes(&t), vec![0, 2, 3]);
+        f.banned_nodes[2] = true;
+        let p = shortest_path(&t, 0, 3, &f, 0.0).unwrap();
+        assert_eq!(p.nodes(&t), vec![0, 4, 5, 3]);
+        f.banned_nodes[4] = true;
+        assert!(shortest_path(&t, 0, 3, &f, 0.0).is_none());
+    }
+
+    #[test]
+    fn respects_capacity_threshold() {
+        let mut t = diamond();
+        for (u, v) in [(0, 1), (1, 0)] {
+            let e = t.edge_id(u, v).unwrap();
+            t.set_capacity(e, 1e-5).unwrap();
+        }
+        let f = PathFilter::none(&t);
+        let p = shortest_path(&t, 0, 3, &f, 1e-3).unwrap();
+        assert_eq!(p.nodes(&t), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn no_path_to_self() {
+        let t = diamond();
+        let f = PathFilter::none(&t);
+        assert!(shortest_path(&t, 2, 2, &f, 0.0).is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! # harp-paths
+//!
+//! Tunnel machinery for the HARP reproduction: deterministic Dijkstra,
+//! Yen's k-shortest simple paths, and [`TunnelSet`] — the per-flow tunnel
+//! lists that TE schemes split traffic over. Includes the deterministic
+//! tunnel-reordering used by the paper's invariance experiments (Fig 7).
+
+mod dijkstra;
+mod tunnels;
+mod yen;
+
+pub use dijkstra::{shortest_path, PathFilter};
+pub use tunnels::{tunnel_churn, FlowId, TunnelId, TunnelSet};
+pub use yen::k_shortest_paths;
+
+use harp_topology::{EdgeId, NodeId, Topology};
+
+/// A simple path, stored as the sequence of directed edge ids it traverses.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path(pub Vec<EdgeId>);
+
+impl Path {
+    /// Number of edges (hops).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for an empty edge list.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The node sequence of this path on `topo` (len = hops + 1).
+    /// Panics on an empty or non-contiguous path.
+    pub fn nodes(&self, topo: &Topology) -> Vec<NodeId> {
+        assert!(!self.0.is_empty(), "empty path has no node sequence");
+        let mut out = Vec::with_capacity(self.0.len() + 1);
+        out.push(topo.edge(self.0[0]).src);
+        for &e in &self.0 {
+            let edge = topo.edge(e);
+            assert_eq!(
+                edge.src,
+                *out.last().unwrap(),
+                "path edges are not contiguous"
+            );
+            out.push(edge.dst);
+        }
+        out
+    }
+
+    /// Validate contiguity and endpoints on `topo`.
+    pub fn is_valid(&self, topo: &Topology, src: NodeId, dst: NodeId) -> bool {
+        if self.0.is_empty() {
+            return false;
+        }
+        if topo.edge(self.0[0]).src != src {
+            return false;
+        }
+        let mut cur = src;
+        for &e in &self.0 {
+            let edge = topo.edge(e);
+            if edge.src != cur {
+                return false;
+            }
+            cur = edge.dst;
+        }
+        cur == dst
+    }
+
+    /// True when the path visits no node twice (simple path).
+    pub fn is_simple(&self, topo: &Topology) -> bool {
+        let nodes = self.nodes(topo);
+        let mut seen = std::collections::HashSet::new();
+        nodes.iter().all(|n| seen.insert(*n))
+    }
+}

@@ -1,0 +1,150 @@
+//! Yen's algorithm for k shortest simple paths (by hop count, deterministic
+//! tie-breaking by the path's edge-id sequence).
+
+use std::collections::BTreeSet;
+
+use harp_topology::{NodeId, Topology};
+
+/// Candidate ordering key: (hops, node sequence). Node sequences are
+/// stable across topology rebuilds (edge ids are not), which keeps tunnel
+/// sets aligned when a WAN evolves — see `harp-datasets`' churn stats.
+type CandKey = (usize, Vec<NodeId>);
+
+use crate::dijkstra::{shortest_path, PathFilter};
+use crate::Path;
+
+/// The `k` shortest simple paths from `src` to `dst` (hop-count metric,
+/// lexicographic edge-id tie-break). Returns fewer than `k` paths when the
+/// graph does not contain that many simple paths. Edges with capacity <=
+/// `cap_threshold` are excluded.
+pub fn k_shortest_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    cap_threshold: f64,
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let base_filter = PathFilter::none(topo);
+    let first = match shortest_path(topo, src, dst, &base_filter, cap_threshold) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let mut result: Vec<Path> = vec![first];
+    // Candidate set ordered by (hops, node sequence) for determinism that
+    // survives edge relabeling.
+    let mut candidates: BTreeSet<(CandKey, Path)> = BTreeSet::new();
+
+    while result.len() < k {
+        let last = result.last().unwrap().clone();
+        let last_nodes = last.nodes(topo);
+
+        for spur_idx in 0..last.len() {
+            let spur_node = last_nodes[spur_idx];
+            let root_edges = &last.0[..spur_idx];
+
+            let mut filter = PathFilter::none(topo);
+            // Ban edges that would recreate an already-found path with the
+            // same root.
+            for p in &result {
+                if p.0.len() > spur_idx && p.0[..spur_idx] == *root_edges {
+                    filter.banned_edges[p.0[spur_idx]] = true;
+                }
+            }
+            // Ban root-path nodes (except the spur node) to keep paths simple.
+            for &n in &last_nodes[..spur_idx] {
+                filter.banned_nodes[n] = true;
+            }
+
+            if let Some(spur) = shortest_path(topo, spur_node, dst, &filter, cap_threshold) {
+                let mut total = root_edges.to_vec();
+                total.extend_from_slice(&spur.0);
+                let total = Path(total);
+                debug_assert!(total.is_valid(topo, src, dst));
+                if !result.contains(&total) {
+                    let key = (total.len(), total.nodes(topo));
+                    candidates.insert((key, total));
+                }
+            }
+        }
+
+        match candidates.iter().next().cloned() {
+            Some(best) => {
+                candidates.remove(&best);
+                result.push(best.1);
+            }
+            None => break,
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Topology {
+        let mut t = Topology::new(6);
+        t.add_link(0, 1, 1.0).unwrap();
+        t.add_link(1, 3, 1.0).unwrap();
+        t.add_link(0, 2, 1.0).unwrap();
+        t.add_link(2, 3, 1.0).unwrap();
+        t.add_link(0, 4, 1.0).unwrap();
+        t.add_link(4, 5, 1.0).unwrap();
+        t.add_link(5, 3, 1.0).unwrap();
+        t
+    }
+
+    #[test]
+    fn finds_all_three_paths_in_order() {
+        let t = diamond();
+        let ps = k_shortest_paths(&t, 0, 3, 5, 0.0);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].nodes(&t), vec![0, 1, 3]);
+        assert_eq!(ps[1].nodes(&t), vec![0, 2, 3]);
+        assert_eq!(ps[2].nodes(&t), vec![0, 4, 5, 3]);
+        // non-decreasing lengths
+        assert!(ps.windows(2).all(|w| w[0].len() <= w[1].len()));
+        // all simple and distinct
+        for p in &ps {
+            assert!(p.is_simple(&t));
+        }
+    }
+
+    #[test]
+    fn k_limits_output() {
+        let t = diamond();
+        let ps = k_shortest_paths(&t, 0, 3, 2, 0.0);
+        assert_eq!(ps.len(), 2);
+        assert!(k_shortest_paths(&t, 0, 3, 0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn disconnected_returns_empty() {
+        let mut t = Topology::new(4);
+        t.add_link(0, 1, 1.0).unwrap();
+        t.add_link(2, 3, 1.0).unwrap();
+        assert!(k_shortest_paths(&t, 0, 3, 3, 0.0).is_empty());
+    }
+
+    #[test]
+    fn dense_graph_many_paths() {
+        // complete graph on 5 nodes: plenty of simple paths 0 -> 4
+        let mut t = Topology::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                t.add_link(u, v, 1.0).unwrap();
+            }
+        }
+        let ps = k_shortest_paths(&t, 0, 4, 8, 0.0);
+        assert_eq!(ps.len(), 8);
+        let unique: std::collections::HashSet<_> = ps.iter().collect();
+        assert_eq!(unique.len(), 8);
+        for p in &ps {
+            assert!(p.is_valid(&t, 0, 4));
+            assert!(p.is_simple(&t));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Low-level dense kernels shared by the tape's forward and backward passes.
+//!
+//! All kernels operate on plain `&[f32]` slices in row-major layout. They are
+//! public so that non-autodiff code (e.g. the LP solvers' dense algebra or
+//! inference-only paths) can reuse them.
+
+/// `c = a[m,k] * b[k,n]` (row-major, accumulating into a fresh buffer).
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "matmul: lhs size");
+    assert_eq!(b.len(), k * n, "matmul: rhs size");
+    let mut c = vec![0.0f32; m * n];
+    // ikj loop order: streams through b and c rows, good cache behaviour.
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    }
+    c
+}
+
+/// `c += a^T[k,m]^T... ` — accumulate `a[m,k]^T * b[m,n]` into `out[k,n]`.
+/// Used for weight gradients: `dW = x^T * dy`.
+pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), k * n, "matmul_at_b: out size");
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[i * n..(i + 1) * n];
+            let orow = &mut out[kk * n..(kk + 1) * n];
+            for (oj, bj) in orow.iter_mut().zip(brow) {
+                *oj += aik * bj;
+            }
+        }
+    }
+}
+
+/// Accumulate `a[m,k] * b[k,n]^T`→ wait: computes `a[m,n] * b[k,n]^T` i.e.
+/// `out[m,k] += a * b^T` where `a` is `[m,n]` and `b` is `[k,n]`.
+/// Used for input gradients: `dx = dy * W^T`.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * n, "matmul_a_bt: lhs size");
+    assert_eq!(b.len(), k * n, "matmul_a_bt: rhs size");
+    assert_eq!(out.len(), m * k, "matmul_a_bt: out size");
+    for i in 0..m {
+        let arow = &a[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let brow = &b[kk * n..(kk + 1) * n];
+            let mut acc = 0.0f32;
+            for (aj, bj) in arow.iter().zip(brow) {
+                acc += aj * bj;
+            }
+            out[i * k + kk] += acc;
+        }
+    }
+}
+
+/// Transpose a `[m, n]` matrix into `[n, m]`.
+pub fn transpose(a: &[f32], m: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * n, "transpose: size");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+    out
+}
+
+/// Numerically-stable softmax over a slice, in place.
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let mx = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - mx).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Stable masked softmax over a slice, in place. `mask[i] == 0.0` excludes
+/// position `i` (probability exactly 0); all-masked rows become all-zero.
+pub fn masked_softmax_inplace(x: &mut [f32], mask: &[f32]) {
+    assert_eq!(x.len(), mask.len(), "masked softmax: mask length");
+    let mut mx = f32::NEG_INFINITY;
+    for (v, m) in x.iter().zip(mask) {
+        if *m != 0.0 && *v > mx {
+            mx = *v;
+        }
+    }
+    if mx == f32::NEG_INFINITY {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for (v, m) in x.iter_mut().zip(mask) {
+        if *m != 0.0 {
+            *v = (*v - mx).exp();
+            sum += *v;
+        } else {
+            *v = 0.0;
+        }
+    }
+    if sum > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Backward of a softmax row: given the softmax output `y` and upstream
+/// gradient `dy`, writes `dx[i] = y[i] * (dy[i] - sum_j y[j] dy[j])` into
+/// `dx` (accumulating).
+pub fn softmax_backward_row(y: &[f32], dy: &[f32], dx: &mut [f32]) {
+    let dot: f32 = y.iter().zip(dy).map(|(a, b)| a * b).sum();
+    for ((d, yv), dyv) in dx.iter_mut().zip(y).zip(dy) {
+        *d += yv * (dyv - dot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_basic() {
+        // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+        let c = matmul(&[1., 2., 3., 4.], &[5., 6., 7., 8.], 2, 2, 2);
+        assert_eq!(c, vec![19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_rect() {
+        // [1,3] x [3,2]
+        let c = matmul(&[1., 2., 3.], &[1., 0., 0., 1., 1., 1.], 1, 3, 2);
+        assert_eq!(c, vec![4., 5.]);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = [1., 2., 3., 4., 5., 6.]; // [3,2]
+        let b = [1., 0., 2., 1., 0., 3.]; // [3,2]
+        let mut out = vec![0.0; 4];
+        matmul_at_b(&a, &b, 3, 2, 2, &mut out);
+        let at = transpose(&a, 3, 2);
+        let expect = matmul(&at, &b, 2, 3, 2);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = [1., 2., 3., 4.]; // [2,2]
+        let b = [5., 6., 7., 8., 9., 10.]; // [3,2]
+        let mut out = vec![0.0; 6];
+        matmul_a_bt(&a, &b, 2, 2, 3, &mut out);
+        let bt = transpose(&b, 3, 2);
+        let expect = matmul(&a, &bt, 2, 2, 3);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut x);
+        let s: f32 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let mut x = vec![1000.0, 1000.0];
+        softmax_inplace(&mut x);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_softmax_excludes() {
+        let mut x = vec![5.0, 1.0, 1.0];
+        masked_softmax_inplace(&mut x, &[0.0, 1.0, 1.0]);
+        assert_eq!(x[0], 0.0);
+        assert!((x[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_softmax_all_masked() {
+        let mut x = vec![5.0, 1.0];
+        masked_softmax_inplace(&mut x, &[0.0, 0.0]);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+}

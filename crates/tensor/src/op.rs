@@ -1,0 +1,132 @@
+//! The operation set recorded on the tape.
+//!
+//! Each variant stores the handles of its inputs plus whatever metadata the
+//! backward pass needs (index arrays, saved argmaxes, scalar constants).
+//! Forward kernels live in [`crate::kernels`]; the backward dispatch is in
+//! [`crate::tape`].
+
+use std::sync::Arc;
+
+use crate::tape::Var;
+
+/// An operation node. `Var` fields reference earlier nodes on the same tape.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// A leaf: constant input or injected parameter (no inputs).
+    Leaf,
+
+    // ---- elementwise binary (identical shapes) ----
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+
+    // ---- elementwise unary ----
+    Neg(Var),
+    Exp(Var),
+    Ln(Var),
+    Sqrt(Var),
+    Relu(Var),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(Var, f32),
+    /// ELU with the given alpha.
+    Elu(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    /// `x * c` for a compile-time scalar constant.
+    MulScalar(Var, f32),
+    /// `x + c` for a compile-time scalar constant.
+    AddScalar(Var, f32),
+    /// `1 / max(x, eps)` — numerically-guarded reciprocal.
+    Recip(Var, f32),
+
+    // ---- broadcast helpers ----
+    /// `[n, m]` matrix plus a length-`m` row vector, broadcast over rows.
+    AddBias(Var, Var),
+    /// `[n, m]` matrix times a length-`m` row vector, broadcast over rows.
+    MulRow(Var, Var),
+    /// Replicate a scalar (1-element tensor) into a length-`n` vector.
+    BroadcastScalar(Var, usize),
+
+    // ---- linear algebra ----
+    /// `[m, k] x [k, n]` matrix product.
+    MatMul(Var, Var),
+    /// `[b, m, k] x [b, k, n]` batched matrix product.
+    BatchMatMul(Var, Var),
+    /// Swap the last two axes of a rank-2 or rank-3 tensor.
+    TransposeLast2(Var),
+
+    // ---- shape manipulation ----
+    /// Reinterpret with a new shape of equal element count.
+    Reshape(Var),
+    /// Concatenate rank-2 tensors along the last axis (equal row counts).
+    ConcatCols(Vec<Var>),
+    /// Concatenate along axis 0 (equal trailing shapes).
+    ConcatRows(Vec<Var>),
+    /// Select rows of a rank-2 tensor (or elements of a rank-1 tensor):
+    /// `out[i] = in[idx[i]]`. Rows may repeat; gradients accumulate.
+    GatherRows(Var, Arc<Vec<usize>>),
+    /// Columns `[start, end)` of a rank-2 tensor.
+    SliceCols(Var, usize, usize),
+
+    // ---- reductions ----
+    SumAll(Var),
+    MeanAll(Var),
+    /// Global max; `aux` saves the argmax found in forward.
+    MaxAll(Var),
+    /// Sum over axis 0 of a rank-2 tensor, producing a row vector.
+    SumRows(Var),
+    /// Mean over the last axis (per row), producing `[rows, 1]`.
+    MeanLastDim(Var),
+
+    // ---- segment (grouped) operations ----
+    /// `out[seg[i]] += in[i]` over rows; produces `n_segments` rows.
+    SegmentSum(Var, Arc<Vec<usize>>, usize),
+    /// Per-segment max over a rank-1 tensor; saves per-segment argmax.
+    SegmentMax(Var, Arc<Vec<usize>>, usize),
+    /// Softmax within each segment of a rank-1 tensor (segments need not be
+    /// contiguous). Used for per-flow split-ratio normalization.
+    SegmentSoftmax(Var, Arc<Vec<usize>>, usize),
+
+    // ---- softmax / normalization ----
+    /// Softmax over the last axis. Optional additive mask (same length as
+    /// the last axis pattern, broadcast over leading dims): entries with
+    /// mask 0 are excluded (treated as -inf), entries with mask 1 kept.
+    SoftmaxLastDim(Var, Option<Arc<Vec<f32>>>),
+    /// Layer normalization over the last axis (no affine; compose with
+    /// `MulRow`/`AddBias` for a learnable affine).
+    LayerNorm(Var, f32),
+}
+
+impl Op {
+    /// Handles of this op's inputs, in order.
+    pub fn inputs(&self) -> Vec<Var> {
+        use Op::*;
+        match self {
+            Leaf => vec![],
+            Add(a, b)
+            | Sub(a, b)
+            | Mul(a, b)
+            | Div(a, b)
+            | AddBias(a, b)
+            | MulRow(a, b)
+            | MatMul(a, b)
+            | BatchMatMul(a, b) => vec![*a, *b],
+            Neg(a) | Exp(a) | Ln(a) | Sqrt(a) | Relu(a) | Sigmoid(a) | Tanh(a)
+            | TransposeLast2(a) | Reshape(a) | SumAll(a) | MeanAll(a) | MaxAll(a) | SumRows(a)
+            | MeanLastDim(a) => vec![*a],
+            LeakyRelu(a, _)
+            | Elu(a, _)
+            | MulScalar(a, _)
+            | AddScalar(a, _)
+            | Recip(a, _)
+            | BroadcastScalar(a, _)
+            | LayerNorm(a, _) => vec![*a],
+            GatherRows(a, _) => vec![*a],
+            SliceCols(a, _, _) => vec![*a],
+            SegmentSum(a, _, _) | SegmentMax(a, _, _) | SegmentSoftmax(a, _, _) => vec![*a],
+            SoftmaxLastDim(a, _) => vec![*a],
+            ConcatCols(vs) | ConcatRows(vs) => vs.clone(),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Tensor shapes: thin wrapper over a dimension list with the helpers the
+//! engine's kernels need (row-major layout assumed everywhere).
+
+use std::fmt;
+
+/// The shape of a tensor (row-major). Rank 0 is represented as `[]` and
+/// denotes a scalar with one element; ranks 1–3 are used throughout HARP.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// A scalar shape (`[]`, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension `i`. Panics if out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// The size of the last dimension, or 1 for scalars.
+    pub fn last_dim(&self) -> usize {
+        self.0.last().copied().unwrap_or(1)
+    }
+
+    /// Interpret as a matrix `[rows, cols]`. A 1-D tensor is viewed as a
+    /// single row; a scalar as `[1, 1]`. Panics for rank > 2.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.0.as_slice() {
+            [] => (1, 1),
+            [n] => (1, *n),
+            [r, c] => (*r, *c),
+            other => panic!("expected rank <= 2 shape, got {:?}", other),
+        }
+    }
+
+    /// Interpret as a batched matrix `[batch, rows, cols]`. Panics unless
+    /// rank is exactly 3.
+    pub fn as_batched(&self) -> (usize, usize, usize) {
+        match self.0.as_slice() {
+            [b, r, c] => (*b, *r, *c),
+            other => panic!("expected rank-3 shape, got {:?}", other),
+        }
+    }
+
+    /// Number of "rows" when the tensor is viewed as a 2-D array of rows of
+    /// width [`Shape::last_dim`]. Scalars and rank-1 tensors have one row.
+    pub fn leading_rows(&self) -> usize {
+        if self.0.is_empty() {
+            1
+        } else {
+            self.0[..self.0.len() - 1].iter().product()
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.as_matrix(), (1, 1));
+        assert_eq!(s.leading_rows(), 1);
+        assert_eq!(s.last_dim(), 1);
+    }
+
+    #[test]
+    fn vector_shape() {
+        let s = Shape(vec![5]);
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.numel(), 5);
+        assert_eq!(s.as_matrix(), (1, 5));
+        assert_eq!(s.leading_rows(), 1);
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let s = Shape(vec![3, 4]);
+        assert_eq!(s.as_matrix(), (3, 4));
+        assert_eq!(s.numel(), 12);
+        assert_eq!(s.leading_rows(), 3);
+        assert_eq!(s.last_dim(), 4);
+    }
+
+    #[test]
+    fn batched_shape() {
+        let s = Shape(vec![2, 3, 4]);
+        assert_eq!(s.as_batched(), (2, 3, 4));
+        assert_eq!(s.leading_rows(), 6);
+        assert_eq!(s.numel(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-3")]
+    fn batched_requires_rank3() {
+        Shape(vec![3, 4]).as_batched();
+    }
+}

@@ -1,0 +1,1357 @@
+//! The tape: operation recording, forward evaluation, and reverse-mode
+//! gradient propagation.
+//!
+//! Every constructor method both records the op and eagerly computes its
+//! forward value, so intermediate values (e.g. link utilizations inside the
+//! RAU loop) can be inspected mid-graph with [`Tape::value`] — HARP uses this
+//! to pick data-dependent bottleneck indices while keeping gradients exact
+//! (subgradient through the argmax).
+
+use std::sync::Arc;
+
+use crate::kernels;
+use crate::op::Op;
+use crate::param::{ParamId, ParamStore};
+use crate::shape::Shape;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+struct Node {
+    op: Op,
+    shape: Shape,
+    value: Vec<f32>,
+    /// Set when this leaf mirrors a parameter in a `ParamStore`.
+    param: Option<ParamId>,
+    /// Integer side-channel saved by forward for backward (argmaxes).
+    aux_idx: Vec<usize>,
+    /// Float side-channel saved by forward for backward (inv-std, etc.).
+    aux_f: Vec<f32>,
+}
+
+/// A reverse-mode autodiff tape. Create one per forward/backward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &[f32] {
+        &self.nodes[v.0].value
+    }
+
+    /// The shape of `v`.
+    pub fn shape(&self, v: Var) -> &Shape {
+        &self.nodes[v.0].shape
+    }
+
+    /// The scalar value of a 1-element tensor. Panics otherwise.
+    pub fn scalar_value(&self, v: Var) -> f32 {
+        let n = &self.nodes[v.0];
+        assert_eq!(n.value.len(), 1, "scalar_value on shape {:?}", n.shape);
+        n.value[0]
+    }
+
+    /// For a [`Tape::max_all`] node: the flat index of the maximum found in
+    /// the forward pass.
+    pub fn argmax_of(&self, v: Var) -> usize {
+        let n = &self.nodes[v.0];
+        assert!(
+            matches!(n.op, Op::MaxAll(_)),
+            "argmax_of requires a max_all node"
+        );
+        n.aux_idx[0]
+    }
+
+    /// For a [`Tape::segment_max`] node: per-segment argmax (indices into
+    /// the *input* vector) found in the forward pass.
+    pub fn segment_argmax_of(&self, v: Var) -> &[usize] {
+        let n = &self.nodes[v.0];
+        assert!(
+            matches!(n.op, Op::SegmentMax(_, _, _)),
+            "segment_argmax_of requires a segment_max node"
+        );
+        &n.aux_idx
+    }
+
+    fn push(&mut self, op: Op, shape: Shape, value: Vec<f32>) -> Var {
+        self.push_aux(op, shape, value, Vec::new(), Vec::new())
+    }
+
+    fn push_aux(
+        &mut self,
+        op: Op,
+        shape: Shape,
+        value: Vec<f32>,
+        aux_idx: Vec<usize>,
+        aux_f: Vec<f32>,
+    ) -> Var {
+        debug_assert_eq!(shape.numel(), value.len(), "value/shape mismatch");
+        self.nodes.push(Node {
+            op,
+            shape,
+            value,
+            param: None,
+            aux_idx,
+            aux_f,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// A constant tensor (no gradient).
+    pub fn constant(&mut self, shape: Vec<usize>, data: Vec<f32>) -> Var {
+        let shape = Shape(shape);
+        assert_eq!(shape.numel(), data.len(), "constant: shape/data mismatch");
+        self.push(Op::Leaf, shape, data)
+    }
+
+    /// A constant scalar.
+    pub fn scalar(&mut self, v: f32) -> Var {
+        self.push(Op::Leaf, Shape::scalar(), vec![v])
+    }
+
+    /// A constant tensor of zeros.
+    pub fn zeros(&mut self, shape: Vec<usize>) -> Var {
+        let shape = Shape(shape);
+        let n = shape.numel();
+        self.push(Op::Leaf, shape, vec![0.0; n])
+    }
+
+    /// Inject a parameter from `store` as a differentiable leaf; gradients
+    /// accumulate into the store on [`Tape::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(Op::Leaf, store.shape(id).clone(), store.data(id).to_vec());
+        self.nodes[v.0].param = Some(id);
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise binary
+    // ------------------------------------------------------------------
+
+    fn assert_same_shape(&self, a: Var, b: Var, what: &str) {
+        assert_eq!(
+            self.nodes[a.0].shape, self.nodes[b.0].shape,
+            "{}: shape mismatch {:?} vs {:?}",
+            what, self.nodes[a.0].shape, self.nodes[b.0].shape
+        );
+    }
+
+    /// Elementwise `a + b` (identical shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.assert_same_shape(a, b, "add");
+        let v: Vec<f32> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x + y)
+            .collect();
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(Op::Add(a, b), sh, v)
+    }
+
+    /// Elementwise `a - b` (identical shapes).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        self.assert_same_shape(a, b, "sub");
+        let v: Vec<f32> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x - y)
+            .collect();
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(Op::Sub(a, b), sh, v)
+    }
+
+    /// Elementwise `a * b` (identical shapes).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        self.assert_same_shape(a, b, "mul");
+        let v: Vec<f32> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x * y)
+            .collect();
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(Op::Mul(a, b), sh, v)
+    }
+
+    /// Elementwise `a / b` (identical shapes).
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        self.assert_same_shape(a, b, "div");
+        let v: Vec<f32> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x / y)
+            .collect();
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(Op::Div(a, b), sh, v)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise unary
+    // ------------------------------------------------------------------
+
+    fn unary(&mut self, a: Var, op: Op, f: impl Fn(f32) -> f32) -> Var {
+        let v: Vec<f32> = self.nodes[a.0].value.iter().map(|&x| f(x)).collect();
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(op, sh, v)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Neg(a), |x| -x)
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Exp(a), f32::exp)
+    }
+
+    /// Elementwise natural log.
+    pub fn ln(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Ln(a), f32::ln)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Sqrt(a), f32::sqrt)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Relu(a), |x| x.max(0.0))
+    }
+
+    /// Elementwise leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        self.unary(a, Op::LeakyRelu(a, alpha), move |x| {
+            if x > 0.0 {
+                x
+            } else {
+                alpha * x
+            }
+        })
+    }
+
+    /// Elementwise ELU with coefficient `alpha`.
+    pub fn elu(&mut self, a: Var, alpha: f32) -> Var {
+        self.unary(a, Op::Elu(a, alpha), move |x| {
+            if x > 0.0 {
+                x
+            } else {
+                alpha * (x.exp() - 1.0)
+            }
+        })
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Sigmoid(a), |x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        self.unary(a, Op::Tanh(a), f32::tanh)
+    }
+
+    /// `a * c` for a constant `c`.
+    pub fn mul_scalar(&mut self, a: Var, c: f32) -> Var {
+        self.unary(a, Op::MulScalar(a, c), move |x| x * c)
+    }
+
+    /// `a + c` for a constant `c`.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        self.unary(a, Op::AddScalar(a, c), move |x| x + c)
+    }
+
+    /// Guarded reciprocal `1 / max(a, eps)`.
+    pub fn recip(&mut self, a: Var, eps: f32) -> Var {
+        assert!(eps > 0.0, "recip: eps must be positive");
+        self.unary(a, Op::Recip(a, eps), move |x| 1.0 / x.max(eps))
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast helpers
+    // ------------------------------------------------------------------
+
+    /// Add a row vector `b` (length = last dim of `a`) to every row of `a`.
+    pub fn add_bias(&mut self, a: Var, b: Var) -> Var {
+        let w = self.nodes[a.0].shape.last_dim();
+        assert_eq!(
+            self.nodes[b.0].shape.numel(),
+            w,
+            "add_bias: bias length {} vs last dim {}",
+            self.nodes[b.0].shape.numel(),
+            w
+        );
+        let rows = self.nodes[a.0].shape.leading_rows();
+        let mut v = self.nodes[a.0].value.clone();
+        let bias = &self.nodes[b.0].value;
+        for r in 0..rows {
+            for j in 0..w {
+                v[r * w + j] += bias[j];
+            }
+        }
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(Op::AddBias(a, b), sh, v)
+    }
+
+    /// Multiply every row of `a` elementwise by a row vector `b`.
+    pub fn mul_row(&mut self, a: Var, b: Var) -> Var {
+        let w = self.nodes[a.0].shape.last_dim();
+        assert_eq!(
+            self.nodes[b.0].shape.numel(),
+            w,
+            "mul_row: row length mismatch"
+        );
+        let rows = self.nodes[a.0].shape.leading_rows();
+        let mut v = self.nodes[a.0].value.clone();
+        let row = &self.nodes[b.0].value;
+        for r in 0..rows {
+            for j in 0..w {
+                v[r * w + j] *= row[j];
+            }
+        }
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(Op::MulRow(a, b), sh, v)
+    }
+
+    /// Replicate a 1-element tensor into a rank-1 vector of length `n`.
+    pub fn broadcast_scalar(&mut self, a: Var, n: usize) -> Var {
+        assert_eq!(
+            self.nodes[a.0].value.len(),
+            1,
+            "broadcast_scalar: input must have one element"
+        );
+        let x = self.nodes[a.0].value[0];
+        self.push(Op::BroadcastScalar(a, n), Shape(vec![n]), vec![x; n])
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product `[m,k] x [k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (m, k) = self.nodes[a.0].shape.as_matrix();
+        let (k2, n) = self.nodes[b.0].shape.as_matrix();
+        assert_eq!(k, k2, "matmul: inner dims {} vs {}", k, k2);
+        let v = kernels::matmul(&self.nodes[a.0].value, &self.nodes[b.0].value, m, k, n);
+        self.push(Op::MatMul(a, b), Shape(vec![m, n]), v)
+    }
+
+    /// Batched matrix product `[b,m,k] x [b,k,n]`.
+    pub fn batch_matmul(&mut self, a: Var, b: Var) -> Var {
+        let (ba, m, k) = self.nodes[a.0].shape.as_batched();
+        let (bb, k2, n) = self.nodes[b.0].shape.as_batched();
+        assert_eq!(ba, bb, "batch_matmul: batch dims {} vs {}", ba, bb);
+        assert_eq!(k, k2, "batch_matmul: inner dims {} vs {}", k, k2);
+        let mut v = Vec::with_capacity(ba * m * n);
+        for i in 0..ba {
+            let av = &self.nodes[a.0].value[i * m * k..(i + 1) * m * k];
+            let bv = &self.nodes[b.0].value[i * k * n..(i + 1) * k * n];
+            v.extend_from_slice(&kernels::matmul(av, bv, m, k, n));
+        }
+        self.push(Op::BatchMatMul(a, b), Shape(vec![ba, m, n]), v)
+    }
+
+    /// Swap the last two axes of a rank-2 or rank-3 tensor.
+    pub fn transpose_last2(&mut self, a: Var) -> Var {
+        let sh = &self.nodes[a.0].shape;
+        match sh.rank() {
+            2 => {
+                let (m, n) = sh.as_matrix();
+                let v = kernels::transpose(&self.nodes[a.0].value, m, n);
+                self.push(Op::TransposeLast2(a), Shape(vec![n, m]), v)
+            }
+            3 => {
+                let (b, m, n) = sh.as_batched();
+                let mut v = Vec::with_capacity(b * m * n);
+                for i in 0..b {
+                    let src = &self.nodes[a.0].value[i * m * n..(i + 1) * m * n];
+                    v.extend_from_slice(&kernels::transpose(src, m, n));
+                }
+                self.push(Op::TransposeLast2(a), Shape(vec![b, n, m]), v)
+            }
+            r => panic!("transpose_last2: rank must be 2 or 3, got {}", r),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Reinterpret `a` with a new shape of equal element count.
+    pub fn reshape(&mut self, a: Var, shape: Vec<usize>) -> Var {
+        let shape = Shape(shape);
+        assert_eq!(
+            shape.numel(),
+            self.nodes[a.0].value.len(),
+            "reshape: {:?} -> {:?} changes element count",
+            self.nodes[a.0].shape,
+            shape
+        );
+        let v = self.nodes[a.0].value.clone();
+        self.push(Op::Reshape(a), shape, v)
+    }
+
+    /// Concatenate rank-2 tensors along the last axis.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols: empty input");
+        let rows = self.nodes[parts[0].0].shape.leading_rows();
+        let mut widths = Vec::with_capacity(parts.len());
+        for &p in parts {
+            assert_eq!(
+                self.nodes[p.0].shape.leading_rows(),
+                rows,
+                "concat_cols: row counts differ"
+            );
+            widths.push(self.nodes[p.0].shape.last_dim());
+        }
+        let total_w: usize = widths.iter().sum();
+        let mut v = Vec::with_capacity(rows * total_w);
+        for r in 0..rows {
+            for (&p, &w) in parts.iter().zip(&widths) {
+                let src = &self.nodes[p.0].value[r * w..(r + 1) * w];
+                v.extend_from_slice(src);
+            }
+        }
+        self.push(
+            Op::ConcatCols(parts.to_vec()),
+            Shape(vec![rows, total_w]),
+            v,
+        )
+    }
+
+    /// Concatenate tensors along axis 0 (rank-1: lengths add; rank-2: rows
+    /// add, equal column counts).
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows: empty input");
+        let rank1 = self.nodes[parts[0].0].shape.rank() <= 1;
+        if rank1 {
+            let mut v = Vec::new();
+            for &p in parts {
+                assert!(
+                    self.nodes[p.0].shape.rank() <= 1,
+                    "concat_rows: mixed ranks"
+                );
+                v.extend_from_slice(&self.nodes[p.0].value);
+            }
+            let n = v.len();
+            self.push(Op::ConcatRows(parts.to_vec()), Shape(vec![n]), v)
+        } else {
+            let cols = self.nodes[parts[0].0].shape.last_dim();
+            let mut rows = 0;
+            let mut v = Vec::new();
+            for &p in parts {
+                assert_eq!(
+                    self.nodes[p.0].shape.last_dim(),
+                    cols,
+                    "concat_rows: column counts differ"
+                );
+                rows += self.nodes[p.0].shape.leading_rows();
+                v.extend_from_slice(&self.nodes[p.0].value);
+            }
+            self.push(Op::ConcatRows(parts.to_vec()), Shape(vec![rows, cols]), v)
+        }
+    }
+
+    /// Select rows of a rank-2 tensor (or elements of a rank-1 tensor) by
+    /// index, with repetition allowed.
+    pub fn gather_rows(&mut self, a: Var, idx: Arc<Vec<usize>>) -> Var {
+        let sh = &self.nodes[a.0].shape;
+        let (rows, w, out_shape) = match sh.rank() {
+            1 => (sh.dim(0), 1usize, Shape(vec![idx.len()])),
+            2 => (sh.dim(0), sh.dim(1), Shape(vec![idx.len(), sh.dim(1)])),
+            r => panic!("gather_rows: rank must be 1 or 2, got {}", r),
+        };
+        let mut v = Vec::with_capacity(idx.len() * w);
+        for &i in idx.iter() {
+            assert!(i < rows, "gather_rows: index {} out of {} rows", i, rows);
+            v.extend_from_slice(&self.nodes[a.0].value[i * w..(i + 1) * w]);
+        }
+        self.push(Op::GatherRows(a, idx), out_shape, v)
+    }
+
+    /// Columns `[start, end)` of a rank-2 tensor.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let (rows, cols) = self.nodes[a.0].shape.as_matrix();
+        assert!(
+            start < end && end <= cols,
+            "slice_cols: [{start}, {end}) out of {cols} cols"
+        );
+        let w = end - start;
+        let mut v = Vec::with_capacity(rows * w);
+        for r in 0..rows {
+            v.extend_from_slice(&self.nodes[a.0].value[r * cols + start..r * cols + end]);
+        }
+        self.push(Op::SliceCols(a, start, end), Shape(vec![rows, w]), v)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s: f32 = self.nodes[a.0].value.iter().sum();
+        self.push(Op::SumAll(a), Shape::scalar(), vec![s])
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.nodes[a.0].value.len().max(1);
+        let s: f32 = self.nodes[a.0].value.iter().sum::<f32>() / n as f32;
+        self.push(Op::MeanAll(a), Shape::scalar(), vec![s])
+    }
+
+    /// Maximum element (scalar output; subgradient to the first argmax).
+    pub fn max_all(&mut self, a: Var) -> Var {
+        let vals = &self.nodes[a.0].value;
+        assert!(!vals.is_empty(), "max_all: empty tensor");
+        let mut best = 0usize;
+        for (i, &x) in vals.iter().enumerate() {
+            if x > vals[best] {
+                best = i;
+            }
+        }
+        let m = vals[best];
+        self.push_aux(Op::MaxAll(a), Shape::scalar(), vec![m], vec![best], vec![])
+    }
+
+    /// Sum over axis 0 of a rank-2 tensor, producing a row vector `[cols]`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let (rows, cols) = self.nodes[a.0].shape.as_matrix();
+        let mut v = vec![0.0f32; cols];
+        for r in 0..rows {
+            for j in 0..cols {
+                v[j] += self.nodes[a.0].value[r * cols + j];
+            }
+        }
+        self.push(Op::SumRows(a), Shape(vec![cols]), v)
+    }
+
+    /// Per-row mean over the last axis, producing `[rows, 1]`.
+    pub fn mean_last_dim(&mut self, a: Var) -> Var {
+        let w = self.nodes[a.0].shape.last_dim();
+        let rows = self.nodes[a.0].shape.leading_rows();
+        assert!(w > 0, "mean_last_dim: zero-width rows");
+        let mut v = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let s: f32 = self.nodes[a.0].value[r * w..(r + 1) * w].iter().sum();
+            v.push(s / w as f32);
+        }
+        self.push(Op::MeanLastDim(a), Shape(vec![rows, 1]), v)
+    }
+
+    // ------------------------------------------------------------------
+    // Segment ops
+    // ------------------------------------------------------------------
+
+    /// Scatter-add rows (or scalars for rank-1 input) into `n_segments`
+    /// buckets: `out[seg[i]] += in[i]`.
+    pub fn segment_sum(&mut self, a: Var, seg: Arc<Vec<usize>>, n_segments: usize) -> Var {
+        let sh = &self.nodes[a.0].shape;
+        let (rows, w, out_shape) = match sh.rank() {
+            1 => (sh.dim(0), 1usize, Shape(vec![n_segments])),
+            2 => (sh.dim(0), sh.dim(1), Shape(vec![n_segments, sh.dim(1)])),
+            r => panic!("segment_sum: rank must be 1 or 2, got {}", r),
+        };
+        assert_eq!(seg.len(), rows, "segment_sum: segment index length");
+        let mut v = vec![0.0f32; n_segments * w];
+        for (i, &s) in seg.iter().enumerate() {
+            assert!(s < n_segments, "segment_sum: segment {} out of range", s);
+            for j in 0..w {
+                v[s * w + j] += self.nodes[a.0].value[i * w + j];
+            }
+        }
+        self.push(Op::SegmentSum(a, seg, n_segments), out_shape, v)
+    }
+
+    /// Per-segment maximum of a rank-1 tensor. Every segment must receive at
+    /// least one element. Subgradient to each segment's argmax.
+    pub fn segment_max(&mut self, a: Var, seg: Arc<Vec<usize>>, n_segments: usize) -> Var {
+        assert_eq!(self.nodes[a.0].shape.rank(), 1, "segment_max: rank-1 only");
+        assert_eq!(
+            seg.len(),
+            self.nodes[a.0].value.len(),
+            "segment_max: segment index length"
+        );
+        let vals = &self.nodes[a.0].value;
+        let mut best = vec![usize::MAX; n_segments];
+        for (i, &s) in seg.iter().enumerate() {
+            assert!(s < n_segments, "segment_max: segment {} out of range", s);
+            if best[s] == usize::MAX || vals[i] > vals[best[s]] {
+                best[s] = i;
+            }
+        }
+        let mut v = Vec::with_capacity(n_segments);
+        for (s, &b) in best.iter().enumerate() {
+            assert!(b != usize::MAX, "segment_max: segment {} is empty", s);
+            v.push(vals[b]);
+        }
+        self.push_aux(
+            Op::SegmentMax(a, seg, n_segments),
+            Shape(vec![n_segments]),
+            v,
+            best,
+            vec![],
+        )
+    }
+
+    /// Softmax within each segment of a rank-1 tensor (segments need not be
+    /// contiguous). This is the per-flow split-ratio normalization.
+    pub fn segment_softmax(&mut self, a: Var, seg: Arc<Vec<usize>>, n_segments: usize) -> Var {
+        assert_eq!(
+            self.nodes[a.0].shape.rank(),
+            1,
+            "segment_softmax: rank-1 only"
+        );
+        assert_eq!(
+            seg.len(),
+            self.nodes[a.0].value.len(),
+            "segment_softmax: segment index length"
+        );
+        let vals = &self.nodes[a.0].value;
+        let mut mx = vec![f32::NEG_INFINITY; n_segments];
+        for (i, &s) in seg.iter().enumerate() {
+            assert!(s < n_segments, "segment_softmax: segment out of range");
+            if vals[i] > mx[s] {
+                mx[s] = vals[i];
+            }
+        }
+        let mut sums = vec![0.0f32; n_segments];
+        let mut v = Vec::with_capacity(vals.len());
+        for (i, &s) in seg.iter().enumerate() {
+            let e = (vals[i] - mx[s]).exp();
+            sums[s] += e;
+            v.push(e);
+        }
+        for (i, &s) in seg.iter().enumerate() {
+            if sums[s] > 0.0 {
+                v[i] /= sums[s];
+            }
+        }
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(Op::SegmentSoftmax(a, seg, n_segments), sh, v)
+    }
+
+    // ------------------------------------------------------------------
+    // Softmax / normalization
+    // ------------------------------------------------------------------
+
+    /// Softmax over the last axis. `mask` (if given) must have length equal
+    /// to either the full element count or the last dimension; entries equal
+    /// to zero are excluded (probability 0).
+    pub fn softmax_last_dim(&mut self, a: Var, mask: Option<Arc<Vec<f32>>>) -> Var {
+        let w = self.nodes[a.0].shape.last_dim();
+        let rows = self.nodes[a.0].shape.leading_rows();
+        let mut v = self.nodes[a.0].value.clone();
+        if let Some(m) = &mask {
+            assert!(
+                m.len() == w || m.len() == v.len(),
+                "softmax mask: length {} must be {} or {}",
+                m.len(),
+                w,
+                v.len()
+            );
+            for r in 0..rows {
+                let row = &mut v[r * w..(r + 1) * w];
+                let mrow: &[f32] = if m.len() == w {
+                    &m[..]
+                } else {
+                    &m[r * w..(r + 1) * w]
+                };
+                kernels::masked_softmax_inplace(row, mrow);
+            }
+        } else {
+            for r in 0..rows {
+                kernels::softmax_inplace(&mut v[r * w..(r + 1) * w]);
+            }
+        }
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(Op::SoftmaxLastDim(a, mask), sh, v)
+    }
+
+    /// Layer normalization over the last axis (no affine transform).
+    pub fn layer_norm(&mut self, a: Var, eps: f32) -> Var {
+        let w = self.nodes[a.0].shape.last_dim();
+        let rows = self.nodes[a.0].shape.leading_rows();
+        assert!(w > 0, "layer_norm: zero-width rows");
+        let mut v = self.nodes[a.0].value.clone();
+        let mut inv_stds = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &mut v[r * w..(r + 1) * w];
+            let mean: f32 = row.iter().sum::<f32>() / w as f32;
+            let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mean) * inv_std;
+            }
+            inv_stds.push(inv_std);
+        }
+        let sh = self.nodes[a.0].shape.clone();
+        self.push_aux(Op::LayerNorm(a, eps), sh, v, vec![], inv_stds)
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Run reverse-mode differentiation from the scalar `loss`, accumulating
+    /// parameter gradients into `store` (added to any existing gradients, so
+    /// multiple backward passes accumulate like a batch).
+    pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        let grads = self.gradients(loss);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let (Some(pid), Some(g)) = (node.param, grads[i].as_ref()) {
+                let dst = store.grad_mut(pid);
+                for (d, s) in dst.iter_mut().zip(g) {
+                    *d += *s;
+                }
+            }
+        }
+    }
+
+    /// Compute gradients of the scalar `loss` with respect to every node.
+    /// Returns one optional buffer per node (None = not on any path to the
+    /// loss). Mostly useful for testing; training uses [`Tape::backward`].
+    pub fn gradients(&self, loss: Var) -> Vec<Option<Vec<f32>>> {
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward: loss must be scalar, got shape {:?}",
+            self.nodes[loss.0].shape
+        );
+        let mut grads: Vec<Option<Vec<f32>>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(vec![1.0]);
+
+        for i in (0..=loss.0).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.backprop_node(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        grads
+    }
+
+    fn grad_buf<'a>(&self, grads: &'a mut Vec<Option<Vec<f32>>>, v: Var) -> &'a mut Vec<f32> {
+        let n = self.nodes[v.0].value.len();
+        grads[v.0].get_or_insert_with(|| vec![0.0; n])
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn backprop_node(&self, i: usize, dy: &[f32], grads: &mut Vec<Option<Vec<f32>>>) {
+        use Op::*;
+        let node = &self.nodes[i];
+        match &node.op {
+            Leaf => {}
+
+            Add(a, b) => {
+                let ga = self.grad_buf(grads, *a);
+                for (g, d) in ga.iter_mut().zip(dy) {
+                    *g += d;
+                }
+                let gb = self.grad_buf(grads, *b);
+                for (g, d) in gb.iter_mut().zip(dy) {
+                    *g += d;
+                }
+            }
+            Sub(a, b) => {
+                let ga = self.grad_buf(grads, *a);
+                for (g, d) in ga.iter_mut().zip(dy) {
+                    *g += d;
+                }
+                let gb = self.grad_buf(grads, *b);
+                for (g, d) in gb.iter_mut().zip(dy) {
+                    *g -= d;
+                }
+            }
+            Mul(a, b) => {
+                let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                {
+                    let ga = self.grad_buf(grads, *a);
+                    for ((g, d), x) in ga.iter_mut().zip(dy).zip(bv) {
+                        *g += d * x;
+                    }
+                }
+                let gb = self.grad_buf(grads, *b);
+                for ((g, d), x) in gb.iter_mut().zip(dy).zip(av) {
+                    *g += d * x;
+                }
+            }
+            Div(a, b) => {
+                let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                {
+                    let ga = self.grad_buf(grads, *a);
+                    for ((g, d), x) in ga.iter_mut().zip(dy).zip(bv) {
+                        *g += d / x;
+                    }
+                }
+                let gb = self.grad_buf(grads, *b);
+                for (j, (g, d)) in gb.iter_mut().zip(dy).enumerate() {
+                    *g -= d * av[j] / (bv[j] * bv[j]);
+                }
+            }
+
+            Neg(a) => {
+                let ga = self.grad_buf(grads, *a);
+                for (g, d) in ga.iter_mut().zip(dy) {
+                    *g -= d;
+                }
+            }
+            Exp(a) => {
+                let yv = &node.value;
+                let ga = self.grad_buf(grads, *a);
+                for ((g, d), y) in ga.iter_mut().zip(dy).zip(yv) {
+                    *g += d * y;
+                }
+            }
+            Ln(a) => {
+                let xv = &self.nodes[a.0].value;
+                let ga = self.grad_buf(grads, *a);
+                for ((g, d), x) in ga.iter_mut().zip(dy).zip(xv) {
+                    *g += d / x;
+                }
+            }
+            Sqrt(a) => {
+                let yv = &node.value;
+                let ga = self.grad_buf(grads, *a);
+                for ((g, d), y) in ga.iter_mut().zip(dy).zip(yv) {
+                    if *y > 0.0 {
+                        *g += d * 0.5 / y;
+                    }
+                }
+            }
+            Relu(a) => {
+                let xv = &self.nodes[a.0].value;
+                let ga = self.grad_buf(grads, *a);
+                for ((g, d), x) in ga.iter_mut().zip(dy).zip(xv) {
+                    if *x > 0.0 {
+                        *g += d;
+                    }
+                }
+            }
+            LeakyRelu(a, alpha) => {
+                let xv = &self.nodes[a.0].value;
+                let ga = self.grad_buf(grads, *a);
+                for ((g, d), x) in ga.iter_mut().zip(dy).zip(xv) {
+                    *g += d * if *x > 0.0 { 1.0 } else { *alpha };
+                }
+            }
+            Elu(a, alpha) => {
+                let xv = &self.nodes[a.0].value;
+                let yv = &node.value;
+                let ga = self.grad_buf(grads, *a);
+                for (j, (g, d)) in ga.iter_mut().zip(dy).enumerate() {
+                    *g += d * if xv[j] > 0.0 { 1.0 } else { yv[j] + alpha };
+                }
+            }
+            Sigmoid(a) => {
+                let yv = &node.value;
+                let ga = self.grad_buf(grads, *a);
+                for ((g, d), y) in ga.iter_mut().zip(dy).zip(yv) {
+                    *g += d * y * (1.0 - y);
+                }
+            }
+            Tanh(a) => {
+                let yv = &node.value;
+                let ga = self.grad_buf(grads, *a);
+                for ((g, d), y) in ga.iter_mut().zip(dy).zip(yv) {
+                    *g += d * (1.0 - y * y);
+                }
+            }
+            MulScalar(a, c) => {
+                let ga = self.grad_buf(grads, *a);
+                for (g, d) in ga.iter_mut().zip(dy) {
+                    *g += d * c;
+                }
+            }
+            AddScalar(a, _) => {
+                let ga = self.grad_buf(grads, *a);
+                for (g, d) in ga.iter_mut().zip(dy) {
+                    *g += d;
+                }
+            }
+            Recip(a, eps) => {
+                let xv = &self.nodes[a.0].value;
+                let yv = &node.value;
+                let ga = self.grad_buf(grads, *a);
+                for (j, (g, d)) in ga.iter_mut().zip(dy).enumerate() {
+                    if xv[j] >= *eps {
+                        *g -= d * yv[j] * yv[j];
+                    }
+                }
+            }
+
+            AddBias(a, b) => {
+                let w = self.nodes[b.0].value.len();
+                let rows = node.value.len() / w;
+                {
+                    let ga = self.grad_buf(grads, *a);
+                    for (g, d) in ga.iter_mut().zip(dy) {
+                        *g += d;
+                    }
+                }
+                let gb = self.grad_buf(grads, *b);
+                for r in 0..rows {
+                    for j in 0..w {
+                        gb[j] += dy[r * w + j];
+                    }
+                }
+            }
+            MulRow(a, b) => {
+                let w = self.nodes[b.0].value.len();
+                let rows = node.value.len() / w;
+                let av = &self.nodes[a.0].value;
+                let bv = &self.nodes[b.0].value;
+                {
+                    let ga = self.grad_buf(grads, *a);
+                    for r in 0..rows {
+                        for j in 0..w {
+                            ga[r * w + j] += dy[r * w + j] * bv[j];
+                        }
+                    }
+                }
+                let gb = self.grad_buf(grads, *b);
+                for r in 0..rows {
+                    for j in 0..w {
+                        gb[j] += dy[r * w + j] * av[r * w + j];
+                    }
+                }
+            }
+            BroadcastScalar(a, _) => {
+                let ga = self.grad_buf(grads, *a);
+                ga[0] += dy.iter().sum::<f32>();
+            }
+
+            MatMul(a, b) => {
+                let (m, k) = self.nodes[a.0].shape.as_matrix();
+                let (_, n) = self.nodes[b.0].shape.as_matrix();
+                let av = self.nodes[a.0].value.clone();
+                let bv = self.nodes[b.0].value.clone();
+                {
+                    // da += dy * b^T
+                    let ga = self.grad_buf(grads, *a);
+                    kernels::matmul_a_bt(dy, &bv, m, n, k, ga);
+                }
+                // db += a^T * dy
+                let gb = self.grad_buf(grads, *b);
+                kernels::matmul_at_b(&av, dy, m, k, n, gb);
+            }
+            BatchMatMul(a, b) => {
+                let (bt, m, k) = self.nodes[a.0].shape.as_batched();
+                let (_, _, n) = self.nodes[b.0].shape.as_batched();
+                let av = self.nodes[a.0].value.clone();
+                let bv = self.nodes[b.0].value.clone();
+                {
+                    let ga = self.grad_buf(grads, *a);
+                    for t in 0..bt {
+                        kernels::matmul_a_bt(
+                            &dy[t * m * n..(t + 1) * m * n],
+                            &bv[t * k * n..(t + 1) * k * n],
+                            m,
+                            n,
+                            k,
+                            &mut ga[t * m * k..(t + 1) * m * k],
+                        );
+                    }
+                }
+                let gb = self.grad_buf(grads, *b);
+                for t in 0..bt {
+                    kernels::matmul_at_b(
+                        &av[t * m * k..(t + 1) * m * k],
+                        &dy[t * m * n..(t + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                        &mut gb[t * k * n..(t + 1) * k * n],
+                    );
+                }
+            }
+            TransposeLast2(a) => {
+                let sh = &self.nodes[a.0].shape;
+                let ga = self.grad_buf(grads, *a);
+                match sh.rank() {
+                    2 => {
+                        let (m, n) = sh.as_matrix();
+                        // dy has shape [n, m]; transpose back.
+                        for j in 0..n {
+                            for i2 in 0..m {
+                                ga[i2 * n + j] += dy[j * m + i2];
+                            }
+                        }
+                    }
+                    3 => {
+                        let (b, m, n) = sh.as_batched();
+                        for t in 0..b {
+                            for j in 0..n {
+                                for i2 in 0..m {
+                                    ga[t * m * n + i2 * n + j] += dy[t * m * n + j * m + i2];
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+
+            Reshape(a) => {
+                let ga = self.grad_buf(grads, *a);
+                for (g, d) in ga.iter_mut().zip(dy) {
+                    *g += d;
+                }
+            }
+            ConcatCols(parts) => {
+                let rows = node.shape.leading_rows();
+                let total_w = node.shape.last_dim();
+                let mut offset = 0usize;
+                for &p in parts {
+                    let w = self.nodes[p.0].shape.last_dim();
+                    let gp = self.grad_buf(grads, p);
+                    for r in 0..rows {
+                        for j in 0..w {
+                            gp[r * w + j] += dy[r * total_w + offset + j];
+                        }
+                    }
+                    offset += w;
+                }
+            }
+            ConcatRows(parts) => {
+                let mut offset = 0usize;
+                for &p in parts {
+                    let n = self.nodes[p.0].value.len();
+                    let gp = self.grad_buf(grads, p);
+                    for j in 0..n {
+                        gp[j] += dy[offset + j];
+                    }
+                    offset += n;
+                }
+            }
+            GatherRows(a, idx) => {
+                let w = if self.nodes[a.0].shape.rank() == 2 {
+                    self.nodes[a.0].shape.dim(1)
+                } else {
+                    1
+                };
+                let ga = self.grad_buf(grads, *a);
+                for (o, &src) in idx.iter().enumerate() {
+                    for j in 0..w {
+                        ga[src * w + j] += dy[o * w + j];
+                    }
+                }
+            }
+            SliceCols(a, start, end) => {
+                let (rows, cols) = self.nodes[a.0].shape.as_matrix();
+                let w = end - start;
+                let ga = self.grad_buf(grads, *a);
+                for r in 0..rows {
+                    for j in 0..w {
+                        ga[r * cols + start + j] += dy[r * w + j];
+                    }
+                }
+            }
+
+            SumAll(a) => {
+                let ga = self.grad_buf(grads, *a);
+                for g in ga.iter_mut() {
+                    *g += dy[0];
+                }
+            }
+            MeanAll(a) => {
+                let n = self.nodes[a.0].value.len().max(1) as f32;
+                let ga = self.grad_buf(grads, *a);
+                for g in ga.iter_mut() {
+                    *g += dy[0] / n;
+                }
+            }
+            MaxAll(a) => {
+                let best = node.aux_idx[0];
+                let ga = self.grad_buf(grads, *a);
+                ga[best] += dy[0];
+            }
+            SumRows(a) => {
+                let (rows, cols) = self.nodes[a.0].shape.as_matrix();
+                let ga = self.grad_buf(grads, *a);
+                for r in 0..rows {
+                    for j in 0..cols {
+                        ga[r * cols + j] += dy[j];
+                    }
+                }
+            }
+            MeanLastDim(a) => {
+                let w = self.nodes[a.0].shape.last_dim();
+                let rows = self.nodes[a.0].shape.leading_rows();
+                let ga = self.grad_buf(grads, *a);
+                for r in 0..rows {
+                    let d = dy[r] / w as f32;
+                    for j in 0..w {
+                        ga[r * w + j] += d;
+                    }
+                }
+            }
+
+            SegmentSum(a, seg, _) => {
+                let sh = &self.nodes[a.0].shape;
+                let w = if sh.rank() == 2 { sh.dim(1) } else { 1 };
+                let ga = self.grad_buf(grads, *a);
+                for (i2, &s) in seg.iter().enumerate() {
+                    for j in 0..w {
+                        ga[i2 * w + j] += dy[s * w + j];
+                    }
+                }
+            }
+            SegmentMax(a, _, _) => {
+                let ga = self.grad_buf(grads, *a);
+                for (s, &b) in node.aux_idx.iter().enumerate() {
+                    ga[b] += dy[s];
+                }
+            }
+            SegmentSoftmax(a, seg, n_segments) => {
+                let yv = &node.value;
+                // per-segment dot(y, dy)
+                let mut dots = vec![0.0f32; *n_segments];
+                for (i2, &s) in seg.iter().enumerate() {
+                    dots[s] += yv[i2] * dy[i2];
+                }
+                let ga = self.grad_buf(grads, *a);
+                for (i2, &s) in seg.iter().enumerate() {
+                    ga[i2] += yv[i2] * (dy[i2] - dots[s]);
+                }
+            }
+
+            SoftmaxLastDim(a, _) => {
+                let w = node.shape.last_dim();
+                let rows = node.shape.leading_rows();
+                let yv = &node.value;
+                let ga = self.grad_buf(grads, *a);
+                for r in 0..rows {
+                    kernels::softmax_backward_row(
+                        &yv[r * w..(r + 1) * w],
+                        &dy[r * w..(r + 1) * w],
+                        &mut ga[r * w..(r + 1) * w],
+                    );
+                }
+            }
+            LayerNorm(a, _) => {
+                let w = node.shape.last_dim();
+                let rows = node.shape.leading_rows();
+                let yv = &node.value;
+                let ga = self.grad_buf(grads, *a);
+                for r in 0..rows {
+                    let inv_std = node.aux_f[r];
+                    let yrow = &yv[r * w..(r + 1) * w];
+                    let drow = &dy[r * w..(r + 1) * w];
+                    let mean_d: f32 = drow.iter().sum::<f32>() / w as f32;
+                    let mean_dy_y: f32 =
+                        drow.iter().zip(yrow).map(|(d, y)| d * y).sum::<f32>() / w as f32;
+                    for j in 0..w {
+                        ga[r * w + j] += inv_std * (drow[j] - mean_d - yrow[j] * mean_dy_y);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_mul_backward() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", vec![3], vec![1.0, 2.0, 3.0]);
+        let b = store.register("b", vec![3], vec![4.0, 5.0, 6.0]);
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let bv = t.param(&store, b);
+        let m = t.mul(av, bv);
+        let s = t.sum_all(m);
+        assert!((t.scalar_value(s) - 32.0).abs() < 1e-5);
+        t.backward(s, &mut store);
+        assert_eq!(store.grad(a), &[4.0, 5.0, 6.0]);
+        assert_eq!(store.grad(b), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_forward_and_backward() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let mut t = Tape::new();
+        let x = t.constant(vec![1, 2], vec![3.0, 7.0]);
+        let wv = t.param(&store, w);
+        let y = t.matmul(x, wv);
+        assert_eq!(t.value(y), &[3.0, 7.0]);
+        let loss = t.sum_all(y);
+        t.backward(loss, &mut store);
+        // dW = x^T * [1,1] = [[3,3],[7,7]]
+        assert_eq!(store.grad(w), &[3.0, 3.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn max_all_subgradient() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", vec![4], vec![1.0, 9.0, 3.0, 9.0]);
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let m = t.max_all(av);
+        assert_eq!(t.scalar_value(m), 9.0);
+        assert_eq!(t.argmax_of(m), 1); // first max wins
+        t.backward(m, &mut store);
+        assert_eq!(store.grad(a), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let mut t = Tape::new();
+        let x = t.constant(vec![5], vec![1.0, 2.0, 3.0, 0.5, 0.5]);
+        let seg = Arc::new(vec![0usize, 0, 1, 1, 1]);
+        let y = t.segment_softmax(x, seg, 2);
+        let v = t.value(y);
+        assert!((v[0] + v[1] - 1.0).abs() < 1e-6);
+        assert!((v[2] + v[3] + v[4] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_sum_and_max() {
+        let mut t = Tape::new();
+        let x = t.constant(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+        let seg = Arc::new(vec![1usize, 0, 1, 0]);
+        let s = t.segment_sum(x, seg.clone(), 2);
+        assert_eq!(t.value(s), &[6.0, 4.0]);
+        let m = t.segment_max(x, seg, 2);
+        assert_eq!(t.value(m), &[4.0, 3.0]);
+        assert_eq!(t.segment_argmax_of(m), &[3, 2]);
+    }
+
+    #[test]
+    fn gather_rows_accumulates_grad() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", vec![3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let g = t.gather_rows(av, Arc::new(vec![0, 2, 0]));
+        assert_eq!(t.value(g), &[1., 2., 5., 6., 1., 2.]);
+        let loss = t.sum_all(g);
+        t.backward(loss, &mut store);
+        assert_eq!(store.grad(a), &[2., 2., 0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let mut t = Tape::new();
+        let a = t.constant(vec![2, 2], vec![1., 2., 3., 4.]);
+        let b = t.constant(vec![2, 1], vec![9., 8.]);
+        let c = t.concat_cols(&[a, b]);
+        assert_eq!(t.shape(c).as_matrix(), (2, 3));
+        assert_eq!(t.value(c), &[1., 2., 9., 3., 4., 8.]);
+        let s = t.slice_cols(c, 2, 3);
+        assert_eq!(t.value(s), &[9., 8.]);
+    }
+
+    #[test]
+    fn softmax_last_dim_rows() {
+        let mut t = Tape::new();
+        let a = t.constant(vec![2, 2], vec![0.0, 0.0, 1.0, 1.0]);
+        let y = t.softmax_last_dim(a, None);
+        let v = t.value(y);
+        for r in 0..2 {
+            assert!((v[r * 2] + v[r * 2 + 1] - 1.0).abs() < 1e-6);
+            assert!((v[r * 2] - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let mut t = Tape::new();
+        let a = t.constant(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = t.layer_norm(a, 1e-5);
+        let v = t.value(y);
+        let mean: f32 = v.iter().sum::<f32>() / 4.0;
+        let var: f32 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn broadcast_scalar_grad_sums() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", vec![1], vec![2.0]);
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        let b = t.broadcast_scalar(av, 4);
+        let s = t.sum_all(b);
+        assert_eq!(t.scalar_value(s), 8.0);
+        t.backward(s, &mut store);
+        assert_eq!(store.grad(a), &[4.0]);
+    }
+
+    #[test]
+    fn batch_matmul_matches_loop() {
+        let mut t = Tape::new();
+        let a = t.constant(vec![2, 1, 2], vec![1., 2., 3., 4.]);
+        let b = t.constant(vec![2, 2, 1], vec![1., 1., 2., 0.5]);
+        let c = t.batch_matmul(a, b);
+        assert_eq!(t.shape(c).as_batched(), (2, 1, 1));
+        assert_eq!(t.value(c), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn transpose_last2_3d() {
+        let mut t = Tape::new();
+        let a = t.constant(vec![1, 2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let tr = t.transpose_last2(a);
+        assert_eq!(t.shape(tr).as_batched(), (1, 3, 2));
+        assert_eq!(t.value(tr), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn backward_accumulates_across_passes() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", vec![1], vec![3.0]);
+        for _ in 0..2 {
+            let mut t = Tape::new();
+            let av = t.param(&store, a);
+            let y = t.mul(av, av);
+            t.backward(y, &mut store);
+        }
+        // d(a^2)/da = 2a = 6, twice = 12
+        assert_eq!(store.grad(a), &[12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_requires_scalar_loss() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", vec![2], vec![1.0, 2.0]);
+        let mut t = Tape::new();
+        let av = t.param(&store, a);
+        t.backward(av, &mut store);
+    }
+}

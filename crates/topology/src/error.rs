@@ -1,0 +1,64 @@
+//! Error type for topology construction and mutation.
+
+use std::fmt;
+
+/// Errors raised by [`crate::Topology`] construction/mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// A node id was outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes in the topology.
+        num_nodes: usize,
+    },
+    /// Attempted to add a self-loop.
+    SelfLoop {
+        /// The node on which a self loop was attempted.
+        node: usize,
+    },
+    /// The directed edge already exists.
+    DuplicateEdge {
+        /// Source node.
+        src: usize,
+        /// Destination node.
+        dst: usize,
+    },
+    /// A negative capacity was supplied.
+    NegativeCapacity {
+        /// The offending capacity.
+        capacity: f64,
+    },
+    /// An edge id was outside `0..num_edges`.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: usize,
+        /// The number of edges in the topology.
+        num_edges: usize,
+    },
+    /// A permutation was not a bijection over the node set.
+    InvalidPermutation,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (num_nodes = {num_nodes})")
+            }
+            TopologyError::SelfLoop { node } => write!(f, "self loop on node {node}"),
+            TopologyError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            TopologyError::NegativeCapacity { capacity } => {
+                write!(f, "negative capacity {capacity}")
+            }
+            TopologyError::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge {edge} out of range (num_edges = {num_edges})")
+            }
+            TopologyError::InvalidPermutation => write!(f, "invalid node permutation"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,110 @@
+//! Failure injection and perturbation scenarios (§5.4, §5.5 of the paper).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{EdgeId, Topology};
+
+/// A partial failure of one undirected link: both directions of the link
+/// lose `severity` (in `[0, 1)`) of their capacity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartialFailure {
+    /// Forward directed-edge id of the link.
+    pub forward: EdgeId,
+    /// Reverse directed-edge id of the link.
+    pub reverse: EdgeId,
+    /// Fraction of capacity removed, in `[0, 1)`.
+    pub severity: f64,
+}
+
+/// Ids of both directions of every undirected link.
+pub fn undirected_link_ids(topo: &Topology) -> Vec<(EdgeId, EdgeId)> {
+    topo.links().iter().map(|&(_, _, f, r)| (f, r)).collect()
+}
+
+/// Apply a partial failure, returning a perturbed copy of the topology.
+pub fn fail_link_partial(topo: &Topology, failure: PartialFailure) -> Topology {
+    assert!(
+        (0.0..1.0).contains(&failure.severity),
+        "severity must be in [0, 1)"
+    );
+    let mut out = topo.clone();
+    for e in [failure.forward, failure.reverse] {
+        let remaining = out.capacity(e) * (1.0 - failure.severity);
+        out.set_capacity(e, remaining).expect("edge exists");
+    }
+    out
+}
+
+/// Generate `count` random single-link partial-failure scenarios with
+/// severity drawn uniformly from `[min_severity, max_severity]` — the
+/// paper's Fig 8 setup uses 40 scenarios with severity in `[0.5, 0.9]`.
+pub fn random_partial_failures<R: Rng>(
+    topo: &Topology,
+    rng: &mut R,
+    count: usize,
+    min_severity: f64,
+    max_severity: f64,
+) -> Vec<PartialFailure> {
+    assert!(min_severity <= max_severity && max_severity < 1.0);
+    let links = undirected_link_ids(topo);
+    assert!(!links.is_empty(), "no undirected links to fail");
+    (0..count)
+        .map(|_| {
+            let &(forward, reverse) = links.choose(rng).expect("nonempty");
+            let severity = rng.gen_range(min_severity..=max_severity);
+            PartialFailure {
+                forward,
+                reverse,
+                severity,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn square() -> Topology {
+        let mut t = Topology::new(4);
+        t.add_link(0, 1, 10.0).unwrap();
+        t.add_link(1, 2, 10.0).unwrap();
+        t.add_link(2, 3, 10.0).unwrap();
+        t.add_link(3, 0, 10.0).unwrap();
+        t
+    }
+
+    #[test]
+    fn partial_failure_scales_both_directions() {
+        let t = square();
+        let (f, r) = undirected_link_ids(&t)[0];
+        let failed = fail_link_partial(
+            &t,
+            PartialFailure {
+                forward: f,
+                reverse: r,
+                severity: 0.7,
+            },
+        );
+        assert!((failed.capacity(f) - 3.0).abs() < 1e-9);
+        assert!((failed.capacity(r) - 3.0).abs() < 1e-9);
+        // other links untouched
+        assert_eq!(failed.capacity(2), 10.0);
+        // original unchanged
+        assert_eq!(t.capacity(f), 10.0);
+    }
+
+    #[test]
+    fn random_scenarios_within_bounds_and_seeded() {
+        let t = square();
+        let mut rng = StdRng::seed_from_u64(42);
+        let s1 = random_partial_failures(&t, &mut rng, 20, 0.5, 0.9);
+        assert_eq!(s1.len(), 20);
+        assert!(s1.iter().all(|f| (0.5..=0.9).contains(&f.severity)));
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let s2 = random_partial_failures(&t, &mut rng2, 20, 0.5, 0.9);
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,19 @@
+//! # harp-traffic
+//!
+//! Traffic matrices and their dynamics for the HARP reproduction:
+//!
+//! * [`TrafficMatrix`] — dense per-node-pair demands with the
+//!   transformations the paper's invariance arguments rely on (transpose,
+//!   node permutation).
+//! * [`GravityConfig`] / [`gravity_series`] — seeded gravity-model demand
+//!   with diurnal structure and lognormal noise (the synthetic-TM family
+//!   used by DOTE's public code, which the paper reuses for KDL).
+//! * [`predict`] — the three TM predictors evaluated in §5.7: moving
+//!   average, exponential smoothing, per-cell linear regression.
+
+mod generate;
+mod matrix;
+pub mod predict;
+
+pub use generate::{gravity_series, GravityConfig};
+pub use matrix::TrafficMatrix;

@@ -1,0 +1,181 @@
+//! Traffic-matrix predictors (§5.7): moving average, exponential smoothing,
+//! and per-cell linear regression over a sliding window.
+
+use crate::matrix::TrafficMatrix;
+
+/// A one-step-ahead TM predictor consuming a history of past matrices
+/// (oldest first).
+pub trait Predictor {
+    /// Predict the next matrix from `history` (must be nonempty; panics
+    /// otherwise). Implementations use at most their configured window.
+    fn predict(&self, history: &[TrafficMatrix]) -> TrafficMatrix;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Per-cell mean of the last `window` matrices (the paper's MovAvg with
+/// window 12).
+#[derive(Clone, Copy, Debug)]
+pub struct MovAvg {
+    /// Number of trailing matrices to average.
+    pub window: usize,
+}
+
+impl Predictor for MovAvg {
+    fn predict(&self, history: &[TrafficMatrix]) -> TrafficMatrix {
+        assert!(!history.is_empty(), "predictor needs history");
+        let w = self.window.min(history.len()).max(1);
+        let tail = &history[history.len() - w..];
+        let n = tail[0].num_nodes();
+        let mut acc = vec![0.0f64; n * n];
+        for tm in tail {
+            assert_eq!(tm.num_nodes(), n, "history node-count mismatch");
+            for (a, d) in acc.iter_mut().zip(tm.as_slice()) {
+                *a += d;
+            }
+        }
+        for a in acc.iter_mut() {
+            *a /= w as f64;
+        }
+        TrafficMatrix::from_dense(n, acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "MovAvg"
+    }
+}
+
+/// Per-cell exponential smoothing with factor `alpha` (the paper uses 0.5):
+/// `s_t = alpha * x_t + (1 - alpha) * s_{t-1}`, prediction is `s_T`.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpSmooth {
+    /// Smoothing factor in `(0, 1]`.
+    pub alpha: f64,
+}
+
+impl Predictor for ExpSmooth {
+    fn predict(&self, history: &[TrafficMatrix]) -> TrafficMatrix {
+        assert!(!history.is_empty(), "predictor needs history");
+        assert!(self.alpha > 0.0 && self.alpha <= 1.0);
+        let n = history[0].num_nodes();
+        let mut s: Vec<f64> = history[0].as_slice().to_vec();
+        for tm in &history[1..] {
+            assert_eq!(tm.num_nodes(), n, "history node-count mismatch");
+            for (si, xi) in s.iter_mut().zip(tm.as_slice()) {
+                *si = self.alpha * xi + (1.0 - self.alpha) * *si;
+            }
+        }
+        TrafficMatrix::from_dense(n, s)
+    }
+
+    fn name(&self) -> &'static str {
+        "ExpSmooth"
+    }
+}
+
+/// Per-cell ordinary-least-squares line over the last `window` matrices,
+/// extrapolated one step ahead (clamped at zero).
+#[derive(Clone, Copy, Debug)]
+pub struct LinReg {
+    /// Number of trailing matrices to fit.
+    pub window: usize,
+}
+
+impl Predictor for LinReg {
+    fn predict(&self, history: &[TrafficMatrix]) -> TrafficMatrix {
+        assert!(!history.is_empty(), "predictor needs history");
+        let w = self.window.min(history.len()).max(1);
+        let tail = &history[history.len() - w..];
+        let n = tail[0].num_nodes();
+        if w == 1 {
+            return tail[0].clone();
+        }
+        // x = 0..w-1, predict at x = w. Precompute sums over x.
+        let wf = w as f64;
+        let sx: f64 = (0..w).map(|i| i as f64).sum();
+        let sxx: f64 = (0..w).map(|i| (i * i) as f64).sum();
+        let denom = wf * sxx - sx * sx;
+        let mut out = vec![0.0f64; n * n];
+        for c in 0..n * n {
+            let mut sy = 0.0;
+            let mut sxy = 0.0;
+            for (i, tm) in tail.iter().enumerate() {
+                let y = tm.as_slice()[c];
+                sy += y;
+                sxy += i as f64 * y;
+            }
+            let slope = (wf * sxy - sx * sy) / denom;
+            let intercept = (sy - slope * sx) / wf;
+            out[c] = (intercept + slope * wf).max(0.0);
+        }
+        TrafficMatrix::from_dense(n, out)
+    }
+
+    fn name(&self) -> &'static str {
+        "LinReg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tm(n: usize, v: f64) -> TrafficMatrix {
+        let mut m = TrafficMatrix::zeros(n);
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    m.set_demand(s, t, v);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn movavg_averages_window() {
+        let hist = vec![tm(2, 1.0), tm(2, 2.0), tm(2, 3.0), tm(2, 4.0)];
+        let p = MovAvg { window: 2 }.predict(&hist);
+        assert!((p.demand(0, 1) - 3.5).abs() < 1e-9);
+        let p_all = MovAvg { window: 10 }.predict(&hist);
+        assert!((p_all.demand(0, 1) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expsmooth_weights_recent() {
+        let hist = vec![tm(2, 0.0), tm(2, 10.0)];
+        let p = ExpSmooth { alpha: 0.5 }.predict(&hist);
+        assert!((p.demand(0, 1) - 5.0).abs() < 1e-9);
+        let p9 = ExpSmooth { alpha: 0.9 }.predict(&hist);
+        assert!(p9.demand(0, 1) > p.demand(0, 1));
+    }
+
+    #[test]
+    fn linreg_extrapolates_trend() {
+        // y = 2 + 3x for x = 0..3 → predict 2 + 3*4 = 14 at x = 4
+        let hist: Vec<TrafficMatrix> = (0..4).map(|i| tm(2, 2.0 + 3.0 * i as f64)).collect();
+        let p = LinReg { window: 4 }.predict(&hist);
+        assert!((p.demand(0, 1) - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linreg_clamps_negative() {
+        let hist: Vec<TrafficMatrix> = (0..4).map(|i| tm(2, 9.0 - 3.0 * i as f64)).collect();
+        let p = LinReg { window: 4 }.predict(&hist);
+        assert_eq!(p.demand(0, 1), 0.0);
+    }
+
+    #[test]
+    fn single_history_matrix_is_identity() {
+        let hist = vec![tm(3, 7.0)];
+        for pred in [
+            &MovAvg { window: 12 } as &dyn Predictor,
+            &ExpSmooth { alpha: 0.5 },
+            &LinReg { window: 12 },
+        ] {
+            let p = pred.predict(&hist);
+            assert!((p.demand(0, 1) - 7.0).abs() < 1e-9, "{}", pred.name());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Quickstart: build a small WAN, compute tunnels, train HARP for a few
+//! epochs, and compare its routing with the optimal LP solution.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use harp::models::{
+    evaluate_model, norm_mlu, train_model, EvalOptions, Harp, HarpConfig, Instance, SplitModel,
+    TrainConfig,
+};
+use harp::opt::MluOracle;
+use harp::paths::TunnelSet;
+use harp::tensor::ParamStore;
+use harp::topology::Topology;
+use harp::traffic::{gravity_series, GravityConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // 1. A small WAN: 6 routers in a ring with two cross links.
+    let mut topo = Topology::new(6);
+    for i in 0..6 {
+        topo.add_link(i, (i + 1) % 6, 100.0).expect("ring link");
+    }
+    topo.add_link(0, 3, 60.0).expect("chord");
+    topo.add_link(1, 4, 60.0).expect("chord");
+    println!(
+        "topology: {} nodes / {} links",
+        topo.num_nodes(),
+        topo.links().len()
+    );
+
+    // 2. Tunnels: 3 shortest paths between every node pair.
+    let edge_nodes: Vec<usize> = (0..topo.num_nodes()).collect();
+    let tunnels = TunnelSet::k_shortest(&topo, &edge_nodes, 3, 0.0);
+    println!(
+        "tunnels: {} flows x up to 3 paths = {} tunnels",
+        tunnels.num_flows(),
+        tunnels.num_tunnels()
+    );
+
+    // 3. Traffic: a seeded gravity-model series with temporal structure.
+    let cfg = GravityConfig::uniform(topo.num_nodes(), 500.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    let tms = gravity_series(&cfg, &mut rng, 24);
+
+    // 4. Compile instances and get the optimal MLU for each (the paper
+    //    normalizes everything against this oracle).
+    let oracle = MluOracle::default();
+    let labeled: Vec<(Instance, f64)> = tms
+        .iter()
+        .map(|tm| {
+            let inst = Instance::compile(&topo, &tunnels, tm);
+            let opt = oracle.solve(&inst.program).mlu;
+            (inst, opt)
+        })
+        .collect();
+    let (train, test) = labeled.split_at(18);
+    let train_refs: Vec<(&Instance, f64)> = train.iter().map(|(i, o)| (i, *o)).collect();
+
+    // 5. Train HARP.
+    let mut store = ParamStore::new();
+    let mut mrng = StdRng::seed_from_u64(7);
+    let harp = Harp::new(&mut store, &mut mrng, HarpConfig::default());
+    println!("HARP parameters: {}", store.num_scalars());
+    let report = train_model(
+        &harp,
+        &mut store,
+        &train_refs,
+        &train_refs[..4],
+        TrainConfig {
+            epochs: 8,
+            batch_size: 6,
+            ..Default::default()
+        },
+        EvalOptions::default(),
+    );
+    println!(
+        "trained: best validation NormMLU {:.4} at epoch {}",
+        report.best_val, report.best_epoch
+    );
+
+    // 6. Evaluate on held-out matrices.
+    println!("\nheld-out results:");
+    for (i, (inst, opt)) in test.iter().enumerate() {
+        let (mlu, _) = evaluate_model(&harp, &store, inst, EvalOptions::default());
+        println!(
+            "  tm {:>2}: HARP MLU {:.4}  optimal {:.4}  NormMLU {:.3}",
+            i,
+            mlu,
+            opt,
+            norm_mlu(mlu, *opt)
+        );
+    }
+
+    // 7. Inspect the learned split ratios of one flow.
+    let (inst, _) = &test[0];
+    let mut tape = harp::tensor::Tape::new();
+    let splits = harp.forward(&mut tape, &store, inst);
+    let v = tape.value(splits);
+    println!("\nsplit ratios of flow 0 (its tunnels sum to 1):");
+    let k = inst.tunnels_per_flow()[0];
+    for (j, s) in v[..k].iter().enumerate() {
+        println!("  tunnel {j}: {s:.3}");
+    }
+}

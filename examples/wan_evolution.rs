@@ -1,0 +1,100 @@
+//! WAN evolution: generate a small AnonNet-like evolving WAN (clusters of
+//! snapshots with changing topology, capacities, edge nodes and tunnels),
+//! train HARP on the first clusters and test on later, unseen ones — the
+//! paper's core transferability story end to end.
+//!
+//! ```sh
+//! cargo run --release --example wan_evolution
+//! ```
+
+use harp::datasets::{AnonNetConfig, AnonNetDataset};
+use harp::models::{
+    evaluate_model, norm_mlu, train_model, EvalOptions, Harp, HarpConfig, Instance, TrainConfig,
+};
+use harp::opt::MluOracle;
+use harp::tensor::ParamStore;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // a compact evolving WAN: 10 clusters of snapshots
+    let ds = AnonNetDataset::generate(&AnonNetConfig::tiny());
+    println!(
+        "AnonNet-like dataset: {} clusters, {} snapshots, universe of {} nodes",
+        ds.clusters.len(),
+        ds.num_snapshots(),
+        ds.cfg.universe_nodes
+    );
+    for c in ds.clusters.iter().take(4) {
+        let m = &c.snapshots[0].meta;
+        println!(
+            "  cluster {:>2}: {:>3} snapshots | {} active nodes, {} links, {} edge nodes, {} tunnels",
+            c.id,
+            c.snapshots.len(),
+            m.active_nodes,
+            m.active_links,
+            c.edge_nodes.len(),
+            c.tunnels.num_tunnels()
+        );
+    }
+
+    let oracle = MluOracle::default();
+    let labeled = |cid: usize| -> Vec<(Instance, f64)> {
+        let c = &ds.clusters[cid];
+        c.snapshots
+            .iter()
+            .map(|s| {
+                let topo = c.topo_at(s);
+                let inst = Instance::compile(&topo, &c.tunnels, &s.tm);
+                let opt = oracle.solve(&inst.program).mlu;
+                (inst, opt)
+            })
+            .collect()
+    };
+
+    // train on clusters 0-1, validate on 2
+    let mut train_set = labeled(0);
+    train_set.extend(labeled(1));
+    let val_set = labeled(2);
+    let train: Vec<(&Instance, f64)> = train_set.iter().map(|(i, o)| (i, *o)).collect();
+    let val: Vec<(&Instance, f64)> = val_set.iter().map(|(i, o)| (i, *o)).collect();
+
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let harp = Harp::new(&mut store, &mut rng, HarpConfig::default());
+    let report = train_model(
+        &harp,
+        &mut store,
+        &train,
+        &val,
+        TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            ..Default::default()
+        },
+        EvalOptions::default(),
+    );
+    println!(
+        "\ntrained on clusters 0-1 ({} snapshots): validation NormMLU {:.4}",
+        train.len(),
+        report.best_val
+    );
+
+    // test on the remaining, unseen clusters (different topologies/tunnels)
+    println!("\ntransfer to unseen clusters:");
+    for cid in 3..ds.clusters.len() {
+        let test = labeled(cid);
+        let nms: Vec<f64> = test
+            .iter()
+            .map(|(inst, opt)| {
+                let (mlu, _) = evaluate_model(&harp, &store, inst, EvalOptions::default());
+                norm_mlu(mlu, *opt)
+            })
+            .collect();
+        let med = harp::models::percentile(&nms, 50.0);
+        let max = harp::models::percentile(&nms, 100.0);
+        println!(
+            "  cluster {cid:>2} ({} snapshots): median NormMLU {med:.3}, max {max:.3}",
+            nms.len()
+        );
+    }
+}
