@@ -14,7 +14,8 @@ fn program_for(topo: &harp_topology::Topology, k: usize, seed: u64) -> PathProgr
     let cfg = GravityConfig::uniform(n, 1.0);
     let mut rng = StdRng::seed_from_u64(seed);
     let tm = gravity_series(&cfg, &mut rng, 1).remove(0);
-    let scale = harp_datasets::calibrate_demand_scale(topo, &tunnels, &[tm.clone()], 0.7);
+    let scale =
+        harp_datasets::calibrate_demand_scale(topo, &tunnels, std::slice::from_ref(&tm), 0.7);
     PathProgram::new(topo, &tunnels, &tm.scaled(scale))
 }
 

@@ -49,7 +49,8 @@ fn main() {
         std::process::exit(1);
     }
 
-    let variants: Vec<(&str, Box<dyn Fn(&TrafficMatrix) -> TrafficMatrix>)> = vec![
+    type TmVariant = Box<dyn Fn(&TrafficMatrix) -> TrafficMatrix>;
+    let variants: Vec<(&str, TmVariant)> = vec![
         ("baseline", Box::new(|tm: &TrafficMatrix| tm.clone())),
         ("scaled x0.5", Box::new(|tm: &TrafficMatrix| tm.scaled(0.5))),
         ("scaled x2.0", Box::new(|tm: &TrafficMatrix| tm.scaled(2.0))),

@@ -23,8 +23,7 @@ fn main() {
         // future) — matching the paper; an interleaved split leaks
         // temporally-adjacent TMs into training and erases DOTE's
         // capacity-blindness penalty
-        let pairs: Vec<(&Instance, f64)> =
-            instances.iter().zip(opts.iter().copied()).collect();
+        let pairs: Vec<(&Instance, f64)> = instances.iter().zip(opts.iter().copied()).collect();
         let n = pairs.len();
         let train_end = n * 3 / 4;
         let val_end = train_end + (n - train_end) / 2;

@@ -25,7 +25,8 @@ fn instance_for(topo: &Topology, edge_nodes: &[usize], k: usize, seed: u64) -> I
     cfg.edge_nodes = edge_nodes.to_vec();
     let mut rng = StdRng::seed_from_u64(seed);
     let tm = gravity_series(&cfg, &mut rng, 1).remove(0);
-    let scale = harp_datasets::calibrate_demand_scale(topo, &tunnels, &[tm.clone()], 0.7);
+    let scale =
+        harp_datasets::calibrate_demand_scale(topo, &tunnels, std::slice::from_ref(&tm), 0.7);
     Instance::compile(topo, &tunnels, &tm.scaled(scale))
 }
 

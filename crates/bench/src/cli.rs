@@ -58,8 +58,11 @@ impl Ctx {
         let path = self
             .results_dir
             .join(format!("{name}.{}.json", self.mode()));
-        std::fs::write(&path, serde_json::to_string_pretty(value).unwrap())
-            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        let text = serde_json::to_string_pretty(value).expect("report JSON serializes");
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: write {}: {e}", path.display());
+            std::process::exit(1);
+        }
         println!("[results -> {}]", path.display());
     }
 

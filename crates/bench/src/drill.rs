@@ -91,8 +91,7 @@ pub fn drill_models(
             .iter()
             .zip(aug_opts.iter().copied()),
     );
-    let mut val: Vec<(&Instance, f64)> =
-        val_insts.iter().zip(val_opts.iter().copied()).collect();
+    let mut val: Vec<(&Instance, f64)> = val_insts.iter().zip(val_opts.iter().copied()).collect();
     val.extend(
         aug_insts[n_aug.saturating_sub(2)..]
             .iter()

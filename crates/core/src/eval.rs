@@ -74,7 +74,7 @@ pub fn norm_mlu(model_mlu: f64, optimal_mlu: f64) -> f64 {
 /// Sorted `(value, cumulative_fraction)` pairs for CDF plotting.
 pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len().max(1) as f64;
     v.into_iter()
         .enumerate()
@@ -87,7 +87,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p));
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     if v.len() == 1 {
         return v[0];
     }

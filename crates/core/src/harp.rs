@@ -459,9 +459,9 @@ mod tests {
         assert_eq!(harp.name(), "HARP");
 
         let mut t1 = Tape::new();
-        harp.forward(&mut t1, &store, &inst);
+        let _ = harp.forward(&mut t1, &store, &inst);
         let mut t2 = Tape::new();
-        norau.forward(&mut t2, &store2, &inst);
+        let _ = norau.forward(&mut t2, &store2, &inst);
         assert!(t2.len() < t1.len());
     }
 

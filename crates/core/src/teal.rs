@@ -74,14 +74,19 @@ impl Teal {
                 h,
                 true,
             ));
-            edge_updates.push(Linear::new(
-                store,
-                rng,
-                &format!("teal.edge_up.{l}"),
-                2 * h,
-                h,
-                true,
-            ));
+            // The policy head reads only tunnel embeddings, so an edge
+            // update after the last tunnel update would be dead weight
+            // (zero gradient forever) — the final layer skips it.
+            if l + 1 < cfg.layers {
+                edge_updates.push(Linear::new(
+                    store,
+                    rng,
+                    &format!("teal.edge_up.{l}"),
+                    2 * h,
+                    h,
+                    true,
+                ));
+            }
         }
         let policy = Mlp::new(
             store,
@@ -115,7 +120,7 @@ impl SplitModel for Teal {
             counts.iter().all(|&c| c <= k),
             "TEAL built for {} tunnels/flow, instance has a flow with {}",
             k,
-            counts.iter().max().unwrap()
+            counts.iter().max().copied().unwrap_or(0)
         );
 
         // per-tunnel edge counts for mean aggregation
@@ -132,7 +137,7 @@ impl SplitModel for Teal {
         let mut tun_emb = self.tunnel_init.forward(t, s, demand_col);
         tun_emb = t.tanh(tun_emb);
 
-        for (eu, tu) in self.edge_updates.iter().zip(&self.tunnel_updates) {
+        for (l, tu) in self.tunnel_updates.iter().enumerate() {
             // tunnel <- mean of its edges' embeddings
             let gathered = t.gather_rows(edge_emb, inst.pair_edge.clone());
             let summed = t.segment_sum(gathered, inst.pair_tunnel.clone(), inst.num_tunnels);
@@ -143,12 +148,15 @@ impl SplitModel for Teal {
             let tnew = tu.forward(t, s, tin);
             tun_emb = t.tanh(tnew);
 
-            // edge <- sum of crossing tunnels' embeddings
-            let gathered_t = t.gather_rows(tun_emb, inst.pair_tunnel.clone());
-            let summed_e = t.segment_sum(gathered_t, inst.pair_edge.clone(), inst.num_edges);
-            let ein = t.concat_cols(&[edge_emb, summed_e]);
-            let enew = eu.forward(t, s, ein);
-            edge_emb = t.tanh(enew);
+            // edge <- sum of crossing tunnels' embeddings (skipped after
+            // the last tunnel update: nothing downstream reads edges)
+            if let Some(eu) = self.edge_updates.get(l) {
+                let gathered_t = t.gather_rows(tun_emb, inst.pair_tunnel.clone());
+                let summed_e = t.segment_sum(gathered_t, inst.pair_edge.clone(), inst.num_edges);
+                let ein = t.concat_cols(&[edge_emb, summed_e]);
+                let enew = eu.forward(t, s, ein);
+                edge_emb = t.tanh(enew);
+            }
         }
 
         // per-flow policy over concatenated (ordered!) tunnel embeddings

@@ -84,6 +84,9 @@ pub fn train_model(
     val_opts: EvalOptions,
 ) -> TrainReport {
     assert!(!train.is_empty(), "empty training set");
+    if cfg!(debug_assertions) {
+        preflight(model, store, train[0].0);
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(store, AdamConfig::with_lr(cfg.lr));
 
@@ -156,6 +159,29 @@ pub fn train_model(
         history,
         best_epoch,
         best_val,
+    }
+}
+
+/// Debug-build pre-flight: record one training graph and run the
+/// `harp-verify` static analyzer over it before committing to a full run.
+///
+/// Graph-structure bugs (a parameter the loss can't reach, an internally
+/// inconsistent shape, a NaN constant) otherwise surface as a silently flat
+/// loss curve hours later. Errors panic with the full report; warnings and
+/// notes go to stderr. Compiled out of release builds, where `train_model`
+/// pays nothing.
+fn preflight(model: &dyn SplitModel, store: &ParamStore, inst: &Instance) {
+    let mut tape = Tape::new();
+    let splits = model.forward(&mut tape, store, inst);
+    let loss = mlu_loss(&mut tape, splits, inst);
+    let report = harp_verify::analyze(&tape, loss, Some(store));
+    assert!(
+        report.is_clean(),
+        "training-graph pre-flight failed:\n{}",
+        report.summary()
+    );
+    for d in &report.diagnostics {
+        eprintln!("pre-flight: {d}");
     }
 }
 

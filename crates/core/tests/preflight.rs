@@ -1,0 +1,139 @@
+//! Acceptance tests for the `harp-verify` pre-flight: real HARP / DOTE /
+//! TEAL training graphs, built on quickstart-style instances, must analyze
+//! with zero Errors; a deliberately broken model must make `train_model`
+//! panic in debug builds.
+
+use harp_core::{
+    mlu_loss, train_model, Dote, EvalOptions, Harp, HarpConfig, Instance, SplitModel, Teal,
+    TealConfig, TrainConfig,
+};
+use harp_paths::TunnelSet;
+use harp_tensor::{ParamStore, Tape, Var};
+use harp_topology::Topology;
+use harp_traffic::{gravity_series, GravityConfig};
+use harp_verify::{analyze, GraphReport, Severity};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// The quickstart WAN: a 6-ring with two chords, 3-shortest-path tunnels,
+/// one gravity-model snapshot.
+fn quickstart_instance() -> Instance {
+    let mut topo = Topology::new(6);
+    for i in 0..6 {
+        topo.add_link(i, (i + 1) % 6, 100.0).expect("ring link");
+    }
+    topo.add_link(0, 3, 60.0).expect("chord");
+    topo.add_link(1, 4, 60.0).expect("chord");
+    let edge_nodes: Vec<usize> = (0..topo.num_nodes()).collect();
+    let tunnels = TunnelSet::k_shortest(&topo, &edge_nodes, 3, 0.0);
+    let cfg = GravityConfig::uniform(topo.num_nodes(), 500.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    let tm = &gravity_series(&cfg, &mut rng, 1)[0];
+    Instance::compile(&topo, &tunnels, tm)
+}
+
+/// Record one training graph (forward + MLU loss) and analyze it.
+fn analyze_model(model: &dyn SplitModel, store: &ParamStore, inst: &Instance) -> GraphReport {
+    let mut tape = Tape::new();
+    let splits = model.forward(&mut tape, store, inst);
+    let loss = mlu_loss(&mut tape, splits, inst);
+    analyze(&tape, loss, Some(store))
+}
+
+fn assert_zero_errors(name: &str, report: &GraphReport) {
+    assert!(
+        report.is_clean(),
+        "{name} training graph has analyzer errors:\n{}",
+        report.summary()
+    );
+    assert_eq!(
+        report.count(Severity::Error),
+        0,
+        "{name}:\n{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn harp_training_graph_is_clean() {
+    let inst = quickstart_instance();
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let harp = Harp::new(
+        &mut store,
+        &mut rng,
+        HarpConfig {
+            gnn_layers: 2,
+            gnn_hidden: 6,
+            d_model: 8,
+            settrans_layers: 1,
+            heads: 2,
+            d_ff: 16,
+            mlp_hidden: 16,
+            rau_iters: 2,
+        },
+    );
+    let report = analyze_model(&harp, &store, &inst);
+    assert_zero_errors("HARP", &report);
+}
+
+#[test]
+fn dote_training_graph_is_clean() {
+    let inst = quickstart_instance();
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let dote = Dote::new(&mut store, &mut rng, &inst, &[32, 32]);
+    let report = analyze_model(&dote, &store, &inst);
+    assert_zero_errors("DOTE", &report);
+}
+
+#[test]
+fn teal_training_graph_is_clean() {
+    let inst = quickstart_instance();
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let teal = Teal::new(&mut store, &mut rng, TealConfig::default());
+    let report = analyze_model(&teal, &store, &inst);
+    assert_zero_errors("TEAL", &report);
+}
+
+/// A model with a parameter the loss can never reach: the pre-flight built
+/// into `train_model` must reject it before any gradient step runs.
+struct OrphanModel {
+    w: harp_tensor::ParamId,
+    orphan: harp_tensor::ParamId,
+}
+
+impl SplitModel for OrphanModel {
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, instance: &Instance) -> Var {
+        let _dead = tape.param(store, self.orphan); // injected, never used
+        let w = tape.param(store, self.w);
+        let s = tape.sigmoid(w);
+        tape.broadcast_scalar(s, instance.num_tunnels)
+    }
+
+    fn name(&self) -> &'static str {
+        "orphan"
+    }
+}
+
+#[test]
+#[should_panic(expected = "pre-flight failed")]
+fn train_model_preflight_rejects_unreachable_param() {
+    let inst = quickstart_instance();
+    let mut store = ParamStore::new();
+    let w = store.register("w", vec![], vec![0.0]);
+    let orphan = store.register("orphan", vec![2], vec![1.0, 1.0]);
+    let model = OrphanModel { w, orphan };
+    let refs = vec![(&inst, 1.0)];
+    let _ = train_model(
+        &model,
+        &mut store,
+        &refs,
+        &[],
+        TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        EvalOptions::default(),
+    );
+}

@@ -29,7 +29,7 @@ pub fn calibrate_demand_scale(
     if mlus.is_empty() {
         return 1.0;
     }
-    mlus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    mlus.sort_by(|a, b| a.total_cmp(b));
     let median = mlus[mlus.len() / 2];
     target_mlu / median
 }

@@ -78,7 +78,7 @@ impl Linear {
             y
         } else {
             let mut out_shape = shape;
-            *out_shape.last_mut().unwrap() = self.out_dim;
+            *out_shape.last_mut().expect("rank >= 1 input") = self.out_dim;
             tape.reshape(y, out_shape)
         }
     }

@@ -41,12 +41,18 @@ impl Mlp {
 
     /// Input dimension.
     pub fn in_dim(&self) -> usize {
-        self.layers.first().unwrap().in_dim()
+        self.layers
+            .first()
+            .expect("MLP has at least one layer")
+            .in_dim()
     }
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().unwrap().out_dim()
+        self.layers
+            .last()
+            .expect("MLP has at least one layer")
+            .out_dim()
     }
 
     /// Apply the MLP to rank-2 `[n, in]` or rank-3 `[b, s, in]` input.

@@ -8,12 +8,29 @@ use std::io;
 use std::path::Path;
 
 use harp_tensor::ParamStore;
-use serde::{Deserialize, Serialize};
+use serde_json::{FromJson, ToJson, Value};
 
-#[derive(Serialize, Deserialize)]
 struct SavedParam {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl ToJson for SavedParam {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "shape": self.shape.to_json(),
+            "data": self.data.to_json(),
+        })
+    }
+}
+
+impl FromJson for SavedParam {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(SavedParam {
+            shape: Vec::from_json(v.get("shape")?)?,
+            data: Vec::from_json(v.get("data")?)?,
+        })
+    }
 }
 
 /// Write every parameter in `store` to `path` as JSON.
@@ -88,12 +105,12 @@ mod tests {
         let path = dir.join("ckpt.json");
 
         let mut small = ParamStore::new();
-        small.register("a", vec![1], vec![1.0]);
+        let _ = small.register("a", vec![1], vec![1.0]);
         save_params(&small, &path).unwrap();
 
         let mut bigger = ParamStore::new();
-        bigger.register("a", vec![1], vec![0.0]);
-        bigger.register("extra", vec![1], vec![0.0]);
+        let _ = bigger.register("a", vec![1], vec![0.0]);
+        let _ = bigger.register("extra", vec![1], vec![0.0]);
         assert!(load_params(&mut bigger, &path).is_err());
     }
 }

@@ -95,7 +95,7 @@ struct Tableau {
 }
 
 impl Tableau {
-    fn pivot(&mut self, row: usize, col: usize, obj: &mut Vec<f64>, obj_val: &mut f64) {
+    fn pivot(&mut self, row: usize, col: usize, obj: &mut [f64], obj_val: &mut f64) {
         self.pivots += 1;
         let p = self.rows[row][col];
         debug_assert!(p.abs() > EPS, "pivot on ~zero element");
@@ -132,7 +132,7 @@ impl Tableau {
     /// `allow_col` filters entering candidates.
     fn optimize(
         &mut self,
-        obj: &mut Vec<f64>,
+        obj: &mut [f64],
         obj_val: &mut f64,
         allow_col: impl Fn(usize) -> bool,
         max_iters: usize,

@@ -13,7 +13,7 @@ pub use dijkstra::{shortest_path, PathFilter};
 pub use tunnels::{tunnel_churn, FlowId, TunnelId, TunnelSet};
 pub use yen::k_shortest_paths;
 
-use harp_topology::{EdgeId, NodeId, Topology};
+use harp_topology::{EdgeId, NodeId, Topology, TopologyError};
 
 /// A simple path, stored as the sequence of directed edge ids it traverses.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,21 +31,29 @@ impl Path {
     }
 
     /// The node sequence of this path on `topo` (len = hops + 1).
-    /// Panics on an empty or non-contiguous path.
+    /// Panics on an empty or non-contiguous path; see [`Path::try_nodes`]
+    /// for the fallible form.
     pub fn nodes(&self, topo: &Topology) -> Vec<NodeId> {
-        assert!(!self.0.is_empty(), "empty path has no node sequence");
+        self.try_nodes(topo).expect("invalid path")
+    }
+
+    /// The node sequence of this path on `topo` (len = hops + 1), or a
+    /// [`TopologyError`] when the path is empty, references an edge id the
+    /// topology does not have, or its edges are not contiguous.
+    pub fn try_nodes(&self, topo: &Topology) -> Result<Vec<NodeId>, TopologyError> {
+        let first = *self.0.first().ok_or(TopologyError::EmptyPath)?;
+        let mut cur = topo.try_edge(first)?.src;
         let mut out = Vec::with_capacity(self.0.len() + 1);
-        out.push(topo.edge(self.0[0]).src);
+        out.push(cur);
         for &e in &self.0 {
-            let edge = topo.edge(e);
-            assert_eq!(
-                edge.src,
-                *out.last().unwrap(),
-                "path edges are not contiguous"
-            );
-            out.push(edge.dst);
+            let edge = topo.try_edge(e)?;
+            if edge.src != cur {
+                return Err(TopologyError::NonContiguousPath { edge: e });
+            }
+            cur = edge.dst;
+            out.push(cur);
         }
-        out
+        Ok(out)
     }
 
     /// Validate contiguity and endpoints on `topo`.

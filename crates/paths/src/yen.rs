@@ -38,7 +38,10 @@ pub fn k_shortest_paths(
     let mut candidates: BTreeSet<(CandKey, Path)> = BTreeSet::new();
 
     while result.len() < k {
-        let last = result.last().unwrap().clone();
+        let last = match result.last() {
+            Some(p) => p.clone(),
+            None => break,
+        };
         let last_nodes = last.nodes(topo);
 
         for spur_idx in 0..last.len() {

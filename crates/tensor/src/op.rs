@@ -16,22 +16,33 @@ pub enum Op {
     Leaf,
 
     // ---- elementwise binary (identical shapes) ----
+    /// Elementwise `a + b`.
     Add(Var, Var),
+    /// Elementwise `a - b`.
     Sub(Var, Var),
+    /// Elementwise `a * b`.
     Mul(Var, Var),
+    /// Elementwise `a / b`.
     Div(Var, Var),
 
     // ---- elementwise unary ----
+    /// Elementwise negation.
     Neg(Var),
+    /// Elementwise `e^x`.
     Exp(Var),
+    /// Elementwise natural log.
     Ln(Var),
+    /// Elementwise square root.
     Sqrt(Var),
+    /// Elementwise `max(x, 0)`.
     Relu(Var),
     /// Leaky ReLU with the given negative slope.
     LeakyRelu(Var, f32),
     /// ELU with the given alpha.
     Elu(Var, f32),
+    /// Elementwise logistic sigmoid.
     Sigmoid(Var),
+    /// Elementwise hyperbolic tangent.
     Tanh(Var),
     /// `x * c` for a compile-time scalar constant.
     MulScalar(Var, f32),
@@ -70,7 +81,9 @@ pub enum Op {
     SliceCols(Var, usize, usize),
 
     // ---- reductions ----
+    /// Sum of every element, producing a scalar.
     SumAll(Var),
+    /// Mean of every element, producing a scalar.
     MeanAll(Var),
     /// Global max; `aux` saves the argmax found in forward.
     MaxAll(Var),

@@ -9,6 +9,7 @@ use crate::shape::Shape;
 
 /// Handle to a parameter in a [`ParamStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[must_use = "a ParamId is the only handle to the parameter just registered; dropping it orphans the entry"]
 pub struct ParamId(pub(crate) usize);
 
 #[derive(Clone, Debug)]
@@ -172,8 +173,8 @@ mod tests {
     #[should_panic(expected = "registered twice")]
     fn duplicate_name_panics() {
         let mut s = ParamStore::new();
-        s.register("w", vec![1], vec![0.0]);
-        s.register("w", vec![1], vec![0.0]);
+        let _ = s.register("w", vec![1], vec![0.0]);
+        let _ = s.register("w", vec![1], vec![0.0]);
     }
 
     #[test]

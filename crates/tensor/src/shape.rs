@@ -41,6 +41,7 @@ impl Shape {
             [] => (1, 1),
             [n] => (1, *n),
             [r, c] => (*r, *c),
+            // lint: allow(panic) — documented API contract (rank <= 2)
             other => panic!("expected rank <= 2 shape, got {:?}", other),
         }
     }
@@ -50,6 +51,7 @@ impl Shape {
     pub fn as_batched(&self) -> (usize, usize, usize) {
         match self.0.as_slice() {
             [b, r, c] => (*b, *r, *c),
+            // lint: allow(panic) — documented API contract (rank == 3)
             other => panic!("expected rank-3 shape, got {:?}", other),
         }
     }

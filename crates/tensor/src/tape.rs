@@ -16,7 +16,36 @@ use crate::shape::Shape;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[must_use = "a Var is the only handle to the node just recorded; dropping it usually means a lost subgraph"]
 pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The node's position on its tape (0-based recording order).
+    ///
+    /// Stable for the lifetime of the tape: analysis tools can use it to key
+    /// per-node side tables.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Read-only view of one recorded tape node, exposed for analysis tools
+/// (see the `harp-verify` crate). Borrowed from the tape; indices in
+/// [`NodeView::op`] refer to earlier nodes of the same tape.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeView<'a> {
+    /// Handle of this node.
+    pub var: Var,
+    /// The recorded operation, including input handles.
+    pub op: &'a Op,
+    /// Shape recorded at construction time.
+    pub shape: &'a Shape,
+    /// Forward value computed eagerly at construction time.
+    pub value: &'a [f32],
+    /// Parameter provenance: set iff this leaf was injected with
+    /// [`Tape::param`] from a `ParamStore`.
+    pub param: Option<ParamId>,
+}
 
 struct Node {
     op: Op,
@@ -89,6 +118,53 @@ impl Tape {
             "segment_argmax_of requires a segment_max node"
         );
         &n.aux_idx
+    }
+
+    /// Read-only view of the node behind `v`.
+    pub fn node(&self, v: Var) -> NodeView<'_> {
+        let n = &self.nodes[v.0];
+        NodeView {
+            var: v,
+            op: &n.op,
+            shape: &n.shape,
+            value: &n.value,
+            param: n.param,
+        }
+    }
+
+    /// Iterate over all recorded nodes in recording (topological) order.
+    ///
+    /// Every input handle of a yielded node refers to a node yielded
+    /// earlier, so single forward passes over this iterator can propagate
+    /// per-node facts (shapes, value intervals) and single reverse passes
+    /// can propagate reachability — the basis of the `harp-verify` static
+    /// analyzer.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeView<'_>> {
+        self.nodes.iter().enumerate().map(|(i, n)| NodeView {
+            var: Var(i),
+            op: &n.op,
+            shape: &n.shape,
+            value: &n.value,
+            param: n.param,
+        })
+    }
+
+    /// Parameter provenance of `v` (set iff it was injected with
+    /// [`Tape::param`]).
+    pub fn param_of(&self, v: Var) -> Option<ParamId> {
+        self.nodes[v.0].param
+    }
+
+    /// Overwrite the recorded shape of `v` without touching its value
+    /// buffer or recomputing anything downstream.
+    ///
+    /// This deliberately breaks the tape's invariants: it exists so the
+    /// `harp-verify` test suite can simulate a buggy constructor and assert
+    /// the analyzer catches the inconsistency. Never call it from model
+    /// code.
+    #[doc(hidden)]
+    pub fn corrupt_shape_for_test(&mut self, v: Var, shape: Vec<usize>) {
+        self.nodes[v.0].shape = Shape(shape);
     }
 
     fn push(&mut self, op: Op, shape: Shape, value: Vec<f32>) -> Var {
@@ -396,6 +472,7 @@ impl Tape {
                 }
                 self.push(Op::TransposeLast2(a), Shape(vec![b, n, m]), v)
             }
+            // lint: allow(panic) — documented API contract (rank 2 or 3)
             r => panic!("transpose_last2: rank must be 2 or 3, got {}", r),
         }
     }
@@ -486,6 +563,7 @@ impl Tape {
         let (rows, w, out_shape) = match sh.rank() {
             1 => (sh.dim(0), 1usize, Shape(vec![idx.len()])),
             2 => (sh.dim(0), sh.dim(1), Shape(vec![idx.len(), sh.dim(1)])),
+            // lint: allow(panic) — documented API contract (rank 1 or 2)
             r => panic!("gather_rows: rank must be 1 or 2, got {}", r),
         };
         let mut v = Vec::with_capacity(idx.len() * w);
@@ -578,6 +656,7 @@ impl Tape {
         let (rows, w, out_shape) = match sh.rank() {
             1 => (sh.dim(0), 1usize, Shape(vec![n_segments])),
             2 => (sh.dim(0), sh.dim(1), Shape(vec![n_segments, sh.dim(1)])),
+            // lint: allow(panic) — documented API contract (rank 1 or 2)
             r => panic!("segment_sum: rank must be 1 or 2, got {}", r),
         };
         assert_eq!(seg.len(), rows, "segment_sum: segment index length");
@@ -760,13 +839,13 @@ impl Tape {
         grads
     }
 
-    fn grad_buf<'a>(&self, grads: &'a mut Vec<Option<Vec<f32>>>, v: Var) -> &'a mut Vec<f32> {
+    fn grad_buf<'a>(&self, grads: &'a mut [Option<Vec<f32>>], v: Var) -> &'a mut Vec<f32> {
         let n = self.nodes[v.0].value.len();
         grads[v.0].get_or_insert_with(|| vec![0.0; n])
     }
 
     #[allow(clippy::too_many_lines)]
-    fn backprop_node(&self, i: usize, dy: &[f32], grads: &mut Vec<Option<Vec<f32>>>) {
+    fn backprop_node(&self, i: usize, dy: &[f32], grads: &mut [Option<Vec<f32>>]) {
         use Op::*;
         let node = &self.nodes[i];
         match &node.op {

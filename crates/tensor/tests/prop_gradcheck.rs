@@ -166,7 +166,7 @@ fn ParamId_shim(i: usize) -> ParamId {
     // ParamStore::ids() yields ids in registration order
     let mut s = ParamStore::new();
     for k in 0..=i {
-        s.register(&format!("p{k}"), vec![1], vec![0.0]);
+        let _ = s.register(&format!("p{k}"), vec![1], vec![0.0]);
     }
     s.ids().nth(i).unwrap()
 }

@@ -38,6 +38,14 @@ pub enum TopologyError {
     },
     /// A permutation was not a bijection over the node set.
     InvalidPermutation,
+    /// A path with no edges was used where a node sequence is required.
+    EmptyPath,
+    /// A path's edges do not chain head-to-tail at this edge.
+    NonContiguousPath {
+        /// The first edge whose source is not the previous edge's
+        /// destination.
+        edge: usize,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -57,6 +65,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "edge {edge} out of range (num_edges = {num_edges})")
             }
             TopologyError::InvalidPermutation => write!(f, "invalid node permutation"),
+            TopologyError::EmptyPath => write!(f, "empty path has no node sequence"),
+            TopologyError::NonContiguousPath { edge } => {
+                write!(f, "path edges are not contiguous at edge {edge}")
+            }
         }
     }
 }

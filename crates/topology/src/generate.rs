@@ -97,7 +97,7 @@ pub fn geometric_wan<R: Rng>(cfg: GeometricConfig, rng: &mut R) -> Topology {
             }
         }
     }
-    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut added = n - 1;
     // Take from the shortest 3x pool at random for variety.
     let pool = candidates.len().min((cfg.links - added) * 3 + 8);

@@ -58,9 +58,18 @@ impl Topology {
         &self.edges
     }
 
-    /// The edge with the given id. Panics if out of range.
+    /// The edge with the given id. Panics if out of range; see
+    /// [`Topology::try_edge`] for the fallible form.
     pub fn edge(&self, e: EdgeId) -> &Edge {
         &self.edges[e]
+    }
+
+    /// The edge with the given id, or [`TopologyError::EdgeOutOfRange`].
+    pub fn try_edge(&self, e: EdgeId) -> Result<&Edge, TopologyError> {
+        self.edges.get(e).ok_or(TopologyError::EdgeOutOfRange {
+            edge: e,
+            num_edges: self.edges.len(),
+        })
     }
 
     /// Id of the directed edge `src -> dst`, if present.

@@ -1,0 +1,100 @@
+//! Diagnostics produced by tape analysis.
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth knowing, never wrong.
+    Info,
+    /// Suspicious: probably a bug or numerical hazard.
+    Warn,
+    /// Definitely wrong: executing/backpropagating this graph is unsound.
+    Error,
+}
+
+/// One finding, anchored to a node of the analyzed tape.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `shape-mismatch`.
+    pub code: &'static str,
+    /// Tape node index the finding is anchored to, if any.
+    pub node: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// All findings for one analyzed graph.
+#[derive(Debug, Clone, Default)]
+pub struct GraphReport {
+    /// Findings in node order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl GraphReport {
+    /// Number of findings at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// True if no Error-severity findings are present.
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// True if some diagnostic carries `code`.
+    pub fn has(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// One line per finding, errors first.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut by_sev: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        by_sev.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        for d in by_sev {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = write!(
+            out,
+            "{} error(s), {} warning(s), {} note(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        );
+        out
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.node {
+            Some(n) => write!(
+                f,
+                "{}[{}] node #{n}: {}",
+                self.severity, self.code, self.message
+            ),
+            None => write!(f, "{}[{}]: {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}

@@ -1,0 +1,265 @@
+//! Seeded-defect tests: one graph per defect class the analyzer must catch,
+//! plus clean-graph tests proving it stays quiet on correct constructions.
+
+use harp_tensor::{ParamStore, Tape};
+use harp_verify::{analyze, Severity};
+
+/// A correct little MLP-style graph: no errors, no hazard warnings.
+#[test]
+fn clean_graph_reports_nothing() {
+    let mut store = ParamStore::new();
+    let w = store.register("w", vec![2, 2], vec![0.1, -0.2, 0.3, 0.4]);
+    let b = store.register("b", vec![2], vec![0.0, 0.1]);
+
+    let mut tape = Tape::new();
+    let x = tape.constant(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let wv = tape.param(&store, w);
+    let bv = tape.param(&store, b);
+    let h = tape.matmul(x, wv);
+    let h = tape.add_bias(h, bv);
+    let h = tape.relu(h);
+    let loss = tape.mean_all(h);
+
+    let report = analyze(&tape, loss, Some(&store));
+    assert!(report.is_clean(), "unexpected errors:\n{report}");
+    assert_eq!(
+        report.count(Severity::Warn),
+        0,
+        "unexpected warns:\n{report}"
+    );
+    assert_eq!(
+        report.count(Severity::Info),
+        0,
+        "unexpected notes:\n{report}"
+    );
+}
+
+#[test]
+fn detects_shape_inconsistency() {
+    let mut tape = Tape::new();
+    let a = tape.constant(vec![2, 3], vec![1.0; 6]);
+    let b = tape.constant(vec![3, 2], vec![1.0; 6]);
+    let c = tape.matmul(a, b); // [2, 2]
+    let loss = tape.sum_all(c);
+    // simulate a buggy constructor recording the wrong output shape
+    tape.corrupt_shape_for_test(c, vec![2, 3]);
+
+    let report = analyze(&tape, loss, None);
+    assert!(report.has("shape-mismatch"), "missed corruption:\n{report}");
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn detects_structurally_invalid_op() {
+    let mut tape = Tape::new();
+    let a = tape.constant(vec![2, 3], vec![1.0; 6]);
+    let b = tape.constant(vec![2, 3], vec![1.0; 6]);
+    let c = tape.add(a, b);
+    let loss = tape.sum_all(c);
+    // make `b` incompatible after the fact: add now sees [2,3] + [3,2]
+    tape.corrupt_shape_for_test(b, vec![3, 2]);
+
+    let report = analyze(&tape, loss, None);
+    assert!(report.has("invalid-op"), "missed invalidity:\n{report}");
+}
+
+#[test]
+fn detects_unreachable_param() {
+    let mut store = ParamStore::new();
+    let w = store.register("w", vec![2], vec![0.5, 0.5]);
+    let orphan = store.register("orphan", vec![2], vec![1.0, 1.0]);
+
+    let mut tape = Tape::new();
+    let wv = tape.param(&store, w);
+    let ov = tape.param(&store, orphan);
+    let x = tape.constant(vec![2], vec![1.0, 2.0]);
+    let wx = tape.mul(wv, x);
+    let loss = tape.sum_all(wx);
+    // `ov` participates in a computation... that never reaches the loss
+    let _dead = tape.mul_scalar(ov, 2.0);
+
+    let report = analyze(&tape, loss, Some(&store));
+    assert!(report.has("unreachable-param"), "missed orphan:\n{report}");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "unreachable-param")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("orphan"), "unnamed param: {}", d.message);
+}
+
+#[test]
+fn notes_param_registered_but_never_injected() {
+    let mut store = ParamStore::new();
+    let w = store.register("w", vec![1], vec![2.0]);
+    let _unused = store.register("never_injected", vec![1], vec![0.0]);
+
+    let mut tape = Tape::new();
+    let wv = tape.param(&store, w);
+    let loss = tape.sum_all(wv);
+
+    let report = analyze(&tape, loss, Some(&store));
+    assert!(report.is_clean(), "{report}");
+    assert!(report.has("param-not-injected"), "{report}");
+}
+
+#[test]
+fn detects_dead_subgraph() {
+    let mut tape = Tape::new();
+    let x = tape.constant(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+    let live = tape.mul_scalar(x, 2.0);
+    let loss = tape.sum_all(live);
+    // a three-node cone nothing consumes
+    let d1 = tape.add_scalar(x, 1.0);
+    let d2 = tape.relu(d1);
+    let _d3 = tape.sum_all(d2);
+
+    let report = analyze(&tape, loss, None);
+    assert!(report.has("dead-subgraph"), "missed dead cone:\n{report}");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "dead-subgraph")
+        .unwrap();
+    // the root reports its dead cone: sum_all + relu + add_scalar
+    assert!(d.message.contains("2 upstream"), "message: {}", d.message);
+    // dead code is waste, not unsoundness
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(report.is_clean());
+}
+
+#[test]
+fn detects_non_finite_constant() {
+    let mut tape = Tape::new();
+    let bad = tape.constant(vec![3], vec![1.0, f32::NAN, 3.0]);
+    let s = tape.mul_scalar(bad, 2.0);
+    let loss = tape.sum_all(s);
+
+    let report = analyze(&tape, loss, None);
+    assert!(report.has("non-finite-constant"), "missed NaN:\n{report}");
+    assert!(!report.is_clean());
+
+    let mut tape = Tape::new();
+    let inf = tape.scalar(f32::INFINITY);
+    let loss = tape.sum_all(inf);
+    let report = analyze(&tape, loss, None);
+    assert!(report.has("non-finite-constant"), "missed inf:\n{report}");
+}
+
+#[test]
+fn detects_unguarded_ln_and_guard_silences_it() {
+    let mut store = ParamStore::new();
+    let w = store.register("w", vec![2], vec![0.5, 0.5]);
+
+    // unguarded: ln of a raw parameter (range is the whole line)
+    let mut tape = Tape::new();
+    let wv = tape.param(&store, w);
+    let l = tape.ln(wv);
+    let loss = tape.sum_all(l);
+    let report = analyze(&tape, loss, Some(&store));
+    assert!(report.has("unguarded-ln"), "missed hazard:\n{report}");
+
+    // guarded: sigmoid -> (0,1), plus epsilon -> provably positive
+    let mut tape = Tape::new();
+    let wv = tape.param(&store, w);
+    let pos = tape.sigmoid(wv);
+    let pos = tape.add_scalar(pos, 1e-6);
+    let l = tape.ln(pos);
+    let loss = tape.sum_all(l);
+    let report = analyze(&tape, loss, Some(&store));
+    assert!(!report.has("unguarded-ln"), "false positive:\n{report}");
+}
+
+#[test]
+fn detects_unguarded_sqrt() {
+    let mut tape = Tape::new();
+    let x = tape.constant(vec![2], vec![0.0, 4.0]); // reaches 0: grad blows up
+    let r = tape.sqrt(x);
+    let loss = tape.sum_all(r);
+    let report = analyze(&tape, loss, None);
+    assert!(report.has("unguarded-sqrt"), "{report}");
+
+    let mut tape = Tape::new();
+    let x = tape.constant(vec![2], vec![0.0, 4.0]);
+    let x = tape.add_scalar(x, 1e-8);
+    let r = tape.sqrt(x);
+    let loss = tape.sum_all(r);
+    let report = analyze(&tape, loss, None);
+    assert!(!report.has("unguarded-sqrt"), "false positive:\n{report}");
+}
+
+#[test]
+fn detects_div_by_possible_zero() {
+    let mut store = ParamStore::new();
+    let w = store.register("w", vec![2], vec![1.0, 2.0]);
+
+    let mut tape = Tape::new();
+    let x = tape.constant(vec![2], vec![1.0, 1.0]);
+    let wv = tape.param(&store, w); // could be 0 after an update
+    let q = tape.div(x, wv);
+    let loss = tape.sum_all(q);
+    let report = analyze(&tape, loss, Some(&store));
+    assert!(report.has("div-by-zero-risk"), "{report}");
+
+    // the guarded idiom: recip(eps) keeps the divisor provably nonzero
+    let mut tape = Tape::new();
+    let x = tape.constant(vec![2], vec![1.0, 1.0]);
+    let wv = tape.param(&store, w);
+    let inv = tape.recip(wv, 1e-6);
+    let q = tape.mul(x, inv);
+    let loss = tape.sum_all(q);
+    let report = analyze(&tape, loss, Some(&store));
+    assert!(!report.has("div-by-zero-risk"), "false positive:\n{report}");
+}
+
+#[test]
+fn detects_manual_softmax_without_max_subtraction() {
+    let mut store = ParamStore::new();
+    let logits = store.register("logits", vec![4], vec![0.1, 0.2, 0.3, 0.4]);
+
+    // exp(unbounded) -> overflow risk
+    let mut tape = Tape::new();
+    let lv = tape.param(&store, logits);
+    let e = tape.exp(lv);
+    let z = tape.sum_all(e);
+    let zb = tape.broadcast_scalar(z, 4);
+    let p = tape.div(e, zb);
+    let loss = tape.sum_all(p);
+    let report = analyze(&tape, loss, Some(&store));
+    assert!(report.has("exp-unbounded"), "{report}");
+
+    // the fused op is max-subtracted internally: no warning
+    let mut tape = Tape::new();
+    let lv = tape.param(&store, logits);
+    let lv2 = tape.reshape(lv, vec![1, 4]);
+    let p = tape.softmax_last_dim(lv2, None);
+    let loss = tape.sum_all(p);
+    let report = analyze(&tape, loss, Some(&store));
+    assert!(!report.has("exp-unbounded"), "false positive:\n{report}");
+}
+
+#[test]
+fn detects_non_scalar_loss() {
+    let mut tape = Tape::new();
+    let x = tape.constant(vec![3], vec![1.0, 2.0, 3.0]);
+    let y = tape.mul_scalar(x, 2.0);
+    let report = analyze(&tape, y, None);
+    assert!(report.has("non-scalar-loss"), "{report}");
+}
+
+#[test]
+fn report_summary_is_ordered_and_counted() {
+    let mut tape = Tape::new();
+    let nan = tape.constant(vec![1], vec![f32::NAN]);
+    let loss = tape.sum_all(nan);
+    let _dead = tape.scalar(1.0);
+    let report = analyze(&tape, loss, None);
+
+    let s = report.summary();
+    assert!(s.contains("error(s)"), "{s}");
+    // errors print before warnings
+    let e = s.find("non-finite-constant").unwrap();
+    let w = s.find("dead-subgraph").unwrap();
+    assert!(e < w, "{s}");
+}

@@ -1,0 +1,56 @@
+//! HARP in Rust: transferable neural WAN traffic engineering for changing
+//! topologies (SIGCOMM 2024 reproduction).
+//!
+//! This crate is a facade: each module re-exports one workspace crate so
+//! examples and downstream users write `harp::models::Harp`,
+//! `harp::topology::Topology`, etc., without depending on the individual
+//! `harp-*` crates.
+
+/// Reverse-mode autodiff tape, parameter store, and graph introspection
+/// (re-export of `harp-tensor`).
+pub mod tensor {
+    pub use harp_tensor::*;
+}
+
+/// Neural-network layers and optimizers (re-export of `harp-nn`).
+pub mod nn {
+    pub use harp_nn::*;
+}
+
+/// WAN topology representation and edits (re-export of `harp-topology`).
+pub mod topology {
+    pub use harp_topology::*;
+}
+
+/// Tunnel/path enumeration (re-export of `harp-paths`).
+pub mod paths {
+    pub use harp_paths::*;
+}
+
+/// Traffic-matrix generation and prediction (re-export of `harp-traffic`).
+pub mod traffic {
+    pub use harp_traffic::*;
+}
+
+/// LP/Frank–Wolfe min-MLU solvers (re-export of `harp-opt`).
+pub mod opt {
+    pub use harp_opt::*;
+}
+
+/// Topology datasets and synthetic WAN generators (re-export of
+/// `harp-datasets`).
+pub mod datasets {
+    pub use harp_datasets::*;
+}
+
+/// TE models (HARP, DOTE, TEAL), training, and evaluation (re-export of
+/// `harp-core`).
+pub mod models {
+    pub use harp_core::*;
+}
+
+/// Static analysis of recorded tapes: shape re-inference, gradient
+/// reachability, and numerical-hazard lints (re-export of `harp-verify`).
+pub mod verify {
+    pub use harp_verify::*;
+}

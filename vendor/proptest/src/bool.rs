@@ -1,0 +1,33 @@
+//! Boolean strategies (upstream-compatible subset).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy generating `true`/`false` with equal probability.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any;
+
+/// `proptest::bool::ANY` — a uniformly random boolean.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_values() {
+        let mut rng = TestRng::from_name("bool_any");
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[ANY.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,7 @@
+//! One-stop import mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig, TestCaseError,
+    TestCaseResult,
+};

@@ -1,0 +1,304 @@
+//! Offline stand-in for the subset of `serde_json` the harp workspace uses.
+//!
+//! Provides the `Value` tree, the `json!` macro, `Map`, and string
+//! (de)serialization. There is no serde data model underneath: instead of
+//! generic `Serialize`/`Deserialize` derives, conversion goes through the
+//! [`ToJson`] / [`FromJson`] traits, implemented for the concrete types the
+//! workspace persists (number maps, float vectors, …).
+
+mod parse;
+mod print;
+mod value;
+
+pub use value::{Map, Number, Value};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Error raised by [`from_str`] / [`to_string`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub(crate) String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait FromJson: Sized {
+    /// Parse from JSON, or `None` on a structural mismatch.
+    fn from_json(v: &Value) -> Option<Self>;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(v.clone())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_f64()
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_f64().map(|x| x as f32)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(v: &Value) -> Option<Self> {
+        let x = v.as_f64()?;
+        (x >= 0.0 && x.fract() == 0.0).then_some(x as usize)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<V: ToJson> ToJson for HashMap<String, V> {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        // deterministic output regardless of hash order
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        for k in keys {
+            m.insert(k.clone(), self[k].to_json());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: FromJson> FromJson for HashMap<String, V> {
+    fn from_json(v: &Value) -> Option<Self> {
+        let obj = v.as_object()?;
+        obj.iter()
+            .map(|(k, v)| V::from_json(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_json());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: FromJson> FromJson for BTreeMap<String, V> {
+    fn from_json(v: &Value) -> Option<Self> {
+        let obj = v.as_object()?;
+        obj.iter()
+            .map(|(k, v)| V::from_json(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: ToJson>(value: &T) -> Result<String, Error> {
+    Ok(print::print(&value.to_json(), None))
+}
+
+/// Serialize to an indented JSON string.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
+    Ok(print::print(&value.to_json(), Some(0)))
+}
+
+/// Parse a JSON document.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    T::from_json(&v).ok_or_else(|| Error("type mismatch".to_string()))
+}
+
+/// Build a [`Value`] with JSON-like syntax: `json!({"k": expr, "a": [1, 2]})`.
+///
+/// The implementation is the standard token-munching scheme (as in upstream
+/// serde_json) so object/array values can be arbitrary Rust expressions.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => { $crate::json_internal!($($json)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- arrays: accumulate elements into [$($elems:expr,)*] ----
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr),*]) => { vec![$($elems),*] };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- objects: munch key tokens, then the value expression ----
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).to_string(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).to_string(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ---- entry points ----
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "n": 3,
+            "name": "x",
+            "flag": true,
+            "arr": [1.5, 2],
+            "nested": { "a": null },
+        });
+        assert_eq!(v["n"], 3);
+        assert_eq!(v["name"].as_str(), Some("x"));
+        assert_eq!(v["arr"].as_array().unwrap().len(), 2);
+        assert!(v["nested"]["a"].is_null());
+    }
+
+    #[test]
+    fn roundtrip_map_of_f64() {
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        m.insert("b".to_string(), -2.0);
+        let s = to_string(&m).unwrap();
+        let back: HashMap<String, f64> = from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn roundtrip_value_pretty() {
+        let v = json!({ "xs": [1, 2.5, -3], "s": "he\"llo\n", "b": false });
+        let s = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{ nope").is_err());
+        assert!(from_str::<Value>("[1, 2,,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Serialization to text.
+
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Render `v`; `indent = Some(level)` pretty-prints with two-space indents.
+pub fn print(v: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, indent);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n.0),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, ('[', ']'), write_value),
+        Value::Object(map) => write_seq(
+            out,
+            map.iter(),
+            indent,
+            ('{', '}'),
+            |out, (k, v), indent| {
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, T, Option<usize>),
+) {
+    out.push(open);
+    let n = items.len();
+    let inner = indent.map(|d| d + 1);
+    for (i, item) in items.enumerate() {
+        if let Some(d) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(d));
+        }
+        write_item(out, item, inner);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(d) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(d));
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Inf; emit null like serde_json's arbitrary
+        // precision mode would reject — callers only persist finite values.
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() < 9.0e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,298 @@
+//! Workspace maintenance tasks, invoked as `cargo xtask <command>`.
+//!
+//! `lint` — source-level policy checks the compiler can't express:
+//! `.unwrap()` and `panic!` are banned in library code. Rationale: every
+//! abort point in the library crates must either be impossible by
+//! construction (use `expect`/`assert!` with a message naming the
+//! invariant) or a `Result` the caller can handle. Exempt: `#[cfg(test)]`
+//! modules, `tests/`, `benches/`, `examples/`, binary targets under
+//! `src/bin/`, and lines waived with an explicit
+//! `lint: allow(unwrap|panic) — reason` comment on the same or preceding
+//! line.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\ncommands:\n  lint    ban unwrap()/panic! in library code"
+    );
+}
+
+/// A single policy violation.
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    what: &'static str,
+    text: String,
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    // Library source only: each crate's src/ tree plus the root facade.
+    for dir in crate_src_dirs(&root) {
+        collect_rs(&dir, &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        if is_exempt_path(file) {
+            continue;
+        }
+        scanned += 1;
+        match std::fs::read_to_string(file) {
+            Ok(src) => scan_source(file, &src, &mut findings),
+            Err(e) => {
+                eprintln!("error: read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: {scanned} library file(s) clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!(
+                "{}:{}: banned `{}` in library code: {}",
+                f.file.display(),
+                f.line,
+                f.what,
+                f.text.trim()
+            );
+        }
+        println!(
+            "xtask lint: {} violation(s) in {} file(s) scanned",
+            findings.len(),
+            scanned
+        );
+        println!("fix by returning Result, using expect/assert! with an invariant message,");
+        println!("or waiving the line with `// lint: allow(unwrap) — reason`");
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: xtask is always launched by cargo with the
+/// manifest dir set, and lives one level below the root.
+fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    Path::new(&manifest)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// `src/` directories of library crates: `crates/*/src` and the root
+/// facade's `src`. `xtask` itself and `vendor/` are not library code.
+fn crate_src_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let src = e.path().join("src");
+            if src.is_dir() {
+                dirs.push(src);
+            }
+        }
+    }
+    dirs
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Binary targets are CLI code, not library surface.
+fn is_exempt_path(p: &Path) -> bool {
+    p.components().any(|c| {
+        let c = c.as_os_str();
+        c == "bin" || c == "tests" || c == "benches" || c == "examples"
+    })
+}
+
+fn scan_source(file: &Path, src: &str, findings: &mut Vec<Finding>) {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut in_test_mod = false;
+    // Brace depth inside a #[cfg(test)] item; meaningful only while inside.
+    let mut test_depth = 0i64;
+    let mut pending_test_attr = false;
+    let mut prev_waiver = false;
+
+    for (i, raw) in lines.iter().enumerate() {
+        let line = strip_comments_and_strings(raw);
+        let trimmed = raw.trim_start();
+
+        // Track #[cfg(test)] items (the attribute may sit lines above the
+        // opening brace).
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        if pending_test_attr && !in_test_mod && line.contains('{') {
+            in_test_mod = true;
+            test_depth = 0;
+            pending_test_attr = false;
+        }
+        if in_test_mod {
+            test_depth += brace_delta(&line);
+            if test_depth <= 0 {
+                in_test_mod = false;
+            }
+            prev_waiver = false;
+            continue;
+        }
+
+        // Doc comments hold example code compiled as tests.
+        let is_doc = trimmed.starts_with("///") || trimmed.starts_with("//!");
+        let waived = prev_waiver || has_waiver(raw);
+        // Only a comment-only waiver line covers the line after it.
+        prev_waiver = has_waiver(raw) && trimmed.starts_with("//");
+        if is_doc || waived {
+            continue;
+        }
+
+        for (needle, what) in [(".unwrap()", ".unwrap()"), ("panic!", "panic!")] {
+            if line.contains(needle) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    what,
+                    text: (*raw).to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `lint: allow(unwrap)` / `lint: allow(panic)` comment waiver.
+fn has_waiver(raw: &str) -> bool {
+    raw.contains("lint: allow(unwrap)") || raw.contains("lint: allow(panic)")
+}
+
+/// Remove `//` comments and the contents of string literals so banned
+/// tokens inside them don't count. Char literals and raw strings are rare
+/// enough in this workspace that the simple state machine suffices.
+fn strip_comments_and_strings(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn brace_delta(stripped: &str) -> i64 {
+    let mut d = 0i64;
+    for c in stripped.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<(usize, &'static str)> {
+        let mut f = Vec::new();
+        scan_source(Path::new("t.rs"), src, &mut f);
+        f.into_iter().map(|x| (x.line, x.what)).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_panic_in_library_code() {
+        let src = "fn f() {\n    let x = y.unwrap();\n    panic!(\"boom\");\n}\n";
+        assert_eq!(scan(src), vec![(2, ".unwrap()"), (3, "panic!")]);
+    }
+
+    #[test]
+    fn ignores_test_modules_docs_comments_and_strings() {
+        let src = concat!(
+            "/// let v = o.unwrap();\n",
+            "fn f() {\n",
+            "    // a comment: x.unwrap()\n",
+            "    let s = \"panic! inside a string\";\n",
+            "    let _ = s;\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn g() {\n",
+            "        h().unwrap();\n",
+            "    }\n",
+            "}\n",
+        );
+        assert_eq!(scan(src), vec![]);
+    }
+
+    #[test]
+    fn waiver_exempts_same_or_next_line() {
+        let src = concat!(
+            "fn f() {\n",
+            "    // lint: allow(panic) — documented contract\n",
+            "    panic!(\"rank\");\n",
+            "    x.unwrap(); // lint: allow(unwrap) — reason\n",
+            "    y.unwrap();\n",
+            "}\n",
+        );
+        assert_eq!(scan(src), vec![(5, ".unwrap()")]);
+    }
+
+    #[test]
+    fn code_resumes_after_test_module_closes() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn g() { h().unwrap(); }\n",
+            "}\n",
+            "fn f() { i().unwrap(); }\n",
+        );
+        assert_eq!(scan(src), vec![(5, ".unwrap()")]);
+    }
+}
