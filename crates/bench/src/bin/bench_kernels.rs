@@ -1,0 +1,158 @@
+//! Kernel perf baseline: times the blocked matmul kernels on the matmul
+//! shapes recorded from real model forward passes (same shape discovery as
+//! `benches/kernels.rs`) and writes `BENCH_kernels.json` at the repo root,
+//! so the perf trajectory is tracked in-tree from PR to PR.
+//!
+//! Usage: `cargo run --release -p harp-bench --bin bench_kernels [out.json]`
+//! Worker counts beyond 1 come from `HARP_THREADS` (default: available
+//! parallelism).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use harp_bench::zoo;
+use harp_core::Instance;
+use harp_paths::TunnelSet;
+use harp_runtime::Runtime;
+use harp_tensor::{kernels, Op, Tape};
+use harp_traffic::{gravity_series, GravityConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn geant_instance() -> Instance {
+    let topo = harp_datasets::geant();
+    let edge_nodes: Vec<usize> = (0..topo.num_nodes()).collect();
+    let tunnels = TunnelSet::k_shortest(&topo, &edge_nodes, 8, 0.0);
+    let mut cfg = GravityConfig::uniform(topo.num_nodes(), 1.0);
+    cfg.edge_nodes = edge_nodes;
+    let mut rng = StdRng::seed_from_u64(7);
+    let tm = gravity_series(&cfg, &mut rng, 1).remove(0);
+    Instance::compile(&topo, &tunnels, &tm)
+}
+
+fn recorded_matmul_shapes(inst: &Instance) -> Vec<(usize, usize, usize)> {
+    let mut shapes = BTreeSet::new();
+    for scheme in [
+        zoo::Scheme::Harp { rau_iters: 7 },
+        zoo::Scheme::Dote,
+        zoo::Scheme::Teal {
+            tunnels_per_flow: 8,
+        },
+    ] {
+        let (model, store) = zoo::build_model(scheme, inst, 3);
+        let mut tape = Tape::new();
+        let _ = model.forward(&mut tape, &store, inst);
+        for node in tape.nodes() {
+            match node.op {
+                Op::MatMul(a, _) => {
+                    let (m, k) = tape.shape(*a).as_matrix();
+                    let (_, n) = node.shape.as_matrix();
+                    shapes.insert((m, k, n));
+                }
+                Op::BatchMatMul(a, _) => {
+                    let (b, m, k) = tape.shape(*a).as_batched();
+                    let (_, _, n) = node.shape.as_batched();
+                    shapes.insert((b * m, k, n));
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut v: Vec<(usize, usize, usize)> = shapes.into_iter().collect();
+    v.sort_by_key(|&(m, k, n)| std::cmp::Reverse(m * k * n));
+    v.truncate(8);
+    v
+}
+
+fn test_matrix(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Median wall-clock nanoseconds per call over `reps` calls.
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
+    // warm-up
+    f();
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let inst = geant_instance();
+    let shapes = recorded_matmul_shapes(&inst);
+    let global = Runtime::global();
+    println!(
+        "bench_kernels: {} recorded shapes, global pool = {} workers",
+        shapes.len(),
+        global.workers()
+    );
+
+    let reps = 15;
+    let mut rows = Vec::new();
+    for &(m, k, n) in &shapes {
+        let a = test_matrix(m * k, 11);
+        let b = test_matrix(k * n, 12);
+        let dy = test_matrix(m * n, 13);
+        let w = test_matrix(k * n, 14);
+
+        let serial_ns = time_ns(reps, || {
+            std::hint::black_box(kernels::matmul_with(Runtime::serial(), &a, &b, m, k, n));
+        });
+        let par_ns = time_ns(reps, || {
+            std::hint::black_box(kernels::matmul_with(global, &a, &b, m, k, n));
+        });
+        let at_b_ns = time_ns(reps, || {
+            let mut dw = vec![0.0f32; k * n];
+            kernels::matmul_at_b(&a, &dy, m, k, n, &mut dw);
+            std::hint::black_box(dw);
+        });
+        let a_bt_ns = time_ns(reps, || {
+            let mut dx = vec![0.0f32; m * k];
+            kernels::matmul_a_bt(&dy, &w, m, n, k, &mut dx);
+            std::hint::black_box(dx);
+        });
+        println!(
+            "  {m:>5}x{k:<4}x{n:<4}  serial {serial_ns:>10}ns  pool({}) {par_ns:>10}ns  \
+             at_b {at_b_ns:>10}ns  a_bt {a_bt_ns:>10}ns",
+            global.workers()
+        );
+        rows.push(serde_json::json!({
+            "m": m, "k": k, "n": n,
+            "matmul_serial_ns": serial_ns,
+            "matmul_pool_ns": par_ns,
+            "pool_workers": global.workers(),
+            "matmul_at_b_ns": at_b_ns,
+            "matmul_a_bt_ns": a_bt_ns,
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "suite": "blocked matmul kernels on shapes recorded from HARP/DOTE/TEAL forward tapes (GEANT, 8 tunnels/flow)",
+        "host_cpus": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "pool_workers": global.workers(),
+        "timing": "median of 15 reps, ns/call",
+        "shapes": rows,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize bench report");
+    if let Err(e) = std::fs::write(&out_path, text) {
+        eprintln!("error: write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("[results -> {out_path}]");
+}

@@ -4,6 +4,7 @@
 
 use harp_bench::{cli::Ctx, data, report, zoo};
 use harp_core::{evaluate_model, norm_mlu, Instance};
+use harp_runtime::Runtime;
 
 fn main() {
     let ctx = Ctx::from_args();
@@ -45,14 +46,11 @@ fn main() {
             val,
             zoo::train_config(&ctx),
         );
-        let nms: Vec<f64> = test
-            .iter()
-            .map(|(inst, o)| {
-                let (mlu, _) =
-                    evaluate_model(zm.as_model(), &zm.store, inst, scheme.eval_options());
-                norm_mlu(mlu, *o)
-            })
-            .collect();
+        // pure per-snapshot sweep: fan out across HARP_THREADS workers
+        let nms: Vec<f64> = Runtime::global().par_map(test, |_, (inst, o)| {
+            let (mlu, _) = evaluate_model(zm.as_model(), &zm.store, inst, scheme.eval_options());
+            norm_mlu(mlu, *o)
+        });
         report::normmlu_summary(zm.model.name(), &nms);
         out.insert(
             scheme.label(),

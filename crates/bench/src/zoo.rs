@@ -111,6 +111,7 @@ pub fn train_config(ctx: &Ctx) -> TrainConfig {
         clip_norm: 5.0,
         seed: 17,
         patience: if ctx.quick { 6 } else { 10 },
+        workers: 0, // resolve HARP_THREADS / available parallelism
     }
 }
 

@@ -48,7 +48,12 @@ use harp_tensor::{ParamStore, Tape, Var};
 /// A TE scheme that maps a compiled [`Instance`] to per-tunnel split
 /// ratios (a rank-1 tensor of length `instance.num_tunnels`, already
 /// normalized per flow by a segment softmax).
-pub trait SplitModel {
+///
+/// `Sync` is a supertrait so that training and evaluation can fan
+/// per-snapshot forward/backward passes out across the `harp-runtime`
+/// worker pool; models hold only parameter handles and configuration, so
+/// this costs implementors nothing.
+pub trait SplitModel: Sync {
     /// Record the forward pass on `tape` and return the splits node.
     fn forward(&self, tape: &mut Tape, store: &ParamStore, instance: &Instance) -> Var;
 

@@ -7,6 +7,7 @@
 //! objective across heterogeneous snapshots).
 
 use harp_nn::{clip_grad_norm, Adam, AdamConfig};
+use harp_runtime::Runtime;
 use harp_tensor::{ParamStore, Tape};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
@@ -31,6 +32,13 @@ pub struct TrainConfig {
     /// Stop after this many epochs without validation improvement
     /// (0 disables early stopping).
     pub patience: usize,
+    /// Worker threads for per-snapshot forward/backward and validation
+    /// fan-out. `0` resolves [`Runtime::global`] (the `HARP_THREADS`
+    /// environment knob / available parallelism). Results are
+    /// bitwise-reproducible for a fixed worker count and match across
+    /// worker counts to floating-point-reduction tolerance (see DESIGN.md
+    /// §"Runtime layer").
+    pub workers: usize,
 }
 
 impl Default for TrainConfig {
@@ -42,6 +50,18 @@ impl Default for TrainConfig {
             clip_norm: 5.0,
             seed: 17,
             patience: 8,
+            workers: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The worker pool this config resolves to.
+    pub fn runtime(&self) -> Runtime {
+        if self.workers == 0 {
+            Runtime::global()
+        } else {
+            Runtime::new(self.workers)
         }
     }
 }
@@ -75,6 +95,13 @@ pub struct TrainReport {
 /// `harp-opt`); training losses are normalized by it and validation uses
 /// NormMLU. `val_opts` controls rescaling at validation (match how the
 /// scheme will be evaluated).
+///
+/// Per-snapshot forward/backward passes within a mini-batch (and the
+/// validation sweep) run data-parallel across [`TrainConfig::workers`]
+/// threads. Per-worker gradients accumulate in detached buffers and merge
+/// in a fixed-order tree, so a run is bitwise-reproducible for a given
+/// worker count; different worker counts differ only by floating-point
+/// reduction order (verified to tolerance in tests).
 pub fn train_model(
     model: &dyn SplitModel,
     store: &mut ParamStore,
@@ -96,27 +123,53 @@ pub fn train_model(
     let mut best_params = store.snapshot();
     let mut since_best = 0usize;
 
+    let rt = cfg.runtime();
     let mut order: Vec<usize> = (0..train.len()).collect();
     for epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             store.zero_grads();
-            for &i in chunk {
-                let (inst, opt_mlu) = &train[i];
-                let mut tape = Tape::new();
-                let splits = model.forward(&mut tape, store, inst);
-                let mlu = mlu_loss(&mut tape, splits, inst);
-                // normalize: loss = MLU / optimal, averaged over the batch
-                let norm = if *opt_mlu > 0.0 {
-                    (1.0 / opt_mlu) as f32
-                } else {
-                    1.0
-                };
-                let loss = tape.mul_scalar(mlu, norm / chunk.len() as f32);
-                epoch_loss +=
-                    tape.scalar_value(loss) as f64 * chunk.len() as f64 / train.len() as f64;
-                tape.backward(loss, store);
+            let chunk_len = chunk.len();
+            // Fan the batch out: each worker takes a contiguous block of
+            // the chunk, accumulates into its own detached gradient buffer
+            // (the store is shared read-only for forward passes), and the
+            // per-worker buffers merge in a fixed-order tree so the step is
+            // bitwise-reproducible for a given worker count.
+            let partials = rt.par_chunks(chunk, |_, _, ids| {
+                let mut grads = store.grad_buffer();
+                let mut loss_sum = 0.0f64;
+                for &i in ids {
+                    let (inst, opt_mlu) = &train[i];
+                    let mut tape = Tape::new();
+                    let splits = model.forward(&mut tape, store, inst);
+                    let mlu = mlu_loss(&mut tape, splits, inst);
+                    // normalize: loss = MLU / optimal, averaged over the batch
+                    let norm = if *opt_mlu > 0.0 {
+                        (1.0 / opt_mlu) as f32
+                    } else {
+                        1.0
+                    };
+                    let loss = tape.mul_scalar(mlu, norm / chunk_len as f32);
+                    loss_sum += tape.scalar_value(loss) as f64;
+                    tape.backward_into(loss, &mut grads);
+                }
+                (grads, loss_sum)
+            });
+            let mut loss_sums = Vec::with_capacity(partials.len());
+            let grads: Vec<_> = partials
+                .into_iter()
+                .map(|(g, l)| {
+                    loss_sums.push(l);
+                    g
+                })
+                .collect();
+            epoch_loss += loss_sums.iter().sum::<f64>() * chunk_len as f64 / train.len() as f64;
+            if let Some(total) = Runtime::tree_reduce(grads, |mut a, b| {
+                a.accumulate(&b);
+                a
+            }) {
+                store.merge_grads(&total);
             }
             if cfg.clip_norm > 0.0 {
                 clip_grad_norm(store, cfg.clip_norm);
@@ -124,16 +177,15 @@ pub fn train_model(
             opt.step_and_zero(store);
         }
 
-        // validation
+        // validation (pure per-snapshot map, summed in snapshot order)
         let val_score = if val.is_empty() {
             epoch_loss
         } else {
-            let mut sum = 0.0;
-            for (inst, opt_mlu) in val {
+            let scores = rt.par_map(val, |_, (inst, opt_mlu)| {
                 let (mlu, _) = evaluate_model(model, store, inst, val_opts);
-                sum += norm_mlu(mlu, *opt_mlu);
-            }
-            sum / val.len() as f64
+                norm_mlu(mlu, *opt_mlu)
+            });
+            scores.iter().sum::<f64>() / val.len() as f64
         };
         history.push(EpochStats {
             epoch,
@@ -273,6 +325,106 @@ mod tests {
         }
         post /= val_refs.len() as f64;
         assert!((post - report.best_val).abs() < 1e-9);
+    }
+
+    /// Train HARP on a small zoo-style diamond topology with the given
+    /// worker count and return the full report (fresh store/model/data each
+    /// call so runs are independent).
+    fn train_with_workers(workers: usize) -> TrainReport {
+        let (topo, tunnels) = diamond();
+        let mut rng = StdRng::seed_from_u64(5);
+        let oracle = MluOracle::default();
+        let make = |rng: &mut StdRng| {
+            let mut tm = TrafficMatrix::zeros(4);
+            tm.set_demand(0, 3, rng.gen_range(5.0..15.0));
+            tm.set_demand(3, 0, rng.gen_range(2.0..8.0));
+            let inst = Instance::compile(&topo, &tunnels, &tm);
+            let opt = oracle.solve(&inst.program).mlu;
+            (inst, opt)
+        };
+        let train_set: Vec<(Instance, f64)> = (0..9).map(|_| make(&mut rng)).collect();
+        let val_set: Vec<(Instance, f64)> = (0..3).map(|_| make(&mut rng)).collect();
+        let train_refs: Vec<(&Instance, f64)> = train_set.iter().map(|(i, o)| (i, *o)).collect();
+        let val_refs: Vec<(&Instance, f64)> = val_set.iter().map(|(i, o)| (i, *o)).collect();
+
+        let mut store = ParamStore::new();
+        let mut mrng = StdRng::seed_from_u64(1);
+        let cfg = HarpConfig {
+            gnn_layers: 2,
+            gnn_hidden: 4,
+            d_model: 8,
+            settrans_layers: 1,
+            heads: 1,
+            d_ff: 16,
+            mlp_hidden: 16,
+            rau_iters: 2,
+        };
+        let harp = Harp::new(&mut store, &mut mrng, cfg);
+        train_model(
+            &harp,
+            &mut store,
+            &train_refs,
+            &val_refs,
+            TrainConfig {
+                epochs: 6,
+                batch_size: 4,
+                lr: 5e-3,
+                workers,
+                ..Default::default()
+            },
+            EvalOptions::default(),
+        )
+    }
+
+    /// The paper-protocol determinism contract: fanning a batch across 2 or
+    /// 4 workers must reproduce the serial run's model selection exactly
+    /// and its scores to floating-point-reduction tolerance (1e-5 NormMLU).
+    #[test]
+    fn parallel_training_matches_serial_within_tolerance() {
+        let serial = train_with_workers(1);
+        for workers in [2, 4] {
+            let par = train_with_workers(workers);
+            assert_eq!(
+                par.best_epoch, serial.best_epoch,
+                "{workers} workers picked a different best epoch"
+            );
+            assert_eq!(par.history.len(), serial.history.len());
+            assert!(
+                (par.best_val - serial.best_val).abs() < 1e-5,
+                "{workers} workers: best val {} vs serial {}",
+                par.best_val,
+                serial.best_val
+            );
+            for (p, s) in par.history.iter().zip(&serial.history) {
+                assert!(
+                    (p.val_norm_mlu - s.val_norm_mlu).abs() < 1e-5,
+                    "{workers} workers: epoch {} val {} vs serial {}",
+                    p.epoch,
+                    p.val_norm_mlu,
+                    s.val_norm_mlu
+                );
+                assert!(
+                    (p.train_loss - s.train_loss).abs() < 1e-4,
+                    "{workers} workers: epoch {} train loss {} vs serial {}",
+                    p.epoch,
+                    p.train_loss,
+                    s.train_loss
+                );
+            }
+        }
+    }
+
+    /// Re-running with the same worker count is bitwise-reproducible.
+    #[test]
+    fn parallel_training_is_reproducible_per_worker_count() {
+        let a = train_with_workers(2);
+        let b = train_with_workers(2);
+        assert_eq!(a.best_epoch, b.best_epoch);
+        assert_eq!(a.best_val.to_bits(), b.best_val.to_bits());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.train_loss.to_bits(), y.train_loss.to_bits());
+            assert_eq!(x.val_norm_mlu.to_bits(), y.val_norm_mlu.to_bits());
+        }
     }
 
     #[test]

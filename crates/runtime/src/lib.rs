@@ -1,0 +1,389 @@
+//! # harp-runtime
+//!
+//! A small deterministic data-parallel executor for CPU-bound batch work,
+//! built on [`std::thread::scope`] (no external dependencies, no `unsafe`).
+//!
+//! HARP's training protocol is per-snapshot: every batch element builds its
+//! own tape, runs forward/backward, and only the final gradient merge
+//! touches shared state. The same shape recurs in evaluation sweeps and in
+//! row-partitioned dense kernels. This crate provides the one primitive all
+//! of those need: *split a known amount of work into contiguous blocks, run
+//! the blocks on a fixed number of workers, and recombine the results in a
+//! fixed order*.
+//!
+//! ## Determinism contract
+//!
+//! * [`Runtime::par_map`] / [`Runtime::par_chunks`] return results in item
+//!   (respectively chunk) order — never in thread-completion order.
+//! * Work is partitioned into contiguous blocks by [`partition`], a pure
+//!   function of `(items, workers)`. The same input and worker count always
+//!   produce the same per-worker assignment.
+//! * [`Runtime::tree_reduce`] combines per-worker partials pairwise in a
+//!   fixed left-to-right tree on the calling thread, so floating-point
+//!   merges are bitwise-reproducible for a given worker count.
+//!
+//! Together these make every parallel result a pure function of
+//! `(input, worker count)`: re-running with the same `HARP_THREADS` is
+//! bitwise-reproducible, and changing the worker count only reorders
+//! floating-point reductions (bounded drift, verified in tests downstream).
+//!
+//! ## Sizing `HARP_THREADS`
+//!
+//! [`Runtime::global`] reads the `HARP_THREADS` environment variable once
+//! (falling back to [`std::thread::available_parallelism`]). Physical cores
+//! are the right ceiling for the dense-float workloads here; oversubscribing
+//! only adds scheduling noise. Set `HARP_THREADS=1` to force every consumer
+//! back to the serial path.
+
+use std::sync::OnceLock;
+
+/// Contiguous block boundaries `(start, end)` splitting `n` items across
+/// `workers` blocks as evenly as possible (sizes differ by at most one,
+/// larger blocks first). Fewer than `workers` blocks are returned when
+/// there are fewer items than workers; zero-size blocks are never returned
+/// (except none at all for `n == 0`).
+pub fn partition(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    let w = workers.max(1).min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / w;
+    let rem = n % w;
+    let mut out = Vec::with_capacity(w);
+    let mut start = 0;
+    for b in 0..w {
+        let len = base + usize::from(b < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// A deterministic scoped-thread-pool executor: a worker count plus the
+/// partitioning policy described in the crate docs. Cheap to copy; threads
+/// are scoped per call, not persistent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Runtime {
+    workers: usize,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::global()
+    }
+}
+
+/// Worker count resolved once per process from `HARP_THREADS` /
+/// available parallelism.
+static GLOBAL_WORKERS: OnceLock<usize> = OnceLock::new();
+
+impl Runtime {
+    /// A runtime with exactly `workers` workers (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Runtime {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The single-worker runtime: every `par_*` call runs inline on the
+    /// calling thread.
+    pub fn serial() -> Self {
+        Runtime::new(1)
+    }
+
+    /// The process-wide runtime: worker count from the `HARP_THREADS`
+    /// environment variable if set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`]. Resolved once; later
+    /// changes to the environment do not affect it.
+    pub fn global() -> Self {
+        let workers = *GLOBAL_WORKERS.get_or_init(|| {
+            if let Ok(v) = std::env::var("HARP_THREADS") {
+                match v.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => return n,
+                    _ => eprintln!("harp-runtime: ignoring invalid HARP_THREADS={v:?}"),
+                }
+            }
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        });
+        Runtime::new(workers)
+    }
+
+    /// Number of workers this runtime fans out to.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Map `f` over `items` in parallel, returning results in item order.
+    ///
+    /// `f` receives the item's index and a reference to it. Items are
+    /// partitioned into at most [`Runtime::workers`] contiguous blocks; the
+    /// calling thread executes the first block while scoped workers execute
+    /// the rest. With one worker (or one item) this is exactly
+    /// `items.iter().enumerate().map(..).collect()`.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let map_block = |(lo, hi): (usize, usize)| -> Vec<R> {
+            items[lo..hi]
+                .iter()
+                .enumerate()
+                .map(|(j, t)| f(lo + j, t))
+                .collect()
+        };
+        let blocks = partition(items.len(), self.workers);
+        if blocks.len() <= 1 {
+            return blocks.into_iter().flat_map(map_block).collect();
+        }
+        let mut per_block: Vec<Vec<R>> = Vec::with_capacity(blocks.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = blocks[1..]
+                .iter()
+                .map(|&b| s.spawn(move || map_block(b)))
+                .collect();
+            per_block.push(map_block(blocks[0]));
+            for h in handles {
+                per_block.push(join_propagating(h));
+            }
+        });
+        per_block.into_iter().flatten().collect()
+    }
+
+    /// Run `f` once per contiguous chunk of `items` (one chunk per worker),
+    /// returning the per-chunk results in chunk order.
+    ///
+    /// `f` receives `(chunk_index, offset_of_first_item, chunk)`. This is
+    /// the right primitive when each worker should amortize per-worker
+    /// state (e.g. a private gradient accumulation buffer) across its whole
+    /// block instead of paying for it per item.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, usize, &[T]) -> R + Sync,
+    {
+        let blocks = partition(items.len(), self.workers);
+        if blocks.len() <= 1 {
+            return blocks
+                .into_iter()
+                .enumerate()
+                .map(|(ci, (lo, hi))| f(ci, lo, &items[lo..hi]))
+                .collect();
+        }
+        let fref = &f;
+        let mut per_chunk: Vec<R> = Vec::with_capacity(blocks.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = blocks[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| s.spawn(move || fref(i + 1, lo, &items[lo..hi])))
+                .collect();
+            let (lo0, hi0) = blocks[0];
+            per_chunk.push(f(0, lo0, &items[lo0..hi0]));
+            for h in handles {
+                per_chunk.push(join_propagating(h));
+            }
+        });
+        per_chunk
+    }
+
+    /// Split a mutable buffer of `rows * row_len` elements into contiguous
+    /// row blocks (one per worker) and run `f` on each block in parallel.
+    ///
+    /// `f` receives `(first_row_index, block)` where `block` covers whole
+    /// rows. Blocks are disjoint, so no synchronization is needed; each
+    /// output row is written by exactly one worker. This is the primitive
+    /// behind the row-partitioned matmul kernels: per-row arithmetic order
+    /// is unchanged by the split, so serial and parallel results are
+    /// bitwise identical.
+    pub fn par_row_blocks<E, F>(&self, data: &mut [E], row_len: usize, f: F)
+    where
+        E: Send,
+        F: Fn(usize, &mut [E]) + Sync,
+    {
+        assert!(row_len > 0, "par_row_blocks: zero row length");
+        assert_eq!(
+            data.len() % row_len,
+            0,
+            "par_row_blocks: buffer is not whole rows"
+        );
+        let rows = data.len() / row_len;
+        let blocks = partition(rows, self.workers);
+        if blocks.len() <= 1 {
+            if !data.is_empty() {
+                f(0, data);
+            }
+            return;
+        }
+        let fref = &f;
+        std::thread::scope(|s| {
+            let mut rest = data;
+            let mut handles = Vec::with_capacity(blocks.len() - 1);
+            // Peel blocks back-to-front so block 0 stays on the caller.
+            let mut split = Vec::with_capacity(blocks.len() - 1);
+            for &(lo, _) in blocks[1..].iter().rev() {
+                let (head, tail) = rest.split_at_mut(lo * row_len);
+                split.push((lo, tail));
+                rest = head;
+            }
+            for (lo, block) in split.into_iter().rev() {
+                handles.push(s.spawn(move || fref(lo, block)));
+            }
+            f(0, rest);
+            for h in handles {
+                join_propagating(h);
+            }
+        });
+    }
+
+    /// Combine `partials` pairwise in a fixed left-to-right tree:
+    /// `(p0⊕p1) ⊕ (p2⊕p3) ⊕ ...`, repeated until one value remains.
+    ///
+    /// Runs on the calling thread; the combination order is a pure function
+    /// of `partials.len()`, which is what makes floating-point merges of
+    /// per-worker results bitwise-reproducible for a given worker count.
+    /// Returns `None` for an empty input.
+    pub fn tree_reduce<R>(mut partials: Vec<R>, mut combine: impl FnMut(R, R) -> R) -> Option<R> {
+        if partials.is_empty() {
+            return None;
+        }
+        while partials.len() > 1 {
+            let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+            let mut it = partials.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(combine(a, b)),
+                    None => next.push(a),
+                }
+            }
+            partials = next;
+        }
+        partials.pop()
+    }
+}
+
+/// Join a scoped worker, re-raising its panic on the calling thread so
+/// parallel sections fail exactly like their serial equivalents.
+fn join_propagating<'a, R>(h: std::thread::ScopedJoinHandle<'a, R>) -> R {
+    match h.join() {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_contiguously() {
+        for n in 0..50 {
+            for w in 1..10 {
+                let blocks = partition(n, w);
+                let mut next = 0;
+                for &(lo, hi) in &blocks {
+                    assert_eq!(lo, next, "n={n} w={w}");
+                    assert!(hi > lo, "empty block for n={n} w={w}");
+                    next = hi;
+                }
+                assert_eq!(next, n, "n={n} w={w}");
+                if n > 0 {
+                    assert_eq!(blocks.len(), w.min(n));
+                    let sizes: Vec<usize> = blocks.iter().map(|(l, h)| h - l).collect();
+                    let (mn, mx) = (sizes.iter().min(), sizes.iter().max());
+                    assert!(mx.and_then(|m| mn.map(|n| m - n)) <= Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for w in [1, 2, 3, 4, 7, 128] {
+            let rt = Runtime::new(w);
+            let out = rt.par_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            let expect: Vec<usize> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(out, expect, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let rt = Runtime::new(4);
+        let empty: Vec<u32> = vec![];
+        assert_eq!(rt.par_map(&empty, |_, &x| x), Vec::<u32>::new());
+        assert_eq!(rt.par_map(&[9u32], |i, &x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn par_chunks_sees_every_item_once() {
+        let items: Vec<u64> = (0..37).collect();
+        for w in [1, 2, 4, 5] {
+            let rt = Runtime::new(w);
+            let partial = rt.par_chunks(&items, |ci, off, chunk| {
+                assert_eq!(chunk[0], off as u64, "chunk {ci} offset");
+                chunk.iter().sum::<u64>()
+            });
+            assert_eq!(partial.len(), w.min(items.len()));
+            let total = Runtime::tree_reduce(partial, |a, b| a + b);
+            assert_eq!(total, Some(items.iter().sum()));
+        }
+    }
+
+    #[test]
+    fn par_row_blocks_writes_every_row_once() {
+        let rows = 13;
+        let row_len = 5;
+        for w in [1, 2, 3, 4, 32] {
+            let rt = Runtime::new(w);
+            let mut data = vec![0.0f32; rows * row_len];
+            rt.par_row_blocks(&mut data, row_len, |first_row, block| {
+                for (r, row) in block.chunks_exact_mut(row_len).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (first_row + r) as f32;
+                    }
+                }
+            });
+            for r in 0..rows {
+                for j in 0..row_len {
+                    assert_eq!(data[r * row_len + j], r as f32, "w={w} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reduce_is_fixed_order() {
+        // Non-associative combine: record the association structure.
+        let parts: Vec<String> = (0..5).map(|i| i.to_string()).collect();
+        let combined = Runtime::tree_reduce(parts, |a, b| format!("({a}{b})"));
+        assert_eq!(combined.as_deref(), Some("(((01)(23))4)"));
+        assert_eq!(Runtime::tree_reduce(Vec::<u32>::new(), |a, _| a), None);
+        assert_eq!(Runtime::tree_reduce(vec![7], |a, b| a + b), Some(7));
+    }
+
+    #[test]
+    fn worker_count_clamps_to_one() {
+        assert_eq!(Runtime::new(0).workers(), 1);
+        assert_eq!(Runtime::serial().workers(), 1);
+    }
+
+    #[test]
+    fn par_map_propagates_worker_panics() {
+        let rt = Runtime::new(4);
+        let items: Vec<usize> = (0..16).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.par_map(&items, |i, _| {
+                assert!(i != 11, "boom at 11");
+                i
+            })
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -3,65 +3,202 @@
 //! All kernels operate on plain `&[f32]` slices in row-major layout. They are
 //! public so that non-autodiff code (e.g. the LP solvers' dense algebra or
 //! inference-only paths) can reuse them.
+//!
+//! ## Blocking and parallelism
+//!
+//! The three matmul variants are cache-blocked (k- and n-blocks sized so the
+//! active `b` panel and `c` row segments stay in L1) and split **rows of the
+//! output** across a [`harp_runtime::Runtime`] when the work is large enough
+//! to amortize scoped-thread spawns. Each output row is computed entirely by
+//! one worker with the same inner accumulation order as the serial path
+//! (k-index increasing for products, sample-index increasing for gradient
+//! reductions), so serial and parallel outputs are **bitwise identical** for
+//! every worker count — verified by property tests below.
+//!
+//! The convenience entry points ([`matmul`], [`matmul_at_b`],
+//! [`matmul_a_bt`]) consult [`Runtime::global`] (the `HARP_THREADS`
+//! environment knob) above a size threshold; the `*_with` variants honor an
+//! explicit runtime unconditionally, which tests and benchmarks use to pin
+//! the worker count.
 
-/// `c = a[m,k] * b[k,n]` (row-major, accumulating into a fresh buffer).
+use harp_runtime::Runtime;
+
+/// Rows of the shared `b` panel kept hot across an output-row strip.
+const KB: usize = 32;
+/// Output-column block: one `c` row segment plus the matching `b` panel
+/// columns (`KB * NB * 4` bytes ≈ 16 KiB) fit comfortably in L1.
+const NB: usize = 128;
+/// Output rows handled per micro-kernel strip (shares each `b` row load
+/// across this many output rows).
+const MR: usize = 4;
+/// Minimum multiply-accumulate count before the convenience entry points
+/// fan rows out across [`Runtime::global`]; below this, scoped-thread spawn
+/// overhead (tens of microseconds) exceeds the win.
+const PAR_MIN_MACS: usize = 1 << 21;
+
+/// Worker fan-out for `macs` multiply-accumulates: the global runtime above
+/// the threshold, serial below it.
+fn auto_runtime(macs: usize) -> Runtime {
+    if macs >= PAR_MIN_MACS {
+        Runtime::global()
+    } else {
+        Runtime::serial()
+    }
+}
+
+/// `c = a[m,k] * b[k,n]` (row-major, into a fresh buffer), parallelized over
+/// rows of `c` via [`Runtime::global`] when large enough.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    matmul_with(auto_runtime(m * k * n), a, b, m, k, n)
+}
+
+/// [`matmul`] with an explicit worker pool (always honored; use
+/// [`Runtime::serial`] to force the single-threaded path).
+pub fn matmul_with(rt: Runtime, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "matmul: lhs size");
     assert_eq!(b.len(), k * n, "matmul: rhs size");
     let mut c = vec![0.0f32; m * n];
-    // ikj loop order: streams through b and c rows, good cache behaviour.
-    for i in 0..m {
-        let crow = &mut c[i * n..(i + 1) * n];
-        for kk in 0..k {
-            let aik = a[i * k + kk];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (cj, bj) in crow.iter_mut().zip(brow) {
-                *cj += aik * bj;
-            }
-        }
+    if m == 0 || n == 0 || k == 0 {
+        return c;
     }
+    rt.par_row_blocks(&mut c, n, |row0, block| {
+        matmul_rows(a, b, k, n, row0, block)
+    });
     c
 }
 
-/// `c += a^T[k,m]^T... ` — accumulate `a[m,k]^T * b[m,n]` into `out[k,n]`.
-/// Used for weight gradients: `dW = x^T * dy`.
-pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    assert_eq!(out.len(), k * n, "matmul_at_b: out size");
-    for i in 0..m {
-        for kk in 0..k {
-            let aik = a[i * k + kk];
-            if aik == 0.0 {
-                continue;
+/// Blocked ikj kernel for output rows `[row0, row0 + block.len()/n)`.
+///
+/// Accumulation order per `c` element is `kk = 0..k` increasing regardless
+/// of blocking or row partition — the bitwise-determinism invariant.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, block: &mut [f32]) {
+    let rows = block.len() / n;
+    let mut sr = 0;
+    while sr < rows {
+        let strip_rows = MR.min(rows - sr);
+        let strip = &mut block[sr * n..(sr + strip_rows) * n];
+        let mut kb = 0;
+        while kb < k {
+            let kend = (kb + KB).min(k);
+            let mut jb = 0;
+            while jb < n {
+                let jend = (jb + NB).min(n);
+                for r in 0..strip_rows {
+                    let arow = &a[(row0 + sr + r) * k..(row0 + sr + r + 1) * k];
+                    let crow = &mut strip[r * n + jb..r * n + jend];
+                    for kk in kb..kend {
+                        let aik = arow[kk];
+                        let brow = &b[kk * n + jb..kk * n + jend];
+                        for (cj, bj) in crow.iter_mut().zip(brow) {
+                            *cj += aik * bj;
+                        }
+                    }
+                }
+                jb = jend;
             }
-            let brow = &b[i * n..(i + 1) * n];
-            let orow = &mut out[kk * n..(kk + 1) * n];
-            for (oj, bj) in orow.iter_mut().zip(brow) {
-                *oj += aik * bj;
-            }
+            kb = kend;
         }
+        sr += strip_rows;
     }
 }
 
-/// Accumulate `a[m,k] * b[k,n]^T`→ wait: computes `a[m,n] * b[k,n]^T` i.e.
-/// `out[m,k] += a * b^T` where `a` is `[m,n]` and `b` is `[k,n]`.
-/// Used for input gradients: `dx = dy * W^T`.
+/// Accumulate `a[m,k]^T * b[m,n]` into `out[k,n]` (i.e. `out += a^T * b`),
+/// parallelized over rows of `out` via [`Runtime::global`] when large
+/// enough. Used for weight gradients: `dW = x^T * dy`.
+pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    matmul_at_b_with(auto_runtime(m * k * n), a, b, m, k, n, out);
+}
+
+/// [`matmul_at_b`] with an explicit worker pool (always honored).
+pub fn matmul_at_b_with(
+    rt: Runtime,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "matmul_at_b: lhs size");
+    assert_eq!(b.len(), m * n, "matmul_at_b: rhs size");
+    assert_eq!(out.len(), k * n, "matmul_at_b: out size");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    rt.par_row_blocks(out, n, |kk0, block| at_b_rows(a, b, m, k, n, kk0, block));
+}
+
+/// Gradient-reduction kernel for `out` rows `[kk0, kk0 + block.len()/n)`:
+/// `out[kk] += sum_i a[i,kk] * b[i]`, with the sample index `i` blocked for
+/// `b`-panel reuse but always increasing per element.
+fn at_b_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, kk0: usize, block: &mut [f32]) {
+    let krows = block.len() / n;
+    let mut ib = 0;
+    while ib < m {
+        let iend = (ib + KB).min(m);
+        for r in 0..krows {
+            let kk = kk0 + r;
+            let orow = &mut block[r * n..(r + 1) * n];
+            for i in ib..iend {
+                let aik = a[i * k + kk];
+                let brow = &b[i * n..(i + 1) * n];
+                for (oj, bj) in orow.iter_mut().zip(brow) {
+                    *oj += aik * bj;
+                }
+            }
+        }
+        ib = iend;
+    }
+}
+
+/// Accumulate `out[m,k] += a[m,n] * b[k,n]^T` (i.e. `out += a * b^T`, where
+/// `a` is `[m,n]` and `b` is `[k,n]`, both row-major), parallelized over
+/// rows of `out` via [`Runtime::global`] when large enough. Used for input
+/// gradients: `dx = dy * W^T`.
 pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, out: &mut [f32]) {
+    matmul_a_bt_with(auto_runtime(m * n * k), a, b, m, n, k, out);
+}
+
+/// [`matmul_a_bt`] with an explicit worker pool (always honored).
+pub fn matmul_a_bt_with(
+    rt: Runtime,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
     assert_eq!(a.len(), m * n, "matmul_a_bt: lhs size");
     assert_eq!(b.len(), k * n, "matmul_a_bt: rhs size");
     assert_eq!(out.len(), m * k, "matmul_a_bt: out size");
-    for i in 0..m {
-        let arow = &a[i * n..(i + 1) * n];
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    rt.par_row_blocks(out, k, |i0, block| a_bt_rows(a, b, n, k, i0, block));
+}
+
+/// Dot-product kernel for `out` rows `[i0, i0 + block.len()/k)`: each
+/// element is a full-length dot of an `a` row with a `b` row (j increasing),
+/// strips of [`MR`] `a` rows sharing each `b` row load.
+fn a_bt_rows(a: &[f32], b: &[f32], n: usize, k: usize, i0: usize, block: &mut [f32]) {
+    let rows = block.len() / k;
+    let mut sr = 0;
+    while sr < rows {
+        let strip_rows = MR.min(rows - sr);
+        let strip = &mut block[sr * k..(sr + strip_rows) * k];
         for kk in 0..k {
             let brow = &b[kk * n..(kk + 1) * n];
-            let mut acc = 0.0f32;
-            for (aj, bj) in arow.iter().zip(brow) {
-                acc += aj * bj;
+            for r in 0..strip_rows {
+                let arow = &a[(i0 + sr + r) * n..(i0 + sr + r + 1) * n];
+                let mut acc = 0.0f32;
+                for (aj, bj) in arow.iter().zip(brow) {
+                    acc += aj * bj;
+                }
+                strip[r * k + kk] += acc;
             }
-            out[i * k + kk] += acc;
         }
+        sr += strip_rows;
     }
 }
 
@@ -138,6 +275,7 @@ pub fn softmax_backward_row(y: &[f32], dy: &[f32], dx: &mut [f32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn matmul_basic() {
@@ -173,6 +311,100 @@ mod tests {
         let bt = transpose(&b, 3, 2);
         let expect = matmul(&a, &bt, 2, 2, 3);
         assert_eq!(out, expect);
+    }
+
+    /// Pseudo-random but deterministic test matrix (no RNG dependency).
+    fn test_matrix(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Bitwise determinism: every worker count produces exactly the
+        /// serial result for all three kernels (dimensions chosen to span
+        /// multiple blocks and uneven strips/partitions).
+        #[test]
+        fn parallel_kernels_bitwise_equal_serial(
+            m in 1usize..40,
+            k in 1usize..70,
+            n in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let a = test_matrix(m * k, seed);
+            let b = test_matrix(k * n, seed.wrapping_add(1));
+            let serial = matmul_with(Runtime::serial(), &a, &b, m, k, n);
+            for w in [2, 3, 4, 7] {
+                let par = matmul_with(Runtime::new(w), &a, &b, m, k, n);
+                prop_assert_eq!(&par, &serial);
+            }
+
+            // at_b: a is [m2,k2] = [k, m], b is [k, n] -> out [m, n]
+            let a2 = test_matrix(k * m, seed.wrapping_add(2));
+            let b2 = test_matrix(k * n, seed.wrapping_add(3));
+            let mut serial2 = test_matrix(m * n, seed.wrapping_add(4));
+            let init2 = serial2.clone();
+            matmul_at_b_with(Runtime::serial(), &a2, &b2, k, m, n, &mut serial2);
+            for w in [2, 3, 4] {
+                let mut par = init2.clone();
+                matmul_at_b_with(Runtime::new(w), &a2, &b2, k, m, n, &mut par);
+                prop_assert_eq!(&par, &serial2);
+            }
+
+            // a_bt: a is [m, n], b is [k3, n] -> out [m, k3]
+            let a3 = test_matrix(m * n, seed.wrapping_add(5));
+            let b3 = test_matrix(k * n, seed.wrapping_add(6));
+            let mut serial3 = test_matrix(m * k, seed.wrapping_add(7));
+            let init3 = serial3.clone();
+            matmul_a_bt_with(Runtime::serial(), &a3, &b3, m, n, k, &mut serial3);
+            for w in [2, 3, 4] {
+                let mut par = init3.clone();
+                matmul_a_bt_with(Runtime::new(w), &a3, &b3, m, n, k, &mut par);
+                prop_assert_eq!(&par, &serial3);
+            }
+        }
+
+        /// The blocked kernels agree with a straightforward transpose-based
+        /// reference within floating-point tolerance.
+        #[test]
+        fn blocked_kernels_match_reference(
+            m in 1usize..20,
+            k in 1usize..30,
+            n in 1usize..20,
+            seed in 0u64..1000,
+        ) {
+            let a = test_matrix(m * k, seed);
+            let b = test_matrix(k * n, seed.wrapping_add(9));
+            let c = matmul_with(Runtime::new(3), &a, &b, m, k, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f64;
+                    for kk in 0..k {
+                        acc += a[i * k + kk] as f64 * b[kk * n + j] as f64;
+                    }
+                    prop_assert!((c[i * n + j] as f64 - acc).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_safe() {
+        assert!(matmul(&[], &[], 0, 3, 0).is_empty());
+        assert_eq!(matmul(&[], &[], 2, 0, 2), vec![0.0; 4]);
+        let mut out = vec![1.0; 4];
+        matmul_at_b(&[], &[], 0, 2, 2, &mut out);
+        assert_eq!(out, vec![1.0; 4]);
+        matmul_a_bt(&[], &[], 2, 0, 2, &mut out);
+        assert_eq!(out, vec![1.0; 4]);
     }
 
     #[test]

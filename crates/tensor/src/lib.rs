@@ -72,6 +72,6 @@ pub mod gradcheck;
 pub mod kernels;
 
 pub use op::Op;
-pub use param::{ParamId, ParamStore};
+pub use param::{GradBuffer, ParamId, ParamStore};
 pub use shape::Shape;
 pub use tape::{NodeView, Tape, Var};

@@ -133,6 +133,44 @@ impl ParamStore {
         }
     }
 
+    /// A zeroed [`GradBuffer`] matching this store's parameter layout.
+    ///
+    /// Data-parallel training gives each worker its own buffer, runs
+    /// [`crate::Tape::backward_into`] against it, and merges the buffers
+    /// into the store in a fixed order with [`ParamStore::merge_grads`] —
+    /// keeping results bitwise-reproducible for a given worker count.
+    pub fn grad_buffer(&self) -> GradBuffer {
+        GradBuffer {
+            bufs: self
+                .entries
+                .iter()
+                .map(|e| vec![0.0; e.data.len()])
+                .collect(),
+        }
+    }
+
+    /// Add a detached gradient buffer into this store's gradients
+    /// (elementwise, like a batch of extra [`crate::Tape::backward`] calls).
+    /// Panics if the buffer's layout does not match.
+    pub fn merge_grads(&mut self, buf: &GradBuffer) {
+        assert_eq!(
+            buf.bufs.len(),
+            self.entries.len(),
+            "merge_grads: buffer layout mismatch"
+        );
+        for (e, b) in self.entries.iter_mut().zip(&buf.bufs) {
+            assert_eq!(
+                e.grad.len(),
+                b.len(),
+                "merge_grads: size mismatch for '{}'",
+                e.name
+            );
+            for (g, s) in e.grad.iter_mut().zip(b) {
+                *g += *s;
+            }
+        }
+    }
+
     /// Snapshot all parameter values (for model-selection checkpoints).
     pub fn snapshot(&self) -> Vec<Vec<f32>> {
         self.entries.iter().map(|e| e.data.clone()).collect()
@@ -151,6 +189,41 @@ impl ParamStore {
             );
             e.data.copy_from_slice(s);
         }
+    }
+}
+
+/// A detached gradient accumulation buffer with the same layout as the
+/// [`ParamStore`] that created it (see [`ParamStore::grad_buffer`]).
+///
+/// Unlike the store's own gradient buffers, a `GradBuffer` is independent
+/// of the parameter data, so any number of them can accumulate in parallel
+/// against a shared `&ParamStore` before being merged back serially.
+#[derive(Clone, Debug)]
+pub struct GradBuffer {
+    pub(crate) bufs: Vec<Vec<f32>>,
+}
+
+impl GradBuffer {
+    /// Elementwise-add `other` into `self` (used as the combine step of a
+    /// fixed-order tree reduction over per-worker buffers). Panics on
+    /// layout mismatch.
+    pub fn accumulate(&mut self, other: &GradBuffer) {
+        assert_eq!(
+            self.bufs.len(),
+            other.bufs.len(),
+            "GradBuffer::accumulate: layout mismatch"
+        );
+        for (d, s) in self.bufs.iter_mut().zip(&other.bufs) {
+            assert_eq!(d.len(), s.len(), "GradBuffer::accumulate: size mismatch");
+            for (g, v) in d.iter_mut().zip(s) {
+                *g += *v;
+            }
+        }
+    }
+
+    /// The accumulated gradient for `id`.
+    pub fn grad(&self, id: ParamId) -> &[f32] {
+        &self.bufs[id.0]
     }
 }
 
@@ -185,6 +258,21 @@ mod tests {
         s.data_mut(id)[0] = 9.0;
         s.restore(&snap);
         assert_eq!(s.data(id), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_buffer_merge_matches_direct_accumulation() {
+        let mut s = ParamStore::new();
+        let id = s.register("w", vec![3], vec![0.0; 3]);
+        let mut b1 = s.grad_buffer();
+        let mut b2 = s.grad_buffer();
+        b1.bufs[id.0].copy_from_slice(&[1.0, 2.0, 3.0]);
+        b2.bufs[id.0].copy_from_slice(&[10.0, 20.0, 30.0]);
+        b1.accumulate(&b2);
+        assert_eq!(b1.grad(id), &[11.0, 22.0, 33.0]);
+        s.merge_grads(&b1);
+        s.merge_grads(&b2);
+        assert_eq!(s.grad(id), &[21.0, 42.0, 63.0]);
     }
 
     #[test]

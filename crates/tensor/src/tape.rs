@@ -815,6 +815,26 @@ impl Tape {
         }
     }
 
+    /// Like [`Tape::backward`], but accumulate parameter gradients into a
+    /// detached [`crate::GradBuffer`] instead of the store itself.
+    ///
+    /// This is the data-parallel training primitive: workers share a
+    /// `&ParamStore` for forward passes while each accumulates into its own
+    /// buffer; the buffers are then merged serially in a fixed order
+    /// ([`ParamStore::merge_grads`]), so the result is bitwise-reproducible
+    /// for a given worker count.
+    pub fn backward_into(&self, loss: Var, buf: &mut crate::GradBuffer) {
+        let grads = self.gradients(loss);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let (Some(pid), Some(g)) = (node.param, grads[i].as_ref()) {
+                let dst = &mut buf.bufs[pid.0];
+                for (d, s) in dst.iter_mut().zip(g) {
+                    *d += *s;
+                }
+            }
+        }
+    }
+
     /// Compute gradients of the scalar `loss` with respect to every node.
     /// Returns one optional buffer per node (None = not on any path to the
     /// loss). Mostly useful for testing; training uses [`Tape::backward`].
@@ -1291,6 +1311,34 @@ mod tests {
         t.backward(loss, &mut store);
         // dW = x^T * [1,1] = [[3,3],[7,7]]
         assert_eq!(store.grad(w), &[3.0, 3.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_into_matches_backward_bitwise() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", vec![2, 2], vec![0.3, -0.7, 1.1, 0.9]);
+        let b = store.register("b", vec![2], vec![0.1, -0.2]);
+        let build = |store: &ParamStore| {
+            let mut t = Tape::new();
+            let x = t.constant(vec![3, 2], vec![1.0, 2.0, -0.5, 0.25, 3.0, -1.5]);
+            let wv = t.param(store, w);
+            let bv = t.param(store, b);
+            let h = t.matmul(x, wv);
+            let h = t.add_bias(h, bv);
+            let h = t.tanh(h);
+            let loss = t.sum_all(h);
+            (t, loss)
+        };
+        let (t1, l1) = build(&store);
+        t1.backward(l1, &mut store);
+        let direct_w = store.grad(w).to_vec();
+        let direct_b = store.grad(b).to_vec();
+
+        let mut buf = store.grad_buffer();
+        let (t2, l2) = build(&store);
+        t2.backward_into(l2, &mut buf);
+        assert_eq!(buf.grad(w), &direct_w[..]);
+        assert_eq!(buf.grad(b), &direct_b[..]);
     }
 
     #[test]

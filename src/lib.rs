@@ -6,6 +6,12 @@
 //! `harp::topology::Topology`, etc., without depending on the individual
 //! `harp-*` crates.
 
+/// Deterministic scoped-thread-pool executor used by training, evaluation
+/// sweeps, and the blocked matmul kernels (re-export of `harp-runtime`).
+pub mod runtime {
+    pub use harp_runtime::*;
+}
+
 /// Reverse-mode autodiff tape, parameter store, and graph introspection
 /// (re-export of `harp-tensor`).
 pub mod tensor {
