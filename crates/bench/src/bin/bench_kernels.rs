@@ -6,6 +6,12 @@
 //! Usage: `cargo run --release -p harp-bench --bin bench_kernels [out.json]`
 //! Worker counts beyond 1 come from `HARP_THREADS` (default: available
 //! parallelism).
+//!
+//! `--check <baseline.json> [--tolerance <pct>]` re-times the same shapes
+//! (per-shape min over 3 rounds, to sit under scheduler noise) and exits
+//! non-zero if any timing class regresses more than `pct` (default 5%)
+//! against the baseline, aggregated over matched shapes — the CI smoke
+//! gate that instrumentation stays off the hot path.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -90,10 +96,91 @@ fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// Compare this run's rows against a baseline document: per timing class,
+/// total ns over matched shapes must stay within `tol` (fractional) of the
+/// baseline total. Returns the regression messages (empty = pass).
+fn check_against_baseline(
+    baseline: &serde_json::Value,
+    rows: &[serde_json::Value],
+    tol: f64,
+) -> Vec<String> {
+    const CLASSES: [&str; 4] = [
+        "matmul_serial_ns",
+        "matmul_pool_ns",
+        "matmul_at_b_ns",
+        "matmul_a_bt_ns",
+    ];
+    let key = |r: &serde_json::Value| {
+        (
+            r.get("m").and_then(serde_json::Value::as_u64),
+            r.get("k").and_then(serde_json::Value::as_u64),
+            r.get("n").and_then(serde_json::Value::as_u64),
+        )
+    };
+    let base_rows: Vec<&serde_json::Value> = baseline
+        .get("shapes")
+        .and_then(serde_json::Value::as_array)
+        .map(|v| v.iter().collect())
+        .unwrap_or_default();
+    let mut failures = Vec::new();
+    let mut matched = 0usize;
+    for class in CLASSES {
+        let mut base_total = 0.0f64;
+        let mut now_total = 0.0f64;
+        for row in rows {
+            let Some(base) = base_rows.iter().find(|b| key(b) == key(row)) else {
+                continue;
+            };
+            let (Some(b), Some(c)) = (
+                base.get(class).and_then(serde_json::Value::as_f64),
+                row.get(class).and_then(serde_json::Value::as_f64),
+            ) else {
+                continue;
+            };
+            base_total += b;
+            now_total += c;
+            matched += 1;
+        }
+        if base_total <= 0.0 {
+            continue;
+        }
+        let ratio = now_total / base_total;
+        println!("  check {class:<18} {ratio:>6.3}x baseline (tolerance {tol:.2})");
+        if ratio > 1.0 + tol {
+            failures.push(format!(
+                "{class}: {now_total:.0}ns vs baseline {base_total:.0}ns ({:.1}% slower, \
+                 tolerance {:.1}%)",
+                (ratio - 1.0) * 100.0,
+                tol * 100.0
+            ));
+        }
+    }
+    if matched == 0 {
+        failures.push("no shapes matched the baseline (stale baseline file?)".to_string());
+    }
+    failures
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => {
+                check_path = Some(args.next().expect("--check requires a baseline file"));
+            }
+            "--tolerance" => {
+                let v = args.next().expect("--tolerance requires a percentage");
+                tolerance = v
+                    .parse::<f64>()
+                    .expect("--tolerance must be a number (percent)")
+                    / 100.0;
+            }
+            other => out_path = other.to_string(),
+        }
+    }
     let inst = geant_instance();
     let shapes = recorded_matmul_shapes(&inst);
     let global = Runtime::global();
@@ -103,6 +190,11 @@ fn main() {
         global.workers()
     );
 
+    // Baseline mode records one round of medians. Check mode takes the
+    // per-shape minimum over several rounds: scheduler interference on
+    // shared runners only ever slows a sample down, so the min estimates
+    // the noise floor and a genuine regression still shows in every round.
+    let rounds = if check_path.is_some() { 3 } else { 1 };
     let reps = 15;
     let mut rows = Vec::new();
     for &(m, k, n) in &shapes {
@@ -111,22 +203,28 @@ fn main() {
         let dy = test_matrix(m * n, 13);
         let w = test_matrix(k * n, 14);
 
-        let serial_ns = time_ns(reps, || {
-            std::hint::black_box(kernels::matmul_with(Runtime::serial(), &a, &b, m, k, n));
-        });
-        let par_ns = time_ns(reps, || {
-            std::hint::black_box(kernels::matmul_with(global, &a, &b, m, k, n));
-        });
-        let at_b_ns = time_ns(reps, || {
-            let mut dw = vec![0.0f32; k * n];
-            kernels::matmul_at_b(&a, &dy, m, k, n, &mut dw);
-            std::hint::black_box(dw);
-        });
-        let a_bt_ns = time_ns(reps, || {
-            let mut dx = vec![0.0f32; m * k];
-            kernels::matmul_a_bt(&dy, &w, m, n, k, &mut dx);
-            std::hint::black_box(dx);
-        });
+        let mut serial_ns = u64::MAX;
+        let mut par_ns = u64::MAX;
+        let mut at_b_ns = u64::MAX;
+        let mut a_bt_ns = u64::MAX;
+        for _ in 0..rounds {
+            serial_ns = serial_ns.min(time_ns(reps, || {
+                std::hint::black_box(kernels::matmul_with(Runtime::serial(), &a, &b, m, k, n));
+            }));
+            par_ns = par_ns.min(time_ns(reps, || {
+                std::hint::black_box(kernels::matmul_with(global, &a, &b, m, k, n));
+            }));
+            at_b_ns = at_b_ns.min(time_ns(reps, || {
+                let mut dw = vec![0.0f32; k * n];
+                kernels::matmul_at_b(&a, &dy, m, k, n, &mut dw);
+                std::hint::black_box(dw);
+            }));
+            a_bt_ns = a_bt_ns.min(time_ns(reps, || {
+                let mut dx = vec![0.0f32; m * k];
+                kernels::matmul_a_bt(&dy, &w, m, n, k, &mut dx);
+                std::hint::black_box(dx);
+            }));
+        }
         println!(
             "  {m:>5}x{k:<4}x{n:<4}  serial {serial_ns:>10}ns  pool({}) {par_ns:>10}ns  \
              at_b {at_b_ns:>10}ns  a_bt {a_bt_ns:>10}ns",
@@ -140,6 +238,32 @@ fn main() {
             "matmul_at_b_ns": at_b_ns,
             "matmul_a_bt_ns": a_bt_ns,
         }));
+    }
+
+    if let Some(base_path) = check_path {
+        let text = match std::fs::read_to_string(&base_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: read baseline {base_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline: serde_json::Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: parse baseline {base_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let failures = check_against_baseline(&baseline, &rows, tolerance);
+        if failures.is_empty() {
+            println!("[check passed against {base_path}]");
+            return;
+        }
+        for f in &failures {
+            eprintln!("regression: {f}");
+        }
+        std::process::exit(1);
     }
 
     let doc = serde_json::json!({

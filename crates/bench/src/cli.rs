@@ -34,14 +34,25 @@ impl Ctx {
                     std::process::exit(0);
                 }
                 other => {
-                    eprintln!("warning: ignoring unknown argument '{other}'");
+                    harp_obs::warn_always(
+                        "cli.unknown_arg",
+                        &[("arg", other.into()), ("action", "ignored".into())],
+                    );
                 }
             }
         }
         std::fs::create_dir_all(&results_dir).expect("create results dir");
         std::fs::create_dir_all(results_dir.join("cache")).expect("create cache dir");
         std::fs::create_dir_all(results_dir.join("models")).expect("create models dir");
-        Ctx { quick, results_dir }
+        let ctx = Ctx { quick, results_dir };
+        harp_obs::event("bench.start")
+            .field("mode", ctx.mode())
+            .field_with("results_dir", || {
+                ctx.results_dir.display().to_string().into()
+            })
+            .field("workers", harp_runtime::Runtime::global().workers())
+            .emit();
+        ctx
     }
 
     /// Suffix distinguishing quick/full artifacts.
@@ -63,6 +74,10 @@ impl Ctx {
             eprintln!("error: write {}: {e}", path.display());
             std::process::exit(1);
         }
+        harp_obs::event("bench.results_written")
+            .field("experiment", name.to_string())
+            .field_with("path", || path.display().to_string().into())
+            .emit();
         println!("[results -> {}]", path.display());
     }
 

@@ -129,15 +129,29 @@ pub fn train_or_load(
     let (model, mut store) = build_model(scheme, train[0].0, 1000 + seed_of(name));
     let path = ctx.model_path(name);
     if path.exists() {
-        if load_params(&mut store, &path).is_ok() {
-            println!("[zoo] loaded {name} from {}", path.display());
-            return ZooModel {
-                model,
-                store,
-                report: None,
-            };
+        match load_params(&mut store, &path) {
+            Ok(()) => {
+                println!("[zoo] loaded {name} from {}", path.display());
+                return ZooModel {
+                    model,
+                    store,
+                    report: None,
+                };
+            }
+            Err(e) => {
+                // Stale checkpoints are recoverable (we retrain) but must
+                // never be silent: surface the rejection reason.
+                harp_obs::warn_always(
+                    "zoo.stale_checkpoint",
+                    &[
+                        ("model", name.into()),
+                        ("path", path.display().to_string().into()),
+                        ("error", e.to_string().into()),
+                        ("action", "retraining".into()),
+                    ],
+                );
+            }
         }
-        eprintln!("[zoo] stale checkpoint for {name}; retraining");
     }
     let t0 = std::time::Instant::now();
     let report = train_model(&*model, &mut store, train, val, cfg, scheme.eval_options());

@@ -212,18 +212,28 @@ impl Harp {
 
 impl SplitModel for Harp {
     fn forward(&self, t: &mut Tape, s: &ParamStore, inst: &Instance) -> Var {
-        let edge_emb = self.edge_embeddings(t, s, inst);
-        let table = self.tunnel_table(t, s, inst, edge_emb);
-
-        // tunnel embeddings = CLS rows (position 0 of each sequence)
-        let cls_rows: Vec<usize> = (0..inst.num_tunnels).map(|i| i * inst.seq_len).collect();
-        let tunnel_emb = t.gather_rows(table, std::sync::Arc::new(cls_rows));
+        let edge_emb = {
+            let _gcn = harp_obs::span("harp.gcn");
+            self.edge_embeddings(t, s, inst)
+        };
+        let table = {
+            let _st = harp_obs::span("harp.settrans");
+            self.tunnel_table(t, s, inst, edge_emb)
+        };
 
         let demand_col = t.constant(vec![inst.num_tunnels, 1], inst.tunnel_demand.clone());
-        let mlp1_in = t.concat_cols(&[tunnel_emb, demand_col]);
-        let u0 = self.mlp1.forward(t, s, mlp1_in);
-        let mut u = t.reshape(u0, vec![inst.num_tunnels]);
+        let mut u = {
+            let _mlp1 = harp_obs::span("harp.mlp1");
+            // tunnel embeddings = CLS rows (position 0 of each sequence)
+            let cls_rows: Vec<usize> = (0..inst.num_tunnels).map(|i| i * inst.seq_len).collect();
+            let tunnel_emb = t.gather_rows(table, std::sync::Arc::new(cls_rows));
 
+            let mlp1_in = t.concat_cols(&[tunnel_emb, demand_col]);
+            let u0 = self.mlp1.forward(t, s, mlp1_in);
+            t.reshape(u0, vec![inst.num_tunnels])
+        };
+
+        let _rau = harp_obs::span("harp.rau");
         for _ in 0..self.cfg.rau_iters {
             let w = t.segment_softmax(u, inst.tunnel_flow.clone(), inst.num_flows);
             let utils = utilization(t, w, inst);

@@ -7,6 +7,7 @@
 //! objective across heterogeneous snapshots).
 
 use harp_nn::{clip_grad_norm, Adam, AdamConfig};
+use harp_obs::span;
 use harp_runtime::Runtime;
 use harp_tensor::{ParamStore, Tape};
 use rand::seq::SliceRandom;
@@ -124,11 +125,24 @@ pub fn train_model(
     let mut since_best = 0usize;
 
     let rt = cfg.runtime();
+    harp_obs::event("train.start")
+        .field("model", model.name())
+        .field("epochs", cfg.epochs)
+        .field("batch_size", cfg.batch_size)
+        .field("lr", cfg.lr)
+        .field("workers", rt.workers())
+        .field("train_snapshots", train.len())
+        .field("val_snapshots", val.len())
+        .field("params", store.num_scalars())
+        .emit();
     let mut order: Vec<usize> = (0..train.len()).collect();
     for epoch in 0..cfg.epochs {
+        let epoch_t0 = std::time::Instant::now();
+        let mut last_grad_norm = 0.0f32;
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let _step = span("train.step");
             store.zero_grads();
             let chunk_len = chunk.len();
             // Fan the batch out: each worker takes a contiguous block of
@@ -142,7 +156,10 @@ pub fn train_model(
                 for &i in ids {
                     let (inst, opt_mlu) = &train[i];
                     let mut tape = Tape::new();
-                    let splits = model.forward(&mut tape, store, inst);
+                    let splits = {
+                        let _fwd = span("forward");
+                        model.forward(&mut tape, store, inst)
+                    };
                     let mlu = mlu_loss(&mut tape, splits, inst);
                     // normalize: loss = MLU / optimal, averaged over the batch
                     let norm = if *opt_mlu > 0.0 {
@@ -152,6 +169,7 @@ pub fn train_model(
                     };
                     let loss = tape.mul_scalar(mlu, norm / chunk_len as f32);
                     loss_sum += tape.scalar_value(loss) as f64;
+                    let _bwd = span("backward");
                     tape.backward_into(loss, &mut grads);
                 }
                 (grads, loss_sum)
@@ -165,11 +183,17 @@ pub fn train_model(
                 })
                 .collect();
             epoch_loss += loss_sums.iter().sum::<f64>() * chunk_len as f64 / train.len() as f64;
-            if let Some(total) = Runtime::tree_reduce(grads, |mut a, b| {
-                a.accumulate(&b);
-                a
-            }) {
-                store.merge_grads(&total);
+            {
+                let _merge = span("merge");
+                if let Some(total) = Runtime::tree_reduce(grads, |mut a, b| {
+                    a.accumulate(&b);
+                    a
+                }) {
+                    store.merge_grads(&total);
+                }
+            }
+            if harp_obs::enabled() {
+                last_grad_norm = store.grad_norm();
             }
             if cfg.clip_norm > 0.0 {
                 clip_grad_norm(store, cfg.clip_norm);
@@ -181,12 +205,21 @@ pub fn train_model(
         let val_score = if val.is_empty() {
             epoch_loss
         } else {
+            let _val = span("validate");
             let scores = rt.par_map(val, |_, (inst, opt_mlu)| {
                 let (mlu, _) = evaluate_model(model, store, inst, val_opts);
                 norm_mlu(mlu, *opt_mlu)
             });
             scores.iter().sum::<f64>() / val.len() as f64
         };
+        harp_obs::event("train.epoch")
+            .field("epoch", epoch)
+            .field("loss", epoch_loss)
+            .field("val_norm_mlu", val_score)
+            .field("grad_norm", last_grad_norm)
+            .field("wall_s", epoch_t0.elapsed().as_secs_f64())
+            .field("workers", rt.workers())
+            .emit();
         history.push(EpochStats {
             epoch,
             train_loss: epoch_loss,
@@ -207,6 +240,12 @@ pub fn train_model(
     }
 
     store.restore(&best_params);
+    harp_obs::event("train.done")
+        .field("model", model.name())
+        .field("epochs_run", history.len())
+        .field("best_epoch", best_epoch)
+        .field("best_val_norm_mlu", best_val)
+        .emit();
     TrainReport {
         history,
         best_epoch,
@@ -220,8 +259,10 @@ pub fn train_model(
 /// Graph-structure bugs (a parameter the loss can't reach, an internally
 /// inconsistent shape, a NaN constant) otherwise surface as a silently flat
 /// loss curve hours later. Errors panic with the full report; warnings and
-/// notes go to stderr. Compiled out of release builds, where `train_model`
-/// pays nothing.
+/// notes route through the observability sink (`preflight.diagnostic`
+/// events, with a stderr fallback when no sink is configured) so JSONL
+/// consumers see pre-flight findings alongside training metrics. Compiled
+/// out of release builds, where `train_model` pays nothing.
 fn preflight(model: &dyn SplitModel, store: &ParamStore, inst: &Instance) {
     let mut tape = Tape::new();
     let splits = model.forward(&mut tape, store, inst);
@@ -233,7 +274,14 @@ fn preflight(model: &dyn SplitModel, store: &ParamStore, inst: &Instance) {
         report.summary()
     );
     for d in &report.diagnostics {
-        eprintln!("pre-flight: {d}");
+        harp_obs::warn_always(
+            "preflight.diagnostic",
+            &[
+                ("severity", d.severity.to_string().into()),
+                ("code", d.code.into()),
+                ("detail", d.to_string().into()),
+            ],
+        );
     }
 }
 

@@ -1,0 +1,156 @@
+//! End-to-end observability check: a quick HARP training run with the
+//! JSONL sink enabled must emit machine-parseable per-epoch metric records
+//! (loss, validation NormMLU, wall time) that line up with the returned
+//! `TrainReport`, plus `train.start`/`train.done` run markers.
+//!
+//! Runs as its own integration-test binary so its process-wide
+//! `harp_obs::init` cannot leak into other tests.
+
+use std::fs;
+
+use harp_core::{
+    evaluate_model, norm_mlu, train_model, EvalOptions, Harp, HarpConfig, Instance, TrainConfig,
+};
+use harp_opt::MluOracle;
+use harp_paths::TunnelSet;
+use harp_tensor::ParamStore;
+use harp_topology::Topology;
+use harp_traffic::TrafficMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde_json::Value;
+
+#[test]
+fn jsonl_sink_records_per_epoch_training_metrics() {
+    let path = std::env::temp_dir().join("harp_obs_metrics_test.jsonl");
+    let _ = fs::remove_file(&path);
+    assert!(
+        harp_obs::init(harp_obs::Config::jsonl_to(&path)),
+        "first init in this process must win"
+    );
+
+    // Quick-mode training on the zoo-style diamond topology.
+    let mut topo = Topology::new(4);
+    topo.add_link(0, 1, 10.0).expect("valid link");
+    topo.add_link(1, 3, 10.0).expect("valid link");
+    topo.add_link(0, 2, 20.0).expect("valid link");
+    topo.add_link(2, 3, 20.0).expect("valid link");
+    let tunnels = TunnelSet::k_shortest(&topo, &[0, 3], 2, 0.0);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let oracle = MluOracle::default();
+    let make = |rng: &mut StdRng| {
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set_demand(0, 3, rng.gen_range(5.0..15.0));
+        tm.set_demand(3, 0, rng.gen_range(2.0..8.0));
+        let inst = Instance::compile(&topo, &tunnels, &tm);
+        let opt = oracle.solve(&inst.program).mlu;
+        (inst, opt)
+    };
+    let train_set: Vec<(Instance, f64)> = (0..6).map(|_| make(&mut rng)).collect();
+    let val_set: Vec<(Instance, f64)> = (0..2).map(|_| make(&mut rng)).collect();
+    let train_refs: Vec<(&Instance, f64)> = train_set.iter().map(|(i, o)| (i, *o)).collect();
+    let val_refs: Vec<(&Instance, f64)> = val_set.iter().map(|(i, o)| (i, *o)).collect();
+
+    let mut store = ParamStore::new();
+    let mut mrng = StdRng::seed_from_u64(1);
+    let cfg = HarpConfig {
+        gnn_layers: 1,
+        gnn_hidden: 4,
+        d_model: 8,
+        settrans_layers: 1,
+        heads: 1,
+        d_ff: 8,
+        mlp_hidden: 8,
+        rau_iters: 1,
+    };
+    let harp = Harp::new(&mut store, &mut mrng, cfg);
+    let report = train_model(
+        &harp,
+        &mut store,
+        &train_refs,
+        &val_refs,
+        TrainConfig {
+            epochs: 4,
+            batch_size: 3,
+            patience: 0,
+            ..Default::default()
+        },
+        EvalOptions::default(),
+    );
+    harp_obs::flush();
+
+    let text = fs::read_to_string(&path).expect("JSONL metrics file must exist");
+    let records: Vec<Value> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .collect();
+    assert!(!records.is_empty(), "sink produced no records");
+    let ev = |r: &Value| r.get("ev").and_then(Value::as_str).map(str::to_string);
+
+    let starts: Vec<&Value> = records
+        .iter()
+        .filter(|r| ev(r).as_deref() == Some("train.start"))
+        .collect();
+    assert_eq!(starts.len(), 1, "exactly one train.start record");
+    assert_eq!(starts[0].get("model").and_then(Value::as_str), Some("HARP"));
+
+    let epochs: Vec<&Value> = records
+        .iter()
+        .filter(|r| ev(r).as_deref() == Some("train.epoch"))
+        .collect();
+    assert_eq!(
+        epochs.len(),
+        report.history.len(),
+        "one train.epoch record per epoch in the report"
+    );
+    for (rec, stats) in epochs.iter().zip(&report.history) {
+        let epoch = rec
+            .get("epoch")
+            .and_then(Value::as_u64)
+            .expect("epoch field");
+        assert_eq!(epoch as usize, stats.epoch);
+        let loss = rec.get("loss").and_then(Value::as_f64).expect("loss field");
+        assert!(
+            (loss - stats.train_loss).abs() < 1e-9,
+            "epoch {epoch}: loss {loss} vs report {}",
+            stats.train_loss
+        );
+        let val = rec
+            .get("val_norm_mlu")
+            .and_then(Value::as_f64)
+            .expect("val_norm_mlu field");
+        assert!(
+            (val - stats.val_norm_mlu).abs() < 1e-9,
+            "epoch {epoch}: val {val} vs report {}",
+            stats.val_norm_mlu
+        );
+        let wall = rec
+            .get("wall_s")
+            .and_then(Value::as_f64)
+            .expect("wall_s field");
+        assert!((0.0..600.0).contains(&wall), "implausible wall_s {wall}");
+        assert!(
+            rec.get("grad_norm").and_then(Value::as_f64).is_some(),
+            "grad_norm field present"
+        );
+        assert!(
+            rec.get("workers").and_then(Value::as_u64).is_some(),
+            "workers field present"
+        );
+    }
+
+    let dones: Vec<&Value> = records
+        .iter()
+        .filter(|r| ev(r).as_deref() == Some("train.done"))
+        .collect();
+    assert_eq!(dones.len(), 1, "exactly one train.done record");
+    assert_eq!(
+        dones[0].get("best_epoch").and_then(Value::as_u64),
+        Some(report.best_epoch as u64)
+    );
+
+    // The store holds the selected checkpoint; make sure the run was real.
+    let (mlu, _) = evaluate_model(&harp, &store, val_refs[0].0, EvalOptions::default());
+    assert!(norm_mlu(mlu, val_refs[0].1).is_finite());
+}

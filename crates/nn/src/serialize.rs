@@ -50,16 +50,26 @@ pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
 }
 
 /// Load parameter values saved with [`save_params`] into a store whose
-/// registered names/shapes must match (the model must be constructed with
-/// the same architecture and names first).
+/// registered names/shapes must match exactly (the model must be
+/// constructed with the same architecture and names first).
+///
+/// Rejects with [`io::ErrorKind::InvalidData`] when the checkpoint is
+/// missing a registered parameter, disagrees on a shape, **or contains
+/// parameters the store does not register** — a checkpoint from a
+/// different architecture must fail loudly instead of half-succeeding.
+/// The error message names every offending parameter. The store is not
+/// modified unless validation of the whole checkpoint passes.
 pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
     let json = fs::read_to_string(path)?;
     let map: BTreeMap<String, SavedParam> =
         serde_json::from_str(&json).map_err(io::Error::other)?;
+
     let ids: Vec<_> = store.ids().collect();
-    for id in ids {
-        let name = store.name(id).to_string();
-        let saved = map.get(&name).ok_or_else(|| {
+    // Validate everything before writing anything, so a failed load can't
+    // leave the store half-overwritten.
+    for &id in &ids {
+        let name = store.name(id);
+        let saved = map.get(name).ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("checkpoint missing parameter '{name}'"),
@@ -68,9 +78,44 @@ pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
         if saved.shape != store.shape(id).0 || saved.data.len() != store.data(id).len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("checkpoint shape mismatch for '{name}'"),
+                format!(
+                    "checkpoint shape mismatch for '{name}': checkpoint {:?} ({} values) vs model {:?} ({} values)",
+                    saved.shape,
+                    saved.data.len(),
+                    store.shape(id).0,
+                    store.data(id).len()
+                ),
             ));
         }
+    }
+    let known: std::collections::BTreeSet<&str> = ids.iter().map(|&id| store.name(id)).collect();
+    let unexpected: Vec<&str> = map
+        .keys()
+        .map(String::as_str)
+        .filter(|k| !known.contains(k))
+        .collect();
+    if !unexpected.is_empty() {
+        harp_obs::event("checkpoint.unexpected_params")
+            .field("path", path.display().to_string())
+            .field("count", unexpected.len())
+            .field_with("names", || unexpected.join(", ").into())
+            .emit();
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint contains {} parameter(s) not registered in the model \
+                 (architecture mismatch?): {}",
+                unexpected.len(),
+                unexpected.join(", ")
+            ),
+        ));
+    }
+
+    for id in ids {
+        let name = store.name(id).to_string();
+        let saved = map
+            .get(name.as_str())
+            .expect("validated above: every registered parameter is present");
         store.data_mut(id).copy_from_slice(&saved.data);
     }
     Ok(())
@@ -80,12 +125,15 @@ pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
 mod tests {
     use super::*;
 
+    fn ckpt_path(case: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("harp_nn_serialize_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{case}.json"))
+    }
+
     #[test]
     fn roundtrip() {
-        let dir = std::env::temp_dir().join("harp_nn_serialize_test");
-        fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ckpt.json");
-
+        let path = ckpt_path("roundtrip");
         let mut store = ParamStore::new();
         let a = store.register("a", vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
         let b = store.register("b", vec![3], vec![5.0, 6.0, 7.0]);
@@ -99,18 +147,68 @@ mod tests {
     }
 
     #[test]
-    fn missing_param_is_error() {
-        let dir = std::env::temp_dir().join("harp_nn_serialize_test2");
-        fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ckpt.json");
-
+    fn missing_param_is_error_naming_it() {
+        let path = ckpt_path("missing");
         let mut small = ParamStore::new();
         let _ = small.register("a", vec![1], vec![1.0]);
         save_params(&small, &path).unwrap();
 
         let mut bigger = ParamStore::new();
         let _ = bigger.register("a", vec![1], vec![0.0]);
-        let _ = bigger.register("extra", vec![1], vec![0.0]);
-        assert!(load_params(&mut bigger, &path).is_err());
+        let _ = bigger.register("layer2.weight", vec![1], vec![0.0]);
+        let err = load_params(&mut bigger, &path).expect_err("missing param must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("layer2.weight"),
+            "error must name the missing parameter: {err}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_error_naming_it() {
+        let path = ckpt_path("shape_mismatch");
+        let mut saved = ParamStore::new();
+        let _ = saved.register("enc.weight", vec![2, 3], vec![0.0; 6]);
+        save_params(&saved, &path).unwrap();
+
+        let mut other = ParamStore::new();
+        let _ = other.register("enc.weight", vec![3, 2], vec![1.0; 6]);
+        let err = load_params(&mut other, &path).expect_err("shape mismatch must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("enc.weight"),
+            "error must name the mismatched parameter: {msg}"
+        );
+        assert!(
+            msg.contains("[2, 3]") && msg.contains("[3, 2]"),
+            "error must show both shapes: {msg}"
+        );
+        // validation failed before any write: the store is untouched
+        let id = other.ids().next().unwrap();
+        assert_eq!(other.data(id), &[1.0; 6]);
+    }
+
+    #[test]
+    fn extra_params_are_rejected_naming_them() {
+        let path = ckpt_path("extra");
+        let mut bigger = ParamStore::new();
+        let _ = bigger.register("shared", vec![1], vec![2.0]);
+        let _ = bigger.register("rau.w0", vec![2], vec![1.0, 1.0]);
+        let _ = bigger.register("rau.w1", vec![2], vec![1.0, 1.0]);
+        save_params(&bigger, &path).unwrap();
+
+        let mut smaller = ParamStore::new();
+        let shared = smaller.register("shared", vec![1], vec![9.0]);
+        let err = load_params(&mut smaller, &path)
+            .expect_err("checkpoint with unknown parameters must fail, not half-load");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("rau.w0") && msg.contains("rau.w1"),
+            "error must name every unexpected parameter: {msg}"
+        );
+        // the rejected load must not have overwritten anything
+        assert_eq!(smaller.data(shared), &[9.0]);
     }
 }

@@ -1,0 +1,172 @@
+//! Hierarchical tracing spans with monotonic timing.
+//!
+//! [`span`] returns an RAII guard; while it lives, spans opened on the
+//! same thread nest under it. On drop the duration is accumulated in a
+//! process-global table keyed by the hierarchical path
+//! (`train.step/forward/harp.rau`), which [`span_report`] renders as an
+//! indented tree and [`crate::dump_metrics`] emits as `metric.span`
+//! events. Nesting is **per thread**: a span opened inside a
+//! `harp-runtime` worker roots its own path on that worker's stack.
+//!
+//! With the sink off, [`span`] is a branch returning an inert guard.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::enabled;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// path -> (count, total_ns), keyed by "/"-joined span names.
+static AGGREGATE: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Debug)]
+pub struct SpanStat {
+    /// "/"-joined hierarchical path (`train.step/forward/harp.gcn`).
+    pub path: String,
+    /// Times a span with this path closed.
+    pub count: u64,
+    /// Total nanoseconds across all closures.
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean nanoseconds per closure (0 when never closed).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Nesting depth (number of ancestors).
+    pub fn depth(&self) -> usize {
+        self.path.matches('/').count()
+    }
+}
+
+/// RAII guard for one timed scope; created by [`span`]. Dropping it stops
+/// the clock and accumulates the duration under the hierarchical path.
+#[must_use = "a Span measures the scope it is alive in; dropping it immediately measures nothing"]
+pub struct Span {
+    start: Option<Instant>,
+}
+
+/// Open a timed span named `name` on this thread. Inert when the sink is
+/// off. Guards must drop in reverse open order (natural lexical scoping);
+/// out-of-order drops are tolerated but mis-attribute the path.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { start: None };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    Span {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        if let Ok(mut agg) = AGGREGATE.lock() {
+            let slot = agg.entry(path).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 = slot.1.saturating_add(ns);
+        }
+    }
+}
+
+/// Snapshot every span path accumulated so far, sorted by path (which
+/// groups children under parents).
+pub fn span_snapshot() -> Vec<SpanStat> {
+    AGGREGATE
+        .lock()
+        .map(|agg| {
+            agg.iter()
+                .map(|(path, &(count, total_ns))| SpanStat {
+                    path: path.clone(),
+                    count,
+                    total_ns,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Render the aggregated spans as an indented tree with per-path count,
+/// total milliseconds, and share of the parent's total. Empty string when
+/// nothing was recorded.
+pub fn span_report() -> String {
+    let stats = span_snapshot();
+    if stats.is_empty() {
+        return String::new();
+    }
+    // Parent totals for share-of-parent percentages.
+    let totals: BTreeMap<&str, u64> = stats
+        .iter()
+        .map(|s| (s.path.as_str(), s.total_ns))
+        .collect();
+    let mut out = String::new();
+    for s in &stats {
+        let indent = "  ".repeat(s.depth());
+        let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+        let parent_total = s
+            .path
+            .rfind('/')
+            .and_then(|cut| totals.get(&s.path[..cut]).copied());
+        let share = match parent_total {
+            Some(p) if p > 0 => format!("  {:5.1}%", 100.0 * s.total_ns as f64 / p as f64),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "{indent}{name:<24} x{:<6} {:>10.3} ms{share}\n",
+            s.count,
+            s.total_ns as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_guard_is_safe_without_sink() {
+        let g = span("unit.outer");
+        {
+            let _inner = span("unit.inner");
+        }
+        drop(g);
+        // With the sink off nothing accumulates; with it on (workspace CI
+        // runs under HARP_OBS=jsonl) the paths nest.
+        if crate::enabled() {
+            let stats = span_snapshot();
+            assert!(stats.iter().any(|s| s.path == "unit.outer"));
+            assert!(stats.iter().any(|s| s.path == "unit.outer/unit.inner"));
+        }
+    }
+
+    #[test]
+    fn depth_counts_ancestors() {
+        let s = SpanStat {
+            path: "a/b/c".into(),
+            count: 1,
+            total_ns: 10,
+        };
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.mean_ns(), 10);
+    }
+}

@@ -36,6 +36,36 @@
 //! back to the serial path.
 
 use std::sync::OnceLock;
+use std::time::Instant;
+
+use harp_obs::{Counter, FieldValue, Histogram};
+
+/// Parallel sections entered (calls that actually fanned out to >1 block).
+static PAR_CALLS: Counter = Counter::new("runtime.par_calls");
+/// Sections that stayed on the calling thread (≤1 block).
+static SERIAL_CALLS: Counter = Counter::new("runtime.serial_calls");
+/// Items (or rows) dispatched through parallel sections.
+static PAR_ITEMS: Counter = Counter::new("runtime.par_items");
+/// Per-worker busy time inside parallel sections, ns (sums across
+/// workers, so `busy_ns / wall_ns` of a section ≈ pool utilization).
+static WORKER_BUSY_NS: Counter = Counter::new("runtime.worker_busy_ns");
+/// Distribution of per-worker block durations in parallel sections, ns.
+static WORKER_BLOCK_NS: Histogram = Histogram::new("runtime.worker_block_ns");
+
+/// Time `f`, crediting its duration to the pool-utilization metrics.
+/// Inlines to a plain call when the obs sink is off.
+#[inline]
+fn timed_block<R>(f: impl FnOnce() -> R) -> R {
+    if !harp_obs::enabled() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let r = f();
+    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    WORKER_BUSY_NS.add(ns);
+    WORKER_BLOCK_NS.record(ns);
+    r
+}
 
 /// Contiguous block boundaries `(start, end)` splitting `n` items across
 /// `workers` blocks as evenly as possible (sizes differ by at most one,
@@ -77,6 +107,57 @@ impl Default for Runtime {
 /// available parallelism.
 static GLOBAL_WORKERS: OnceLock<usize> = OnceLock::new();
 
+/// Upper bound accepted from `HARP_THREADS`. Every parallel section spawns
+/// scoped threads, so a typo'd huge value (an appended zero, a pasted
+/// timestamp) would fork-bomb the process instead of helping; beyond this
+/// bound the request is rejected and the fallback applies.
+pub const MAX_WORKERS: usize = 512;
+
+/// Outcome of validating a requested worker count (see [`resolve_workers`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerResolution {
+    /// The worker count to use.
+    pub workers: usize,
+    /// When the request was invalid: why it was rejected (`workers` then
+    /// holds the fallback).
+    pub rejected: Option<String>,
+}
+
+/// Validate a raw `HARP_THREADS` value against the fallback `available`
+/// (the host's available parallelism). Accepts integers in
+/// `1..=`[`MAX_WORKERS`]; anything else — zero, non-numeric, overlarge —
+/// resolves to `available` with a rejection reason. Pure, so every
+/// rejection class is unit-testable without touching process environment.
+pub fn resolve_workers(request: Option<&str>, available: usize) -> WorkerResolution {
+    let fallback = available.max(1);
+    let Some(raw) = request else {
+        return WorkerResolution {
+            workers: fallback,
+            rejected: None,
+        };
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => WorkerResolution {
+            workers: fallback,
+            rejected: Some(format!("HARP_THREADS={raw:?} is zero (need >= 1)")),
+        },
+        Ok(n) if n > MAX_WORKERS => WorkerResolution {
+            workers: fallback,
+            rejected: Some(format!(
+                "HARP_THREADS={raw:?} exceeds the {MAX_WORKERS}-worker bound"
+            )),
+        },
+        Ok(n) => WorkerResolution {
+            workers: n,
+            rejected: None,
+        },
+        Err(_) => WorkerResolution {
+            workers: fallback,
+            rejected: Some(format!("HARP_THREADS={raw:?} is not an integer")),
+        },
+    }
+}
+
 impl Runtime {
     /// A runtime with exactly `workers` workers (clamped to at least 1).
     pub fn new(workers: usize) -> Self {
@@ -92,18 +173,27 @@ impl Runtime {
     }
 
     /// The process-wide runtime: worker count from the `HARP_THREADS`
-    /// environment variable if set to a positive integer, otherwise
-    /// [`std::thread::available_parallelism`]. Resolved once; later
-    /// changes to the environment do not affect it.
+    /// environment variable if set to an integer in `1..=`[`MAX_WORKERS`],
+    /// otherwise [`std::thread::available_parallelism`]. An invalid value
+    /// is rejected loudly — a `runtime.workers_fallback` obs warning (on
+    /// stderr even with the sink off) names the value and the fallback
+    /// worker count. Resolved once; later changes to the environment do
+    /// not affect it.
     pub fn global() -> Self {
         let workers = *GLOBAL_WORKERS.get_or_init(|| {
-            if let Ok(v) = std::env::var("HARP_THREADS") {
-                match v.trim().parse::<usize>() {
-                    Ok(n) if n >= 1 => return n,
-                    _ => eprintln!("harp-runtime: ignoring invalid HARP_THREADS={v:?}"),
-                }
+            let raw = std::env::var("HARP_THREADS").ok();
+            let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let res = resolve_workers(raw.as_deref(), available);
+            if let Some(reason) = &res.rejected {
+                harp_obs::warn_always(
+                    "runtime.workers_fallback",
+                    &[
+                        ("reason", FieldValue::Str(reason.clone())),
+                        ("fallback_workers", FieldValue::U64(res.workers as u64)),
+                    ],
+                );
             }
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            res.workers
         });
         Runtime::new(workers)
     }
@@ -135,15 +225,18 @@ impl Runtime {
         };
         let blocks = partition(items.len(), self.workers);
         if blocks.len() <= 1 {
+            SERIAL_CALLS.add(1);
             return blocks.into_iter().flat_map(map_block).collect();
         }
+        PAR_CALLS.add(1);
+        PAR_ITEMS.add(items.len() as u64);
         let mut per_block: Vec<Vec<R>> = Vec::with_capacity(blocks.len());
         std::thread::scope(|s| {
             let handles: Vec<_> = blocks[1..]
                 .iter()
-                .map(|&b| s.spawn(move || map_block(b)))
+                .map(|&b| s.spawn(move || timed_block(|| map_block(b))))
                 .collect();
-            per_block.push(map_block(blocks[0]));
+            per_block.push(timed_block(|| map_block(blocks[0])));
             for h in handles {
                 per_block.push(join_propagating(h));
             }
@@ -166,22 +259,27 @@ impl Runtime {
     {
         let blocks = partition(items.len(), self.workers);
         if blocks.len() <= 1 {
+            SERIAL_CALLS.add(1);
             return blocks
                 .into_iter()
                 .enumerate()
                 .map(|(ci, (lo, hi))| f(ci, lo, &items[lo..hi]))
                 .collect();
         }
+        PAR_CALLS.add(1);
+        PAR_ITEMS.add(items.len() as u64);
         let fref = &f;
         let mut per_chunk: Vec<R> = Vec::with_capacity(blocks.len());
         std::thread::scope(|s| {
             let handles: Vec<_> = blocks[1..]
                 .iter()
                 .enumerate()
-                .map(|(i, &(lo, hi))| s.spawn(move || fref(i + 1, lo, &items[lo..hi])))
+                .map(|(i, &(lo, hi))| {
+                    s.spawn(move || timed_block(|| fref(i + 1, lo, &items[lo..hi])))
+                })
                 .collect();
             let (lo0, hi0) = blocks[0];
-            per_chunk.push(f(0, lo0, &items[lo0..hi0]));
+            per_chunk.push(timed_block(|| f(0, lo0, &items[lo0..hi0])));
             for h in handles {
                 per_chunk.push(join_propagating(h));
             }
@@ -212,11 +310,14 @@ impl Runtime {
         let rows = data.len() / row_len;
         let blocks = partition(rows, self.workers);
         if blocks.len() <= 1 {
+            SERIAL_CALLS.add(1);
             if !data.is_empty() {
                 f(0, data);
             }
             return;
         }
+        PAR_CALLS.add(1);
+        PAR_ITEMS.add(rows as u64);
         let fref = &f;
         std::thread::scope(|s| {
             let mut rest = data;
@@ -229,9 +330,9 @@ impl Runtime {
                 rest = head;
             }
             for (lo, block) in split.into_iter().rev() {
-                handles.push(s.spawn(move || fref(lo, block)));
+                handles.push(s.spawn(move || timed_block(|| fref(lo, block))));
             }
-            f(0, rest);
+            timed_block(|| f(0, rest));
             for h in handles {
                 join_propagating(h);
             }
@@ -366,6 +467,53 @@ mod tests {
         assert_eq!(combined.as_deref(), Some("(((01)(23))4)"));
         assert_eq!(Runtime::tree_reduce(Vec::<u32>::new(), |a, _| a), None);
         assert_eq!(Runtime::tree_reduce(vec![7], |a, b| a + b), Some(7));
+    }
+
+    #[test]
+    fn resolve_workers_accepts_valid_requests() {
+        for (raw, want) in [("1", 1), ("4", 4), (" 16 ", 16), ("512", MAX_WORKERS)] {
+            let res = resolve_workers(Some(raw), 8);
+            assert_eq!(res.workers, want, "raw={raw:?}");
+            assert!(res.rejected.is_none(), "raw={raw:?}");
+        }
+        // unset: fallback to available parallelism, no warning
+        let res = resolve_workers(None, 6);
+        assert_eq!(res.workers, 6);
+        assert!(res.rejected.is_none());
+    }
+
+    #[test]
+    fn resolve_workers_rejects_zero() {
+        let res = resolve_workers(Some("0"), 8);
+        assert_eq!(res.workers, 8, "must fall back to available parallelism");
+        let why = res.rejected.expect("zero is invalid");
+        assert!(why.contains("HARP_THREADS"), "{why}");
+        assert!(why.contains('0'), "{why}");
+    }
+
+    #[test]
+    fn resolve_workers_rejects_non_numeric() {
+        for raw in ["four", "", "4x", "-2", "1.5"] {
+            let res = resolve_workers(Some(raw), 3);
+            assert_eq!(res.workers, 3, "raw={raw:?}");
+            let why = res.rejected.expect("non-numeric is invalid");
+            assert!(why.contains("HARP_THREADS"), "raw={raw:?}: {why}");
+        }
+    }
+
+    #[test]
+    fn resolve_workers_rejects_overlarge() {
+        for raw in ["513", "100000", "18446744073709551616"] {
+            let res = resolve_workers(Some(raw), 4);
+            assert_eq!(res.workers, 4, "raw={raw:?}");
+            assert!(res.rejected.is_some(), "raw={raw:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn resolve_workers_fallback_is_at_least_one() {
+        assert_eq!(resolve_workers(None, 0).workers, 1);
+        assert_eq!(resolve_workers(Some("bogus"), 0).workers, 1);
     }
 
     #[test]

@@ -21,7 +21,33 @@
 //! explicit runtime unconditionally, which tests and benchmarks use to pin
 //! the worker count.
 
+use harp_obs::Counter;
 use harp_runtime::Runtime;
+
+/// Multiply-accumulates executed by the matmul kernels (all variants).
+static MACS: Counter = Counter::new("kernels.macs");
+/// Matmul-family calls that ran on the calling thread only.
+static CALLS_SERIAL: Counter = Counter::new("kernels.calls_serial");
+/// Matmul-family calls that fanned output rows across the worker pool.
+static CALLS_PARALLEL: Counter = Counter::new("kernels.calls_parallel");
+/// Output rows dispatched to the pool by parallel matmul-family calls.
+static ROWS_PARALLEL: Counter = Counter::new("kernels.rows_parallel");
+
+/// Credit one matmul-family call of `macs` multiply-accumulates and
+/// `rows` output rows to the kernel counters. A branch when obs is off.
+#[inline]
+fn count_call(rt: Runtime, macs: usize, rows: usize) {
+    if !harp_obs::enabled() {
+        return;
+    }
+    MACS.add(macs as u64);
+    if rt.workers() > 1 && rows > 1 {
+        CALLS_PARALLEL.add(1);
+        ROWS_PARALLEL.add(rows as u64);
+    } else {
+        CALLS_SERIAL.add(1);
+    }
+}
 
 /// Rows of the shared `b` panel kept hot across an output-row strip.
 const KB: usize = 32;
@@ -61,6 +87,7 @@ pub fn matmul_with(rt: Runtime, a: &[f32], b: &[f32], m: usize, k: usize, n: usi
     if m == 0 || n == 0 || k == 0 {
         return c;
     }
+    count_call(rt, m * k * n, m);
     rt.par_row_blocks(&mut c, n, |row0, block| {
         matmul_rows(a, b, k, n, row0, block)
     });
@@ -125,6 +152,7 @@ pub fn matmul_at_b_with(
     if m == 0 || k == 0 || n == 0 {
         return;
     }
+    count_call(rt, m * k * n, k);
     rt.par_row_blocks(out, n, |kk0, block| at_b_rows(a, b, m, k, n, kk0, block));
 }
 
@@ -175,6 +203,7 @@ pub fn matmul_a_bt_with(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    count_call(rt, m * n * k, m);
     rt.par_row_blocks(out, k, |i0, block| a_bt_rows(a, b, n, k, i0, block));
 }
 

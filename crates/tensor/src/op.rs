@@ -112,6 +112,52 @@ pub enum Op {
 }
 
 impl Op {
+    /// Stable kind name of this operation (the variant name), used to key
+    /// per-op timing histograms and profiling reports.
+    pub fn kind(&self) -> &'static str {
+        use Op::*;
+        match self {
+            Leaf => "Leaf",
+            Add(..) => "Add",
+            Sub(..) => "Sub",
+            Mul(..) => "Mul",
+            Div(..) => "Div",
+            Neg(..) => "Neg",
+            Exp(..) => "Exp",
+            Ln(..) => "Ln",
+            Sqrt(..) => "Sqrt",
+            Relu(..) => "Relu",
+            LeakyRelu(..) => "LeakyRelu",
+            Elu(..) => "Elu",
+            Sigmoid(..) => "Sigmoid",
+            Tanh(..) => "Tanh",
+            MulScalar(..) => "MulScalar",
+            AddScalar(..) => "AddScalar",
+            Recip(..) => "Recip",
+            AddBias(..) => "AddBias",
+            MulRow(..) => "MulRow",
+            BroadcastScalar(..) => "BroadcastScalar",
+            MatMul(..) => "MatMul",
+            BatchMatMul(..) => "BatchMatMul",
+            TransposeLast2(..) => "TransposeLast2",
+            Reshape(..) => "Reshape",
+            ConcatCols(..) => "ConcatCols",
+            ConcatRows(..) => "ConcatRows",
+            GatherRows(..) => "GatherRows",
+            SliceCols(..) => "SliceCols",
+            SumAll(..) => "SumAll",
+            MeanAll(..) => "MeanAll",
+            MaxAll(..) => "MaxAll",
+            SumRows(..) => "SumRows",
+            MeanLastDim(..) => "MeanLastDim",
+            SegmentSum(..) => "SegmentSum",
+            SegmentMax(..) => "SegmentMax",
+            SegmentSoftmax(..) => "SegmentSoftmax",
+            SoftmaxLastDim(..) => "SoftmaxLastDim",
+            LayerNorm(..) => "LayerNorm",
+        }
+    }
+
     /// Handles of this op's inputs, in order.
     pub fn inputs(&self) -> Vec<Var> {
         use Op::*;

@@ -8,8 +8,17 @@
 //! (subgradient through the argmax).
 
 use std::sync::Arc;
+use std::time::Instant;
+
+use harp_obs::Counter;
 
 use crate::kernels;
+
+/// Nodes recorded across all tapes (counts forward-op executions, since
+/// every constructor computes its value eagerly).
+static NODES_RECORDED: Counter = Counter::new("tape.nodes_recorded");
+/// Reverse passes run (`backward` / `backward_into` / `gradients`).
+static BACKWARD_PASSES: Counter = Counter::new("tape.backward_passes");
 use crate::op::Op;
 use crate::param::{ParamId, ParamStore};
 use crate::shape::Shape;
@@ -60,15 +69,29 @@ struct Node {
 }
 
 /// A reverse-mode autodiff tape. Create one per forward/backward pass.
-#[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Instant of the previous node record; `Some` iff per-op forward
+    /// timing was on (`harp_obs::op_timing_enabled`) at construction.
+    /// Because values are computed eagerly, the delta between consecutive
+    /// records ≈ the newer op's forward compute time (plus caller glue),
+    /// which is what the `tape.fwd.<OpKind>` histograms accumulate.
+    fwd_clock: Option<Instant>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Self::default()
+        Tape {
+            nodes: Vec::new(),
+            fwd_clock: harp_obs::op_timing_enabled().then(Instant::now),
+        }
     }
 
     /// Number of recorded nodes.
@@ -180,6 +203,13 @@ impl Tape {
         aux_f: Vec<f32>,
     ) -> Var {
         debug_assert_eq!(shape.numel(), value.len(), "value/shape mismatch");
+        NODES_RECORDED.add(1);
+        if let Some(last) = &mut self.fwd_clock {
+            let now = Instant::now();
+            let ns = u64::try_from(now.duration_since(*last).as_nanos()).unwrap_or(u64::MAX);
+            harp_obs::histogram(&format!("tape.fwd.{}", op.kind())).record(ns);
+            *last = now;
+        }
         self.nodes.push(Node {
             op,
             shape,
@@ -845,15 +875,24 @@ impl Tape {
             "backward: loss must be scalar, got shape {:?}",
             self.nodes[loss.0].shape
         );
+        BACKWARD_PASSES.add(1);
         let mut grads: Vec<Option<Vec<f32>>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(vec![1.0]);
 
+        let op_timing = harp_obs::op_timing_enabled();
         for i in (0..=loss.0).rev() {
             let g = match grads[i].take() {
                 Some(g) => g,
                 None => continue,
             };
-            self.backprop_node(i, &g, &mut grads);
+            if op_timing {
+                let t0 = Instant::now();
+                self.backprop_node(i, &g, &mut grads);
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                harp_obs::histogram(&format!("tape.bwd.{}", self.nodes[i].op.kind())).record(ns);
+            } else {
+                self.backprop_node(i, &g, &mut grads);
+            }
             grads[i] = Some(g);
         }
         grads

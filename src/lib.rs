@@ -6,6 +6,13 @@
 //! `harp::topology::Topology`, etc., without depending on the individual
 //! `harp-*` crates.
 
+/// Observability: tracing spans, counters/histograms, and the structured
+/// event sink behind `HARP_OBS` / `HARP_OBS_FILE` (re-export of
+/// `harp-obs`).
+pub mod obs {
+    pub use harp_obs::*;
+}
+
 /// Deterministic scoped-thread-pool executor used by training, evaluation
 /// sweeps, and the blocked matmul kernels (re-export of `harp-runtime`).
 pub mod runtime {
