@@ -1,0 +1,312 @@
+//! Serving perf baseline: boots the `harp-serve` daemon in-process on a
+//! loopback port with HARP (default config) on GEANT, drives it from
+//! concurrent client connections with gravity-model traffic — including a
+//! mid-run link failure/restore and a checkpoint hot-reload — and writes
+//! `BENCH_serve.json` at the repo root: throughput, p50/p99 latency, and
+//! the degradation rate, so the serving perf trajectory is tracked
+//! in-tree from PR to PR.
+//!
+//! Usage: `cargo run --release -p harp-bench --bin bench_serve \
+//!   [out.json] [--duration-secs N] [--clients N] [--checkpoint ckpt.json]`
+//!
+//! Without `--checkpoint`, a cached zoo checkpoint is used when present
+//! (`results/models/harp_geant.quick.json`); otherwise fresh seeded
+//! parameters — inference cost, and therefore serving throughput, is the
+//! same either way.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use harp_core::{percentile, Harp, HarpConfig, SplitModel};
+use harp_nn::{load_params, save_params};
+use harp_paths::TunnelSet;
+use harp_serve::{serve, ServeConfig, ServerHandle};
+use harp_tensor::ParamStore;
+use harp_traffic::{gravity_series, GravityConfig, TrafficMatrix};
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::Value;
+
+/// Per-client tallies.
+#[derive(Default)]
+struct ClientReport {
+    completed: u64,
+    degraded: u64,
+    errors: u64,
+    latencies_us: Vec<f64>,
+}
+
+/// Render the demands fragment of an infer request for one TM.
+fn demands_fragment(tm: &TrafficMatrix) -> String {
+    let n = tm.num_nodes();
+    let mut parts = Vec::new();
+    for s in 0..n {
+        for t in 0..n {
+            let d = tm.demand(s, t);
+            if d > 0.0 {
+                parts.push(format!("[{s},{t},{d:.6}]"));
+            }
+        }
+    }
+    format!("[{}]", parts.join(","))
+}
+
+/// One blocking request/response client loop until `deadline`.
+fn client_loop(
+    addr: std::net::SocketAddr,
+    demand_bodies: &[String],
+    client_idx: usize,
+    until: Instant,
+) -> ClientReport {
+    let mut report = ClientReport::default();
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("client {client_idx}: connect failed: {e}");
+            report.errors += 1;
+            return report;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            report.errors += 1;
+            return report;
+        }
+    });
+    let mut writer = stream;
+    let mut id = client_idx as u64 * 1_000_000;
+    let mut line = String::new();
+    while Instant::now() < until {
+        let body = &demand_bodies[(id as usize + client_idx) % demand_bodies.len()];
+        id += 1;
+        let req = format!("{{\"id\":{id},\"type\":\"infer\",\"demands\":{body}}}\n");
+        let t0 = Instant::now();
+        if writer.write_all(req.as_bytes()).is_err() || writer.flush().is_err() {
+            report.errors += 1;
+            break;
+        }
+        line.clear();
+        if reader.read_line(&mut line).is_err() || line.is_empty() {
+            report.errors += 1;
+            break;
+        }
+        let elapsed_us = t0.elapsed().as_micros() as f64;
+        let Ok(v) = serde_json::from_str::<Value>(&line) else {
+            report.errors += 1;
+            continue;
+        };
+        if v.get("ok").and_then(Value::as_bool) != Some(true) {
+            report.errors += 1;
+            continue;
+        }
+        report.completed += 1;
+        report.latencies_us.push(elapsed_us);
+        if v.get("degraded").and_then(Value::as_bool) == Some(true) {
+            report.degraded += 1;
+        }
+    }
+    report
+}
+
+/// Fire one control request on its own connection and return the reply.
+fn control(addr: std::net::SocketAddr, line: &str) -> Option<Value> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = stream;
+    writer.write_all(line.as_bytes()).ok()?;
+    writer.write_all(b"\n").ok()?;
+    writer.flush().ok()?;
+    let mut resp = String::new();
+    reader.read_line(&mut resp).ok()?;
+    serde_json::from_str(&resp).ok()
+}
+
+fn main() {
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut duration_secs = 5u64;
+    let mut clients = 8usize;
+    let mut checkpoint: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--duration-secs" => {
+                duration_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--duration-secs requires an integer");
+            }
+            "--clients" => {
+                clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients requires an integer");
+            }
+            "--checkpoint" => {
+                checkpoint = Some(args.next().expect("--checkpoint requires a path"));
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // GEANT + k-shortest tunnels, gravity traffic — the zoo's training
+    // distribution, so a cached checkpoint matches the served workload.
+    let topo = harp_datasets::geant();
+    let edge_nodes: Vec<usize> = (0..topo.num_nodes()).collect();
+    let tunnels = TunnelSet::k_shortest(&topo, &edge_nodes, 4, 0.0);
+    let mut gcfg = GravityConfig::uniform(topo.num_nodes(), 1.0);
+    gcfg.edge_nodes = edge_nodes;
+    let mut rng = StdRng::seed_from_u64(42);
+    let tms = gravity_series(&gcfg, &mut rng, 16);
+    let scale = harp_datasets::calibrate_demand_scale(&topo, &tunnels, &tms, 0.7);
+    let demand_bodies: Vec<String> = tms
+        .iter()
+        .map(|tm| demands_fragment(&tm.scaled(scale)))
+        .collect();
+
+    let mut store = ParamStore::new();
+    let mut mrng = StdRng::seed_from_u64(1);
+    let harp = Harp::new(&mut store, &mut mrng, HarpConfig::default());
+    let ckpt = checkpoint
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results/models/harp_geant.quick.json"));
+    let params_source = if ckpt.exists() {
+        match load_params(&mut store, &ckpt) {
+            Ok(()) => format!("checkpoint {}", ckpt.display()),
+            Err(e) => {
+                eprintln!(
+                    "warning: checkpoint {} rejected ({e}); using fresh params",
+                    ckpt.display()
+                );
+                "fresh (checkpoint rejected)".to_string()
+            }
+        }
+    } else {
+        "fresh (no checkpoint found)".to_string()
+    };
+    println!("bench_serve: GEANT, {clients} clients, {duration_secs}s, params: {params_source}");
+
+    // A reload target for the mid-run hot-swap: same architecture,
+    // different values.
+    let reload_path = std::env::temp_dir().join("bench_serve_reload.json");
+    {
+        let mut other = ParamStore::new();
+        let mut orng = StdRng::seed_from_u64(2);
+        let _ = Harp::new(&mut other, &mut orng, HarpConfig::default());
+        save_params(&other, &reload_path).expect("write reload checkpoint");
+    }
+
+    // a real GEANT link for the mid-run failure drill
+    let (churn_u, churn_v, _, _) = topo.links()[0];
+
+    let model: Arc<dyn SplitModel + Send + Sync> = Arc::new(harp);
+    let mut cfg = ServeConfig::from_env();
+    cfg.addr = "127.0.0.1:0".to_string(); // never collide with a real daemon
+    let deadline_ms = cfg.deadline_ms;
+    let handle: ServerHandle = serve(cfg, model, store, topo, tunnels).expect("bind loopback port");
+    let addr = handle.addr();
+
+    let started = Instant::now();
+    let until = started + Duration::from_secs(duration_secs);
+    let reports: Vec<ClientReport> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..clients)
+            .map(|i| {
+                let bodies = &demand_bodies;
+                s.spawn(move || client_loop(addr, bodies, i, until))
+            })
+            .collect();
+        // mid-run churn on a separate connection: fail a link, hot-reload
+        // the checkpoint, restore the link
+        let churn = s.spawn(move || {
+            let phase = Duration::from_secs(duration_secs) / 4;
+            std::thread::sleep(phase);
+            let v = control(
+                addr,
+                &format!(
+                    r#"{{"id": 1, "type": "topology_update", "fail_links": [[{churn_u}, {churn_v}]]}}"#
+                ),
+            );
+            println!("  churn: fail ({churn_u},{churn_v}) -> {v:?}");
+            std::thread::sleep(phase);
+            let reload = format!(
+                "{{\"id\": 2, \"type\": \"reload_checkpoint\", \"path\": {:?}}}",
+                std::env::temp_dir()
+                    .join("bench_serve_reload.json")
+                    .to_string_lossy()
+            );
+            let v = control(addr, &reload);
+            println!("  churn: reload -> {v:?}");
+            std::thread::sleep(phase);
+            let v = control(
+                addr,
+                &format!(
+                    r#"{{"id": 3, "type": "topology_update", "restore_links": [[{churn_u}, {churn_v}]]}}"#
+                ),
+            );
+            println!("  churn: restore ({churn_u},{churn_v}) -> {v:?}");
+        });
+        let reports = workers
+            .into_iter()
+            .map(|w| w.join().expect("client panicked"))
+            .collect();
+        churn.join().expect("churn thread panicked");
+        reports
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let completed: u64 = reports.iter().map(|r| r.completed).sum();
+    let degraded: u64 = reports.iter().map(|r| r.degraded).sum();
+    let errors: u64 = reports.iter().map(|r| r.errors).sum();
+    let mut latencies: Vec<f64> = reports.into_iter().flat_map(|r| r.latencies_us).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let throughput = completed as f64 / wall_s;
+    let degraded_rate = if completed > 0 {
+        degraded as f64 / completed as f64
+    } else {
+        0.0
+    };
+    let pct = |p: f64| percentile(&latencies, p).unwrap_or(f64::NAN);
+    let server_stats = handle.stats().snapshot();
+    handle.shutdown();
+
+    println!(
+        "  {completed} responses in {wall_s:.2}s = {throughput:.1} req/s  \
+         (degraded {degraded} = {:.2}%, errors {errors})",
+        degraded_rate * 100.0
+    );
+    println!(
+        "  latency p50 {:.0}us  p99 {:.0}us  max {:.0}us",
+        pct(50.0),
+        pct(99.0),
+        pct(100.0)
+    );
+
+    let doc = serde_json::json!({
+        "suite": format!(
+            "harp-serve loopback: HARP (default config) on GEANT, {clients} clients, \
+             {duration_secs}s, mid-run link fail/restore + checkpoint hot-reload"
+        ),
+        "host_cpus": host_cpus,
+        "params_source": params_source,
+        "deadline_ms": deadline_ms,
+        "wall_s": wall_s,
+        "requests_completed": completed,
+        "throughput_rps": throughput,
+        "degraded": degraded,
+        "degraded_rate": degraded_rate,
+        "client_errors": errors,
+        "latency_p50_us": pct(50.0),
+        "latency_p99_us": pct(99.0),
+        "latency_max_us": pct(100.0),
+        "server_stats": server_stats,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize bench report");
+    if let Err(e) = std::fs::write(&out_path, text) {
+        eprintln!("error: write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("[results -> {out_path}]");
+}

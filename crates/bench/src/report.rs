@@ -23,21 +23,26 @@ pub fn normmlu_summary(label: &str, values: &[f64]) {
         println!("  {label:<14} (no data)");
         return;
     }
+    // non-empty (guarded above), so every percentile is Some
+    let pct = |p: f64| percentile(values, p).unwrap_or(f64::NAN);
     println!(
         "  {label:<14} n={:<6} median={:.3} p90={:.3} p98={:.3} p99.9={:.3} max={:.3}  frac<=1.10: {:.1}%",
         values.len(),
-        percentile(values, 50.0),
-        percentile(values, 90.0),
-        percentile(values, 98.0),
-        percentile(values, 99.9),
-        percentile(values, 100.0),
+        pct(50.0),
+        pct(90.0),
+        pct(98.0),
+        pct(99.9),
+        pct(100.0),
         100.0 * fraction_at_most(values, 1.10),
     );
 }
 
 /// Print a boxplot row (the paper's per-failure-scenario plots).
 pub fn boxplot_row(label: &str, values: &[f64]) {
-    let b = boxplot_stats(values);
+    let Some(b) = boxplot_stats(values) else {
+        println!("  {label:<18} (no data)");
+        return;
+    };
     println!(
         "  {label:<18} min={:.3} q1={:.3} med={:.3} q3={:.3} p90={:.3} max={:.3}",
         b.min, b.q1, b.median, b.q3, b.p90, b.max
@@ -62,13 +67,15 @@ pub fn stats_json(values: &[f64]) -> serde_json::Value {
     if values.is_empty() {
         return serde_json::json!({ "n": 0 });
     }
+    // non-empty (guarded above), so every percentile is Some
+    let pct = |p: f64| percentile(values, p).unwrap_or(f64::NAN);
     serde_json::json!({
         "n": values.len(),
-        "median": percentile(values, 50.0),
-        "p90": percentile(values, 90.0),
-        "p98": percentile(values, 98.0),
-        "p999": percentile(values, 99.9),
-        "max": percentile(values, 100.0),
+        "median": pct(50.0),
+        "p90": pct(90.0),
+        "p98": pct(98.0),
+        "p999": pct(99.9),
+        "max": pct(100.0),
         "mean": values.iter().sum::<f64>() / values.len() as f64,
         "frac_within_1_10": fraction_at_most(values, 1.10),
         "frac_within_1_11": fraction_at_most(values, 1.11),

@@ -1,9 +1,9 @@
 //! Evaluation: NormMLU against the optimal oracle, CDFs, percentiles and
 //! boxplot statistics (the paper's reporting vocabulary).
 
-use harp_tensor::{ParamStore, Tape};
+use harp_tensor::ParamStore;
 
-use crate::loss::splits_from_forward;
+use crate::infer::run_inference;
 use crate::{Instance, SplitModel};
 
 /// Evaluation-time policy knobs.
@@ -36,25 +36,16 @@ impl EvalOptions {
 }
 
 /// Run `model` on `instance` and return `(mlu, splits)` evaluated exactly
-/// (f64 path program), applying rescaling if requested.
+/// (f64 path program), applying rescaling if requested. Thin wrapper over
+/// [`run_inference`](crate::run_inference), kept for the figure harness.
 pub fn evaluate_model(
     model: &dyn SplitModel,
     store: &ParamStore,
     instance: &Instance,
     opts: EvalOptions,
 ) -> (f64, Vec<f64>) {
-    let mut tape = Tape::new();
-    let out = model.forward(&mut tape, store, instance);
-    let mut splits = splits_from_forward(&tape, out);
-    // guard against tiny float drift in the softmax
-    splits = instance.program.normalize_splits(&splits);
-    if opts.rescale_failed {
-        splits = instance
-            .program
-            .rescale_around_failures(&splits, opts.failed_threshold);
-    }
-    let mlu = instance.program.mlu(&splits);
-    (mlu, splits)
+    let inf = run_inference(model, store, instance, opts);
+    (inf.mlu, inf.splits)
 }
 
 /// NormMLU: the scheme's MLU over the optimal MLU, floored at 1 (tiny
@@ -82,20 +73,27 @@ pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
         .collect()
 }
 
-/// The `p`-th percentile (0..=100) by linear interpolation.
-pub fn percentile(values: &[f64], p: f64) -> f64 {
-    assert!(!values.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p));
+/// The `p`-th percentile (0..=100) by linear interpolation, or `None` for
+/// an empty input or a `p` outside `0..=100`.
+///
+/// Consumers that aggregate live measurement windows (the serve stats
+/// endpoint, rolling latency reports) routinely see empty slices — an
+/// empty window is "no data yet", not a caller bug, so this must not
+/// panic.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
     let mut v: Vec<f64> = values.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
     if v.len() == 1 {
-        return v[0];
+        return Some(v[0]);
     }
     let pos = p / 100.0 * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    v[lo] * (1.0 - frac) + v[hi] * frac
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
 }
 
 /// Fraction of values `<= threshold` (e.g. "98% of snapshots are within
@@ -125,16 +123,16 @@ pub struct BoxplotStats {
     pub max: f64,
 }
 
-/// Compute [`BoxplotStats`].
-pub fn boxplot_stats(values: &[f64]) -> BoxplotStats {
-    BoxplotStats {
-        min: percentile(values, 0.0),
-        q1: percentile(values, 25.0),
-        median: percentile(values, 50.0),
-        q3: percentile(values, 75.0),
-        p90: percentile(values, 90.0),
-        max: percentile(values, 100.0),
-    }
+/// Compute [`BoxplotStats`], or `None` for an empty input.
+pub fn boxplot_stats(values: &[f64]) -> Option<BoxplotStats> {
+    Some(BoxplotStats {
+        min: percentile(values, 0.0)?,
+        q1: percentile(values, 25.0)?,
+        median: percentile(values, 50.0)?,
+        q3: percentile(values, 75.0)?,
+        p90: percentile(values, 90.0)?,
+        max: percentile(values, 100.0)?,
+    })
 }
 
 #[cfg(test)]
@@ -160,10 +158,19 @@ mod tests {
     #[test]
     fn percentiles_interpolate() {
         let v = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 50.0), 3.0);
-        assert_eq!(percentile(&v, 100.0), 5.0);
-        assert!((percentile(&v, 90.0) - 4.6).abs() < 1e-12);
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert!((percentile(&v, 90.0).unwrap() - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_of_empty_or_out_of_range_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[1.0], -0.1), None);
+        assert_eq!(percentile(&[1.0], 100.1), None);
+        assert_eq!(percentile(&[7.5], 50.0), Some(7.5));
+        assert_eq!(boxplot_stats(&[]), None);
     }
 
     #[test]
@@ -176,7 +183,7 @@ mod tests {
     #[test]
     fn boxplot_summary() {
         let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let b = boxplot_stats(&v);
+        let b = boxplot_stats(&v).unwrap();
         assert_eq!(b.min, 1.0);
         assert_eq!(b.max, 100.0);
         assert!((b.median - 50.5).abs() < 1e-9);

@@ -208,19 +208,12 @@ impl Harp {
             .forward(t, s, seqs3, Some(inst.score_mask.clone()));
         t.reshape(out, vec![inst.num_tunnels * inst.seq_len, self.cfg.d_model])
     }
-}
 
-impl SplitModel for Harp {
-    fn forward(&self, t: &mut Tape, s: &ParamStore, inst: &Instance) -> Var {
-        let edge_emb = {
-            let _gcn = harp_obs::span("harp.gcn");
-            self.edge_embeddings(t, s, inst)
-        };
-        let table = {
-            let _st = harp_obs::span("harp.settrans");
-            self.tunnel_table(t, s, inst, edge_emb)
-        };
-
+    /// Stages 3–4 (MLP1 + RAU + final softmax) from an edge-tunnel
+    /// embedding `table`. This is the only part of the forward pass that
+    /// reads the traffic matrix, which is what makes the per-epoch
+    /// embedding cache sound.
+    fn head(&self, t: &mut Tape, s: &ParamStore, inst: &Instance, table: Var) -> Var {
         let demand_col = t.constant(vec![inst.num_tunnels, 1], inst.tunnel_demand.clone());
         let mut u = {
             let _mlp1 = harp_obs::span("harp.mlp1");
@@ -276,6 +269,46 @@ impl SplitModel for Harp {
         }
 
         t.segment_softmax(u, inst.tunnel_flow.clone(), inst.num_flows)
+    }
+}
+
+impl SplitModel for Harp {
+    fn forward(&self, t: &mut Tape, s: &ParamStore, inst: &Instance) -> Var {
+        let edge_emb = {
+            let _gcn = harp_obs::span("harp.gcn");
+            self.edge_embeddings(t, s, inst)
+        };
+        let table = {
+            let _st = harp_obs::span("harp.settrans");
+            self.tunnel_table(t, s, inst, edge_emb)
+        };
+        self.head(t, s, inst, table)
+    }
+
+    /// HARP's stages 1–2 (GCN + set transformer) read only the topology
+    /// and tunnel tensors of `inst`, so the resulting edge-tunnel
+    /// embedding table is cacheable across every TM of an epoch — and it
+    /// dominates forward cost, so serving re-runs only the cheap head.
+    fn precompute_epoch(&self, s: &ParamStore, inst: &Instance) -> Option<crate::EpochCache> {
+        let _span = harp_obs::span("harp.precompute_epoch");
+        let mut t = Tape::new();
+        let edge_emb = self.edge_embeddings(&mut t, s, inst);
+        let table = self.tunnel_table(&mut t, s, inst, edge_emb);
+        Some(crate::EpochCache {
+            data: std::sync::Arc::new(t.value(table).to_vec()),
+            shape: vec![inst.num_tunnels * inst.seq_len, self.cfg.d_model],
+        })
+    }
+
+    fn forward_cached(
+        &self,
+        t: &mut Tape,
+        s: &ParamStore,
+        inst: &Instance,
+        cache: &crate::EpochCache,
+    ) -> Var {
+        let table = t.constant(cache.shape.clone(), (*cache.data).clone());
+        self.head(t, s, inst, table)
     }
 
     fn name(&self) -> &'static str {

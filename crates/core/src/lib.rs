@@ -25,6 +25,7 @@
 mod dote;
 mod eval;
 mod harp;
+mod infer;
 mod instance;
 mod loss;
 mod teal;
@@ -36,6 +37,7 @@ pub use eval::{
     BoxplotStats, EvalOptions,
 };
 pub use harp::{Harp, HarpConfig};
+pub use infer::{run_inference, run_inference_cached, Inference};
 pub use instance::Instance;
 pub use loss::{
     mlu_loss, mlu_with_mean_util_loss, splits_from_forward, throughput_loss, utilization,
@@ -44,6 +46,23 @@ pub use teal::{Teal, TealConfig};
 pub use train::{train_model, EpochStats, TrainConfig, TrainReport};
 
 use harp_tensor::{ParamStore, Tape, Var};
+
+/// Model state that depends only on the topology and tunnel set — not on
+/// the traffic matrix — computed once per topology *epoch* and reused
+/// across every TM served against it. The layout of `data` is defined by
+/// the model that produced it (for HARP: the flat `[T * seq_len, d_model]`
+/// edge-tunnel embedding table out of the set transformer).
+///
+/// A cache is only valid for the exact `(topology, tunnels, parameters)`
+/// triple it was computed from; the serving layer invalidates it on every
+/// topology update and checkpoint reload.
+#[derive(Clone, Debug)]
+pub struct EpochCache {
+    /// Cached tensor data (model-defined meaning), shared across tapes.
+    pub data: std::sync::Arc<Vec<f32>>,
+    /// Shape of the cached tensor.
+    pub shape: Vec<usize>,
+}
 
 /// A TE scheme that maps a compiled [`Instance`] to per-tunnel split
 /// ratios (a rank-1 tensor of length `instance.num_tunnels`, already
@@ -59,4 +78,29 @@ pub trait SplitModel: Sync {
 
     /// Scheme name for reports.
     fn name(&self) -> &'static str;
+
+    /// Compute the TM-independent part of the forward pass for this
+    /// topology epoch, if the model has one worth caching. `instance` may
+    /// be compiled against any TM (only its topology/tunnel tensors are
+    /// read). The default — models whose cost is dominated by the
+    /// TM-dependent part — returns `None`.
+    fn precompute_epoch(&self, store: &ParamStore, instance: &Instance) -> Option<EpochCache> {
+        let _ = (store, instance);
+        None
+    }
+
+    /// Forward pass reusing a cache from [`Self::precompute_epoch`] on
+    /// the same epoch and parameters. The default ignores the cache and
+    /// runs the full forward, so callers may pass any model's cache back
+    /// to it unconditionally.
+    fn forward_cached(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        instance: &Instance,
+        cache: &EpochCache,
+    ) -> Var {
+        let _ = cache;
+        self.forward(tape, store, instance)
+    }
 }

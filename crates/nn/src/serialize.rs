@@ -33,7 +33,16 @@ impl FromJson for SavedParam {
     }
 }
 
-/// Write every parameter in `store` to `path` as JSON.
+/// Monotonic discriminator for temp-file names, so concurrent saves in one
+/// process never collide on the same scratch path.
+static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Write every parameter in `store` to `path` as JSON, **crash-safely**:
+/// the JSON is first written to a uniquely-named temp file in the same
+/// directory and then `rename`d into place. A process killed mid-save can
+/// leave a stray `*.tmp-*` file behind, but `path` itself only ever holds
+/// either the previous complete checkpoint or the new complete one — a
+/// hot-reloading server can never observe a truncated checkpoint.
 pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
     let mut map = BTreeMap::new();
     for id in store.ids() {
@@ -46,7 +55,26 @@ pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
         );
     }
     let json = serde_json::to_string(&map).map_err(io::Error::other)?;
-    fs::write(path, json)
+
+    // Same-directory temp file: rename(2) is only atomic within one
+    // filesystem, and the checkpoint's directory is the one place we know
+    // is on it.
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("checkpoint path {} has no file name", path.display()),
+        )
+    })?;
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp-{}-{seq}", std::process::id()));
+    let tmp_path = path.with_file_name(tmp_name);
+
+    fs::write(&tmp_path, json)?;
+    fs::rename(&tmp_path, path).inspect_err(|_| {
+        // rename failed: don't leave the scratch file around
+        let _ = fs::remove_file(&tmp_path);
+    })
 }
 
 /// Load parameter values saved with [`save_params`] into a store whose
@@ -144,6 +172,85 @@ mod tests {
         load_params(&mut store, &path).unwrap();
         assert_eq!(store.data(a), &[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(store.data(b), &[5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn partial_temp_file_never_shadows_valid_checkpoint() {
+        let path = ckpt_path("crash_partial");
+        let mut store = ParamStore::new();
+        let a = store.register("a", vec![2], vec![1.5, -2.5]);
+        save_params(&store, &path).unwrap();
+
+        // Simulate a crash mid-save: a truncated temp file next to the
+        // checkpoint (what fs::write would have left at the old path).
+        let stray = path.with_file_name("crash_partial.json.tmp-dead-0");
+        fs::write(&stray, "{\"a\":{\"shape\":[2],\"da").unwrap();
+
+        // The real checkpoint is untouched and still loads.
+        store.data_mut(a).copy_from_slice(&[0.0, 0.0]);
+        load_params(&mut store, &path).unwrap();
+        assert_eq!(store.data(a), &[1.5, -2.5]);
+
+        // A subsequent save still lands atomically despite the stray file.
+        store.data_mut(a).copy_from_slice(&[3.0, 4.0]);
+        save_params(&store, &path).unwrap();
+        let mut fresh = ParamStore::new();
+        let b = fresh.register("a", vec![2], vec![0.0, 0.0]);
+        load_params(&mut fresh, &path).unwrap();
+        assert_eq!(fresh.data(b), &[3.0, 4.0]);
+        let _ = fs::remove_file(stray);
+    }
+
+    /// Kill-mid-save proxy: a writer thread overwrites the checkpoint in a
+    /// tight loop while a reader loads it concurrently. Because saves are
+    /// temp-file + rename, every load must observe a complete checkpoint —
+    /// one of the writer's values, never a parse/validation error from a
+    /// half-written file (which pre-atomic `fs::write` produced readily).
+    #[test]
+    fn concurrent_loads_never_see_truncated_checkpoints() {
+        let path = ckpt_path("crash_concurrent");
+        // Large enough that a non-atomic overwrite would take multiple
+        // writes and expose torn reads.
+        let n = 4096usize;
+        let mut store = ParamStore::new();
+        let id = store.register("w", vec![n], vec![0.0; n]);
+        save_params(&store, &path).unwrap();
+
+        std::thread::scope(|s| {
+            let writer_path = path.clone();
+            let writer = s.spawn(move || {
+                let mut st = ParamStore::new();
+                let wid = st.register("w", vec![n], vec![0.0; n]);
+                for round in 1..=20u32 {
+                    st.data_mut(wid).fill(round as f32);
+                    save_params(&st, &writer_path).unwrap();
+                }
+            });
+            let reader_path = path.clone();
+            let reader = s.spawn(move || {
+                for _ in 0..40 {
+                    let mut st = ParamStore::new();
+                    let rid = st.register("w", vec![n], vec![-1.0; n]);
+                    load_params(&mut st, &reader_path)
+                        .expect("load observed a truncated or torn checkpoint");
+                    let first = st.data(rid)[0];
+                    // a complete checkpoint is uniform in one round's value
+                    assert!(
+                        st.data(rid).iter().all(|&v| v == first),
+                        "torn checkpoint: mixed values in one load"
+                    );
+                }
+            });
+            writer.join().unwrap();
+            reader.join().unwrap();
+        });
+
+        // final state is the last round
+        let mut fin = ParamStore::new();
+        let fid = fin.register("w", vec![n], vec![0.0; n]);
+        load_params(&mut fin, &path).unwrap();
+        assert_eq!(fin.data(fid)[0], 20.0);
+        let _ = id;
     }
 
     #[test]

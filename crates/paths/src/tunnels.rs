@@ -143,6 +143,29 @@ impl TunnelSet {
         self.iter_flat().all(|(_, _, p)| !p.0.contains(&e))
     }
 
+    /// The tunnel set with every tunnel traversing any edge in `failed`
+    /// removed; flows that lose all of their tunnels are dropped entirely.
+    /// Flow order and within-flow tunnel order are preserved, so pruning is
+    /// idempotent and composes: pruning `{a}` then `{b}` equals pruning
+    /// `{a, b}` from the original set (the incremental-update invariant the
+    /// serving layer relies on under link failures).
+    pub fn without_edges(&self, failed: &std::collections::BTreeSet<EdgeId>) -> TunnelSet {
+        let mut flows = Vec::new();
+        let mut tunnels = Vec::new();
+        for (f, &flow) in self.flows.iter().enumerate() {
+            let surviving: Vec<Path> = self.tunnels[f]
+                .iter()
+                .filter(|p| p.0.iter().all(|e| !failed.contains(e)))
+                .cloned()
+                .collect();
+            if !surviving.is_empty() {
+                flows.push(flow);
+                tunnels.push(surviving);
+            }
+        }
+        TunnelSet { flows, tunnels }
+    }
+
     /// The same tunnels on a node-relabeled copy of the topology: node `i`
     /// of `old_topo` is node `perm[i]` of `new_topo`. Within-flow tunnel
     /// order is preserved; flows are re-sorted by their *new* (src, dst)
@@ -275,6 +298,43 @@ mod tests {
         assert!(common > 0);
         assert_eq!(only_b, 0); // b's paths are a subset of a's
         assert!(only_a > 0);
+    }
+
+    #[test]
+    fn without_edges_drops_exactly_traversing_tunnels() {
+        let t = square();
+        let ts = TunnelSet::k_shortest(&t, &[0, 1, 2, 3], 2, 0.0);
+        let e01 = t.edge_id(0, 1).unwrap();
+        let failed: std::collections::BTreeSet<usize> = [e01].into_iter().collect();
+        let pruned = ts.without_edges(&failed);
+        assert!(pruned.avoids_edge(e01));
+        assert!(pruned.num_tunnels() < ts.num_tunnels());
+        // every surviving path existed in the original set, same flow
+        for (f, _, p) in pruned.iter_flat() {
+            let (s, d) = pruned.flows()[f];
+            let orig = ts.flow_index(s, d).expect("flow survives from original");
+            assert!(ts.tunnels_of(orig).contains(p));
+        }
+        // pruning the empty set is the identity
+        assert_eq!(ts.without_edges(&Default::default()), ts);
+        // idempotent
+        assert_eq!(pruned.without_edges(&failed), pruned);
+    }
+
+    #[test]
+    fn without_edges_drops_flows_with_no_survivors() {
+        // path graph 0-1-2: flow (0,2) has exactly one tunnel through both
+        // edges; failing 0->1 kills the flow entirely.
+        let mut t = Topology::new(3);
+        t.add_link(0, 1, 1.0).unwrap();
+        t.add_link(1, 2, 1.0).unwrap();
+        let ts = TunnelSet::k_shortest(&t, &[0, 2], 2, 0.0);
+        assert_eq!(ts.num_flows(), 2);
+        let e01 = t.edge_id(0, 1).unwrap();
+        let failed: std::collections::BTreeSet<usize> = [e01].into_iter().collect();
+        let pruned = ts.without_edges(&failed);
+        assert_eq!(pruned.num_flows(), 1);
+        assert_eq!(pruned.flows(), &[(2, 0)]);
     }
 
     #[test]

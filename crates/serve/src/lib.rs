@@ -1,0 +1,29 @@
+//! # harp-serve
+//!
+//! The online TE controller: a zero-dependency TCP daemon that serves a
+//! trained split model over a newline-delimited JSON protocol.
+//!
+//! * [`protocol`] — the wire format: `infer`, `topology_update`,
+//!   `reload_checkpoint`, `stats`, `shutdown` requests, one JSON object
+//!   per line each way.
+//! * [`state`] — epoch-versioned network state: base topology + tunnels,
+//!   the failure overlay, pruned tunnels, and last-good splits.
+//! * [`server`] — the daemon: per-connection reader threads feeding one
+//!   batcher thread that owns all mutable state, fans `infer` batches
+//!   across the `harp-runtime` pool, bounds every request with a
+//!   deadline, and degrades to last-good splits (or uniform ECMP on cold
+//!   start) instead of failing or blocking.
+//! * [`stats`] — serving counters plus latency percentiles, mirrored
+//!   into the `harp-obs` registry.
+//!
+//! See DESIGN.md §8 for the protocol and degradation policy.
+
+pub mod protocol;
+pub mod server;
+pub mod state;
+pub mod stats;
+
+pub use protocol::{error_response, ok_response, parse_request, ProtocolError, Request};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use state::{carry_splits, uniform_splits, NetworkState, UpdateSummary, FAILED_CAPACITY};
+pub use stats::{DegradeReason, ServeStats};

@@ -1,0 +1,277 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line with a numeric `id` (echoed
+//! back) and a `type`; every response is one JSON object on one line with
+//! the same `id` plus `ok` (and `error` when `ok` is false). Requests:
+//!
+//! | `type` | fields | reply payload |
+//! |---|---|---|
+//! | `infer` | `demands: [[src, dst, demand], ..]`, optional `deadline_ms`, optional `epoch` pin | `epoch`, `degraded`, `mlu`, `splits`, `latency_us` |
+//! | `topology_update` | `fail_links: [[u, v], ..]`, `restore_links: [[u, v], ..]` | `epoch`, `num_flows`, `num_tunnels`, `failed_links` |
+//! | `reload_checkpoint` | `path` | `epoch`, `params` |
+//! | `stats` | — | counters + latency percentiles |
+//! | `shutdown` | — | ack, then the daemon drains and exits |
+
+use serde_json::Value;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Traffic matrix → per-tunnel splits.
+    Infer {
+        /// Sparse demands as `(src, dst, demand)` triples.
+        demands: Vec<(usize, usize, f64)>,
+        /// Per-request deadline override in milliseconds.
+        deadline_ms: Option<u64>,
+        /// When set, the request is only valid against this topology epoch.
+        epoch: Option<u64>,
+    },
+    /// Fail and/or restore links (both directions), re-pruning tunnels.
+    TopologyUpdate {
+        /// Links to fail, as undirected `(u, v)` node pairs.
+        fail_links: Vec<(usize, usize)>,
+        /// Links to restore to their base capacity.
+        restore_links: Vec<(usize, usize)>,
+    },
+    /// Swap in a new checkpoint after strict validation.
+    ReloadCheckpoint {
+        /// Path to a checkpoint written by `harp_nn::save_params`.
+        path: String,
+    },
+    /// Serving counters and latency percentiles.
+    Stats,
+    /// Acknowledge, then drain and exit.
+    Shutdown,
+}
+
+/// Why a request line could not be turned into a [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtocolError {
+    /// The request `id`, when one could still be recovered (echoed back so
+    /// the client can correlate the error).
+    pub id: Option<u64>,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl ProtocolError {
+    fn new(id: Option<u64>, reason: impl Into<String>) -> Self {
+        ProtocolError {
+            id,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Parse one request line. On success returns `(id, request)`.
+pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
+    let v: Value = serde_json::from_str(line.trim())
+        .map_err(|e| ProtocolError::new(None, format!("invalid JSON: {e:?}")))?;
+    let id = v
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ProtocolError::new(None, "missing numeric 'id'"))?;
+    let ty = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtocolError::new(Some(id), "missing string 'type'"))?;
+    let req = match ty {
+        "infer" => Request::Infer {
+            demands: parse_demands(&v).map_err(|r| ProtocolError::new(Some(id), r))?,
+            deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+            epoch: v.get("epoch").and_then(Value::as_u64),
+        },
+        "topology_update" => Request::TopologyUpdate {
+            fail_links: parse_links(&v, "fail_links")
+                .map_err(|r| ProtocolError::new(Some(id), r))?,
+            restore_links: parse_links(&v, "restore_links")
+                .map_err(|r| ProtocolError::new(Some(id), r))?,
+        },
+        "reload_checkpoint" => Request::ReloadCheckpoint {
+            path: v
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| ProtocolError::new(Some(id), "reload_checkpoint needs 'path'"))?
+                .to_string(),
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(ProtocolError::new(
+                Some(id),
+                format!("unknown request type {other:?}"),
+            ))
+        }
+    };
+    Ok((id, req))
+}
+
+fn parse_demands(v: &Value) -> Result<Vec<(usize, usize, f64)>, String> {
+    let arr = v
+        .get("demands")
+        .and_then(Value::as_array)
+        .ok_or("infer needs 'demands': [[src, dst, demand], ..]")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, triple) in arr.iter().enumerate() {
+        let t = triple
+            .as_array()
+            .filter(|t| t.len() == 3)
+            .ok_or_else(|| format!("demands[{i}] is not a [src, dst, demand] triple"))?;
+        let s = t[0]
+            .as_u64()
+            .ok_or_else(|| format!("demands[{i}]: src is not a node id"))?;
+        let d = t[1]
+            .as_u64()
+            .ok_or_else(|| format!("demands[{i}]: dst is not a node id"))?;
+        let demand = t[2]
+            .as_f64()
+            .ok_or_else(|| format!("demands[{i}]: demand is not a number"))?;
+        if !demand.is_finite() || demand < 0.0 {
+            return Err(format!(
+                "demands[{i}]: demand {demand} is not finite and >= 0"
+            ));
+        }
+        out.push((s as usize, d as usize, demand));
+    }
+    Ok(out)
+}
+
+fn parse_links(v: &Value, key: &str) -> Result<Vec<(usize, usize)>, String> {
+    let Some(arr) = v.get(key) else {
+        return Ok(Vec::new());
+    };
+    let arr = arr
+        .as_array()
+        .ok_or_else(|| format!("'{key}' must be an array of [u, v] pairs"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, pair) in arr.iter().enumerate() {
+        let p = pair
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{key}[{i}] is not a [u, v] pair"))?;
+        let u = p[0]
+            .as_u64()
+            .ok_or_else(|| format!("{key}[{i}]: u is not a node id"))?;
+        let w = p[1]
+            .as_u64()
+            .ok_or_else(|| format!("{key}[{i}]: v is not a node id"))?;
+        out.push((u as usize, w as usize));
+    }
+    Ok(out)
+}
+
+/// Render a success response: `{"id":.., "ok":true, ..payload}`.
+pub fn ok_response(id: u64, payload: Value) -> String {
+    let mut map = match payload {
+        Value::Object(m) => m,
+        _ => serde_json::Map::new(),
+    };
+    map.insert("id".to_string(), Value::from(id as f64));
+    map.insert("ok".to_string(), Value::Bool(true));
+    one_line(&Value::Object(map))
+}
+
+/// Render an error response: `{"id":.., "ok":false, "error":..}`. A `None`
+/// id (unparseable request) serializes as JSON `null`.
+pub fn error_response(id: Option<u64>, error: &str) -> String {
+    let idv = match id {
+        Some(i) => Value::from(i as f64),
+        None => Value::Null,
+    };
+    one_line(&serde_json::json!({ "id": idv, "ok": false, "error": error }))
+}
+
+fn one_line(v: &Value) -> String {
+    let mut s = serde_json::to_string(v).unwrap_or_else(|_| "{\"ok\":false}".to_string());
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_infer() {
+        let (id, req) = parse_request(
+            r#"{"id": 7, "type": "infer", "demands": [[0, 2, 4.5], [2, 0, 1]], "deadline_ms": 50}"#,
+        )
+        .unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(
+            req,
+            Request::Infer {
+                demands: vec![(0, 2, 4.5), (2, 0, 1.0)],
+                deadline_ms: Some(50),
+                epoch: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_topology_update_with_defaults() {
+        let (_, req) =
+            parse_request(r#"{"id": 1, "type": "topology_update", "fail_links": [[0, 1]]}"#)
+                .unwrap();
+        assert_eq!(
+            req,
+            Request::TopologyUpdate {
+                fail_links: vec![(0, 1)],
+                restore_links: vec![],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_control_requests() {
+        assert_eq!(
+            parse_request(r#"{"id": 2, "type": "stats"}"#).unwrap().1,
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"id": 3, "type": "shutdown"}"#).unwrap().1,
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(r#"{"id": 4, "type": "reload_checkpoint", "path": "m.json"}"#)
+                .unwrap()
+                .1,
+            Request::ReloadCheckpoint {
+                path: "m.json".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests_keeping_id() {
+        let e = parse_request(r#"{"id": 9, "type": "warp"}"#).unwrap_err();
+        assert_eq!(e.id, Some(9));
+        assert!(e.reason.contains("warp"));
+
+        let e = parse_request(r#"{"type": "stats"}"#).unwrap_err();
+        assert_eq!(e.id, None);
+
+        let e = parse_request("not json").unwrap_err();
+        assert_eq!(e.id, None);
+
+        let e =
+            parse_request(r#"{"id": 5, "type": "infer", "demands": [[0, 1, -3]]}"#).unwrap_err();
+        assert_eq!(e.id, Some(5));
+        assert!(e.reason.contains("finite"));
+    }
+
+    #[test]
+    fn responses_are_single_lines() {
+        let ok = ok_response(3, serde_json::json!({"epoch": 1}));
+        assert!(ok.ends_with('\n'));
+        assert_eq!(ok.matches('\n').count(), 1);
+        let v: Value = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("epoch").and_then(Value::as_u64), Some(1));
+
+        let err = error_response(None, "bad");
+        let v: Value = serde_json::from_str(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(v.get("id").unwrap().is_null());
+    }
+}

@@ -1,0 +1,652 @@
+//! The daemon: TCP listener, per-connection reader threads, and the
+//! single batcher thread that owns all mutable serving state.
+//!
+//! Concurrency model — one owner, no locks on the hot state:
+//!
+//! * every connection thread parses request lines and enqueues jobs onto
+//!   one mpsc queue, then blocks for the rendered response line;
+//! * the **batcher thread** is the only owner of [`NetworkState`] and the
+//!   current parameter store. It drains the queue, groups consecutive
+//!   `infer` jobs into a batch (control jobs act as barriers), fans the
+//!   batch across the `harp-runtime` worker pool, and applies topology
+//!   updates / checkpoint swaps between batches. Epoch reads, tunnel
+//!   pruning, and `Arc<ParamStore>` swaps therefore never race.
+//!
+//! Degradation policy: a response is *degraded* — served from last-good
+//! splits, or uniform ECMP before any inference has succeeded — when the
+//! request's deadline expires before or during inference, or when the
+//! model returns non-finite splits. Degraded responses carry
+//! `degraded: true` plus a `reason`, and are counted in `stats`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use harp_core::{
+    run_inference, run_inference_cached, EpochCache, EvalOptions, Instance, SplitModel,
+};
+use harp_nn::load_params;
+use harp_paths::TunnelSet;
+use harp_runtime::Runtime;
+use harp_tensor::ParamStore;
+use harp_topology::Topology;
+use harp_traffic::TrafficMatrix;
+use serde_json::Value;
+
+use crate::protocol::{error_response, ok_response, parse_request, Request};
+use crate::state::NetworkState;
+use crate::stats::{DegradeReason, ServeStats};
+
+/// Daemon configuration; see [`ServeConfig::from_env`] for the env knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7447` (port 0 picks a free port).
+    pub addr: String,
+    /// Default per-request deadline in milliseconds (requests may override
+    /// with their own `deadline_ms`).
+    pub deadline_ms: u64,
+    /// Most infer jobs fanned out in one batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7447".to_string(),
+            deadline_ms: 250,
+            max_batch: 32,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Configuration from the environment: `HARP_SERVE_ADDR` (listen
+    /// address) and `HARP_SERVE_DEADLINE_MS` (default deadline). Invalid
+    /// values warn via `harp-obs` and fall back to the defaults, matching
+    /// the `HARP_THREADS` convention of failing loudly but not fatally.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Ok(addr) = std::env::var("HARP_SERVE_ADDR") {
+            if !addr.is_empty() {
+                cfg.addr = addr;
+            }
+        }
+        if let Ok(raw) = std::env::var("HARP_SERVE_DEADLINE_MS") {
+            match raw.parse::<u64>() {
+                Ok(ms) if ms > 0 => cfg.deadline_ms = ms,
+                _ => harp_obs::warn_always(
+                    "serve.deadline_fallback",
+                    &[
+                        ("value", raw.clone().into()),
+                        ("fallback_ms", cfg.deadline_ms.into()),
+                    ],
+                ),
+            }
+        }
+        cfg
+    }
+}
+
+/// One queued `infer` request.
+struct InferJob {
+    id: u64,
+    demands: Vec<(usize, usize, f64)>,
+    epoch_pin: Option<u64>,
+    deadline: Instant,
+    enqueued: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+/// Anything the batcher thread processes.
+enum Job {
+    Infer(InferJob),
+    Control {
+        id: u64,
+        req: Request,
+        reply: mpsc::Sender<String>,
+    },
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or send a `shutdown` request).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    listener: Option<thread::JoinHandle<()>>,
+    batcher: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared serving counters (also reachable via the `stats` request).
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Stop accepting, drain in-flight work, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How often blocked threads re-check the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Start the daemon: bind `cfg.addr`, spawn the batcher and listener
+/// threads, and return a handle. `model` + `store` are the serving model
+/// (the store is hot-swappable via `reload_checkpoint`); `topo` +
+/// `tunnels` define epoch 0 of the network.
+pub fn serve(
+    cfg: ServeConfig,
+    model: Arc<dyn SplitModel + Send + Sync>,
+    store: ParamStore,
+    topo: Topology,
+    tunnels: TunnelSet,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServeStats::new());
+    let queue_depth = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::channel::<Job>();
+
+    harp_obs::event("serve.start")
+        .field("addr", addr.to_string())
+        .field("deadline_ms", cfg.deadline_ms)
+        .emit();
+
+    let batcher = {
+        let stop = Arc::clone(&stop);
+        let stats = Arc::clone(&stats);
+        let depth = Arc::clone(&queue_depth);
+        let cfg = cfg.clone();
+        thread::spawn(move || {
+            let state = NetworkState::new(topo, tunnels);
+            batcher_loop(rx, state, model, store, cfg, stop, stats, depth);
+        })
+    };
+
+    let listener_thread = {
+        let stop = Arc::clone(&stop);
+        let stats = Arc::clone(&stats);
+        let depth = Arc::clone(&queue_depth);
+        let deadline_ms = cfg.deadline_ms;
+        thread::spawn(move || {
+            let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let tx = tx.clone();
+                        let stop = Arc::clone(&stop);
+                        let stats = Arc::clone(&stats);
+                        let depth = Arc::clone(&depth);
+                        conns.push(thread::spawn(move || {
+                            handle_connection(stream, tx, stop, stats, depth, deadline_ms);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(POLL);
+                    }
+                    Err(_) => break,
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            drop(tx); // batcher's rx disconnects once all connections close
+            for h in conns {
+                let _ = h.join();
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        stats,
+        listener: Some(listener_thread),
+        batcher: Some(batcher),
+    })
+}
+
+/// Read request lines off one client connection, enqueue jobs, and write
+/// back rendered responses (one per request, in request order).
+fn handle_connection(
+    stream: TcpStream,
+    jobs: mpsc::Sender<Job>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    depth: Arc<AtomicUsize>,
+    deadline_ms: u64,
+) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                // a timeout may have returned a partial line earlier; only
+                // a newline terminates a request
+                if buf.last() != Some(&b'\n') {
+                    continue;
+                }
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                buf.clear();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = dispatch_line(&line, &jobs, &stats, &depth, deadline_ms);
+                if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parse one request line, route it through the batcher, and return the
+/// rendered response line.
+fn dispatch_line(
+    line: &str,
+    jobs: &mpsc::Sender<Job>,
+    stats: &ServeStats,
+    depth: &AtomicUsize,
+    deadline_ms: u64,
+) -> String {
+    let (id, req) = match parse_request(line) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            stats.record_protocol_error();
+            return error_response(e.id, &e.reason);
+        }
+    };
+    stats.record_request();
+
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let enqueued = Instant::now();
+    let job = match req {
+        Request::Infer {
+            demands,
+            deadline_ms: per_req,
+            epoch,
+        } => {
+            let budget = Duration::from_millis(per_req.unwrap_or(deadline_ms));
+            Job::Infer(InferJob {
+                id,
+                demands,
+                epoch_pin: epoch,
+                deadline: enqueued + budget,
+                enqueued,
+                reply: reply_tx,
+            })
+        }
+        other => Job::Control {
+            id,
+            req: other,
+            reply: reply_tx,
+        },
+    };
+    depth.fetch_add(1, Ordering::Relaxed);
+    if jobs.send(job).is_err() {
+        depth.fetch_sub(1, Ordering::Relaxed);
+        return error_response(Some(id), "server is shutting down");
+    }
+    // The batcher always answers every dequeued job; a long timeout only
+    // guards against it having died mid-request.
+    match reply_rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(resp) => resp,
+        Err(_) => error_response(Some(id), "server did not answer in time"),
+    }
+}
+
+/// The batcher thread body: drain jobs, batch infers, apply control ops.
+#[allow(clippy::too_many_arguments)]
+fn batcher_loop(
+    rx: mpsc::Receiver<Job>,
+    mut state: NetworkState,
+    model: Arc<dyn SplitModel + Send + Sync>,
+    store: ParamStore,
+    cfg: ServeConfig,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    depth: Arc<AtomicUsize>,
+) {
+    let rt = Runtime::global();
+    let mut store = Arc::new(store);
+    // TM-independent model state for the current (epoch, store) pair;
+    // rebuilt lazily on the first infer after any topology update or
+    // checkpoint reload. Only the batcher touches it, so no locking.
+    let mut epoch_cache: Option<EpochCache> = None;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let job = match rx.recv_timeout(POLL) {
+            Ok(j) => j,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        depth.fetch_sub(1, Ordering::Relaxed);
+        match job {
+            Job::Control { id, req, reply } => {
+                let resp = handle_control(
+                    id,
+                    req,
+                    &mut state,
+                    &mut store,
+                    &mut epoch_cache,
+                    &stop,
+                    &stats,
+                );
+                let _ = reply.send(resp);
+            }
+            Job::Infer(first) => {
+                let mut batch = vec![first];
+                let mut barrier = None;
+                while batch.len() < cfg.max_batch {
+                    match rx.try_recv() {
+                        Ok(Job::Infer(j)) => {
+                            depth.fetch_sub(1, Ordering::Relaxed);
+                            batch.push(j);
+                        }
+                        Ok(ctl) => {
+                            depth.fetch_sub(1, Ordering::Relaxed);
+                            barrier = Some(ctl);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                stats.record_batch(batch.len(), depth.load(Ordering::Relaxed));
+                if epoch_cache.is_none() {
+                    // Zero-TM instance: precompute only reads the
+                    // topology/tunnel tensors.
+                    let blank = TrafficMatrix::zeros(state.topology().num_nodes());
+                    let inst = Instance::compile(state.topology(), state.tunnels(), &blank);
+                    epoch_cache = model.precompute_epoch(&store, &inst);
+                }
+                process_batch(
+                    batch,
+                    &mut state,
+                    model.as_ref(),
+                    &store,
+                    epoch_cache.as_ref(),
+                    &rt,
+                    &stats,
+                );
+                if let Some(Job::Control { id, req, reply }) = barrier {
+                    let resp = handle_control(
+                        id,
+                        req,
+                        &mut state,
+                        &mut store,
+                        &mut epoch_cache,
+                        &stop,
+                        &stats,
+                    );
+                    let _ = reply.send(resp);
+                }
+            }
+        }
+    }
+}
+
+/// Run one batch of infer jobs through the model on the worker pool and
+/// answer each, degrading individually on deadline miss or model error.
+fn process_batch(
+    batch: Vec<InferJob>,
+    state: &mut NetworkState,
+    model: &dyn SplitModel,
+    store: &Arc<ParamStore>,
+    epoch_cache: Option<&EpochCache>,
+    rt: &Runtime,
+    stats: &ServeStats,
+) {
+    let _span = harp_obs::span("serve.batch");
+    let n = state.topology().num_nodes();
+    let epoch = state.epoch();
+
+    // Weed out jobs that can't run: stale epoch pins and bad node ids get
+    // error responses; already-expired deadlines degrade immediately.
+    let mut runnable: Vec<InferJob> = Vec::with_capacity(batch.len());
+    for job in batch {
+        if let Some(pin) = job.epoch_pin {
+            if pin != epoch {
+                stats.record_stale_epoch();
+                let _ = job.reply.send(error_response(
+                    Some(job.id),
+                    &format!("stale epoch: request pinned to {pin}, current is {epoch}"),
+                ));
+                continue;
+            }
+        }
+        if let Some(&(s, t, _)) = job.demands.iter().find(|&&(s, t, _)| s >= n || t >= n) {
+            let _ = job.reply.send(error_response(
+                Some(job.id),
+                &format!("demand ({s}, {t}) references a node >= {n}"),
+            ));
+            continue;
+        }
+        if Instant::now() >= job.deadline {
+            degrade(&job, state, stats, DegradeReason::DeadlineMiss);
+            continue;
+        }
+        runnable.push(job);
+    }
+    if runnable.is_empty() {
+        return;
+    }
+
+    // Fan the batch across the worker pool. Each job compiles its own
+    // instance (the TM differs per request; topology and tunnels are the
+    // epoch's). Tunnels crossing failed links are already pruned, so no
+    // local rescaling is needed on top.
+    let matrices: Vec<TrafficMatrix> = runnable
+        .iter()
+        .map(|job| {
+            let mut tm = TrafficMatrix::zeros(n);
+            for &(s, t, d) in &job.demands {
+                tm.set_demand(s, t, tm.demand(s, t) + d);
+            }
+            tm
+        })
+        .collect();
+    let topo = state.topology().clone();
+    let tunnels = state.tunnels().clone();
+    let store_ref = Arc::clone(store);
+    let deadlines: Vec<Instant> = runnable.iter().map(|j| j.deadline).collect();
+    let results = rt.par_map(&matrices, |i, tm| {
+        if Instant::now() >= deadlines[i] {
+            return None; // expired while queued behind batch-mates
+        }
+        let _span = harp_obs::span("serve.infer");
+        let instance = Instance::compile(&topo, &tunnels, tm);
+        Some(match epoch_cache {
+            Some(c) => run_inference_cached(
+                model,
+                store_ref.as_ref(),
+                &instance,
+                EvalOptions::default(),
+                c,
+            ),
+            None => run_inference(model, store_ref.as_ref(), &instance, EvalOptions::default()),
+        })
+    });
+
+    let mut newest_good: Option<Vec<f64>> = None;
+    for (job, result) in runnable.into_iter().zip(results) {
+        match result {
+            None => degrade(&job, state, stats, DegradeReason::DeadlineMiss),
+            Some(inf) if !inf.is_finite() => {
+                harp_obs::event("serve.model_error")
+                    .field("id", job.id)
+                    .emit();
+                degrade(&job, state, stats, DegradeReason::ModelError);
+            }
+            Some(inf) if Instant::now() >= job.deadline => {
+                // finished too late to ship; still remember the splits
+                newest_good = Some(inf.splits);
+                degrade(&job, state, stats, DegradeReason::DeadlineMiss);
+            }
+            Some(inf) => {
+                let latency_us = job.enqueued.elapsed().as_micros() as u64;
+                stats.record_infer_ok(latency_us);
+                let _ = job.reply.send(ok_response(
+                    job.id,
+                    serde_json::json!({
+                        "epoch": epoch,
+                        "degraded": false,
+                        "mlu": inf.mlu,
+                        "splits": Value::from(inf.splits.clone()),
+                        "latency_us": latency_us,
+                    }),
+                ));
+                newest_good = Some(inf.splits);
+            }
+        }
+    }
+    if let Some(splits) = newest_good {
+        state.set_last_good(splits);
+    }
+}
+
+/// Answer one job from fallback splits and count it as degraded.
+fn degrade(job: &InferJob, state: &NetworkState, stats: &ServeStats, reason: DegradeReason) {
+    let (splits, source) = state.fallback_splits();
+    let latency_us = job.enqueued.elapsed().as_micros() as u64;
+    stats.record_degraded(reason, latency_us);
+    let reason_str = match reason {
+        DegradeReason::DeadlineMiss => "deadline_miss",
+        DegradeReason::ModelError => "model_error",
+    };
+    let _ = job.reply.send(ok_response(
+        job.id,
+        serde_json::json!({
+            "epoch": state.epoch(),
+            "degraded": true,
+            "reason": reason_str,
+            "splits_source": source,
+            "splits": Value::from(splits),
+            "latency_us": latency_us,
+        }),
+    ));
+}
+
+/// Apply one control request on the batcher thread.
+fn handle_control(
+    id: u64,
+    req: Request,
+    state: &mut NetworkState,
+    store: &mut Arc<ParamStore>,
+    epoch_cache: &mut Option<EpochCache>,
+    stop: &AtomicBool,
+    stats: &ServeStats,
+) -> String {
+    match req {
+        Request::TopologyUpdate {
+            fail_links,
+            restore_links,
+        } => {
+            let _span = harp_obs::span("serve.topology_update");
+            match state.apply_update(&fail_links, &restore_links) {
+                Ok(s) => {
+                    *epoch_cache = None; // tunnels changed: embeddings are stale
+                    stats.record_topology_update();
+                    harp_obs::event("serve.topology_update")
+                        .field("epoch", s.epoch)
+                        .field("failed_links", s.failed_links)
+                        .emit();
+                    ok_response(
+                        id,
+                        serde_json::json!({
+                            "epoch": s.epoch,
+                            "num_flows": s.num_flows,
+                            "num_tunnels": s.num_tunnels,
+                            "failed_links": s.failed_links,
+                        }),
+                    )
+                }
+                Err(e) => error_response(Some(id), &e),
+            }
+        }
+        Request::ReloadCheckpoint { path } => {
+            let _span = harp_obs::span("serve.reload_checkpoint");
+            // Validate into a clone; the live store is swapped only after
+            // the whole checkpoint passes the strict loader.
+            let mut candidate = (**store).clone();
+            match load_params(&mut candidate, Path::new(&path)) {
+                Ok(()) => {
+                    let params = candidate.ids().count();
+                    *store = Arc::new(candidate);
+                    *epoch_cache = None; // parameters changed: embeddings are stale
+                    stats.record_reload(true);
+                    harp_obs::event("serve.reload")
+                        .field("path", path)
+                        .field("params", params)
+                        .emit();
+                    ok_response(
+                        id,
+                        serde_json::json!({ "epoch": state.epoch(), "params": params }),
+                    )
+                }
+                Err(e) => {
+                    stats.record_reload(false);
+                    error_response(Some(id), &format!("reload rejected: {e}"))
+                }
+            }
+        }
+        Request::Stats => {
+            let mut payload = stats.snapshot();
+            if let Value::Object(map) = &mut payload {
+                map.insert("epoch".into(), Value::from(state.epoch() as f64));
+                map.insert(
+                    "failed_links".into(),
+                    Value::from(state.failed_edges().len() as f64),
+                );
+                map.insert(
+                    "num_tunnels".into(),
+                    Value::from(state.tunnels().num_tunnels() as f64),
+                );
+            }
+            ok_response(id, payload)
+        }
+        Request::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            harp_obs::event("serve.shutdown").field("id", id).emit();
+            ok_response(id, serde_json::json!({ "stopping": true }))
+        }
+        Request::Infer { .. } => error_response(Some(id), "infer routed as control"),
+    }
+}

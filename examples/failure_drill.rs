@@ -82,7 +82,7 @@ fn main() {
             let (mlu, _) = evaluate_model(&harp, &store, &inst, EvalOptions::default());
             nms.push(norm_mlu(mlu, opt));
         }
-        let b = boxplot_stats(&nms);
+        let b = boxplot_stats(&nms).expect("non-empty drill window");
         println!(
             "  {u:>2}-{v:<7} {:>8.3} {:>8.3} {:>8.3}",
             b.median, b.p90, b.max

@@ -63,8 +63,8 @@ fn main() {
             "  {:<12} {:>11.1}% {:>16.3} {:>14.3}",
             p.name(),
             100.0 * errs.iter().sum::<f64>() / errs.len() as f64,
-            harp::models::percentile(&nms, 50.0),
-            harp::models::percentile(&nms, 90.0),
+            harp::models::percentile(&nms, 50.0).expect("non-empty window"),
+            harp::models::percentile(&nms, 90.0).expect("non-empty window"),
         );
     }
     println!(

@@ -90,8 +90,8 @@ fn main() {
                 norm_mlu(mlu, *opt)
             })
             .collect();
-        let med = harp::models::percentile(&nms, 50.0);
-        let max = harp::models::percentile(&nms, 100.0);
+        let med = harp::models::percentile(&nms, 50.0).expect("non-empty cluster");
+        let max = harp::models::percentile(&nms, 100.0).expect("non-empty cluster");
         println!(
             "  cluster {cid:>2} ({} snapshots): median NormMLU {med:.3}, max {max:.3}",
             nms.len()

@@ -62,6 +62,13 @@ pub mod models {
     pub use harp_core::*;
 }
 
+/// Online TE controller: NDJSON TCP daemon with batched inference,
+/// topology updates, and checkpoint hot-reload (re-export of
+/// `harp-serve`).
+pub mod serve {
+    pub use harp_serve::*;
+}
+
 /// Static analysis of recorded tapes: shape re-inference, gradient
 /// reachability, and numerical-hazard lints (re-export of `harp-verify`).
 pub mod verify {
