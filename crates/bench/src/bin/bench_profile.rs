@@ -61,7 +61,8 @@ fn main() {
             ..Default::default()
         },
         EvalOptions::default(),
-    );
+    )
+    .expect("bench_profile training run failed");
     let wall = t0.elapsed();
 
     println!(

@@ -177,7 +177,8 @@ fn main() {
                 &val_refs,
                 cfg,
                 EvalOptions::default(),
-            );
+            )
+            .expect("bench_train training run failed");
             wall_s = wall_s.min(t0.elapsed().as_secs_f64());
             best_epoch = report.best_epoch;
             best_val = report.best_val;

@@ -1,0 +1,330 @@
+//! CI chaos drills: run training under an injected fault (via
+//! `HARP_FAULT`) and verify the fault-tolerance machinery did its job —
+//! rollback on poisoned gradients, containment of killed workers, typed
+//! rejection of corrupted checkpoints, and bitwise-faithful resume after
+//! a hard `SIGKILL`.
+//!
+//! ```text
+//! chaos_drill nan          # HARP_FAULT=nan-grad@step=N
+//! chaos_drill worker-kill  # HARP_FAULT=kill-worker@epoch=E,worker=W
+//! chaos_drill corrupt      # HARP_FAULT=corrupt-checkpoint@write=1,...
+//! chaos_drill kill-resume  # no HARP_FAULT: spawns + kills a child run
+//! ```
+//!
+//! Exits 0 when the drill's invariants hold, 1 with a diagnostic line
+//! otherwise.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use harp_core::{
+    train_model, EvalOptions, Harp, HarpConfig, Instance, TrainConfig, TrainError, TrainReport,
+    SNAPSHOT_FILE,
+};
+use harp_opt::MluOracle;
+use harp_paths::TunnelSet;
+use harp_tensor::ParamStore;
+use harp_topology::Topology;
+use harp_traffic::TrafficMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Total epochs for the resume drills; the victim is killed well before.
+const EPOCHS: usize = 4;
+const DATA_SEED: u64 = 17;
+const MODEL_SEED: u64 = 23;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("chaos-drill: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn diamond() -> (Topology, TunnelSet) {
+    let mut topo = Topology::new(4);
+    topo.add_link(0, 1, 10.0).expect("diamond link");
+    topo.add_link(1, 3, 10.0).expect("diamond link");
+    topo.add_link(0, 2, 20.0).expect("diamond link");
+    topo.add_link(2, 3, 20.0).expect("diamond link");
+    let tunnels = TunnelSet::k_shortest(&topo, &[0, 3], 2, 0.0);
+    (topo, tunnels)
+}
+
+type Labeled = Vec<(Instance, f64)>;
+
+fn dataset(n_train: usize) -> (Labeled, Labeled) {
+    let (topo, tunnels) = diamond();
+    let mut rng = StdRng::seed_from_u64(DATA_SEED);
+    let oracle = MluOracle::default();
+    let make = |rng: &mut StdRng| {
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set_demand(0, 3, rng.gen_range(5.0..15.0));
+        tm.set_demand(3, 0, rng.gen_range(2.0..8.0));
+        let inst = Instance::compile(&topo, &tunnels, &tm);
+        let opt = oracle.solve(&inst.program).mlu;
+        (inst, opt)
+    };
+    let train: Vec<(Instance, f64)> = (0..n_train).map(|_| make(&mut rng)).collect();
+    let val: Vec<(Instance, f64)> = (0..4).map(|_| make(&mut rng)).collect();
+    (train, val)
+}
+
+fn fresh_model() -> (Harp, ParamStore) {
+    let mut store = ParamStore::new();
+    let mut mrng = StdRng::seed_from_u64(MODEL_SEED);
+    let cfg = HarpConfig {
+        gnn_layers: 1,
+        gnn_hidden: 8,
+        d_model: 16,
+        settrans_layers: 1,
+        heads: 2,
+        d_ff: 16,
+        mlp_hidden: 16,
+        rau_iters: 1,
+    };
+    let harp = Harp::new(&mut store, &mut mrng, cfg);
+    (harp, store)
+}
+
+/// One deterministic training run on the shared fixture. `TrainConfig`
+/// leaves `chaos: None`, so the global `HARP_FAULT` plan (if any) applies.
+fn run(
+    epochs: usize,
+    workers: usize,
+    n_train: usize,
+    dir: Option<PathBuf>,
+) -> (Result<TrainReport, TrainError>, Vec<Vec<f32>>) {
+    let (train, val) = dataset(n_train);
+    let train_refs: Vec<(&Instance, f64)> = train.iter().map(|(i, o)| (i, *o)).collect();
+    let val_refs: Vec<(&Instance, f64)> = val.iter().map(|(i, o)| (i, *o)).collect();
+    let (harp, mut store) = fresh_model();
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 8,
+        lr: 5e-3,
+        patience: 0,
+        workers,
+        checkpoint_dir: dir,
+        checkpoint_every: 1,
+        ..Default::default()
+    };
+    let report = train_model(
+        &harp,
+        &mut store,
+        &train_refs,
+        &val_refs,
+        cfg,
+        EvalOptions::default(),
+    );
+    let params = store.snapshot();
+    (report, params)
+}
+
+fn require_plan() -> std::sync::Arc<harp_chaos::FaultPlan> {
+    harp_chaos::global_plan()
+        .unwrap_or_else(|| fail("this drill needs a fault plan in HARP_FAULT, but none is set"))
+}
+
+fn assert_finite(params: &[Vec<f32>]) {
+    if params.iter().flatten().any(|x| !x.is_finite()) {
+        fail("parameters are non-finite after recovery");
+    }
+}
+
+/// Gradients poisoned with NaN at a planned step: training must detect
+/// the divergence, roll back, halve the LR, and still finish healthy.
+fn drill_nan() {
+    let plan = require_plan();
+    let (report, params) = run(3, 1, 16, None);
+    let report = report.unwrap_or_else(|e| fail(&format!("run did not recover: {e}")));
+    if report.rollbacks == 0 {
+        fail("nan-grad fault fired but no rollback was recorded");
+    }
+    if !plan.exhausted() {
+        fail("nan-grad fault never fired — wrong step index in HARP_FAULT?");
+    }
+    assert_finite(&params);
+    println!(
+        "chaos-drill[nan]: ok — {} rollback(s), final val {:.4}",
+        report.rollbacks, report.best_val
+    );
+}
+
+/// A pool worker killed mid-epoch: the panic must surface as a structured
+/// per-epoch error, trigger rollback, and the retried epoch must succeed.
+fn drill_worker_kill() {
+    let plan = require_plan();
+    let (report, params) = run(3, 4, 16, None);
+    let report = report.unwrap_or_else(|e| fail(&format!("run did not recover: {e}")));
+    if report.rollbacks == 0 {
+        fail("kill-worker fault fired but no rollback was recorded");
+    }
+    if !plan.exhausted() {
+        fail("kill-worker fault never fired — check epoch/worker in HARP_FAULT");
+    }
+    assert_finite(&params);
+    println!(
+        "chaos-drill[worker-kill]: ok — contained panic, {} rollback(s)",
+        report.rollbacks
+    );
+}
+
+/// A checkpoint corrupted on its way to disk: the write itself succeeds
+/// (a crash can't tell), but resume must REJECT the file with a typed
+/// error naming the problem — never silently train from garbage.
+fn drill_corrupt() {
+    let _plan = require_plan();
+    let dir = scratch("corrupt");
+    // Two epochs → two snapshot writes; the plan corrupts the final one.
+    let (first, _) = run(2, 1, 16, Some(dir.clone()));
+    if let Err(e) = first {
+        fail(&format!("initial checkpointed run failed outright: {e}"));
+    }
+    match run(EPOCHS, 1, 16, Some(dir.clone())) {
+        (Err(TrainError::Checkpoint(e)), _) => {
+            println!("chaos-drill[corrupt]: ok — corrupted snapshot rejected: {e}");
+        }
+        (Err(e), _) => fail(&format!("wrong error class for corrupt snapshot: {e}")),
+        (Ok(_), _) => fail("resume silently accepted a corrupted snapshot"),
+    }
+    // Recovery path: delete the poisoned snapshot and train fresh.
+    std::fs::remove_file(dir.join(SNAPSHOT_FILE)).expect("remove corrupted snapshot");
+    let (fresh, params) = run(2, 1, 16, Some(dir.clone()));
+    if let Err(e) = fresh {
+        fail(&format!("fresh run after snapshot removal failed: {e}"));
+    }
+    assert_finite(&params);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hard-kill a checkpointing child mid-run, then resume from whatever
+/// snapshot it left behind and verify the result is bitwise-identical to
+/// a run that was never interrupted.
+fn drill_kill_resume() {
+    if harp_chaos::global_plan().is_some() {
+        fail("kill-resume must run without HARP_FAULT (the kill IS the fault)");
+    }
+    let dir = scratch("kill_resume");
+    let n_train = 64; // enough work per epoch that the kill lands mid-run
+
+    println!("chaos-drill[kill-resume]: reference run ({EPOCHS} epochs, no checkpoints)");
+    let (straight, straight_params) = run(EPOCHS, 4, n_train, None);
+    let straight = straight.unwrap_or_else(|e| fail(&format!("reference run failed: {e}")));
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = Command::new(exe)
+        .arg("victim")
+        .arg(&dir)
+        .env_remove("HARP_FAULT")
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn victim: {e}")));
+
+    // Wait for the first snapshot to land, then pull the plug.
+    let snapshot = dir.join(SNAPSHOT_FILE);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !snapshot.exists() {
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            fail("victim produced no snapshot within 60s");
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            fail(&format!(
+                "victim exited before it could be killed: {status}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().expect("SIGKILL victim");
+    let _ = child.wait();
+
+    let killed_at = snapshot_epoch(&snapshot);
+    if killed_at >= EPOCHS {
+        fail(&format!(
+            "victim checkpointed epoch {killed_at} before the kill — fixture too fast to drill"
+        ));
+    }
+    println!("chaos-drill[kill-resume]: victim killed after epoch {killed_at}; resuming");
+
+    let (resumed, resumed_params) = run(EPOCHS, 4, n_train, Some(dir.clone()));
+    let resumed = resumed.unwrap_or_else(|e| fail(&format!("resume after kill failed: {e}")));
+    if resumed.resumed_from != Some(killed_at) {
+        fail(&format!(
+            "resumed from {:?}, snapshot said epoch {killed_at}",
+            resumed.resumed_from
+        ));
+    }
+    if resumed.history.len() != straight.history.len() {
+        fail("resumed history length differs from reference");
+    }
+    for (r, s) in resumed.history.iter().zip(&straight.history) {
+        if r.train_loss.to_bits() != s.train_loss.to_bits()
+            || r.val_norm_mlu.to_bits() != s.val_norm_mlu.to_bits()
+        {
+            fail(&format!(
+                "epoch {} diverged from reference after resume",
+                r.epoch
+            ));
+        }
+    }
+    if resumed.best_epoch != straight.best_epoch {
+        fail("best_epoch differs from reference after resume");
+    }
+    let same = straight_params.len() == resumed_params.len()
+        && straight_params.iter().zip(&resumed_params).all(|(a, b)| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        });
+    if !same {
+        fail("final parameters differ bitwise from reference after resume");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("chaos-drill[kill-resume]: ok — resume is bitwise-identical to the uninterrupted run");
+}
+
+/// Internal: the kill target. Trains far more epochs than the parent
+/// needs, checkpointing every epoch, until the parent kills it.
+fn victim(dir: &Path) {
+    let (res, _) = run(500, 4, 64, Some(dir.to_path_buf()));
+    // Reaching here means the parent failed to kill us; exit nonzero so
+    // the drill notices.
+    if let Err(e) = res {
+        eprintln!("chaos-drill[victim]: training failed: {e}");
+    }
+    std::process::exit(3);
+}
+
+/// Read `progress.next_epoch` out of a snapshot file.
+fn snapshot_epoch(path: &Path) -> usize {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read snapshot: {e}")));
+    let json: serde_json::Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("victim snapshot is not valid JSON: {e}")));
+    json.get("progress")
+        .and_then(|p| p.get("next_epoch"))
+        .and_then(serde_json::Value::as_u64)
+        .unwrap_or_else(|| fail("victim snapshot has no progress.next_epoch")) as usize
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("harp_chaos_drill_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("nan") => drill_nan(),
+        Some("worker-kill") => drill_worker_kill(),
+        Some("corrupt") => drill_corrupt(),
+        Some("kill-resume") => drill_kill_resume(),
+        Some("victim") => {
+            let dir = args
+                .get(2)
+                .unwrap_or_else(|| fail("victim needs a checkpoint dir argument"));
+            victim(Path::new(dir));
+        }
+        _ => {
+            eprintln!("usage: chaos_drill <nan|worker-kill|corrupt|kill-resume>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -75,7 +75,8 @@ fn train_harp_pred(ctx: &Ctx, name: &str, train: &[PredPair], val: &[PredPair]) 
                 let loss = tape.mul_scalar(mlu, norm / chunk.len() as f32);
                 tape.backward(loss, &mut store);
             }
-            clip_grad_norm(&mut store, cfg.clip_norm);
+            clip_grad_norm(&mut store, cfg.clip_norm)
+                .expect("fig12: non-finite gradient norm in custom DOTE loop");
             opt.step_and_zero(&mut store);
         }
         let score: f64 = val

@@ -30,7 +30,8 @@ fn curve(
             ..zoo::train_config(ctx)
         },
         EvalOptions::with_rescaling(),
-    );
+    )
+    .expect("fig18 training run failed");
     let curve: Vec<f64> = report.history.iter().map(|h| h.train_loss).collect();
     println!("  {label}:");
     for (e, v) in curve.iter().enumerate() {

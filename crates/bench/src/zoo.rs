@@ -112,6 +112,7 @@ pub fn train_config(ctx: &Ctx) -> TrainConfig {
         seed: 17,
         patience: if ctx.quick { 6 } else { 10 },
         workers: 0, // resolve HARP_THREADS / available parallelism
+        ..Default::default()
     }
 }
 
@@ -154,7 +155,9 @@ pub fn train_or_load(
         }
     }
     let t0 = std::time::Instant::now();
-    let report = train_model(&*model, &mut store, train, val, cfg, scheme.eval_options());
+    let report = train_model(&*model, &mut store, train, val, cfg, scheme.eval_options())
+        // lint: allow(panic) — bench tooling: a failed training run is fatal
+        .unwrap_or_else(|e| panic!("zoo: training {name} failed: {e}"));
     println!(
         "[zoo] trained {name}: best val NormMLU {:.4} (epoch {}) in {:.1?} over {} epochs",
         report.best_val,

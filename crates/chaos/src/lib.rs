@@ -1,0 +1,544 @@
+//! # harp-chaos
+//!
+//! Deterministic fault injection for the HARP stack. A [`FaultPlan`] is a
+//! seeded, parseable description of *which* faults fire *when*: a NaN
+//! pushed into the gradients at step N, checkpoint bytes corrupted on the
+//! Nth write, a worker thread killed mid-epoch, a serve connection dropped
+//! or delayed. Library code asks the plan at well-defined injection sites;
+//! with no plan installed every site is a single branch on `None`.
+//!
+//! Two ways to arm a plan:
+//!
+//! * explicitly — construct a [`FaultPlan`] (or parse one) and hand it to
+//!   the component under test (`TrainConfig::chaos`, `ServeConfig::chaos`,
+//!   [`harp_nn::save_snapshot`]'s `chaos` argument). This is what tests
+//!   use: no global state, safe under parallel test threads.
+//! * via the environment — set `HARP_FAULT` and the process-wide plan
+//!   ([`global_plan`]) is parsed once; components fall back to it when no
+//!   explicit plan was given. This is what CI chaos scenarios use.
+//!
+//! ## `HARP_FAULT` grammar
+//!
+//! Semicolon-separated fault specs, each `name@key=value,key=value`:
+//!
+//! ```text
+//! nan-grad@step=3                      inject NaN into gradients at global step 3
+//! kill-worker@epoch=1,worker=1         panic in pool worker 1 during epoch 1
+//! corrupt-checkpoint@write=2,mode=flip corrupt the 2nd snapshot write (mode: flip|truncate)
+//! drop-conn@nth=4                      close the 4th accepted serve connection immediately
+//! delay-conn@nth=2,ms=500              stall the 2nd accepted connection 500 ms before serving
+//! abort@epoch=2                        abort training after epoch 2 (simulated crash)
+//! seed=42                              seed for corruption byte positions (default 0)
+//! ```
+//!
+//! Counters (`step`, `write`, `nth`, `epoch`) are 0-based and count from
+//! process/plan start. Every fault fires **once**; a plan is exhausted when
+//! all of its faults have fired. Parsing is strict — an unknown fault name
+//! or malformed parameter is an error (surfaced loudly via
+//! `chaos.bad_plan`), never silently ignored: a chaos run that silently
+//! tests nothing is worse than no chaos run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// How [`FaultKind::CorruptCheckpoint`] mangles the byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptMode {
+    /// Truncate the buffer to half its length (torn write).
+    Truncate,
+    /// Flip one byte at a seed-determined offset (bit rot).
+    Flip,
+}
+
+/// One fault in a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Poison the merged gradients with NaN at global optimizer step `step`.
+    NanGrad {
+        /// 0-based global step at which the gradients are poisoned.
+        step: u64,
+    },
+    /// Panic inside pool worker `worker` during epoch `epoch`.
+    KillWorker {
+        /// 0-based training epoch in which the worker dies.
+        epoch: u64,
+        /// 0-based worker (chunk) index that panics.
+        worker: u64,
+    },
+    /// Corrupt the bytes of the `write`-th snapshot write.
+    CorruptCheckpoint {
+        /// 0-based count of snapshot writes before the corrupted one.
+        write: u64,
+        /// How the bytes are mangled.
+        mode: CorruptMode,
+    },
+    /// Close the `nth` accepted serve connection without reading it.
+    DropConn {
+        /// 0-based accepted-connection index.
+        nth: u64,
+    },
+    /// Stall the `nth` accepted serve connection for `ms` before serving.
+    DelayConn {
+        /// 0-based accepted-connection index.
+        nth: u64,
+        /// Delay in milliseconds.
+        ms: u64,
+    },
+    /// Abort training right after epoch `epoch` completes (simulates a
+    /// crash between checkpoint and the next epoch; the caller surfaces it
+    /// as a typed error, so in-process tests can exercise kill+resume).
+    Abort {
+        /// 0-based epoch after which training aborts.
+        epoch: u64,
+    },
+}
+
+impl FaultKind {
+    /// Short stable name used in events and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::NanGrad { .. } => "nan-grad",
+            FaultKind::KillWorker { .. } => "kill-worker",
+            FaultKind::CorruptCheckpoint { .. } => "corrupt-checkpoint",
+            FaultKind::DropConn { .. } => "drop-conn",
+            FaultKind::DelayConn { .. } => "delay-conn",
+            FaultKind::Abort { .. } => "abort",
+        }
+    }
+}
+
+/// A fault plus its fired-once latch.
+#[derive(Debug)]
+struct Armed {
+    kind: FaultKind,
+    fired: AtomicBool,
+}
+
+/// What [`FaultPlan::conn_fault`] tells the serve accept loop to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Close the connection without serving it.
+    Drop,
+    /// Sleep this many milliseconds before serving the connection.
+    DelayMs(u64),
+}
+
+/// A deterministic, seeded set of faults with fired-once semantics.
+///
+/// All query methods take `&self` (latches and counters are atomics), so a
+/// plan can be shared via [`Arc`] across trainer, checkpoint writer, pool
+/// workers, and serve threads.
+#[derive(Debug)]
+pub struct FaultPlan {
+    faults: Vec<Armed>,
+    seed: u64,
+    /// Snapshot writes observed so far (drives `corrupt-checkpoint`).
+    writes: AtomicU64,
+    /// Serve connections observed so far (drives `drop-conn`/`delay-conn`).
+    conns: AtomicU64,
+}
+
+/// Why a `HARP_FAULT` string failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The offending spec fragment.
+    pub spec: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec `{}`: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FaultPlan {
+    /// A plan over `faults` with corruption seed `seed`.
+    pub fn new(faults: Vec<FaultKind>, seed: u64) -> Self {
+        FaultPlan {
+            faults: faults
+                .into_iter()
+                .map(|kind| Armed {
+                    kind,
+                    fired: AtomicBool::new(false),
+                })
+                .collect(),
+            seed,
+            writes: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+        }
+    }
+
+    /// Parse the `HARP_FAULT` grammar (see the crate docs).
+    pub fn parse(s: &str) -> Result<Self, PlanParseError> {
+        let mut faults = Vec::new();
+        let mut seed = 0u64;
+        for spec in s.split(';') {
+            let spec = spec.trim();
+            if spec.is_empty() {
+                continue;
+            }
+            if let Some(v) = spec.strip_prefix("seed=") {
+                seed = parse_u64(spec, "seed", v)?;
+                continue;
+            }
+            let (name, params) = match spec.split_once('@') {
+                Some((n, p)) => (n.trim(), p),
+                None => (spec, ""),
+            };
+            let get = |key: &str| -> Result<Option<u64>, PlanParseError> {
+                for kv in params.split(',') {
+                    let kv = kv.trim();
+                    if kv.is_empty() {
+                        continue;
+                    }
+                    let (k, v) = kv.split_once('=').ok_or_else(|| PlanParseError {
+                        spec: spec.to_string(),
+                        reason: format!("parameter `{kv}` is not key=value"),
+                    })?;
+                    if k.trim() == key {
+                        return Ok(Some(parse_u64(spec, key, v)?));
+                    }
+                }
+                Ok(None)
+            };
+            let require = |v: Option<u64>, key: &str| {
+                v.ok_or_else(|| PlanParseError {
+                    spec: spec.to_string(),
+                    reason: format!("missing required parameter `{key}`"),
+                })
+            };
+            let kind = match name {
+                "nan-grad" => FaultKind::NanGrad {
+                    step: require(get("step")?, "step")?,
+                },
+                "kill-worker" => FaultKind::KillWorker {
+                    epoch: require(get("epoch")?, "epoch")?,
+                    worker: require(get("worker")?, "worker")?,
+                },
+                "corrupt-checkpoint" => {
+                    let write = require(get("write")?, "write")?;
+                    let mode = match mode_param(params) {
+                        None | Some("flip") => CorruptMode::Flip,
+                        Some("truncate") => CorruptMode::Truncate,
+                        Some(other) => {
+                            return Err(PlanParseError {
+                                spec: spec.to_string(),
+                                reason: format!("unknown mode `{other}` (flip|truncate)"),
+                            })
+                        }
+                    };
+                    FaultKind::CorruptCheckpoint { write, mode }
+                }
+                "drop-conn" => FaultKind::DropConn {
+                    nth: require(get("nth")?, "nth")?,
+                },
+                "delay-conn" => FaultKind::DelayConn {
+                    nth: require(get("nth")?, "nth")?,
+                    ms: require(get("ms")?, "ms")?,
+                },
+                "abort" => FaultKind::Abort {
+                    epoch: require(get("epoch")?, "epoch")?,
+                },
+                other => {
+                    return Err(PlanParseError {
+                        spec: spec.to_string(),
+                        reason: format!("unknown fault `{other}`"),
+                    })
+                }
+            };
+            faults.push(kind);
+        }
+        Ok(FaultPlan::new(faults, seed))
+    }
+
+    /// The corruption seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The faults in the plan (fired or not).
+    pub fn faults(&self) -> Vec<FaultKind> {
+        self.faults.iter().map(|a| a.kind.clone()).collect()
+    }
+
+    /// True when every fault in the plan has fired.
+    pub fn exhausted(&self) -> bool {
+        self.faults.iter().all(|a| a.fired.load(Ordering::SeqCst))
+    }
+
+    /// Find the first un-fired fault matching `pred`, latch it as fired,
+    /// emit a `chaos.fire` event, and return it.
+    fn fire(&self, pred: impl Fn(&FaultKind) -> bool) -> Option<FaultKind> {
+        for armed in &self.faults {
+            if pred(&armed.kind)
+                && armed
+                    .fired
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                harp_obs::event("chaos.fire")
+                    .field("fault", armed.kind.name())
+                    .field_with("detail", || format!("{:?}", armed.kind).into())
+                    .emit();
+                return Some(armed.kind.clone());
+            }
+        }
+        None
+    }
+
+    /// True when a `nan-grad` fault fires at global optimizer step `step`.
+    pub fn nan_grad_at(&self, step: u64) -> bool {
+        self.fire(|k| matches!(k, FaultKind::NanGrad { step: s } if *s == step))
+            .is_some()
+    }
+
+    /// True when an `abort` fault fires right after `epoch`.
+    pub fn abort_after_epoch(&self, epoch: u64) -> bool {
+        self.fire(|k| matches!(k, FaultKind::Abort { epoch: e } if *e == epoch))
+            .is_some()
+    }
+
+    /// Panic (a deliberate, labelled chaos panic) when a `kill-worker`
+    /// fault targets `(epoch, worker)`. Call from inside pool workers; the
+    /// runtime's containment layer must turn it into a structured error.
+    pub fn maybe_kill_worker(&self, epoch: u64, worker: u64) {
+        let hit = self.fire(
+            |k| matches!(k, FaultKind::KillWorker { epoch: e, worker: w } if *e == epoch && *w == worker),
+        );
+        if hit.is_some() {
+            // This fault IS an injected worker panic; containment is
+            // what's under test. lint: allow(panic) — deliberate chaos
+            panic!("harp-chaos: injected kill-worker fault (epoch {epoch}, worker {worker})");
+        }
+    }
+
+    /// Count one snapshot write and corrupt `bytes` in place when a
+    /// `corrupt-checkpoint` fault targets this write. Returns the mode
+    /// applied, if any.
+    pub fn corrupt_checkpoint_write(&self, bytes: &mut Vec<u8>) -> Option<CorruptMode> {
+        let write = self.writes.fetch_add(1, Ordering::SeqCst);
+        let hit = self
+            .fire(|k| matches!(k, FaultKind::CorruptCheckpoint { write: w, .. } if *w == write))?;
+        let FaultKind::CorruptCheckpoint { mode, .. } = hit else {
+            return None;
+        };
+        match mode {
+            CorruptMode::Truncate => bytes.truncate(bytes.len() / 2),
+            CorruptMode::Flip => {
+                if !bytes.is_empty() {
+                    let pos = (splitmix64(self.seed ^ write) as usize) % bytes.len();
+                    bytes[pos] ^= 0x20; // case-flip keeps it printable but wrong
+                }
+            }
+        }
+        Some(mode)
+    }
+
+    /// Count one accepted serve connection and return the fault to apply
+    /// to it, if any.
+    pub fn conn_fault(&self) -> Option<ConnFault> {
+        let conn = self.conns.fetch_add(1, Ordering::SeqCst);
+        let hit = self.fire(|k| {
+            matches!(k, FaultKind::DropConn { nth } if *nth == conn)
+                || matches!(k, FaultKind::DelayConn { nth, .. } if *nth == conn)
+        })?;
+        match hit {
+            FaultKind::DropConn { .. } => Some(ConnFault::Drop),
+            FaultKind::DelayConn { ms, .. } => Some(ConnFault::DelayMs(ms)),
+            _ => None,
+        }
+    }
+}
+
+fn mode_param(params: &str) -> Option<&str> {
+    params.split(',').find_map(|kv| {
+        let (k, v) = kv.trim().split_once('=')?;
+        (k.trim() == "mode").then(|| v.trim())
+    })
+}
+
+fn parse_u64(spec: &str, key: &str, v: &str) -> Result<u64, PlanParseError> {
+    v.trim().parse::<u64>().map_err(|_| PlanParseError {
+        spec: spec.to_string(),
+        reason: format!("`{key}` value `{}` is not a non-negative integer", v.trim()),
+    })
+}
+
+/// SplitMix64 — a tiny, well-mixed hash used to pick corruption offsets
+/// deterministically from `(seed, write index)`.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The process-wide plan parsed once from `HARP_FAULT`. `None` when the
+/// variable is unset, empty, or fails to parse — a parse failure is shouted
+/// through a `chaos.bad_plan` warning (reaching stderr even with the obs
+/// sink off) so a typo'd scenario never silently tests nothing.
+pub fn global_plan() -> Option<Arc<FaultPlan>> {
+    static GLOBAL: OnceLock<Option<Arc<FaultPlan>>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let raw = std::env::var("HARP_FAULT").ok()?;
+            if raw.trim().is_empty() {
+                return None;
+            }
+            match FaultPlan::parse(&raw) {
+                Ok(plan) => {
+                    harp_obs::event("chaos.armed")
+                        .field("plan", raw.clone())
+                        .field("faults", plan.faults.len())
+                        .emit();
+                    Some(Arc::new(plan))
+                }
+                Err(e) => {
+                    harp_obs::warn_always(
+                        "chaos.bad_plan",
+                        &[
+                            ("value", raw.clone().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                    None
+                }
+            }
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan = FaultPlan::parse(
+            "nan-grad@step=3; kill-worker@epoch=1,worker=2; \
+             corrupt-checkpoint@write=0,mode=truncate; drop-conn@nth=4; \
+             delay-conn@nth=2,ms=500; abort@epoch=2; seed=42",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(
+            plan.faults(),
+            vec![
+                FaultKind::NanGrad { step: 3 },
+                FaultKind::KillWorker {
+                    epoch: 1,
+                    worker: 2
+                },
+                FaultKind::CorruptCheckpoint {
+                    write: 0,
+                    mode: CorruptMode::Truncate
+                },
+                FaultKind::DropConn { nth: 4 },
+                FaultKind::DelayConn { nth: 2, ms: 500 },
+                FaultKind::Abort { epoch: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_specs() {
+        for bad in [
+            "explode@now=1",
+            "nan-grad@step=soon",
+            "nan-grad",
+            "kill-worker@epoch=1",
+            "corrupt-checkpoint@write=0,mode=shred",
+            "delay-conn@nth=1",
+            "seed=banana",
+        ] {
+            let err = FaultPlan::parse(bad).expect_err(bad);
+            assert!(!err.to_string().is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_plans_are_valid_and_inert() {
+        for s in ["", "  ", ";;", " ; "] {
+            let plan = FaultPlan::parse(s).unwrap();
+            assert!(plan.exhausted(), "{s:?} should have no faults");
+            assert!(!plan.nan_grad_at(0));
+        }
+    }
+
+    #[test]
+    fn faults_fire_exactly_once_at_their_trigger() {
+        let plan = FaultPlan::parse("nan-grad@step=2").unwrap();
+        assert!(!plan.nan_grad_at(0));
+        assert!(!plan.nan_grad_at(1));
+        assert!(plan.nan_grad_at(2));
+        assert!(!plan.nan_grad_at(2), "a fault fires once");
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn corrupt_flip_is_deterministic_per_seed() {
+        let mangle = |seed| {
+            let plan = FaultPlan::new(
+                vec![FaultKind::CorruptCheckpoint {
+                    write: 1,
+                    mode: CorruptMode::Flip,
+                }],
+                seed,
+            );
+            let mut first = b"0123456789abcdef".to_vec();
+            assert_eq!(plan.corrupt_checkpoint_write(&mut first), None);
+            assert_eq!(first, b"0123456789abcdef".to_vec(), "write 0 untouched");
+            let mut second = b"0123456789abcdef".to_vec();
+            assert_eq!(
+                plan.corrupt_checkpoint_write(&mut second),
+                Some(CorruptMode::Flip)
+            );
+            assert_ne!(second, b"0123456789abcdef".to_vec(), "write 1 corrupted");
+            second
+        };
+        assert_eq!(mangle(7), mangle(7), "same seed, same corruption");
+    }
+
+    #[test]
+    fn truncate_halves_the_buffer() {
+        let plan = FaultPlan::new(
+            vec![FaultKind::CorruptCheckpoint {
+                write: 0,
+                mode: CorruptMode::Truncate,
+            }],
+            0,
+        );
+        let mut bytes = vec![9u8; 10];
+        assert_eq!(
+            plan.corrupt_checkpoint_write(&mut bytes),
+            Some(CorruptMode::Truncate)
+        );
+        assert_eq!(bytes.len(), 5);
+    }
+
+    #[test]
+    fn kill_worker_panics_only_at_target() {
+        let plan = FaultPlan::parse("kill-worker@epoch=1,worker=0").unwrap();
+        plan.maybe_kill_worker(0, 0); // wrong epoch: no panic
+        plan.maybe_kill_worker(1, 1); // wrong worker: no panic
+        let p = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.maybe_kill_worker(1, 0)
+        }));
+        assert!(p.is_err(), "matching (epoch, worker) must panic");
+        plan.maybe_kill_worker(1, 0); // already fired: no second panic
+    }
+
+    #[test]
+    fn conn_faults_track_accept_order() {
+        let plan = FaultPlan::parse("drop-conn@nth=1; delay-conn@nth=2,ms=30").unwrap();
+        assert_eq!(plan.conn_fault(), None); // conn 0
+        assert_eq!(plan.conn_fault(), Some(ConnFault::Drop)); // conn 1
+        assert_eq!(plan.conn_fault(), Some(ConnFault::DelayMs(30))); // conn 2
+        assert_eq!(plan.conn_fault(), None); // conn 3
+        assert!(plan.exhausted());
+    }
+}

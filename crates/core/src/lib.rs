@@ -43,7 +43,7 @@ pub use loss::{
     mlu_loss, mlu_with_mean_util_loss, splits_from_forward, throughput_loss, utilization,
 };
 pub use teal::{Teal, TealConfig};
-pub use train::{train_model, EpochStats, TrainConfig, TrainReport};
+pub use train::{train_model, EpochStats, TrainConfig, TrainError, TrainReport, SNAPSHOT_FILE};
 
 use harp_tensor::{ParamStore, Tape, Var};
 

@@ -1,12 +1,39 @@
-//! Mini-batch training with validation-based model selection.
+//! Mini-batch training with validation-based model selection, resumable
+//! checkpoints, and divergence rollback.
 //!
 //! The paper's protocol (§4): train until convergence, checkpoint every
 //! epoch, pick the checkpoint with the best validation score. Losses are
 //! per-snapshot MLU, optionally normalized by the snapshot's optimal MLU
 //! (a per-instance constant supplied by the caller, which conditions the
 //! objective across heterogeneous snapshots).
+//!
+//! ## Fault tolerance (DESIGN.md §10)
+//!
+//! * **Resumable**: with [`TrainConfig::checkpoint_dir`] set, a full
+//!   training snapshot (parameters, Adam moments, RNG state, early-stop
+//!   bookkeeping) is saved atomically every
+//!   [`TrainConfig::checkpoint_every`] epochs; a later call pointed at the
+//!   same directory resumes and finishes **bitwise-identically** to an
+//!   uninterrupted run.
+//! * **Divergence sentinel**: a non-finite batch loss or gradient norm —
+//!   or a panic in a pool worker, contained by
+//!   [`harp_runtime::Runtime::try_par_chunks`] — rolls the epoch back to
+//!   its start, halves the learning rate, and retries, up to
+//!   [`TrainConfig::max_rollbacks`] times before failing with
+//!   [`TrainError::Diverged`].
+//! * **Chaos-testable**: a [`harp_chaos::FaultPlan`] (explicit via
+//!   [`TrainConfig::chaos`], or process-wide via `HARP_FAULT`) injects
+//!   NaN gradients, worker kills, checkpoint corruption, and simulated
+//!   aborts at deterministic points, exercising all of the above in tests.
 
-use harp_nn::{clip_grad_norm, Adam, AdamConfig};
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use harp_chaos::FaultPlan;
+use harp_nn::{
+    clip_grad_norm, load_snapshot, save_snapshot, Adam, AdamConfig, SnapshotEpoch, TrainSnapshot,
+};
 use harp_obs::span;
 use harp_runtime::Runtime;
 use harp_tensor::{ParamStore, Tape};
@@ -17,8 +44,12 @@ use crate::eval::{evaluate_model, norm_mlu, EvalOptions};
 use crate::loss::mlu_loss;
 use crate::{Instance, SplitModel};
 
+/// File name of the training snapshot inside
+/// [`TrainConfig::checkpoint_dir`].
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+
 /// Training hyperparameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TrainConfig {
     /// Number of passes over the training set.
     pub epochs: usize,
@@ -40,6 +71,21 @@ pub struct TrainConfig {
     /// worker counts to floating-point-reduction tolerance (see DESIGN.md
     /// §"Runtime layer").
     pub workers: usize,
+    /// Save a resumable training snapshot every this many completed epochs
+    /// (`0` disables checkpointing even when `checkpoint_dir` is set).
+    pub checkpoint_every: usize,
+    /// Directory holding the training snapshot ([`SNAPSHOT_FILE`]).
+    /// `None` disables checkpointing. When the directory already contains
+    /// a snapshot, training **resumes** from it — and then finishes
+    /// bitwise-identically to a run that was never interrupted.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Divergence rollbacks allowed across the whole run before training
+    /// fails with [`TrainError::Diverged`]. Each rollback restores the
+    /// epoch-start state and halves the learning rate.
+    pub max_rollbacks: usize,
+    /// Fault-injection plan for chaos tests. `None` falls back to the
+    /// process-wide plan parsed from `HARP_FAULT` (usually also `None`).
+    pub chaos: Option<Arc<FaultPlan>>,
 }
 
 impl Default for TrainConfig {
@@ -52,6 +98,10 @@ impl Default for TrainConfig {
             seed: 17,
             patience: 8,
             workers: 0,
+            checkpoint_every: 1,
+            checkpoint_dir: None,
+            max_rollbacks: 3,
+            chaos: None,
         }
     }
 }
@@ -88,6 +138,65 @@ pub struct TrainReport {
     pub best_epoch: usize,
     /// Its validation NormMLU.
     pub best_val: f64,
+    /// Divergence rollbacks consumed (0 on a healthy run).
+    pub rollbacks: usize,
+    /// Epoch this run resumed from, when it picked up a checkpoint.
+    pub resumed_from: Option<usize>,
+}
+
+/// Why a training run failed. The process always survives: every variant
+/// is a structured, recoverable report, never an abort.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The divergence sentinel fired more than
+    /// [`TrainConfig::max_rollbacks`] times. `detail` is the last trigger
+    /// (non-finite loss/gradient, or a contained worker panic).
+    Diverged {
+        /// Epoch whose retry budget ran out.
+        epoch: usize,
+        /// Rollbacks consumed before giving up.
+        rollbacks: usize,
+        /// The last divergence trigger, human-readable.
+        detail: String,
+    },
+    /// Saving or loading a training snapshot failed (I/O error, or a
+    /// snapshot that does not match this model — the inner error names the
+    /// offending field).
+    Checkpoint(io::Error),
+    /// A chaos `abort` fault interrupted the run after completing `epoch`
+    /// (simulating a crash between epochs; a checkpointed run resumes).
+    Aborted {
+        /// Last completed epoch.
+        epoch: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged {
+                epoch,
+                rollbacks,
+                detail,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch} after {rollbacks} rollback(s): {detail}"
+            ),
+            TrainError::Checkpoint(e) => write!(f, "training checkpoint failed: {e}"),
+            TrainError::Aborted { epoch } => {
+                write!(f, "training aborted by fault injection after epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// Train `model` (whose parameters live in `store`).
@@ -103,6 +212,14 @@ pub struct TrainReport {
 /// in a fixed-order tree, so a run is bitwise-reproducible for a given
 /// worker count; different worker counts differ only by floating-point
 /// reduction order (verified to tolerance in tests).
+///
+/// See the module docs for the fault-tolerance contract: resumable
+/// checkpoints ([`TrainConfig::checkpoint_dir`]), divergence rollback
+/// ([`TrainConfig::max_rollbacks`]), and contained worker panics. On
+/// failure the returned [`TrainError`] says which contract broke; the
+/// store then holds the last epoch-start parameters (for
+/// [`TrainError::Diverged`]) or the last checkpointed state, both of which
+/// are finite and usable.
 pub fn train_model(
     model: &dyn SplitModel,
     store: &mut ParamStore,
@@ -110,19 +227,64 @@ pub fn train_model(
     val: &[(&Instance, f64)],
     cfg: TrainConfig,
     val_opts: EvalOptions,
-) -> TrainReport {
+) -> Result<TrainReport, TrainError> {
     assert!(!train.is_empty(), "empty training set");
     if cfg!(debug_assertions) {
         preflight(model, store, train[0].0);
     }
+    let chaos = cfg.chaos.clone().or_else(harp_chaos::global_plan);
+    let snapshot_path = cfg.checkpoint_dir.as_ref().map(|d| d.join(SNAPSHOT_FILE));
+    if let Some(dir) = &cfg.checkpoint_dir {
+        std::fs::create_dir_all(dir).map_err(TrainError::Checkpoint)?;
+    }
+
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(store, AdamConfig::with_lr(cfg.lr));
-
-    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut history: Vec<EpochStats> = Vec::with_capacity(cfg.epochs);
     let mut best_val = f64::INFINITY;
     let mut best_epoch = 0usize;
     let mut best_params = store.snapshot();
     let mut since_best = 0usize;
+    let mut rollbacks = 0usize;
+    let mut start_epoch = 0usize;
+    let mut resumed_from = None;
+
+    // Resume: a snapshot in the checkpoint directory wins over a fresh
+    // start. Everything below is restored bitwise, so the resumed run is
+    // indistinguishable from one that was never interrupted.
+    if let Some(path) = &snapshot_path {
+        if path.exists() {
+            let snap = load_snapshot(store, path).map_err(TrainError::Checkpoint)?;
+            opt.import_state(&snap.adam).map_err(|e| {
+                TrainError::Checkpoint(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("training snapshot optimizer state does not fit this model: {e}"),
+                ))
+            })?;
+            rng = StdRng::from_state(snap.rng_state);
+            history = snap
+                .history
+                .iter()
+                .map(|e| EpochStats {
+                    epoch: e.epoch,
+                    train_loss: e.train_loss,
+                    val_norm_mlu: e.val_norm_mlu,
+                })
+                .collect();
+            best_val = snap.best_val;
+            best_epoch = snap.best_epoch;
+            best_params = snap.best_params.clone();
+            since_best = snap.since_best;
+            rollbacks = snap.rollbacks;
+            start_epoch = snap.next_epoch;
+            resumed_from = Some(snap.next_epoch);
+            harp_obs::event("train.resume")
+                .field("path", path.display().to_string())
+                .field("next_epoch", snap.next_epoch)
+                .field("best_epoch", snap.best_epoch)
+                .emit();
+        }
+    }
 
     let rt = cfg.runtime();
     harp_obs::event("train.start")
@@ -134,13 +296,27 @@ pub fn train_model(
         .field("train_snapshots", train.len())
         .field("val_snapshots", val.len())
         .field("params", store.num_scalars())
+        .field("resumed", resumed_from.is_some())
         .emit();
-    let mut order: Vec<usize> = (0..train.len()).collect();
-    for epoch in 0..cfg.epochs {
+
+    let mut epoch = start_epoch;
+    let mut stop = false;
+    while epoch < cfg.epochs && !stop {
+        // Rollback anchor: everything a divergence retry must restore.
+        let anchor_params = store.snapshot();
+        let anchor_opt = opt.clone();
+        let anchor_rng = rng.clone();
+
         let epoch_t0 = std::time::Instant::now();
         let mut last_grad_norm = 0.0f32;
+        // Shuffle a fresh identity permutation so each epoch's order is a
+        // pure function of the RNG state at the epoch boundary — exactly
+        // what the snapshot captures, keeping resume bitwise-faithful.
+        let mut order: Vec<usize> = (0..train.len()).collect();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
+        let mut diverged: Option<String> = None;
+
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let _step = span("train.step");
             store.zero_grads();
@@ -149,8 +325,13 @@ pub fn train_model(
             // the chunk, accumulates into its own detached gradient buffer
             // (the store is shared read-only for forward passes), and the
             // per-worker buffers merge in a fixed-order tree so the step is
-            // bitwise-reproducible for a given worker count.
-            let partials = rt.par_chunks(chunk, |_, _, ids| {
+            // bitwise-reproducible for a given worker count. A worker
+            // panic is contained at the pool boundary and handled like any
+            // other divergence: roll back the epoch, don't kill the run.
+            let outcome = rt.try_par_chunks(chunk, |ci, _, ids| {
+                if let Some(plan) = &chaos {
+                    plan.maybe_kill_worker(epoch as u64, ci as u64);
+                }
                 let mut grads = store.grad_buffer();
                 let mut loss_sum = 0.0f64;
                 for &i in ids {
@@ -174,6 +355,13 @@ pub fn train_model(
                 }
                 (grads, loss_sum)
             });
+            let partials = match outcome {
+                Ok(p) => p,
+                Err(wp) => {
+                    diverged = Some(wp.to_string());
+                    break;
+                }
+            };
             let mut loss_sums = Vec::with_capacity(partials.len());
             let grads: Vec<_> = partials
                 .into_iter()
@@ -182,7 +370,12 @@ pub fn train_model(
                     g
                 })
                 .collect();
-            epoch_loss += loss_sums.iter().sum::<f64>() * chunk_len as f64 / train.len() as f64;
+            let batch_loss = loss_sums.iter().sum::<f64>();
+            if !batch_loss.is_finite() {
+                diverged = Some(format!("non-finite batch loss ({batch_loss})"));
+                break;
+            }
+            epoch_loss += batch_loss * chunk_len as f64 / train.len() as f64;
             {
                 let _merge = span("merge");
                 if let Some(total) = Runtime::tree_reduce(grads, |mut a, b| {
@@ -192,13 +385,61 @@ pub fn train_model(
                     store.merge_grads(&total);
                 }
             }
+            if let Some(plan) = &chaos {
+                if plan.nan_grad_at(opt.steps()) {
+                    store.scale_grads(f32::NAN);
+                }
+            }
             if harp_obs::enabled() {
                 last_grad_norm = store.grad_norm();
             }
             if cfg.clip_norm > 0.0 {
-                clip_grad_norm(store, cfg.clip_norm);
+                if let Err(e) = clip_grad_norm(store, cfg.clip_norm) {
+                    diverged = Some(e.to_string());
+                    break;
+                }
+            } else {
+                // Clipping disabled: the sentinel still has to notice a
+                // blown-up gradient before the optimizer bakes it in.
+                let gn = store.grad_norm();
+                if !gn.is_finite() {
+                    diverged = Some(format!("gradient norm is non-finite ({gn})"));
+                    break;
+                }
             }
             opt.step_and_zero(store);
+        }
+
+        if let Some(reason) = diverged {
+            harp_obs::event("train.divergence")
+                .field("epoch", epoch)
+                .field("reason", reason.clone())
+                .field("rollbacks_used", rollbacks)
+                .emit();
+            if rollbacks >= cfg.max_rollbacks {
+                // Leave the store on the (finite) epoch-start parameters
+                // rather than whatever the diverging step produced.
+                store.restore(&anchor_params);
+                store.zero_grads();
+                return Err(TrainError::Diverged {
+                    epoch,
+                    rollbacks,
+                    detail: reason,
+                });
+            }
+            rollbacks += 1;
+            store.restore(&anchor_params);
+            store.zero_grads();
+            opt = anchor_opt;
+            rng = anchor_rng;
+            let new_lr = opt.lr() * 0.5;
+            opt.set_lr(new_lr);
+            harp_obs::event("train.rollback")
+                .field("epoch", epoch)
+                .field("lr", new_lr)
+                .field("rollbacks_used", rollbacks)
+                .emit();
+            continue; // retry the same epoch
         }
 
         // validation (pure per-snapshot map, summed in snapshot order)
@@ -234,7 +475,45 @@ pub fn train_model(
         } else {
             since_best += 1;
             if cfg.patience > 0 && since_best >= cfg.patience {
-                break;
+                stop = true;
+            }
+        }
+        epoch += 1;
+
+        if let Some(path) = &snapshot_path {
+            if cfg.checkpoint_every > 0 && epoch.is_multiple_of(cfg.checkpoint_every) {
+                let snap = TrainSnapshot {
+                    adam: opt.export_state(),
+                    rng_state: rng.state(),
+                    next_epoch: epoch,
+                    best_epoch,
+                    best_val,
+                    since_best,
+                    rollbacks,
+                    best_params: best_params.clone(),
+                    history: history
+                        .iter()
+                        .map(|h| SnapshotEpoch {
+                            epoch: h.epoch,
+                            train_loss: h.train_loss,
+                            val_norm_mlu: h.val_norm_mlu,
+                        })
+                        .collect(),
+                };
+                save_snapshot(store, &snap, path, chaos.as_deref())
+                    .map_err(TrainError::Checkpoint)?;
+                harp_obs::event("train.checkpoint")
+                    .field("epoch", epoch - 1)
+                    .field("path", path.display().to_string())
+                    .emit();
+            }
+        }
+        if let Some(plan) = &chaos {
+            if plan.abort_after_epoch((epoch - 1) as u64) {
+                harp_obs::event("train.abort")
+                    .field("epoch", epoch - 1)
+                    .emit();
+                return Err(TrainError::Aborted { epoch: epoch - 1 });
             }
         }
     }
@@ -245,12 +524,15 @@ pub fn train_model(
         .field("epochs_run", history.len())
         .field("best_epoch", best_epoch)
         .field("best_val_norm_mlu", best_val)
+        .field("rollbacks", rollbacks)
         .emit();
-    TrainReport {
+    Ok(TrainReport {
         history,
         best_epoch,
         best_val,
-    }
+        rollbacks,
+        resumed_from,
+    })
 }
 
 /// Debug-build pre-flight: record one training graph and run the
@@ -357,8 +639,10 @@ mod tests {
                 ..Default::default()
             },
             EvalOptions::default(),
-        );
+        )
+        .expect("healthy training run");
         assert!(!report.history.is_empty());
+        assert_eq!(report.rollbacks, 0);
         assert!(
             report.best_val <= pre + 1e-9,
             "best {} vs pre {}",
@@ -422,6 +706,7 @@ mod tests {
             },
             EvalOptions::default(),
         )
+        .expect("healthy training run")
     }
 
     /// The paper-protocol determinism contract: fanning a batch across 2 or
@@ -511,7 +796,8 @@ mod tests {
                 ..Default::default()
             },
             EvalOptions::default(),
-        );
+        )
+        .expect("healthy training run");
         assert!(report.history.len() <= 200);
         assert!(report.history.len() > report.best_epoch);
     }

@@ -76,7 +76,8 @@ fn jsonl_sink_records_per_epoch_training_metrics() {
             ..Default::default()
         },
         EvalOptions::default(),
-    );
+    )
+    .expect("healthy training run");
     harp_obs::flush();
 
     let text = fs::read_to_string(&path).expect("JSONL metrics file must exist");

@@ -49,6 +49,35 @@ pub struct Adam {
     t: u64,
 }
 
+/// A portable copy of an [`Adam`]'s mutable state, for training snapshots.
+/// Capture with [`Adam::export_state`], revive with [`Adam::import_state`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamState {
+    /// First moments, one buffer per parameter in store order.
+    pub m: Vec<Vec<f32>>,
+    /// Second moments, one buffer per parameter in store order.
+    pub v: Vec<Vec<f32>>,
+    /// Number of optimizer steps taken.
+    pub t: u64,
+    /// Learning rate at capture time (schedules/rollbacks mutate it).
+    pub lr: f32,
+}
+
+/// Why an [`AdamState`] could not be imported into an optimizer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdamStateMismatch {
+    /// Which part of the state disagreed with the store layout.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AdamStateMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "optimizer state mismatch: {}", self.detail)
+    }
+}
+
+impl std::error::Error for AdamStateMismatch {}
+
 impl Adam {
     /// Create optimizer state matching the store's current layout.
     pub fn new(store: &ParamStore, cfg: AdamConfig) -> Self {
@@ -71,6 +100,67 @@ impl Adam {
     /// Override the learning rate (e.g. for schedules).
     pub fn set_lr(&mut self, lr: f32) {
         self.cfg.lr = lr;
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Copy out the mutable state (moments, step count, learning rate) for
+    /// a training snapshot.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+            lr: self.cfg.lr,
+        }
+    }
+
+    /// Replace this optimizer's mutable state with a previously exported
+    /// one. Rejects (leaving `self` untouched) when the moment layout does
+    /// not match the optimizer's, naming the offending buffer — an
+    /// optimizer-state snapshot from a different architecture must fail
+    /// loudly instead of silently mis-applying moments.
+    pub fn import_state(&mut self, state: &AdamState) -> Result<(), AdamStateMismatch> {
+        if state.m.len() != self.m.len() || state.v.len() != self.v.len() {
+            return Err(AdamStateMismatch {
+                detail: format!(
+                    "snapshot has {} first-moment / {} second-moment buffers, optimizer has {}",
+                    state.m.len(),
+                    state.v.len(),
+                    self.m.len()
+                ),
+            });
+        }
+        for (i, (ours, theirs)) in self.m.iter().zip(&state.m).enumerate() {
+            if ours.len() != theirs.len() {
+                return Err(AdamStateMismatch {
+                    detail: format!(
+                        "first-moment buffer {i}: snapshot has {} values, optimizer has {}",
+                        theirs.len(),
+                        ours.len()
+                    ),
+                });
+            }
+        }
+        for (i, (ours, theirs)) in self.v.iter().zip(&state.v).enumerate() {
+            if ours.len() != theirs.len() {
+                return Err(AdamStateMismatch {
+                    detail: format!(
+                        "second-moment buffer {i}: snapshot has {} values, optimizer has {}",
+                        theirs.len(),
+                        ours.len()
+                    ),
+                });
+            }
+        }
+        self.m = state.m.clone();
+        self.v = state.v.clone();
+        self.t = state.t;
+        self.cfg.lr = state.lr;
+        Ok(())
     }
 
     /// Apply one update using the gradients accumulated in `store`, then
@@ -111,13 +201,43 @@ impl Adam {
     }
 }
 
+/// The global gradient norm was NaN or infinite — at least one gradient is
+/// poisoned, and scaling would smear the poison across every parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NonFiniteGradNorm {
+    /// The offending norm (NaN, or +inf when a square overflowed).
+    pub norm: f32,
+}
+
+impl std::fmt::Display for NonFiniteGradNorm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gradient norm is {} — gradients are poisoned (diverged loss or overflow)",
+            self.norm
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteGradNorm {}
+
 /// Clip gradients to a maximum global L2 norm; returns the pre-clip norm.
-pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+///
+/// A NaN/inf norm means the gradients already carry non-finite values;
+/// clipping cannot repair that, so instead of silently passing poison on to
+/// the optimizer this returns [`NonFiniteGradNorm`] and leaves the
+/// gradients untouched for the caller's divergence handling (roll back,
+/// shrink the learning rate, or abort). An empty store has norm `0.0` and
+/// is trivially `Ok`.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> Result<f32, NonFiniteGradNorm> {
     let norm = store.grad_norm();
-    if norm.is_finite() && norm > max_norm && norm > 0.0 {
+    if !norm.is_finite() {
+        return Err(NonFiniteGradNorm { norm });
+    }
+    if norm > max_norm && norm > 0.0 {
         store.scale_grads(max_norm / norm);
     }
-    norm
+    Ok(norm)
 }
 
 #[cfg(test)]
@@ -153,9 +273,101 @@ mod tests {
         let mut store = ParamStore::new();
         let x = store.register("x", vec![2], vec![0.0, 0.0]);
         store.grad_mut(x).copy_from_slice(&[3.0, 4.0]);
-        let pre = clip_grad_norm(&mut store, 1.0);
+        let pre = clip_grad_norm(&mut store, 1.0).expect("finite grads");
         assert!((pre - 5.0).abs() < 1e-6);
         assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_rejects_all_nan_grads() {
+        let mut store = ParamStore::new();
+        let x = store.register("x", vec![3], vec![0.0; 3]);
+        store.grad_mut(x).copy_from_slice(&[f32::NAN; 3]);
+        let err = clip_grad_norm(&mut store, 1.0).expect_err("all-NaN grads must be rejected");
+        assert!(err.norm.is_nan(), "norm should be NaN: {err}");
+        // grads are left untouched for the caller's rollback logic
+        assert!(store.grad(x).iter().all(|g| g.is_nan()));
+    }
+
+    #[test]
+    fn clip_rejects_single_inf_grad() {
+        let mut store = ParamStore::new();
+        let x = store.register("x", vec![3], vec![0.0; 3]);
+        store
+            .grad_mut(x)
+            .copy_from_slice(&[1.0, f32::INFINITY, 2.0]);
+        let err = clip_grad_norm(&mut store, 1.0).expect_err("an inf grad must be rejected");
+        assert!(!err.norm.is_finite(), "norm should be non-finite: {err}");
+    }
+
+    #[test]
+    fn clip_on_empty_store_is_ok_zero() {
+        let mut store = ParamStore::new();
+        assert_eq!(clip_grad_norm(&mut store, 1.0), Ok(0.0));
+    }
+
+    #[test]
+    fn adam_state_roundtrips_bitwise() {
+        let mut store = ParamStore::new();
+        let x = store.register("x", vec![2], vec![1.0, 2.0]);
+        let mut opt = Adam::new(&store, AdamConfig::with_lr(0.05));
+        store.grad_mut(x).copy_from_slice(&[0.5, -0.5]);
+        opt.step(&mut store);
+        let state = opt.export_state();
+        assert_eq!(state.t, 1);
+        assert_eq!(state.lr, 0.05);
+
+        // a fresh optimizer revived from the state continues identically
+        let params_after_one = store.data(x).to_vec();
+        store.grad_mut(x).copy_from_slice(&[0.25, 0.75]);
+        opt.step(&mut store);
+        let reference = store.data(x).to_vec();
+
+        store.data_mut(x).copy_from_slice(&params_after_one);
+        let mut revived = Adam::new(&store, AdamConfig::with_lr(999.0));
+        revived.import_state(&state).expect("layout matches");
+        assert_eq!(revived.lr(), 0.05, "import restores the learning rate");
+        store.grad_mut(x).copy_from_slice(&[0.25, 0.75]);
+        revived.step(&mut store);
+        for (a, b) in store.data(x).iter().zip(&reference) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "revived step must be bitwise equal"
+            );
+        }
+    }
+
+    #[test]
+    fn adam_state_import_rejects_mismatched_layout_naming_buffer() {
+        let mut store = ParamStore::new();
+        let _ = store.register("x", vec![2], vec![0.0; 2]);
+        let opt = Adam::new(&store, AdamConfig::default());
+        let mut state = opt.export_state();
+        state.m[0].push(0.0); // wrong width
+
+        let mut other = Adam::new(&store, AdamConfig::default());
+        let err = other.import_state(&state).expect_err("layout mismatch");
+        assert!(
+            err.to_string().contains("first-moment buffer 0"),
+            "error must name the offending buffer: {err}"
+        );
+
+        // a state captured against a narrower parameter is also rejected
+        let narrow_store = {
+            let mut s = ParamStore::new();
+            let _ = s.register("x", vec![1], vec![0.0]);
+            s
+        };
+        let mut narrow = Adam::new(&narrow_store, AdamConfig::default());
+        let full = opt.export_state();
+        let err = narrow
+            .import_state(&full)
+            .expect_err("wider snapshot into narrower optimizer must fail");
+        assert!(
+            err.to_string().contains("buffer 0"),
+            "error must name the offending buffer: {err}"
+        );
     }
 
     #[test]

@@ -25,12 +25,15 @@ mod serialize;
 mod transformer;
 
 pub use activation::Activation;
-pub use adam::{clip_grad_norm, Adam, AdamConfig};
+pub use adam::{clip_grad_norm, Adam, AdamConfig, AdamState, AdamStateMismatch, NonFiniteGradNorm};
 pub use attention::{expand_key_mask, MultiHeadAttention};
 pub use gcn::{normalized_adjacency, GcnConv};
 pub use init::{he_vec, xavier_vec};
 pub use linear::Linear;
 pub use mlp::Mlp;
 pub use norm::LayerNormAffine;
-pub use serialize::{load_params, save_params};
+pub use serialize::{
+    load_params, load_snapshot, save_params, save_snapshot, SnapshotEpoch, TrainSnapshot,
+    SNAPSHOT_FORMAT_VERSION,
+};
 pub use transformer::{TransformerEncoder, TransformerEncoderLayer};

@@ -1,14 +1,33 @@
-//! Parameter (de)serialization: checkpoints as a JSON name→(shape, data)
-//! map, so trained models survive process restarts and can be shipped with
-//! experiment results.
+//! Parameter and training-state (de)serialization.
+//!
+//! Two on-disk artifacts:
+//!
+//! * **parameter checkpoints** ([`save_params`]/[`load_params`]) — a JSON
+//!   name→(shape, data) map of the model weights only; what the serving
+//!   layer hot-reloads and experiment results ship with.
+//! * **training snapshots** ([`save_snapshot`]/[`load_snapshot`]) — a
+//!   versioned superset adding optimizer moments, RNG state, and
+//!   early-stop bookkeeping, so an interrupted `train_model` run resumes
+//!   **bitwise-identically** (see DESIGN.md §10). Every float survives the
+//!   JSON round-trip exactly: `f32`/`f64` print in Rust's shortest-exact
+//!   form, and full-range `u64` RNG words are hex strings (JSON numbers
+//!   are f64-backed and would silently lose bits past 2^53).
+//!
+//! Both writers are **crash-safe** (unique temp file + `rename` in the
+//! target directory) and both loaders validate the entire artifact against
+//! the live model before mutating anything, failing with errors that name
+//! the offending field.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::Path;
 
+use harp_chaos::FaultPlan;
 use harp_tensor::ParamStore;
 use serde_json::{FromJson, ToJson, Value};
+
+use crate::adam::AdamState;
 
 struct SavedParam {
     shape: Vec<usize>,
@@ -37,28 +56,12 @@ impl FromJson for SavedParam {
 /// process never collide on the same scratch path.
 static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
-/// Write every parameter in `store` to `path` as JSON, **crash-safely**:
-/// the JSON is first written to a uniquely-named temp file in the same
-/// directory and then `rename`d into place. A process killed mid-save can
-/// leave a stray `*.tmp-*` file behind, but `path` itself only ever holds
-/// either the previous complete checkpoint or the new complete one — a
-/// hot-reloading server can never observe a truncated checkpoint.
-pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
-    let mut map = BTreeMap::new();
-    for id in store.ids() {
-        map.insert(
-            store.name(id).to_string(),
-            SavedParam {
-                shape: store.shape(id).0.clone(),
-                data: store.data(id).to_vec(),
-            },
-        );
-    }
-    let json = serde_json::to_string(&map).map_err(io::Error::other)?;
-
-    // Same-directory temp file: rename(2) is only atomic within one
-    // filesystem, and the checkpoint's directory is the one place we know
-    // is on it.
+/// Write `bytes` to `path` atomically: a uniquely-named temp file in the
+/// same directory (rename(2) is only atomic within one filesystem) is
+/// written first and then `rename`d into place. A process killed mid-save
+/// can leave a stray `*.tmp-*` behind, but `path` itself only ever holds
+/// either the previous complete artifact or the new complete one.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let file_name = path.file_name().ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -70,31 +73,44 @@ pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
     tmp_name.push(format!(".tmp-{}-{seq}", std::process::id()));
     let tmp_path = path.with_file_name(tmp_name);
 
-    fs::write(&tmp_path, json)?;
+    fs::write(&tmp_path, bytes)?;
     fs::rename(&tmp_path, path).inspect_err(|_| {
         // rename failed: don't leave the scratch file around
         let _ = fs::remove_file(&tmp_path);
     })
 }
 
-/// Load parameter values saved with [`save_params`] into a store whose
-/// registered names/shapes must match exactly (the model must be
-/// constructed with the same architecture and names first).
-///
-/// Rejects with [`io::ErrorKind::InvalidData`] when the checkpoint is
-/// missing a registered parameter, disagrees on a shape, **or contains
-/// parameters the store does not register** — a checkpoint from a
-/// different architecture must fail loudly instead of half-succeeding.
-/// The error message names every offending parameter. The store is not
-/// modified unless validation of the whole checkpoint passes.
-pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
-    let json = fs::read_to_string(path)?;
-    let map: BTreeMap<String, SavedParam> =
-        serde_json::from_str(&json).map_err(io::Error::other)?;
+fn params_to_json(store: &ParamStore) -> Result<Value, io::Error> {
+    let mut map = BTreeMap::new();
+    for id in store.ids() {
+        map.insert(
+            store.name(id).to_string(),
+            SavedParam {
+                shape: store.shape(id).0.clone(),
+                data: store.data(id).to_vec(),
+            },
+        );
+    }
+    Ok(map.to_json())
+}
 
+/// Write every parameter in `store` to `path` as JSON, crash-safely (see
+/// [`atomic_write`]): a hot-reloading server can never observe a truncated
+/// checkpoint.
+pub fn save_params(store: &ParamStore, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(&params_to_json(store)?).map_err(io::Error::other)?;
+    atomic_write(path, json.as_bytes())
+}
+
+/// Validate a parsed name→[`SavedParam`] map against the store's
+/// registered layout: every registered parameter present with the right
+/// shape, and nothing extra. Errors name every offending parameter.
+fn validate_params(
+    store: &ParamStore,
+    map: &BTreeMap<String, SavedParam>,
+    path: &Path,
+) -> io::Result<()> {
     let ids: Vec<_> = store.ids().collect();
-    // Validate everything before writing anything, so a failed load can't
-    // leave the store half-overwritten.
     for &id in &ids {
         let name = store.name(id);
         let saved = map.get(name).ok_or_else(|| {
@@ -138,13 +154,334 @@ pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
             ),
         ));
     }
+    Ok(())
+}
 
+/// Copy validated parameter values into the store. Call only after
+/// [`validate_params`] passed.
+fn apply_params(store: &mut ParamStore, map: &BTreeMap<String, SavedParam>) {
+    let ids: Vec<_> = store.ids().collect();
     for id in ids {
         let name = store.name(id).to_string();
         let saved = map
             .get(name.as_str())
             .expect("validated above: every registered parameter is present");
         store.data_mut(id).copy_from_slice(&saved.data);
+    }
+}
+
+/// Load parameter values saved with [`save_params`] into a store whose
+/// registered names/shapes must match exactly (the model must be
+/// constructed with the same architecture and names first).
+///
+/// Rejects with [`io::ErrorKind::InvalidData`] when the checkpoint is
+/// missing a registered parameter, disagrees on a shape, **or contains
+/// parameters the store does not register** — a checkpoint from a
+/// different architecture must fail loudly instead of half-succeeding.
+/// The error message names every offending parameter. The store is not
+/// modified unless validation of the whole checkpoint passes.
+pub fn load_params(store: &mut ParamStore, path: &Path) -> io::Result<()> {
+    let json = fs::read_to_string(path)?;
+    let map: BTreeMap<String, SavedParam> =
+        serde_json::from_str(&json).map_err(io::Error::other)?;
+    validate_params(store, &map, path)?;
+    apply_params(store, &map);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Full training snapshots
+// ---------------------------------------------------------------------------
+
+/// Version tag of the on-disk training-snapshot format. Bumped on any
+/// incompatible layout change; [`load_snapshot`] rejects other versions by
+/// name rather than guessing.
+pub const SNAPSHOT_FORMAT_VERSION: u64 = 1;
+
+/// One epoch's statistics as persisted in a snapshot (a dependency-free
+/// mirror of `harp_core::EpochStats`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotEpoch {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean (normalized) training loss.
+    pub train_loss: f64,
+    /// Mean validation NormMLU.
+    pub val_norm_mlu: f64,
+}
+
+/// Everything `train_model` needs to resume bitwise-identically, minus the
+/// current parameter values (those live in the [`ParamStore`] the snapshot
+/// is saved from / loaded into).
+#[derive(Clone, Debug)]
+pub struct TrainSnapshot {
+    /// Optimizer moments, step count, and current learning rate.
+    pub adam: AdamState,
+    /// Shuffling-RNG state at the epoch boundary.
+    pub rng_state: [u64; 4],
+    /// First epoch the resumed run should execute.
+    pub next_epoch: usize,
+    /// Best validation epoch so far.
+    pub best_epoch: usize,
+    /// Best validation NormMLU so far.
+    pub best_val: f64,
+    /// Epochs since the best (early-stop bookkeeping).
+    pub since_best: usize,
+    /// Divergence rollbacks consumed so far (bounded-retry bookkeeping).
+    pub rollbacks: usize,
+    /// Parameter values of the best epoch, in store order.
+    pub best_params: Vec<Vec<f32>>,
+    /// Per-epoch statistics up to `next_epoch`.
+    pub history: Vec<SnapshotEpoch>,
+}
+
+/// `u64` ⇄ JSON via lossless hex strings (JSON numbers are f64-backed and
+/// lose bits past 2^53 — RNG words use the full range).
+fn u64_to_hex(v: u64) -> Value {
+    Value::from(format!("{v:#018x}"))
+}
+
+fn hex_to_u64(v: &Value, field: &str) -> io::Result<u64> {
+    let s = v.as_str().ok_or_else(|| bad_field(field, "not a string"))?;
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| bad_field(field, "missing 0x prefix"))?;
+    u64::from_str_radix(digits, 16).map_err(|_| bad_field(field, "not a hex u64"))
+}
+
+/// `f64` ⇄ JSON via bit-pattern hex strings: exact for every value
+/// including ±inf (`best_val` starts at +inf before the first validation
+/// pass) and NaN, which plain JSON numbers cannot carry.
+fn f64_bits_to_hex(v: f64) -> Value {
+    u64_to_hex(v.to_bits())
+}
+
+fn hex_to_f64(v: &Value, field: &str) -> io::Result<f64> {
+    Ok(f64::from_bits(hex_to_u64(v, field)?))
+}
+
+fn bad_field(field: &str, why: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("training snapshot field '{field}': {why}"),
+    )
+}
+
+fn get<'v>(v: &'v Value, field: &str) -> io::Result<&'v Value> {
+    v.get(field).ok_or_else(|| bad_field(field, "missing"))
+}
+
+fn get_u64(v: &Value, field: &str) -> io::Result<u64> {
+    get(v, field)?
+        .as_u64()
+        .ok_or_else(|| bad_field(field, "not a non-negative integer"))
+}
+
+fn get_f64(v: &Value, field: &str) -> io::Result<f64> {
+    get(v, field)?
+        .as_f64()
+        .ok_or_else(|| bad_field(field, "not a number"))
+}
+
+fn moments_to_json(bufs: &[Vec<f32>]) -> Value {
+    Value::from(bufs.iter().map(|b| b.to_json()).collect::<Vec<Value>>())
+}
+
+fn moments_from_json(v: &Value, field: &str) -> io::Result<Vec<Vec<f32>>> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| bad_field(field, "not an array"))?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, b)| {
+            Vec::<f32>::from_json(b)
+                .ok_or_else(|| bad_field(&format!("{field}[{i}]"), "not a float array"))
+        })
+        .collect()
+}
+
+/// Serialize a full training snapshot (current params from `store` plus
+/// `snap`'s optimizer/RNG/bookkeeping state) to `path`, crash-safely.
+///
+/// `chaos` is the fault-injection plan consulted for `corrupt-checkpoint`
+/// faults (pass the training run's plan; `None` falls back to the
+/// process-wide `HARP_FAULT` plan). An injected corruption mangles the
+/// byte stream *after* serialization — exactly what disk bit rot or a torn
+/// write would do — and is surfaced on the next [`load_snapshot`], which
+/// must reject the damaged file loudly.
+pub fn save_snapshot(
+    store: &ParamStore,
+    snap: &TrainSnapshot,
+    path: &Path,
+    chaos: Option<&FaultPlan>,
+) -> io::Result<()> {
+    let json = serde_json::json!({
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "params": params_to_json(store)?,
+        "optimizer": serde_json::json!({
+            "t": u64_to_hex(snap.adam.t),
+            "lr": f64::from(snap.adam.lr),
+            "m": moments_to_json(&snap.adam.m),
+            "v": moments_to_json(&snap.adam.v),
+        }),
+        "rng": Value::from(snap.rng_state.iter().map(|&w| u64_to_hex(w)).collect::<Vec<Value>>()),
+        "progress": serde_json::json!({
+            "next_epoch": snap.next_epoch,
+            "best_epoch": snap.best_epoch,
+            "best_val": f64_bits_to_hex(snap.best_val),
+            "since_best": snap.since_best,
+            "rollbacks": snap.rollbacks,
+        }),
+        "best_params": moments_to_json(&snap.best_params),
+        "history": Value::from(snap.history.iter().map(|e| serde_json::json!({
+            "epoch": e.epoch,
+            "train_loss": f64_bits_to_hex(e.train_loss),
+            "val_norm_mlu": f64_bits_to_hex(e.val_norm_mlu),
+        })).collect::<Vec<Value>>()),
+    });
+    let mut bytes = serde_json::to_string(&json)
+        .map_err(io::Error::other)?
+        .into_bytes();
+    let global;
+    let plan = match chaos {
+        Some(p) => Some(p),
+        None => {
+            global = harp_chaos::global_plan();
+            global.as_deref()
+        }
+    };
+    if let Some(plan) = plan {
+        if let Some(mode) = plan.corrupt_checkpoint_write(&mut bytes) {
+            harp_obs::event("checkpoint.chaos_corrupted")
+                .field("path", path.display().to_string())
+                .field("mode", format!("{mode:?}"))
+                .emit();
+        }
+    }
+    atomic_write(path, &bytes)
+}
+
+/// Load a training snapshot saved with [`save_snapshot`], validating the
+/// **whole** artifact — format version, parameter layout, optimizer-state
+/// shape, RNG words, bookkeeping, best-params layout — against the live
+/// `store` before mutating it. Every rejection is an
+/// [`io::ErrorKind::InvalidData`] error naming the offending field; a
+/// snapshot from a different architecture or format revision must fail
+/// loudly, never half-load.
+///
+/// On success the store holds the snapshot's current parameters and the
+/// returned [`TrainSnapshot`] carries everything else.
+pub fn load_snapshot(store: &mut ParamStore, path: &Path) -> io::Result<TrainSnapshot> {
+    let json = fs::read_to_string(path)?;
+    let root: Value = serde_json::from_str(&json).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("training snapshot is not valid JSON (corrupt or truncated?): {e}"),
+        )
+    })?;
+
+    let version = get_u64(&root, "format_version")?;
+    if version != SNAPSHOT_FORMAT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "training snapshot field 'format_version': snapshot has {version}, \
+                 this build reads {SNAPSHOT_FORMAT_VERSION}"
+            ),
+        ));
+    }
+
+    let params: BTreeMap<String, SavedParam> = BTreeMap::from_json(get(&root, "params")?)
+        .ok_or_else(|| bad_field("params", "not a name->param map"))?;
+    validate_params(store, &params, path)?;
+
+    let opt = get(&root, "optimizer")?;
+    let adam = AdamState {
+        t: hex_to_u64(get(opt, "t")?, "optimizer.t")?,
+        lr: get_f64(opt, "lr")? as f32,
+        m: moments_from_json(get(opt, "m")?, "optimizer.m")?,
+        v: moments_from_json(get(opt, "v")?, "optimizer.v")?,
+    };
+    validate_store_layout(store, &adam.m, "optimizer.m")?;
+    validate_store_layout(store, &adam.v, "optimizer.v")?;
+
+    let rng_arr = get(&root, "rng")?
+        .as_array()
+        .ok_or_else(|| bad_field("rng", "not an array"))?;
+    if rng_arr.len() != 4 {
+        return Err(bad_field(
+            "rng",
+            &format!("expected 4 state words, found {}", rng_arr.len()),
+        ));
+    }
+    let mut rng_state = [0u64; 4];
+    for (i, w) in rng_arr.iter().enumerate() {
+        rng_state[i] = hex_to_u64(w, &format!("rng[{i}]"))?;
+    }
+
+    let progress = get(&root, "progress")?;
+    let best_params = moments_from_json(get(&root, "best_params")?, "best_params")?;
+    validate_store_layout(store, &best_params, "best_params")?;
+
+    let history_arr = get(&root, "history")?
+        .as_array()
+        .ok_or_else(|| bad_field("history", "not an array"))?;
+    let mut history = Vec::with_capacity(history_arr.len());
+    for (i, e) in history_arr.iter().enumerate() {
+        let field = |key: &str| format!("history[{i}].{key}");
+        let entry = |key: &str| -> io::Result<&Value> {
+            e.get(key).ok_or_else(|| bad_field(&field(key), "missing"))
+        };
+        history.push(SnapshotEpoch {
+            epoch: entry("epoch")?
+                .as_u64()
+                .ok_or_else(|| bad_field(&field("epoch"), "not a non-negative integer"))?
+                as usize,
+            train_loss: hex_to_f64(entry("train_loss")?, &field("train_loss"))?,
+            val_norm_mlu: hex_to_f64(entry("val_norm_mlu")?, &field("val_norm_mlu"))?,
+        });
+    }
+
+    let snap = TrainSnapshot {
+        adam,
+        rng_state,
+        next_epoch: get_u64(progress, "next_epoch")? as usize,
+        best_epoch: get_u64(progress, "best_epoch")? as usize,
+        best_val: hex_to_f64(get(progress, "best_val")?, "progress.best_val")?,
+        since_best: get_u64(progress, "since_best")? as usize,
+        rollbacks: get_u64(progress, "rollbacks")? as usize,
+        best_params,
+        history,
+    };
+    // Everything validated: now (and only now) touch the store.
+    apply_params(store, &params);
+    Ok(snap)
+}
+
+/// Check that `bufs` is one buffer per store parameter with matching
+/// lengths, naming the parameter on mismatch.
+fn validate_store_layout(store: &ParamStore, bufs: &[Vec<f32>], field: &str) -> io::Result<()> {
+    if bufs.len() != store.len() {
+        return Err(bad_field(
+            field,
+            &format!(
+                "snapshot has {} buffers, model registers {} parameters",
+                bufs.len(),
+                store.len()
+            ),
+        ));
+    }
+    for (id, buf) in store.ids().zip(bufs) {
+        if buf.len() != store.data(id).len() {
+            return Err(bad_field(
+                &format!("{field}['{}']", store.name(id)),
+                &format!(
+                    "snapshot buffer has {} values, model parameter has {}",
+                    buf.len(),
+                    store.data(id).len()
+                ),
+            ));
+        }
     }
     Ok(())
 }
@@ -317,5 +654,180 @@ mod tests {
         );
         // the rejected load must not have overwritten anything
         assert_eq!(smaller.data(shared), &[9.0]);
+    }
+
+    // -- full training snapshots --------------------------------------------
+
+    /// A small store plus a snapshot with awkward values: non-round floats,
+    /// full-range RNG words, infinite best_val.
+    fn sample_snapshot() -> (ParamStore, TrainSnapshot) {
+        let mut store = ParamStore::new();
+        let _ = store.register("w", vec![2], vec![0.1, -1.0e-7]);
+        let _ = store.register("b", vec![1], vec![3.0]);
+        let snap = TrainSnapshot {
+            adam: AdamState {
+                m: vec![vec![0.25, f32::MIN_POSITIVE], vec![-0.125]],
+                v: vec![vec![1.0e-12, 2.5], vec![0.75]],
+                t: 37,
+                lr: 2.0e-3,
+            },
+            rng_state: [u64::MAX, 1, 0x9E37_79B9_7F4A_7C15, 42],
+            next_epoch: 5,
+            best_epoch: 3,
+            best_val: f64::INFINITY,
+            since_best: 2,
+            rollbacks: 1,
+            best_params: vec![vec![0.5, 0.25], vec![-3.5]],
+            history: vec![
+                SnapshotEpoch {
+                    epoch: 0,
+                    train_loss: 1.0 / 3.0, // non-terminating in binary
+                    val_norm_mlu: 1.05,
+                },
+                SnapshotEpoch {
+                    epoch: 1,
+                    train_loss: 0.1 + 0.2, // famously unrepresentable exactly
+                    val_norm_mlu: 1.0,
+                },
+            ],
+        };
+        (store, snap)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bitwise() {
+        let path = ckpt_path("snapshot_roundtrip");
+        let (store, snap) = sample_snapshot();
+        save_snapshot(&store, &snap, &path, None).unwrap();
+
+        let mut fresh = ParamStore::new();
+        let w = fresh.register("w", vec![2], vec![0.0; 2]);
+        let b = fresh.register("b", vec![1], vec![0.0]);
+        let loaded = load_snapshot(&mut fresh, &path).unwrap();
+
+        // params land in the store, bitwise
+        assert_eq!(fresh.data(w)[0].to_bits(), 0.1f32.to_bits());
+        assert_eq!(fresh.data(w)[1].to_bits(), (-1.0e-7f32).to_bits());
+        assert_eq!(fresh.data(b)[0], 3.0);
+        // optimizer state, bitwise
+        assert_eq!(loaded.adam.t, 37);
+        assert_eq!(loaded.adam.lr.to_bits(), 2.0e-3f32.to_bits());
+        for (a, b) in loaded
+            .adam
+            .m
+            .iter()
+            .flatten()
+            .zip(snap.adam.m.iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in loaded
+            .adam
+            .v
+            .iter()
+            .flatten()
+            .zip(snap.adam.v.iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // RNG words, exact (full u64 range)
+        assert_eq!(loaded.rng_state, snap.rng_state);
+        // bookkeeping
+        assert_eq!(loaded.next_epoch, 5);
+        assert_eq!(loaded.best_epoch, 3);
+        assert!(loaded.best_val.is_infinite() && loaded.best_val > 0.0);
+        assert_eq!(loaded.since_best, 2);
+        assert_eq!(loaded.rollbacks, 1);
+        assert_eq!(loaded.best_params, snap.best_params);
+        // history, bitwise
+        assert_eq!(loaded.history.len(), 2);
+        for (a, b) in loaded.history.iter().zip(&snap.history) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+            assert_eq!(a.val_norm_mlu.to_bits(), b.val_norm_mlu.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_format_version() {
+        let path = ckpt_path("snapshot_version");
+        let (store, snap) = sample_snapshot();
+        save_snapshot(&store, &snap, &path, None).unwrap();
+        let doctored = fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"format_version\":1", "\"format_version\":99");
+        fs::write(&path, doctored).unwrap();
+
+        let (mut store2, _) = sample_snapshot();
+        let err = load_snapshot(&mut store2, &path).expect_err("version 99 must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("format_version") && msg.contains("99"),
+            "error must name the field and version: {msg}"
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_optimizer_shape_mismatch_naming_param() {
+        let path = ckpt_path("snapshot_opt_shape");
+        let (store, mut snap) = sample_snapshot();
+        snap.adam.v[1] = vec![0.0; 4]; // wrong width for param "b"
+        save_snapshot(&store, &snap, &path, None).unwrap();
+
+        let (mut store2, _) = sample_snapshot();
+        let before = store2.data(store2.ids().next().unwrap()).to_vec();
+        let err = load_snapshot(&mut store2, &path).expect_err("bad moment shape must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("optimizer.v") && msg.contains("'b'"),
+            "error must name the buffer and parameter: {msg}"
+        );
+        // validation failed before any mutation
+        assert_eq!(store2.data(store2.ids().next().unwrap()), &before[..]);
+    }
+
+    #[test]
+    fn snapshot_rejects_param_mismatch_like_load_params() {
+        let path = ckpt_path("snapshot_params");
+        let (store, snap) = sample_snapshot();
+        save_snapshot(&store, &snap, &path, None).unwrap();
+
+        let mut other = ParamStore::new();
+        let _ = other.register("w", vec![2], vec![0.0; 2]);
+        let _ = other.register("b", vec![2], vec![0.0; 2]); // wrong shape
+        let err = load_snapshot(&mut other, &path).expect_err("shape mismatch must fail");
+        assert!(err.to_string().contains('b'), "{err}");
+    }
+
+    #[test]
+    fn snapshot_rejects_truncated_and_corrupt_bytes() {
+        let path = ckpt_path("snapshot_torn");
+        let (store, snap) = sample_snapshot();
+        save_snapshot(&store, &snap, &path, None).unwrap();
+        let full = fs::read(&path).unwrap();
+
+        // truncated (torn write)
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let (mut s1, _) = sample_snapshot();
+        let err = load_snapshot(&mut s1, &path).expect_err("truncated snapshot must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // chaos-corrupted via the deterministic plan (flip one byte)
+        use harp_chaos::{CorruptMode, FaultKind};
+        let plan = FaultPlan::new(
+            vec![FaultKind::CorruptCheckpoint {
+                write: 0,
+                mode: CorruptMode::Flip,
+            }],
+            7,
+        );
+        save_snapshot(&store, &snap, &path, Some(&plan)).unwrap();
+        let (mut s2, _) = sample_snapshot();
+        assert!(
+            load_snapshot(&mut s2, &path).is_err(),
+            "flipped byte must not load cleanly"
+        );
     }
 }

@@ -51,6 +51,9 @@ static PAR_ITEMS: Counter = Counter::new("runtime.par_items");
 static WORKER_BUSY_NS: Counter = Counter::new("runtime.worker_busy_ns");
 /// Distribution of per-worker block durations in parallel sections, ns.
 static WORKER_BLOCK_NS: Histogram = Histogram::new("runtime.worker_block_ns");
+/// Worker panics contained at the pool boundary by
+/// [`Runtime::try_par_chunks`].
+static WORKER_PANICS: Counter = Counter::new("runtime.worker_panics");
 
 /// Time `f`, crediting its duration to the pool-utilization metrics.
 /// Inlines to a plain call when the obs sink is off.
@@ -339,6 +342,67 @@ impl Runtime {
         });
     }
 
+    /// Like [`Runtime::par_chunks`], but a panic inside `f` is **contained
+    /// at the pool boundary** instead of unwinding through the caller: the
+    /// first panicking chunk (in chunk order, deterministically) is
+    /// reported as a [`WorkerPanic`] carrying the worker index and the
+    /// rendered panic message. Other chunks still run to completion, so
+    /// shared state the caller owns (parameter stores, checkpoints) stays
+    /// usable for rollback.
+    ///
+    /// This is the fault-tolerant entry point the training loop uses: one
+    /// poisoned batch element must surface as a structured per-epoch error,
+    /// not abort the process.
+    pub fn try_par_chunks<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, WorkerPanic>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, usize, &[T]) -> R + Sync,
+    {
+        let fref = &f;
+        let run = move |ci: usize, (lo, hi): (usize, usize)| -> Result<R, WorkerPanic> {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                timed_block(|| fref(ci, lo, &items[lo..hi]))
+            }))
+            .map_err(|payload| {
+                WORKER_PANICS.add(1);
+                let wp = WorkerPanic {
+                    worker: ci,
+                    message: panic_message(payload.as_ref()),
+                };
+                harp_obs::event("runtime.worker_panic")
+                    .field("worker", ci as u64)
+                    .field_with("message", || wp.message.clone().into())
+                    .emit();
+                wp
+            })
+        };
+        let blocks = partition(items.len(), self.workers);
+        if blocks.len() <= 1 {
+            SERIAL_CALLS.add(1);
+            return blocks
+                .into_iter()
+                .enumerate()
+                .map(|(ci, b)| run(ci, b))
+                .collect();
+        }
+        PAR_CALLS.add(1);
+        PAR_ITEMS.add(items.len() as u64);
+        let mut per_chunk: Vec<Result<R, WorkerPanic>> = Vec::with_capacity(blocks.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = blocks[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| s.spawn(move || run(i + 1, b)))
+                .collect();
+            per_chunk.push(run(0, blocks[0]));
+            for h in handles {
+                per_chunk.push(join_propagating(h));
+            }
+        });
+        per_chunk.into_iter().collect()
+    }
+
     /// Combine `partials` pairwise in a fixed left-to-right tree:
     /// `(p0⊕p1) ⊕ (p2⊕p3) ⊕ ...`, repeated until one value remains.
     ///
@@ -362,6 +426,41 @@ impl Runtime {
             partials = next;
         }
         partials.pop()
+    }
+}
+
+/// A panic captured from one pool worker by [`Runtime::try_par_chunks`].
+///
+/// The panic did not cross the pool boundary: every other chunk completed
+/// (or reported its own panic), scoped threads were joined, and whatever
+/// state the caller owns is intact. `worker` is the chunk index of the
+/// first panicking worker in chunk order, so the same failing input always
+/// names the same worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Chunk index of the worker whose closure panicked.
+    pub worker: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads
+    /// verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool worker {} panicked: {}", self.worker, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Render a panic payload as text for [`WorkerPanic::message`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -520,6 +619,61 @@ mod tests {
     fn worker_count_clamps_to_one() {
         assert_eq!(Runtime::new(0).workers(), 1);
         assert_eq!(Runtime::serial().workers(), 1);
+    }
+
+    #[test]
+    fn try_par_chunks_matches_par_chunks_when_nothing_panics() {
+        let items: Vec<u64> = (0..37).collect();
+        for w in [1, 2, 4, 5] {
+            let rt = Runtime::new(w);
+            let plain = rt.par_chunks(&items, |_, _, chunk| chunk.iter().sum::<u64>());
+            let tried = rt
+                .try_par_chunks(&items, |_, _, chunk| chunk.iter().sum::<u64>())
+                .expect("no panics");
+            assert_eq!(plain, tried, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn try_par_chunks_contains_panic_as_structured_error() {
+        let items: Vec<usize> = (0..16).collect();
+        for w in [1, 4] {
+            let rt = Runtime::new(w);
+            let err = rt
+                .try_par_chunks(&items, |ci, _, chunk| {
+                    if chunk.contains(&11) {
+                        // lint: allow(panic) — the contained panic under test
+                        panic!("poisoned batch element 11");
+                    }
+                    ci
+                })
+                .expect_err("chunk holding item 11 must panic");
+            assert!(
+                err.message.contains("poisoned batch element 11"),
+                "workers={w}: {err}"
+            );
+            // worker index is the chunk that owns item 11 (deterministic)
+            let blocks = partition(items.len(), w);
+            let want = blocks.iter().position(|&(lo, hi)| (lo..hi).contains(&11));
+            assert_eq!(Some(err.worker), want, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn try_par_chunks_reports_first_panicking_chunk() {
+        let rt = Runtime::new(4);
+        let items: Vec<usize> = (0..16).collect();
+        let err = rt
+            .try_par_chunks(&items, |ci, _, _| {
+                if ci >= 2 {
+                    // lint: allow(panic) — the contained panic under test
+                    panic!("chunk {ci} down");
+                }
+                ci
+            })
+            .expect_err("two chunks panic");
+        assert_eq!(err.worker, 2, "lowest panicking chunk wins");
+        assert!(err.message.contains("chunk 2 down"), "{err}");
     }
 
     #[test]

@@ -52,6 +52,17 @@ pub struct ServeConfig {
     pub deadline_ms: u64,
     /// Most infer jobs fanned out in one batch.
     pub max_batch: usize,
+    /// Close a connection after this long without receiving any bytes
+    /// (0 disables the idle timeout). A client that hangs mid-request must
+    /// not pin a reader thread forever.
+    pub read_timeout_ms: u64,
+    /// Longest accepted request line in bytes. An oversized line gets a
+    /// structured JSON error and is discarded up to its newline — it must
+    /// never buffer unboundedly or crash the reader.
+    pub max_line_bytes: usize,
+    /// Fault-injection plan for chaos tests (connection drop/delay faults
+    /// at accept). `None` falls back to the process-wide `HARP_FAULT` plan.
+    pub chaos: Option<Arc<harp_chaos::FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -60,15 +71,20 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7447".to_string(),
             deadline_ms: 250,
             max_batch: 32,
+            read_timeout_ms: 30_000,
+            max_line_bytes: 64 * 1024,
+            chaos: None,
         }
     }
 }
 
 impl ServeConfig {
     /// Configuration from the environment: `HARP_SERVE_ADDR` (listen
-    /// address) and `HARP_SERVE_DEADLINE_MS` (default deadline). Invalid
-    /// values warn via `harp-obs` and fall back to the defaults, matching
-    /// the `HARP_THREADS` convention of failing loudly but not fatally.
+    /// address), `HARP_SERVE_DEADLINE_MS` (default deadline), and
+    /// `HARP_SERVE_READ_TIMEOUT_MS` (idle-connection timeout; `0`
+    /// disables). Invalid values warn via `harp-obs` and fall back to the
+    /// defaults, matching the `HARP_THREADS` convention of failing loudly
+    /// but not fatally.
     pub fn from_env() -> Self {
         let mut cfg = ServeConfig::default();
         if let Ok(addr) = std::env::var("HARP_SERVE_ADDR") {
@@ -84,6 +100,18 @@ impl ServeConfig {
                     &[
                         ("value", raw.clone().into()),
                         ("fallback_ms", cfg.deadline_ms.into()),
+                    ],
+                ),
+            }
+        }
+        if let Ok(raw) = std::env::var("HARP_SERVE_READ_TIMEOUT_MS") {
+            match raw.parse::<u64>() {
+                Ok(ms) => cfg.read_timeout_ms = ms,
+                Err(_) => harp_obs::warn_always(
+                    "serve.read_timeout_fallback",
+                    &[
+                        ("value", raw.clone().into()),
+                        ("fallback_ms", cfg.read_timeout_ms.into()),
                     ],
                 ),
             }
@@ -188,18 +216,34 @@ pub fn serve(
         let stop = Arc::clone(&stop);
         let stats = Arc::clone(&stats);
         let depth = Arc::clone(&queue_depth);
-        let deadline_ms = cfg.deadline_ms;
+        let conn_cfg = cfg.clone();
+        let chaos = cfg.chaos.clone().or_else(harp_chaos::global_plan);
         thread::spawn(move || {
             let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
             while !stop.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        // Chaos: drop or delay this connection at accept,
+                        // simulating a flaky network path to the daemon.
+                        if let Some(plan) = &chaos {
+                            match plan.conn_fault() {
+                                Some(harp_chaos::ConnFault::Drop) => {
+                                    drop(stream);
+                                    continue;
+                                }
+                                Some(harp_chaos::ConnFault::DelayMs(ms)) => {
+                                    thread::sleep(Duration::from_millis(ms));
+                                }
+                                None => {}
+                            }
+                        }
                         let tx = tx.clone();
                         let stop = Arc::clone(&stop);
                         let stats = Arc::clone(&stats);
                         let depth = Arc::clone(&depth);
+                        let conn_cfg = conn_cfg.clone();
                         conns.push(thread::spawn(move || {
-                            handle_connection(stream, tx, stop, stats, depth, deadline_ms);
+                            handle_connection(stream, tx, stop, stats, depth, &conn_cfg);
                         }));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -227,13 +271,19 @@ pub fn serve(
 
 /// Read request lines off one client connection, enqueue jobs, and write
 /// back rendered responses (one per request, in request order).
+///
+/// Hostile-input hardening: any byte sequence a client sends must produce
+/// either a response line or a closed connection — never a panic, never
+/// unbounded buffering. A line over [`ServeConfig::max_line_bytes`] gets a
+/// structured JSON error and is discarded through its newline; a
+/// connection idle past [`ServeConfig::read_timeout_ms`] is closed.
 fn handle_connection(
     stream: TcpStream,
     jobs: mpsc::Sender<Job>,
     stop: Arc<AtomicBool>,
     stats: Arc<ServeStats>,
     depth: Arc<AtomicUsize>,
-    deadline_ms: u64,
+    cfg: &ServeConfig,
 ) {
     let _ = stream.set_read_timeout(Some(POLL));
     let _ = stream.set_nodelay(true);
@@ -243,14 +293,54 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(stream);
     let mut buf: Vec<u8> = Vec::new();
+    let idle_budget = (cfg.read_timeout_ms > 0).then(|| Duration::from_millis(cfg.read_timeout_ms));
+    let mut last_progress = Instant::now();
+    // When an oversized line tripped the cap: keep dropping bytes until
+    // its terminating newline instead of buffering them.
+    let mut discarding = false;
+
+    // Announce a cap violation: structured error back to the client, then
+    // discard the rest of the line. Returns false if the peer is gone.
+    fn reject_oversized(
+        writer: &mut TcpStream,
+        buf: &mut Vec<u8>,
+        stats: &ServeStats,
+        max_line_bytes: usize,
+    ) -> bool {
+        stats.record_protocol_error();
+        harp_obs::event("serve.oversized_line")
+            .field("bytes", buf.len())
+            .field("max_bytes", max_line_bytes)
+            .emit();
+        let resp = error_response(
+            None,
+            &format!("request line exceeds {max_line_bytes} bytes"),
+        );
+        buf.clear();
+        writer.write_all(resp.as_bytes()).is_ok() && writer.flush().is_ok()
+    }
 
     loop {
         match reader.read_until(b'\n', &mut buf) {
             Ok(0) => break, // EOF
             Ok(_) => {
+                last_progress = Instant::now();
+                let complete = buf.last() == Some(&b'\n');
+                if discarding {
+                    discarding = !complete;
+                    buf.clear();
+                    continue;
+                }
+                if buf.len() > cfg.max_line_bytes {
+                    if !reject_oversized(&mut writer, &mut buf, &stats, cfg.max_line_bytes) {
+                        break;
+                    }
+                    discarding = !complete;
+                    continue;
+                }
                 // a timeout may have returned a partial line earlier; only
                 // a newline terminates a request
-                if buf.last() != Some(&b'\n') {
+                if !complete {
                     continue;
                 }
                 let line = String::from_utf8_lossy(&buf).into_owned();
@@ -258,7 +348,7 @@ fn handle_connection(
                 if line.trim().is_empty() {
                     continue;
                 }
-                let response = dispatch_line(&line, &jobs, &stats, &depth, deadline_ms);
+                let response = dispatch_line(&line, &jobs, &stats, &depth, cfg.deadline_ms);
                 if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
                     break;
                 }
@@ -269,6 +359,26 @@ fn handle_connection(
             {
                 if stop.load(Ordering::SeqCst) {
                     break;
+                }
+                // A timed-out read still appends what it got to `buf` —
+                // enforce the cap here too, or a client streaming one
+                // endless unterminated line would buffer without bound
+                // and never hear back.
+                if discarding {
+                    buf.clear();
+                } else if buf.len() > cfg.max_line_bytes {
+                    if !reject_oversized(&mut writer, &mut buf, &stats, cfg.max_line_bytes) {
+                        break;
+                    }
+                    discarding = true;
+                }
+                if let Some(budget) = idle_budget {
+                    if last_progress.elapsed() >= budget {
+                        harp_obs::event("serve.conn_idle_timeout")
+                            .field("idle_ms", last_progress.elapsed().as_millis() as u64)
+                            .emit();
+                        break;
+                    }
                 }
             }
             Err(_) => break,

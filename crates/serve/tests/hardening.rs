@@ -1,0 +1,266 @@
+//! Hostile-client hardening: arbitrary bytes on the wire must yield a
+//! structured JSON error (never a panic or a hung daemon), oversized
+//! lines are capped, idle connections are reaped, and chaos-injected
+//! connection faults (drop/delay at accept) leave the server healthy.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use harp_chaos::{FaultKind, FaultPlan};
+use harp_core::{Harp, HarpConfig, SplitModel};
+use harp_paths::TunnelSet;
+use harp_serve::{serve, ServeConfig, ServerHandle};
+use harp_tensor::ParamStore;
+use harp_topology::Topology;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::Value;
+
+fn tiny_cfg() -> HarpConfig {
+    HarpConfig {
+        gnn_layers: 1,
+        gnn_hidden: 4,
+        d_model: 8,
+        settrans_layers: 1,
+        heads: 1,
+        d_ff: 8,
+        mlp_hidden: 8,
+        rau_iters: 1,
+    }
+}
+
+fn square() -> (Topology, TunnelSet) {
+    let mut topo = Topology::new(4);
+    topo.add_link(0, 1, 10.0).unwrap();
+    topo.add_link(1, 2, 10.0).unwrap();
+    topo.add_link(2, 3, 10.0).unwrap();
+    topo.add_link(3, 0, 10.0).unwrap();
+    let tunnels = TunnelSet::k_shortest(&topo, &[0, 1, 2, 3], 3, 0.0);
+    (topo, tunnels)
+}
+
+fn boot_with(seed: u64, cfg: ServeConfig) -> ServerHandle {
+    let (topo, tunnels) = square();
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let harp = Harp::new(&mut store, &mut rng, tiny_cfg());
+    let model: Arc<dyn SplitModel + Send + Sync> = Arc::new(harp);
+    serve(cfg, model, store, topo, tunnels).expect("bind loopback")
+}
+
+fn base_cfg() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        deadline_ms: 2_000,
+        max_batch: 8,
+        ..ServeConfig::default()
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            writer: stream,
+            reader,
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn read_response(&mut self) -> Value {
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).unwrap();
+        serde_json::from_str(&resp).expect("every response line is valid JSON")
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Value {
+        self.send_raw(line.as_bytes());
+        self.read_response()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any garbage byte sequence (newline-terminated) gets a structured
+    /// JSON error line back, and the connection keeps serving valid
+    /// requests afterwards.
+    #[test]
+    fn garbage_lines_get_structured_errors(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(
+                // full byte range, remapping the line terminator itself
+                (0u32..256).prop_map(|b| if b as u8 == b'\n' { 0x7f } else { b as u8 }),
+                1..200,
+            ),
+            1..6,
+        ),
+    ) {
+        let handle = boot_with(21, base_cfg());
+        let mut client = Client::connect(&handle);
+        for line in &lines {
+            // a leading control byte guarantees the line is neither blank
+            // (blank lines are silently skipped) nor valid JSON
+            let mut payload = vec![0x01u8];
+            payload.extend_from_slice(line);
+            client.send_raw(&payload);
+            let v = client.read_response();
+            prop_assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+            prop_assert!(v.get("error").and_then(Value::as_str).is_some());
+        }
+        // the daemon is still healthy: a well-formed request succeeds
+        let v = client.roundtrip(r#"{"id": 1, "type": "stats"}"#);
+        prop_assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        prop_assert_eq!(
+            v.get("protocol_errors").and_then(Value::as_u64),
+            Some(lines.len() as u64)
+        );
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn oversized_line_is_rejected_and_connection_survives() {
+    let cfg = ServeConfig {
+        max_line_bytes: 128,
+        ..base_cfg()
+    };
+    let handle = boot_with(22, cfg);
+    let mut client = Client::connect(&handle);
+
+    let big = "x".repeat(4096);
+    let v = client.roundtrip(&big);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    let err = v.get("error").and_then(Value::as_str).unwrap();
+    assert!(
+        err.contains("128 bytes"),
+        "error should name the cap: {err}"
+    );
+
+    // the oversized line was discarded through its newline; the next
+    // request parses cleanly
+    let v = client.roundtrip(r#"{"id": 2, "type": "stats"}"#);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("protocol_errors").and_then(Value::as_u64), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_line_without_newline_cannot_buffer_unbounded() {
+    let cfg = ServeConfig {
+        max_line_bytes: 128,
+        ..base_cfg()
+    };
+    let handle = boot_with(23, cfg);
+    let mut client = Client::connect(&handle);
+
+    // Stream a huge "line" in chunks with no terminating newline: the
+    // server must answer (cap tripped) without waiting for the newline.
+    for _ in 0..8 {
+        client.writer.write_all(&[b'y'; 512]).unwrap();
+        client.writer.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+    }
+    let v = client.read_response();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+
+    // finish the monster line; everything after it works
+    client.writer.write_all(b"\n").unwrap();
+    client.writer.flush().unwrap();
+    let v = client.roundtrip(r#"{"id": 3, "type": "stats"}"#);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connection_is_closed_after_read_timeout() {
+    let cfg = ServeConfig {
+        read_timeout_ms: 300,
+        ..base_cfg()
+    };
+    let handle = boot_with(24, cfg);
+    let mut client = Client::connect(&handle);
+
+    // say nothing; the server should hang up on us
+    let start = Instant::now();
+    let mut scratch = [0u8; 16];
+    let n = client
+        .reader
+        .read(&mut scratch)
+        .expect("clean EOF, not an error");
+    assert_eq!(n, 0, "idle connection must be closed with EOF");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "close should arrive promptly after the idle budget"
+    );
+
+    // a fresh connection still works — only the idle one was reaped
+    let mut fresh = Client::connect(&handle);
+    let v = fresh.roundtrip(r#"{"id": 4, "type": "stats"}"#);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    handle.shutdown();
+}
+
+#[test]
+fn chaos_dropped_connection_only_hits_the_planned_accept() {
+    let plan = Arc::new(FaultPlan::new(vec![FaultKind::DropConn { nth: 0 }], 5));
+    let cfg = ServeConfig {
+        chaos: Some(Arc::clone(&plan)),
+        ..base_cfg()
+    };
+    let handle = boot_with(25, cfg);
+
+    // connection 0 is dropped at accept: we observe EOF, not a response
+    let mut victim = Client::connect(&handle);
+    victim.send_raw(br#"{"id": 5, "type": "stats"}"#);
+    let mut resp = String::new();
+    let n = victim.reader.read_line(&mut resp).unwrap_or(0);
+    assert_eq!(n, 0, "chaos-dropped connection must see EOF, got: {resp}");
+
+    // connection 1 is untouched
+    let mut survivor = Client::connect(&handle);
+    let v = survivor.roundtrip(r#"{"id": 6, "type": "stats"}"#);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert!(plan.exhausted(), "the drop fault fired exactly once");
+    handle.shutdown();
+}
+
+#[test]
+fn chaos_delayed_connection_still_gets_served() {
+    let plan = Arc::new(FaultPlan::new(
+        vec![FaultKind::DelayConn { nth: 0, ms: 250 }],
+        5,
+    ));
+    let cfg = ServeConfig {
+        chaos: Some(Arc::clone(&plan)),
+        ..base_cfg()
+    };
+    let handle = boot_with(26, cfg);
+
+    let start = Instant::now();
+    let mut client = Client::connect(&handle);
+    let v = client.roundtrip(r#"{"id": 7, "type": "stats"}"#);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert!(
+        start.elapsed() >= Duration::from_millis(250),
+        "delay fault should stall the accept path"
+    );
+    assert!(plan.exhausted());
+    handle.shutdown();
+}

@@ -50,6 +50,7 @@ fn boot(seed: u64) -> (ServerHandle, ParamStore) {
         addr: "127.0.0.1:0".to_string(), // free port per test
         deadline_ms: 2_000,
         max_batch: 8,
+        ..ServeConfig::default()
     };
     let handle = serve(cfg, model, store.clone(), topo, tunnels).expect("bind loopback");
     (handle, store)

@@ -56,7 +56,8 @@ fn main() {
             ..Default::default()
         },
         EvalOptions::default(),
-    );
+    )
+    .expect("healthy training run");
     println!(
         "trained on healthy GEANT: validation NormMLU {:.4}\n",
         report.best_val

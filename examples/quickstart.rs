@@ -74,7 +74,8 @@ fn main() {
             ..Default::default()
         },
         EvalOptions::default(),
-    );
+    )
+    .expect("healthy training run");
     println!(
         "trained: best validation NormMLU {:.4} at epoch {}",
         report.best_val, report.best_epoch

@@ -72,7 +72,8 @@ fn main() {
             ..Default::default()
         },
         EvalOptions::default(),
-    );
+    )
+    .expect("healthy training run");
     println!(
         "\ntrained on clusters 0-1 ({} snapshots): validation NormMLU {:.4}",
         train.len(),

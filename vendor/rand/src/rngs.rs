@@ -28,6 +28,29 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// The generator's full internal state, for checkpointing. Restoring
+    /// with [`StdRng::from_state`] resumes the exact stream: the next
+    /// `next_u64` after a save/restore round-trip equals the next one the
+    /// saved generator would have produced.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured with [`StdRng::state`].
+    ///
+    /// The all-zero state is the one fixed point of xoshiro256++ (the
+    /// stream would be constant zero), so it is rejected by re-seeding
+    /// from 0 instead — a corrupted checkpoint must not produce a
+    /// degenerate generator.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return StdRng::seed_from_u64(0);
+        }
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
