@@ -31,6 +31,7 @@ impl Ctx {
                          --quick  reduced sizes (default)\n\
                          --full   paper-scale run (slow)\n"
                     );
+                    // lint: allow(exit) — CLI --help path, nothing to unwind
                     std::process::exit(0);
                 }
                 other => {
@@ -72,6 +73,7 @@ impl Ctx {
         let text = serde_json::to_string_pretty(value).expect("report JSON serializes");
         if let Err(e) = std::fs::write(&path, text) {
             eprintln!("error: write {}: {e}", path.display());
+            // lint: allow(exit) — bench tooling: unwritable results dir is fatal
             std::process::exit(1);
         }
         harp_obs::event("bench.results_written")

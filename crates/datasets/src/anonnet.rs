@@ -460,13 +460,15 @@ impl AnonNetDataset {
                     }
                     for s in 0..st.sublinks {
                         if st.sub_down[s] == 0 && rng.gen_bool(cfg.sublink_down_prob) {
+                            // lint: allow(as-cast) — duration in slots, exp-tail bounded far below u32::MAX
                             st.sub_down[s] = 1 + (cfg.failure_duration * rng_exp(&mut rng)) as u32;
                         }
                         for c in 0..st.circuits {
                             let i = s * st.circuits + c;
                             if st.circuit_down[i] == 0 && rng.gen_bool(cfg.circuit_degrade_prob) {
-                                st.circuit_down[i] =
-                                    1 + (cfg.failure_duration * rng_exp(&mut rng)) as u32;
+                                st.circuit_down[i] = 1
+                                    // lint: allow(as-cast) — duration in slots, bounded below u32::MAX
+                                    + (cfg.failure_duration * rng_exp(&mut rng)) as u32;
                             }
                         }
                     }
@@ -474,6 +476,7 @@ impl AnonNetDataset {
                         // only fail fully if the cluster graph stays connected
                         let l = cluster_links[si];
                         if link_removal_keeps_connectivity(&links, &maintenance, &commissioned, l) {
+                            // lint: allow(as-cast) — duration in slots, exp-tail bounded far below u32::MAX
                             st.full_down = 2 + (cfg.failure_duration * rng_exp(&mut rng)) as u32;
                         }
                     }

@@ -168,7 +168,9 @@ impl Adam {
     /// or use [`Adam::step_and_zero`]).
     pub fn step(&mut self, store: &mut ParamStore) {
         self.t += 1;
+        // lint: allow(as-cast) — powi takes i32; step counts stay far below i32::MAX
         let b1t = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        // lint: allow(as-cast) — powi takes i32; step counts stay far below i32::MAX
         let b2t = 1.0 - self.cfg.beta2.powi(self.t as i32);
         let ids: Vec<_> = store.ids().collect();
         for (pi, id) in ids.into_iter().enumerate() {

@@ -238,6 +238,7 @@ pub fn solve_fw_warm(program: &PathProgram, init: Option<&[f64]>, cfg: FwConfig)
         }
 
         // --- smoothing temperature (relative to u_max) ---
+        // lint: allow(as-cast) — powi takes i32; t is a small iteration index
         let eta = (cfg.eta0 * 2f64.powi((t / phase_len) as i32)).min(eta_max);
         let scale = if u_max.is_finite() { u_max } else { 1.0 };
         let beta = eta / scale.max(1e-30);

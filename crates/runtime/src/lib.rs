@@ -34,11 +34,26 @@
 //! are the right ceiling for the dense-float workloads here; oversubscribing
 //! only adds scheduling noise. Set `HARP_THREADS=1` to force every consumer
 //! back to the serial path.
+//!
+//! ## Determinism sanitizer (`sanitizer` feature)
+//!
+//! Building with `--features sanitizer` compiles the [`sanitizer`] shadow
+//! checker into every parallel section: partition audits (overlap/gap),
+//! dispatched-block claim checks, and `tree_reduce` merge-order tracking.
+//! A violation panics with a structured report naming the section and the
+//! offending worker/blocks (or is collected under
+//! [`sanitizer::capture`]). Without the feature none of this code exists,
+//! so the production runtime pays nothing. `HARP_SANITIZER=off` disables
+//! the checks at runtime when compiled in.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 use harp_obs::{Counter, FieldValue, Histogram};
+
+#[cfg(feature = "sanitizer")]
+pub mod sanitizer;
 
 /// Parallel sections entered (calls that actually fanned out to >1 block).
 static PAR_CALLS: Counter = Counter::new("runtime.par_calls");
@@ -161,6 +176,29 @@ pub fn resolve_workers(request: Option<&str>, available: usize) -> WorkerResolut
     }
 }
 
+/// Emit the `runtime.workers_fallback` warning for a rejected resolution,
+/// at most once per process. Deduplication lives here (not in the
+/// `OnceLock` init above) so that any future resolution path — re-reading
+/// config, per-subsystem runtimes — inherits it instead of re-spamming
+/// stderr. Returns whether this call actually warned.
+fn warn_workers_fallback(res: &WorkerResolution) -> bool {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    let Some(reason) = &res.rejected else {
+        return false;
+    };
+    if WARNED.swap(true, Ordering::Relaxed) {
+        return false;
+    }
+    harp_obs::warn_always(
+        "runtime.workers_fallback",
+        &[
+            ("reason", FieldValue::Str(reason.clone())),
+            ("fallback_workers", FieldValue::U64(res.workers as u64)),
+        ],
+    );
+    true
+}
+
 impl Runtime {
     /// A runtime with exactly `workers` workers (clamped to at least 1).
     pub fn new(workers: usize) -> Self {
@@ -180,22 +218,14 @@ impl Runtime {
     /// otherwise [`std::thread::available_parallelism`]. An invalid value
     /// is rejected loudly — a `runtime.workers_fallback` obs warning (on
     /// stderr even with the sink off) names the value and the fallback
-    /// worker count. Resolved once; later changes to the environment do
-    /// not affect it.
+    /// worker count, at most once per process. Resolved once; later
+    /// changes to the environment do not affect it.
     pub fn global() -> Self {
         let workers = *GLOBAL_WORKERS.get_or_init(|| {
             let raw = std::env::var("HARP_THREADS").ok();
             let available = std::thread::available_parallelism().map_or(1, |n| n.get());
             let res = resolve_workers(raw.as_deref(), available);
-            if let Some(reason) = &res.rejected {
-                harp_obs::warn_always(
-                    "runtime.workers_fallback",
-                    &[
-                        ("reason", FieldValue::Str(reason.clone())),
-                        ("fallback_workers", FieldValue::U64(res.workers as u64)),
-                    ],
-                );
-            }
+            warn_workers_fallback(&res);
             res.workers
         });
         Runtime::new(workers)
@@ -227,6 +257,8 @@ impl Runtime {
                 .collect()
         };
         let blocks = partition(items.len(), self.workers);
+        #[cfg(feature = "sanitizer")]
+        sanitizer::audit_blocks("par_map", &blocks, items.len());
         if blocks.len() <= 1 {
             SERIAL_CALLS.add(1);
             return blocks.into_iter().flat_map(map_block).collect();
@@ -261,6 +293,8 @@ impl Runtime {
         F: Fn(usize, usize, &[T]) -> R + Sync,
     {
         let blocks = partition(items.len(), self.workers);
+        #[cfg(feature = "sanitizer")]
+        sanitizer::audit_blocks("par_chunks", &blocks, items.len());
         if blocks.len() <= 1 {
             SERIAL_CALLS.add(1);
             return blocks
@@ -312,6 +346,8 @@ impl Runtime {
         );
         let rows = data.len() / row_len;
         let blocks = partition(rows, self.workers);
+        #[cfg(feature = "sanitizer")]
+        sanitizer::audit_blocks("par_row_blocks", &blocks, rows);
         if blocks.len() <= 1 {
             SERIAL_CALLS.add(1);
             if !data.is_empty() {
@@ -327,14 +363,23 @@ impl Runtime {
             let mut handles = Vec::with_capacity(blocks.len() - 1);
             // Peel blocks back-to-front so block 0 stays on the caller.
             let mut split = Vec::with_capacity(blocks.len() - 1);
-            for &(lo, _) in blocks[1..].iter().rev() {
+            for (_bi, &(lo, _hi)) in blocks[1..].iter().enumerate().rev() {
                 let (head, tail) = rest.split_at_mut(lo * row_len);
+                #[cfg(feature = "sanitizer")]
+                sanitizer::check_claim("par_row_blocks", _bi + 1, (_hi - lo) * row_len, tail.len());
                 split.push((lo, tail));
                 rest = head;
             }
             for (lo, block) in split.into_iter().rev() {
                 handles.push(s.spawn(move || timed_block(|| fref(lo, block))));
             }
+            #[cfg(feature = "sanitizer")]
+            sanitizer::check_claim(
+                "par_row_blocks",
+                0,
+                (blocks[0].1 - blocks[0].0) * row_len,
+                rest.len(),
+            );
             timed_block(|| f(0, rest));
             for h in handles {
                 join_propagating(h);
@@ -378,6 +423,8 @@ impl Runtime {
             })
         };
         let blocks = partition(items.len(), self.workers);
+        #[cfg(feature = "sanitizer")]
+        sanitizer::audit_blocks("try_par_chunks", &blocks, items.len());
         if blocks.len() <= 1 {
             SERIAL_CALLS.add(1);
             return blocks
@@ -414,16 +461,41 @@ impl Runtime {
         if partials.is_empty() {
             return None;
         }
+        // With the sanitizer on, each slot carries the range of original
+        // partial indices it covers; every merge must join adjacent
+        // in-order ranges or it is an out-of-fixed-order float merge.
+        #[cfg(feature = "sanitizer")]
+        let mut labels = sanitizer::merge_labels(partials.len());
         while partials.len() > 1 {
             let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+            #[cfg(feature = "sanitizer")]
+            let mut next_labels = Vec::with_capacity(labels.len().div_ceil(2));
+            #[cfg(feature = "sanitizer")]
+            let mut label_it = labels.into_iter();
             let mut it = partials.into_iter();
             while let Some(a) = it.next() {
                 match it.next() {
-                    Some(b) => next.push(combine(a, b)),
-                    None => next.push(a),
+                    Some(b) => {
+                        next.push(combine(a, b));
+                        #[cfg(feature = "sanitizer")]
+                        if let (Some(la), Some(lb)) = (label_it.next(), label_it.next()) {
+                            next_labels.push(sanitizer::check_merge(la, lb));
+                        }
+                    }
+                    None => {
+                        next.push(a);
+                        #[cfg(feature = "sanitizer")]
+                        if let Some(la) = label_it.next() {
+                            next_labels.push(la);
+                        }
+                    }
                 }
             }
             partials = next;
+            #[cfg(feature = "sanitizer")]
+            {
+                labels = next_labels;
+            }
         }
         partials.pop()
     }
@@ -613,6 +685,30 @@ mod tests {
     fn resolve_workers_fallback_is_at_least_one() {
         assert_eq!(resolve_workers(None, 0).workers, 1);
         assert_eq!(resolve_workers(Some("bogus"), 0).workers, 1);
+    }
+
+    #[test]
+    fn workers_fallback_warns_once_per_process() {
+        let ok = WorkerResolution {
+            workers: 4,
+            rejected: None,
+        };
+        let rejected = WorkerResolution {
+            workers: 4,
+            rejected: Some("HARP_THREADS=\"bogus\" is not an integer".into()),
+        };
+        assert!(
+            !warn_workers_fallback(&ok),
+            "a clean resolution never warns"
+        );
+        assert!(
+            warn_workers_fallback(&rejected),
+            "first rejection must warn"
+        );
+        assert!(
+            !warn_workers_fallback(&rejected),
+            "second rejection must be deduped by the process-wide flag"
+        );
     }
 
     #[test]

@@ -190,6 +190,19 @@ impl Tape {
         self.nodes[v.0].shape = Shape(shape);
     }
 
+    /// Overwrite the integer aux side-channel (the argmaxes saved by
+    /// `max_all` / `segment_max`) of `v` without recomputing anything.
+    ///
+    /// Like [`Tape::corrupt_shape_for_test`], this deliberately breaks the
+    /// tape's invariants: it simulates a forward pass whose accumulation
+    /// ran in a non-canonical order (e.g. a parallel max with a different
+    /// tie-break), so the `harp-verify` reduction-order audit can be
+    /// tested. Never call it from model code.
+    #[doc(hidden)]
+    pub fn corrupt_aux_for_test(&mut self, v: Var, aux_idx: Vec<usize>) {
+        self.nodes[v.0].aux_idx = aux_idx;
+    }
+
     fn push(&mut self, op: Op, shape: Shape, value: Vec<f32>) -> Var {
         self.push_aux(op, shape, value, Vec::new(), Vec::new())
     }

@@ -51,12 +51,33 @@
 //! `harp-core::train` runs this as a debug-build pre-flight on the first
 //! training instance of every run, so HARP/DOTE/TEAL graph regressions
 //! fail fast with a pointed diagnostic instead of a silent zero gradient.
+//!
+//! ## Determinism passes (v2)
+//!
+//! On top of the per-tape analyzer, the [`passes`] module proves the
+//! repo's bitwise-determinism contract structurally:
+//!
+//! * [`audit_reduction_order`] — every float reduction accumulates in a
+//!   statically fixed order (`reduction-order`,
+//!   `tie-sensitive-reduction`).
+//! * [`analyze_grad_aliasing`] — a planned parallel backward schedule
+//!   never writes the same gradient region from two concurrent sections
+//!   (`grad-alias`, `shared-param-fanin`, `invalid-sections`).
+//! * [`check_epoch_cache`] — `precompute_epoch` + `forward_cached`
+//!   covers exactly the same subgraph as the full forward
+//!   (`cache-structure-mismatch`, `cache-divergence`, `cache-spliced`,
+//!   `cache-unused`).
+//!
+//! `cargo xtask analyze` runs all of these over freshly recorded
+//! HARP/DOTE/TEAL tapes and gates CI on the findings.
 
 mod analyze;
 mod interval;
+pub mod passes;
 mod report;
 mod shapes;
 
 pub use analyze::analyze;
 pub use interval::Interval;
+pub use passes::{analyze_grad_aliasing, audit_reduction_order, check_epoch_cache};
 pub use report::{Diagnostic, GraphReport, Severity};

@@ -1,0 +1,201 @@
+//! `cargo xtask analyze` — record HARP/DOTE/TEAL tapes on a calibrated
+//! dataset instance and run every `harp-verify` determinism pass over
+//! them, writing a machine-readable findings report for CI.
+//!
+//! The gate fails (non-zero exit) when any pass produces an
+//! `Error`-severity finding; `Info`/`Warn` findings are recorded in the
+//! JSON report but do not fail the build.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use harp_bench::cli::Ctx;
+use harp_bench::data;
+use harp_bench::zoo::{build_model, Scheme};
+use harp_core::{analyze_determinism, DeterminismReport};
+use harp_verify::Severity;
+
+/// Seed for the freshly initialized (untrained) analysis models: the
+/// passes are structural, so parameter values only matter for tie/argmax
+/// recomputation, which any fixed seed exercises.
+const MODEL_SEED: u64 = 97;
+
+pub fn analyze(rest: &[String]) -> ExitCode {
+    let mut out_path = PathBuf::from("results/analysis.json");
+    let mut args = rest.iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = PathBuf::from(p),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown analyze option `{other}`");
+                eprintln!("usage: cargo xtask analyze [--out <path>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Smallest calibrated dataset: the passes are structural, so one
+    // representative instance exercises every op the models record.
+    let ctx = Ctx {
+        quick: true,
+        results_dir: PathBuf::from("results"),
+    };
+    let setup = data::abilene_setup(&ctx);
+    let inst = setup.instance(0);
+    println!(
+        "[analyze] dataset {} ({} nodes, {} flows, {} tunnels)",
+        setup.name,
+        setup.topo.num_nodes(),
+        inst.num_flows,
+        inst.num_tunnels
+    );
+
+    let schemes = [
+        Scheme::Harp { rau_iters: 7 },
+        Scheme::Harp { rau_iters: 0 },
+        Scheme::Dote,
+        // Abilene's tunnel set is 8 shortest paths per flow.
+        Scheme::Teal {
+            tunnels_per_flow: 8,
+        },
+    ];
+    let mut reports: Vec<DeterminismReport> = Vec::new();
+    for scheme in schemes {
+        let (model, store) = build_model(scheme, &inst, MODEL_SEED);
+        let report = analyze_determinism(&*model, &store, &inst);
+        print!("[analyze] {report}");
+        reports.push(report);
+    }
+
+    let json = render_json(setup.name, &inst, &reports);
+    if let Some(dir) = out_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[analyze] findings report: {}", out_path.display());
+
+    let errors: usize = reports.iter().map(DeterminismReport::error_count).sum();
+    if errors == 0 {
+        println!(
+            "[analyze] {} scheme(s) certified deterministic",
+            reports.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("[analyze] FAILED: {errors} error-severity finding(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Hand-rolled JSON: the report shape is small and fixed, and xtask
+/// stays decoupled from the vendored serde_json stand-in.
+fn render_json(dataset: &str, inst: &harp_core::Instance, reports: &[DeterminismReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"generator\": \"cargo xtask analyze\",\n");
+    s.push_str(&format!("  \"dataset\": {},\n", quote(dataset)));
+    s.push_str(&format!(
+        "  \"instance\": {{ \"flows\": {}, \"tunnels\": {} }},\n",
+        inst.num_flows, inst.num_tunnels
+    ));
+    s.push_str(&format!(
+        "  \"errors\": {},\n",
+        reports
+            .iter()
+            .map(DeterminismReport::error_count)
+            .sum::<usize>()
+    ));
+    s.push_str("  \"schemes\": [\n");
+    for (ri, r) in reports.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"scheme\": {},\n", quote(r.scheme)));
+        s.push_str(&format!("      \"clean\": {},\n", r.is_clean()));
+        s.push_str(&format!("      \"errors\": {},\n", r.error_count()));
+        s.push_str(&format!("      \"full_nodes\": {},\n", r.full_nodes));
+        s.push_str(&format!("      \"cached_nodes\": {},\n", r.cached_nodes));
+        s.push_str(&format!("      \"epoch_cache\": {},\n", r.has_epoch_cache));
+        s.push_str("      \"findings\": [\n");
+        let findings: Vec<String> = r
+            .passes()
+            .iter()
+            .flat_map(|(pass, report)| {
+                report.diagnostics.iter().map(move |d| {
+                    format!(
+                        "        {{ \"pass\": {}, \"severity\": {}, \"code\": {}, \
+                         \"node\": {}, \"message\": {} }}",
+                        quote(pass),
+                        quote(severity_str(d.severity)),
+                        quote(d.code),
+                        d.node.map_or("null".to_string(), |n| n.to_string()),
+                        quote(&d.message)
+                    )
+                })
+            })
+            .collect();
+        s.push_str(&findings.join(",\n"));
+        if !findings.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("      ]\n");
+        s.push_str(if ri + 1 < reports.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn severity_str(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Info => "info",
+        Severity::Warn => "warn",
+        Severity::Error => "error",
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_escapes_json_metacharacters() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(quote("ctrl\u{1}"), "\"ctrl\\u0001\"");
+    }
+}

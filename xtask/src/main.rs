@@ -1,22 +1,35 @@
 //! Workspace maintenance tasks, invoked as `cargo xtask <command>`.
 //!
-//! `lint` — source-level policy checks the compiler can't express:
-//! `.unwrap()` and `panic!` are banned in library code. Rationale: every
-//! abort point in the library crates must either be impossible by
-//! construction (use `expect`/`assert!` with a message naming the
-//! invariant) or a `Result` the caller can handle. Exempt: `#[cfg(test)]`
-//! modules, `tests/`, `benches/`, `examples/`, binary targets under
-//! `src/bin/`, and lines waived with an explicit
-//! `lint: allow(unwrap|panic) — reason` comment on the same or preceding
-//! line.
+//! `lint` — source-level policy checks the compiler can't express, all
+//! banned in library code:
+//!
+//! * `.unwrap()` / `panic!` — every abort point must either be impossible
+//!   by construction (use `expect`/`assert!` with a message naming the
+//!   invariant) or a `Result` the caller can handle.
+//! * truncating numeric `as` casts (`as u8/u16/u32/i8/i16/i32`) — these
+//!   silently wrap out-of-range values; use `try_from` with a handled
+//!   error, or widen the type.
+//! * `std::process::exit` — library code must return errors, not kill the
+//!   process (skipping destructors and the caller's cleanup).
+//!
+//! Exempt: `#[cfg(test)]` modules, `tests/`, `benches/`, `examples/`,
+//! binary targets under `src/bin/`, and lines waived with an explicit
+//! `lint: allow(unwrap|panic|as-cast|exit) — reason` comment on the same
+//! or preceding line.
+//!
+//! `analyze` — determinism analysis gate: records HARP/DOTE/TEAL tapes
+//! and runs the `harp-verify` passes over them (see `analyze.rs`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+mod analyze;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("analyze") => analyze::analyze(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`\n");
             usage();
@@ -31,7 +44,9 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask <command>\n\ncommands:\n  lint    ban unwrap()/panic! in library code"
+        "usage: cargo xtask <command>\n\ncommands:\n  \
+         lint       ban unwrap()/panic!/narrowing casts/process::exit in library code\n  \
+         analyze    run determinism analysis passes over recorded model tapes"
     );
 }
 
@@ -189,12 +204,58 @@ fn scan_source(file: &Path, src: &str, findings: &mut Vec<Finding>) {
                 });
             }
         }
+        if line.contains("process::exit") {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: i + 1,
+                what: "process::exit",
+                text: (*raw).to_string(),
+            });
+        }
+        if let Some(what) = narrowing_cast(&line) {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: i + 1,
+                what,
+                text: (*raw).to_string(),
+            });
+        }
     }
 }
 
-/// `lint: allow(unwrap)` / `lint: allow(panic)` comment waiver.
+/// First truncating numeric `as` cast on a (comment/string-stripped)
+/// line: `as u8/u16/u32/i8/i16/i32` silently wraps out-of-range values.
+/// Widening (`u64`, `i64`, `usize`…) and float casts stay allowed.
+fn narrowing_cast(stripped: &str) -> Option<&'static str> {
+    const NARROW: [(&str, &str); 6] = [
+        ("u8", "as u8"),
+        ("u16", "as u16"),
+        ("u32", "as u32"),
+        ("i8", "as i8"),
+        ("i16", "as i16"),
+        ("i32", "as i32"),
+    ];
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(" as ") {
+        let tok_start = from + pos + 4;
+        let tok: &str = &stripped[tok_start..];
+        let end = tok
+            .find(|c: char| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(tok.len());
+        let tok = &tok[..end];
+        if let Some((_, what)) = NARROW.iter().find(|(t, _)| *t == tok) {
+            return Some(what);
+        }
+        from = tok_start;
+    }
+    None
+}
+
+/// `lint: allow(unwrap|panic|as-cast|exit)` comment waiver.
 fn has_waiver(raw: &str) -> bool {
-    raw.contains("lint: allow(unwrap)") || raw.contains("lint: allow(panic)")
+    ["unwrap", "panic", "as-cast", "exit"]
+        .iter()
+        .any(|k| raw.contains(&format!("lint: allow({k})")))
 }
 
 /// Remove `//` comments and the contents of string literals so banned
@@ -282,6 +343,46 @@ mod tests {
             "}\n",
         );
         assert_eq!(scan(src), vec![(5, ".unwrap()")]);
+    }
+
+    #[test]
+    fn flags_narrowing_casts_but_not_widening_ones() {
+        let src = concat!(
+            "fn f(x: f64, n: usize) {\n",
+            "    let a = x as u32;\n",
+            "    let b = n as u64;\n",
+            "    let c = n as i32;\n",
+            "    let d = x as f32;\n",
+            "    let e = n as usize;\n",
+            "}\n",
+        );
+        assert_eq!(scan(src), vec![(2, "as u32"), (4, "as i32")]);
+    }
+
+    #[test]
+    fn cast_rule_ignores_strings_comments_and_identifiers() {
+        let src = concat!(
+            "fn f() {\n",
+            "    // converts as u8 eventually\n",
+            "    let s = \"stored as u16\";\n",
+            "    let alias = s;\n",
+            "    let _ = atlas_u32(alias);\n",
+            "}\n",
+        );
+        assert_eq!(scan(src), vec![]);
+    }
+
+    #[test]
+    fn flags_process_exit_with_waiver_escape() {
+        let src = concat!(
+            "fn f() {\n",
+            "    std::process::exit(2);\n",
+            "    // lint: allow(exit) — CLI-only helper\n",
+            "    std::process::exit(3);\n",
+            "    n as u16; // lint: allow(as-cast) — bounded by protocol\n",
+            "}\n",
+        );
+        assert_eq!(scan(src), vec![(2, "process::exit")]);
     }
 
     #[test]
