@@ -9,15 +9,19 @@
 //!
 //! `--check <baseline.json> [--tolerance <pct>]` re-times the same shapes
 //! (per-shape min over 3 rounds, to sit under scheduler noise) and exits
-//! non-zero if any timing class regresses more than `pct` (default 5%)
+//! non-zero if any timing class regresses more than `pct` (default 30%)
 //! against the baseline, aggregated over matched shapes — the CI smoke
-//! gate that instrumentation stays off the hot path.
+//! gate that instrumentation stays off the hot path. The default is wide
+//! on purpose: shared runners show double-digit scheduler/steal drift
+//! between runs, and the gate exists to catch structural regressions
+//! (an accidental scalar fallback, timing hooks left on the hot loop),
+//! which show up as multi-x slowdowns, not single-digit percentages.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 use harp_bench::zoo;
-use harp_core::Instance;
+use harp_core::{run_inference_cached, EvalOptions, Instance};
 use harp_paths::TunnelSet;
 use harp_runtime::Runtime;
 use harp_tensor::{kernels, Op, Tape};
@@ -49,7 +53,9 @@ fn recorded_matmul_shapes(inst: &Instance) -> Vec<(usize, usize, usize)> {
         let _ = model.forward(&mut tape, &store, inst);
         for node in tape.nodes() {
             match node.op {
-                Op::MatMul(a, _) => {
+                Op::MatMul(a, _)
+                | Op::MatMulBiasRelu(a, _, _)
+                | Op::MatMulBiasLeakyRelu(a, _, _, _) => {
                     let (m, k) = tape.shape(*a).as_matrix();
                     let (_, n) = node.shape.as_matrix();
                     shapes.insert((m, k, n));
@@ -104,11 +110,12 @@ fn check_against_baseline(
     rows: &[serde_json::Value],
     tol: f64,
 ) -> Vec<String> {
-    const CLASSES: [&str; 4] = [
+    const CLASSES: [&str; 5] = [
         "matmul_serial_ns",
         "matmul_pool_ns",
         "matmul_at_b_ns",
         "matmul_a_bt_ns",
+        "matmul_fused_ns",
     ];
     let key = |r: &serde_json::Value| {
         (
@@ -164,7 +171,7 @@ fn check_against_baseline(
 fn main() {
     let mut out_path = "BENCH_kernels.json".to_string();
     let mut check_path: Option<String> = None;
-    let mut tolerance = 0.05f64;
+    let mut tolerance = 0.30f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -190,11 +197,12 @@ fn main() {
         global.workers()
     );
 
-    // Baseline mode records one round of medians. Check mode takes the
-    // per-shape minimum over several rounds: scheduler interference on
-    // shared runners only ever slows a sample down, so the min estimates
-    // the noise floor and a genuine regression still shows in every round.
-    let rounds = if check_path.is_some() { 3 } else { 1 };
+    // Both modes take the per-shape minimum over several rounds of medians:
+    // scheduler interference on shared runners only ever slows a sample
+    // down, so the min estimates the noise floor, a genuine regression
+    // still shows in every round, and baseline and check use the same
+    // estimator (a baseline recorded in a noisy window stays comparable).
+    let rounds = 3;
     let reps = 15;
     let mut rows = Vec::new();
     for &(m, k, n) in &shapes {
@@ -203,10 +211,13 @@ fn main() {
         let dy = test_matrix(m * n, 13);
         let w = test_matrix(k * n, 14);
 
+        let bias = test_matrix(n, 15);
+
         let mut serial_ns = u64::MAX;
         let mut par_ns = u64::MAX;
         let mut at_b_ns = u64::MAX;
         let mut a_bt_ns = u64::MAX;
+        let mut fused_ns = u64::MAX;
         for _ in 0..rounds {
             serial_ns = serial_ns.min(time_ns(reps, || {
                 std::hint::black_box(kernels::matmul_with(Runtime::serial(), &a, &b, m, k, n));
@@ -224,21 +235,67 @@ fn main() {
                 kernels::matmul_a_bt(&dy, &w, m, n, k, &mut dx);
                 std::hint::black_box(dx);
             }));
+            fused_ns = fused_ns.min(time_ns(reps, || {
+                let mut y = vec![0.0f32; m * n];
+                kernels::matmul_bias_act_into_with(
+                    Runtime::serial(),
+                    &a,
+                    &b,
+                    &bias,
+                    None,
+                    m,
+                    k,
+                    n,
+                    &mut y,
+                );
+                std::hint::black_box(y);
+            }));
         }
+        // flops/ns == GFLOP/s; 2mkn multiply-adds per product
+        let gflops = 2.0 * (m * k * n) as f64 / serial_ns as f64;
         println!(
-            "  {m:>5}x{k:<4}x{n:<4}  serial {serial_ns:>10}ns  pool({}) {par_ns:>10}ns  \
-             at_b {at_b_ns:>10}ns  a_bt {a_bt_ns:>10}ns",
+            "  {m:>5}x{k:<4}x{n:<4}  serial {serial_ns:>10}ns ({gflops:>5.2} GFLOP/s)  \
+             pool({}) {par_ns:>10}ns  at_b {at_b_ns:>10}ns  a_bt {a_bt_ns:>10}ns  \
+             fused {fused_ns:>10}ns",
             global.workers()
         );
         rows.push(serde_json::json!({
             "m": m, "k": k, "n": n,
             "matmul_serial_ns": serial_ns,
+            "matmul_serial_gflops": (gflops * 100.0).round() / 100.0,
             "matmul_pool_ns": par_ns,
             "pool_workers": global.workers(),
             "matmul_at_b_ns": at_b_ns,
             "matmul_a_bt_ns": a_bt_ns,
+            "matmul_fused_ns": fused_ns,
         }));
     }
+
+    // End-to-end cached inference: HARP with the epoch-invariant stage
+    // (GCN + set transformer) precomputed once, timing only the per-TM
+    // path — the serving hot loop. Target: < 2ms per request. Uses
+    // `rau_iters = 3` (the paper sweeps {3, 7, 14}); the latency scales
+    // roughly linearly in the RAU iteration count.
+    let (model, store) = zoo::build_model(zoo::Scheme::Harp { rau_iters: 3 }, &inst, 3);
+    let cache = model
+        .precompute_epoch(&store, &inst)
+        .expect("HARP precomputes an epoch cache");
+    let mut infer_ns = u64::MAX;
+    for _ in 0..rounds {
+        infer_ns = infer_ns.min(time_ns(reps, || {
+            std::hint::black_box(run_inference_cached(
+                model.as_ref(),
+                &store,
+                &inst,
+                EvalOptions::default(),
+                &cache,
+            ));
+        }));
+    }
+    println!(
+        "  cached inference e2e: {infer_ns}ns ({:.3}ms)",
+        infer_ns as f64 / 1e6
+    );
 
     if let Some(base_path) = check_path {
         let text = match std::fs::read_to_string(&base_path) {
@@ -255,7 +312,24 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let failures = check_against_baseline(&baseline, &rows, tolerance);
+        let mut failures = check_against_baseline(&baseline, &rows, tolerance);
+        if let Some(base_e2e) = baseline
+            .get("cached_infer_e2e_ns")
+            .and_then(serde_json::Value::as_f64)
+        {
+            let ratio = infer_ns as f64 / base_e2e;
+            println!(
+                "  check cached_infer_e2e   {ratio:>6.3}x baseline (tolerance {tolerance:.2})"
+            );
+            if ratio > 1.0 + tolerance {
+                failures.push(format!(
+                    "cached_infer_e2e_ns: {infer_ns}ns vs baseline {base_e2e:.0}ns \
+                     ({:.1}% slower, tolerance {:.1}%)",
+                    (ratio - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
         if failures.is_empty() {
             println!("[check passed against {base_path}]");
             return;
@@ -271,6 +345,7 @@ fn main() {
         "host_cpus": std::thread::available_parallelism().map_or(1, |n| n.get()),
         "pool_workers": global.workers(),
         "timing": "median of 15 reps, ns/call",
+        "cached_infer_e2e_ns": infer_ns,
         "shapes": rows,
     });
     let text = serde_json::to_string_pretty(&doc).expect("serialize bench report");

@@ -213,13 +213,13 @@ impl Harp {
     /// embedding `table`. This is the only part of the forward pass that
     /// reads the traffic matrix, which is what makes the per-epoch
     /// embedding cache sound.
-    fn head(&self, t: &mut Tape, s: &ParamStore, inst: &Instance, table: Var) -> Var {
-        let demand_col = t.constant(vec![inst.num_tunnels, 1], inst.tunnel_demand.clone());
+    fn head(&self, t: &mut Tape, s: &ParamStore, inst: &Instance, table: TableSrc<'_>) -> Var {
+        let demand_col = t.constant_slice(vec![inst.num_tunnels, 1], &inst.tunnel_demand);
         let mut u = {
             let _mlp1 = harp_obs::span("harp.mlp1");
             // tunnel embeddings = CLS rows (position 0 of each sequence)
             let cls_rows: Vec<usize> = (0..inst.num_tunnels).map(|i| i * inst.seq_len).collect();
-            let tunnel_emb = t.gather_rows(table, std::sync::Arc::new(cls_rows));
+            let tunnel_emb = table.rows(t, cls_rows, self.cfg.d_model);
 
             let mlp1_in = t.concat_cols(&[tunnel_emb, demand_col]);
             let u0 = self.mlp1.forward(t, s, mlp1_in);
@@ -238,7 +238,7 @@ impl Harp {
             // data-dependent gather of the bottleneck edge-tunnel embedding
             let argmax_pairs = t.segment_argmax_of(bott_util).to_vec();
             let bott_rows: Vec<usize> = argmax_pairs.iter().map(|&p| inst.pair_row[p]).collect();
-            let bott_emb = t.gather_rows(table, std::sync::Arc::new(bott_rows));
+            let bott_emb = table.rows(t, bott_rows, self.cfg.d_model);
 
             // Utilizations can reach ~1e7 on failed (capacity-floored)
             // links; feed the RAU log-compressed magnitudes plus the
@@ -272,6 +272,27 @@ impl Harp {
     }
 }
 
+/// Where [`Harp::head`] reads the edge-tunnel embedding table from: a live
+/// tape node (training — gradients flow back through the gathers into the
+/// set transformer) or the host-side epoch cache (serving — constants get
+/// no gradient anyway). Both routes copy identical bytes row-by-row, so
+/// the forward values are bitwise-equal; the host route never materializes
+/// the full `[T * seq_len, d_model]` table as a tape leaf, copying only
+/// the rows each RAU iteration actually touches.
+enum TableSrc<'a> {
+    Tape(Var),
+    Host(&'a crate::EpochCache),
+}
+
+impl TableSrc<'_> {
+    fn rows(&self, t: &mut Tape, rows: Vec<usize>, w: usize) -> Var {
+        match self {
+            TableSrc::Tape(v) => t.gather_rows(*v, std::sync::Arc::new(rows)),
+            TableSrc::Host(c) => t.constant_rows(&c.data, w, &rows),
+        }
+    }
+}
+
 impl SplitModel for Harp {
     fn forward(&self, t: &mut Tape, s: &ParamStore, inst: &Instance) -> Var {
         let edge_emb = {
@@ -282,7 +303,7 @@ impl SplitModel for Harp {
             let _st = harp_obs::span("harp.settrans");
             self.tunnel_table(t, s, inst, edge_emb)
         };
-        self.head(t, s, inst, table)
+        self.head(t, s, inst, TableSrc::Tape(table))
     }
 
     /// HARP's stages 1–2 (GCN + set transformer) read only the topology
@@ -307,8 +328,7 @@ impl SplitModel for Harp {
         inst: &Instance,
         cache: &crate::EpochCache,
     ) -> Var {
-        let table = t.constant(cache.shape.clone(), (*cache.data).clone());
-        self.head(t, s, inst, table)
+        self.head(t, s, inst, TableSrc::Host(cache))
     }
 
     fn name(&self) -> &'static str {

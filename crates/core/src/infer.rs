@@ -72,6 +72,9 @@ fn run_inference_impl(
     opts: EvalOptions,
     cache: Option<&crate::EpochCache>,
 ) -> Inference {
+    // `Tape::new` pops a warm bump arena from the global pool (and `Drop`
+    // parks it back), so steady-state serving allocates nothing per request
+    // once the pool has seen one forward of this size.
     let mut tape = Tape::new();
     let out = match cache {
         Some(c) => model.forward_cached(&mut tape, store, instance, c),

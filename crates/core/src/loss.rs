@@ -9,11 +9,11 @@ use crate::Instance;
 /// (tunnel, edge) incidence, utilization = load / capacity, MLU = max.
 /// Gradients flow to the splits through the (sub-differentiable) max.
 pub fn mlu_loss(tape: &mut Tape, splits: Var, instance: &Instance) -> Var {
-    let demand = tape.constant(vec![instance.num_tunnels], instance.tunnel_demand.clone());
+    let demand = tape.constant_slice(vec![instance.num_tunnels], &instance.tunnel_demand);
     let traffic = tape.mul(splits, demand);
     let pair_traffic = tape.gather_rows(traffic, instance.pair_tunnel.clone());
     let loads = tape.segment_sum(pair_traffic, instance.pair_edge.clone(), instance.num_edges);
-    let inv_caps = tape.constant(vec![instance.num_edges], instance.edge_inv_caps.clone());
+    let inv_caps = tape.constant_slice(vec![instance.num_edges], &instance.edge_inv_caps);
     let utils = tape.mul(loads, inv_caps);
     tape.max_all(utils)
 }
@@ -21,11 +21,11 @@ pub fn mlu_loss(tape: &mut Tape, splits: Var, instance: &Instance) -> Var {
 /// Utilization vector (`[E]`) for the given splits — used inside HARP's RAU
 /// and by diagnostics.
 pub fn utilization(tape: &mut Tape, splits: Var, instance: &Instance) -> Var {
-    let demand = tape.constant(vec![instance.num_tunnels], instance.tunnel_demand.clone());
+    let demand = tape.constant_slice(vec![instance.num_tunnels], &instance.tunnel_demand);
     let traffic = tape.mul(splits, demand);
     let pair_traffic = tape.gather_rows(traffic, instance.pair_tunnel.clone());
     let loads = tape.segment_sum(pair_traffic, instance.pair_edge.clone(), instance.num_edges);
-    let inv_caps = tape.constant(vec![instance.num_edges], instance.edge_inv_caps.clone());
+    let inv_caps = tape.constant_slice(vec![instance.num_edges], &instance.edge_inv_caps);
     tape.mul(loads, inv_caps)
 }
 

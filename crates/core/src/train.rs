@@ -36,7 +36,7 @@ use harp_nn::{
 };
 use harp_obs::span;
 use harp_runtime::Runtime;
-use harp_tensor::{ParamStore, Tape};
+use harp_tensor::{GradBuffer, ParamStore, Tape};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -322,20 +322,24 @@ pub fn train_model(
             store.zero_grads();
             let chunk_len = chunk.len();
             // Fan the batch out: each worker takes a contiguous block of
-            // the chunk, accumulates into its own detached gradient buffer
-            // (the store is shared read-only for forward passes), and the
-            // per-worker buffers merge in a fixed-order tree so the step is
-            // bitwise-reproducible for a given worker count. A worker
-            // panic is contained at the pool boundary and handled like any
-            // other divergence: roll back the epoch, don't kill the run.
+            // the chunk and returns one detached gradient buffer *per item*
+            // (the store is shared read-only for forward passes). Blocks
+            // come back in item order, so a left fold over the flattened
+            // per-item buffers reproduces the single-worker accumulation
+            // association exactly — the step is bitwise-identical for every
+            // worker count, not just reproducible per count. The price is
+            // one GradBuffer per batch item held live at the merge; batches
+            // here are small. A worker panic is contained at the pool
+            // boundary and handled like any other divergence: roll back the
+            // epoch, don't kill the run.
             let outcome = rt.try_par_chunks(chunk, |ci, _, ids| {
                 if let Some(plan) = &chaos {
                     plan.maybe_kill_worker(epoch as u64, ci as u64);
                 }
-                let mut grads = store.grad_buffer();
-                let mut loss_sum = 0.0f64;
+                let mut items = Vec::with_capacity(ids.len());
                 for &i in ids {
                     let (inst, opt_mlu) = &train[i];
+                    let mut grads = store.grad_buffer();
                     let mut tape = Tape::new();
                     let splits = {
                         let _fwd = span("forward");
@@ -349,11 +353,12 @@ pub fn train_model(
                         1.0
                     };
                     let loss = tape.mul_scalar(mlu, norm / chunk_len as f32);
-                    loss_sum += tape.scalar_value(loss) as f64;
+                    let loss_val = tape.scalar_value(loss) as f64;
                     let _bwd = span("backward");
                     tape.backward_into(loss, &mut grads);
+                    items.push((grads, loss_val));
                 }
-                (grads, loss_sum)
+                items
             });
             let partials = match outcome {
                 Ok(p) => p,
@@ -362,28 +367,27 @@ pub fn train_model(
                     break;
                 }
             };
-            let mut loss_sums = Vec::with_capacity(partials.len());
-            let grads: Vec<_> = partials
-                .into_iter()
-                .map(|(g, l)| {
-                    loss_sums.push(l);
-                    g
-                })
-                .collect();
-            let batch_loss = loss_sums.iter().sum::<f64>();
+            // Fold per-item gradients and losses in item order
+            // (left-associated) — same bits as a serial sweep.
+            let mut batch_loss = 0.0f64;
+            let mut total: Option<GradBuffer> = None;
+            {
+                let _merge = span("merge");
+                for (g, l) in partials.into_iter().flatten() {
+                    batch_loss += l;
+                    match &mut total {
+                        None => total = Some(g),
+                        Some(t) => t.accumulate(&g),
+                    }
+                }
+            }
             if !batch_loss.is_finite() {
                 diverged = Some(format!("non-finite batch loss ({batch_loss})"));
                 break;
             }
             epoch_loss += batch_loss * chunk_len as f64 / train.len() as f64;
-            {
-                let _merge = span("merge");
-                if let Some(total) = Runtime::tree_reduce(grads, |mut a, b| {
-                    a.accumulate(&b);
-                    a
-                }) {
-                    store.merge_grads(&total);
-                }
+            if let Some(total) = total {
+                store.merge_grads(&total);
             }
             if let Some(plan) = &chaos {
                 if plan.nan_grad_at(opt.steps()) {

@@ -4,6 +4,7 @@ use harp_tensor::{ParamId, ParamStore, Tape, Var};
 use rand::Rng;
 
 use crate::init::xavier_vec;
+use crate::Activation;
 
 /// `y = x W + b` over the rows of `x` (`x: [n, in]`, `y: [n, out]`).
 ///
@@ -55,6 +56,18 @@ impl Linear {
 
     /// Apply the layer. Accepts rank-2 `[n, in]` or rank-3 `[b, s, in]`.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        self.forward_act(tape, store, x, Activation::Identity)
+    }
+
+    /// Apply the layer followed by `act`.
+    ///
+    /// This is the fusion peephole: when the layer has a bias and `act` is
+    /// `Relu` or `LeakyRelu` with a positive slope, the whole
+    /// `matmul -> add_bias -> activation` chain is emitted as a single fused
+    /// tape op (one kernel pass, no intermediate buffers). Any other
+    /// combination falls back to the unfused ops; both routes produce
+    /// bitwise-identical values and gradients.
+    pub fn forward_act(&self, tape: &mut Tape, store: &ParamStore, x: Var, act: Activation) -> Var {
         let shape = tape.shape(x).0.clone();
         let last = *shape.last().expect("linear: input must have rank >= 1");
         assert_eq!(
@@ -69,11 +82,28 @@ impl Linear {
             tape.reshape(x, vec![rows, self.in_dim])
         };
         let w = tape.param(store, self.w);
-        let mut y = tape.matmul(x2, w);
-        if let Some(b) = self.b {
-            let bv = tape.param(store, b);
-            y = tape.add_bias(y, bv);
-        }
+        let fuse = match (self.b, act) {
+            (Some(b), Activation::Relu) => Some((b, None)),
+            (Some(b), Activation::LeakyRelu(a)) if a > 0.0 => Some((b, Some(a))),
+            _ => None,
+        };
+        let y = match fuse {
+            Some((b, alpha)) => {
+                let bv = tape.param(store, b);
+                match alpha {
+                    None => tape.matmul_bias_relu(x2, w, bv),
+                    Some(a) => tape.matmul_bias_leaky_relu(x2, w, bv, a),
+                }
+            }
+            None => {
+                let mut y = tape.matmul(x2, w);
+                if let Some(b) = self.b {
+                    let bv = tape.param(store, b);
+                    y = tape.add_bias(y, bv);
+                }
+                act.apply(tape, y)
+            }
+        };
         if shape.len() == 2 {
             y
         } else {

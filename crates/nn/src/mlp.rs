@@ -56,16 +56,20 @@ impl Mlp {
     }
 
     /// Apply the MLP to rank-2 `[n, in]` or rank-3 `[b, s, in]` input.
+    ///
+    /// Each `linear + activation` pair goes through
+    /// [`Linear::forward_act`], so hidden layers with (leaky) ReLU emit the
+    /// fused matmul-bias-activation tape op.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(tape, store, h);
-            h = if i == last {
-                self.out_act.apply(tape, h)
+            let act = if i == last {
+                self.out_act
             } else {
-                self.hidden_act.apply(tape, h)
+                self.hidden_act
             };
+            h = layer.forward_act(tape, store, h, act);
         }
         h
     }

@@ -50,8 +50,7 @@ impl TransformerEncoderLayer {
         let att = self.mha.forward(tape, store, n1, score_mask);
         let x = tape.add(x, att);
         let n2 = self.ln2.forward(tape, store, x);
-        let h = self.ff1.forward(tape, store, n2);
-        let h = Activation::Relu.apply(tape, h);
+        let h = self.ff1.forward_act(tape, store, n2, Activation::Relu);
         let h = self.ff2.forward(tape, store, h);
         tape.add(x, h)
     }

@@ -107,6 +107,24 @@ pub fn partition(n: usize, workers: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// [`partition`] with block boundaries aligned to multiples of `grain`
+/// items (except the final boundary, which is `n`). Used by row-strip
+/// kernels that process `grain` rows per register-blocked step: aligned
+/// blocks mean only the last block of the whole matrix — not one block per
+/// worker — can end in a partial strip. `grain == 1` is exactly
+/// [`partition`]. Determinism is unaffected: blocks stay contiguous,
+/// disjoint, and a pure function of `(n, workers, grain)`.
+pub fn partition_grained(n: usize, workers: usize, grain: usize) -> Vec<(usize, usize)> {
+    let g = grain.max(1);
+    if g == 1 {
+        return partition(n, workers);
+    }
+    partition(n.div_ceil(g), workers)
+        .into_iter()
+        .map(|(lo, hi)| (lo * g, (hi * g).min(n)))
+        .collect()
+}
+
 /// A deterministic scoped-thread-pool executor: a worker count plus the
 /// partitioning policy described in the crate docs. Cheap to copy; threads
 /// are scoped per call, not persistent.
@@ -338,6 +356,20 @@ impl Runtime {
         E: Send,
         F: Fn(usize, &mut [E]) + Sync,
     {
+        self.par_row_blocks_grained(data, row_len, 1, f);
+    }
+
+    /// [`Runtime::par_row_blocks`] with worker boundaries aligned to
+    /// multiples of `grain` rows (see [`partition_grained`]). The matmul
+    /// microkernels use this so register-blocked strips of `grain` output
+    /// rows are never split across two workers; per-row arithmetic order is
+    /// still unchanged by the split, so serial and parallel results remain
+    /// bitwise identical.
+    pub fn par_row_blocks_grained<E, F>(&self, data: &mut [E], row_len: usize, grain: usize, f: F)
+    where
+        E: Send,
+        F: Fn(usize, &mut [E]) + Sync,
+    {
         assert!(row_len > 0, "par_row_blocks: zero row length");
         assert_eq!(
             data.len() % row_len,
@@ -345,7 +377,7 @@ impl Runtime {
             "par_row_blocks: buffer is not whole rows"
         );
         let rows = data.len() / row_len;
-        let blocks = partition(rows, self.workers);
+        let blocks = partition_grained(rows, self.workers, grain);
         #[cfg(feature = "sanitizer")]
         sanitizer::audit_blocks("par_row_blocks", &blocks, rows);
         if blocks.len() <= 1 {
@@ -566,6 +598,53 @@ mod tests {
                     let sizes: Vec<usize> = blocks.iter().map(|(l, h)| h - l).collect();
                     let (mn, mx) = (sizes.iter().min(), sizes.iter().max());
                     assert!(mx.and_then(|m| mn.map(|n| m - n)) <= Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_grained_aligns_and_covers() {
+        for n in 0..80 {
+            for w in 1..8 {
+                for g in 1..6 {
+                    let blocks = partition_grained(n, w, g);
+                    let mut next = 0;
+                    for (bi, &(lo, hi)) in blocks.iter().enumerate() {
+                        assert_eq!(lo, next, "n={n} w={w} g={g}");
+                        assert!(hi > lo, "empty block for n={n} w={w} g={g}");
+                        // every boundary except the last is grain-aligned
+                        if bi + 1 < blocks.len() {
+                            assert_eq!(hi % g, 0, "n={n} w={w} g={g}");
+                        }
+                        next = hi;
+                    }
+                    assert_eq!(next, n, "n={n} w={w} g={g}");
+                }
+            }
+        }
+        assert_eq!(partition_grained(10, 3, 4), vec![(0, 4), (4, 8), (8, 10)]);
+    }
+
+    #[test]
+    fn par_row_blocks_grained_writes_every_row_once() {
+        let rows = 27;
+        let row_len = 3;
+        for w in [1, 2, 3, 4, 32] {
+            for g in [1, 4, 8] {
+                let rt = Runtime::new(w);
+                let mut data = vec![0.0f32; rows * row_len];
+                rt.par_row_blocks_grained(&mut data, row_len, g, |first_row, block| {
+                    for (r, row) in block.chunks_exact_mut(row_len).enumerate() {
+                        for v in row.iter_mut() {
+                            *v += (first_row + r) as f32;
+                        }
+                    }
+                });
+                for r in 0..rows {
+                    for j in 0..row_len {
+                        assert_eq!(data[r * row_len + j], r as f32, "w={w} g={g} row {r}");
+                    }
                 }
             }
         }

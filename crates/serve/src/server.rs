@@ -603,6 +603,8 @@ fn process_batch(
         }
         let _span = harp_obs::span("serve.infer");
         let instance = Instance::compile(&topo, &tunnels, tm);
+        // Each inference reuses a pooled tape arena (see `harp_tensor::Tape`),
+        // so the per-request hot loop is allocation-free after warm-up.
         Some(match epoch_cache {
             Some(c) => run_inference_cached(
                 model,

@@ -4,22 +4,52 @@
 //! public so that non-autodiff code (e.g. the LP solvers' dense algebra or
 //! inference-only paths) can reuse them.
 //!
-//! ## Blocking and parallelism
+//! ## Microkernel architecture
 //!
-//! The three matmul variants are cache-blocked (k- and n-blocks sized so the
-//! active `b` panel and `c` row segments stay in L1) and split **rows of the
-//! output** across a [`harp_runtime::Runtime`] when the work is large enough
-//! to amortize scoped-thread spawns. Each output row is computed entirely by
-//! one worker with the same inner accumulation order as the serial path
-//! (k-index increasing for products, sample-index increasing for gradient
-//! reductions), so serial and parallel outputs are **bitwise identical** for
-//! every worker count — verified by property tests below.
+//! All three matmul variants (`c = a*b`, `out += a^T*b`, `out += a*b^T`) and
+//! the fused `act(a*b + bias)` kernel run through one GEMM driver:
+//!
+//! 1. **Packed-B panels.** The right-hand operand is packed once per call
+//!    (on the calling thread, into a thread-local scratch buffer) into
+//!    column panels of up to [`MAX_PANEL`] columns, each padded with zero
+//!    columns to a multiple of [`LANES`]. Packing also folds in the
+//!    transpose for the `a*b^T` variant, so every inner loop reads the
+//!    panel stride-1 — this is what fixes the historical `matmul_a_bt`
+//!    outlier (it used to stride `b` column-wise per dot product).
+//! 2. **Lane-array microkernel.** The inner kernel holds a register block
+//!    of `MR x NG` fixed-size `[f32; 8]` accumulator lane arrays (`MR`
+//!    output rows by `NG` lane groups = up to 48 output columns) and runs
+//!    the reduction index innermost. The fixed-size arrays autovectorize to
+//!    8-lane FMA vector code under `-C target-cpu=native` (see
+//!    `.cargo/config.toml`) with zero dependencies and no `unsafe`. The
+//!    recorded HARP/DOTE/TEAL hot shapes are tall-skinny (m ≈ 33k,
+//!    n/k ∈ {8, 9, 16, 20, 32, 48}), so a whole output row fits in one
+//!    panel and the monomorphized `NG ∈ 1..=6` instances cover every
+//!    recorded width exactly.
+//!
+//! ## Determinism contract
+//!
+//! Per output element the accumulation order is **fixed and identical on
+//! every path**: reduction-index increasing (k for products, sample index
+//! for gradient reductions), accumulated in a register starting from `0.0`,
+//! then added to the output element once. Lane grouping vectorizes *across*
+//! output elements, never within one element's reduction, so blocking,
+//! shape specialization, and row partitioning cannot reorder any element's
+//! float operations. Rows are split across a [`harp_runtime::Runtime`]
+//! with strip-aligned boundaries ([`Runtime::par_row_blocks_grained`]);
+//! each output row is computed entirely by one worker, so serial and
+//! parallel outputs are **bitwise identical** for every worker count —
+//! verified by property tests below. All paths multiply-accumulate through
+//! [`fmla`], so one binary uses one rounding scheme throughout (hardware
+//! FMA when the build target has it).
 //!
 //! The convenience entry points ([`matmul`], [`matmul_at_b`],
-//! [`matmul_a_bt`]) consult [`Runtime::global`] (the `HARP_THREADS`
-//! environment knob) above a size threshold; the `*_with` variants honor an
-//! explicit runtime unconditionally, which tests and benchmarks use to pin
-//! the worker count.
+//! [`matmul_a_bt`], [`matmul_bias_act`]) consult [`Runtime::global`] (the
+//! `HARP_THREADS` environment knob) above a size threshold; the `*_with`
+//! variants honor an explicit runtime unconditionally, which tests and
+//! benchmarks use to pin the worker count.
+
+use std::cell::RefCell;
 
 use harp_obs::Counter;
 use harp_runtime::Runtime;
@@ -32,6 +62,8 @@ static CALLS_SERIAL: Counter = Counter::new("kernels.calls_serial");
 static CALLS_PARALLEL: Counter = Counter::new("kernels.calls_parallel");
 /// Output rows dispatched to the pool by parallel matmul-family calls.
 static ROWS_PARALLEL: Counter = Counter::new("kernels.rows_parallel");
+/// Fused matmul+bias+activation kernel calls.
+static CALLS_FUSED: Counter = Counter::new("kernels.calls_fused");
 
 /// Credit one matmul-family call of `macs` multiply-accumulates and
 /// `rows` output rows to the kernel counters. A branch when obs is off.
@@ -49,18 +81,21 @@ fn count_call(rt: Runtime, macs: usize, rows: usize) {
     }
 }
 
-/// Rows of the shared `b` panel kept hot across an output-row strip.
-const KB: usize = 32;
-/// Output-column block: one `c` row segment plus the matching `b` panel
-/// columns (`KB * NB * 4` bytes ≈ 16 KiB) fit comfortably in L1.
-const NB: usize = 128;
-/// Output rows handled per micro-kernel strip (shares each `b` row load
-/// across this many output rows).
-const MR: usize = 4;
+/// Accumulator lane width: one `[f32; LANES]` array is one SIMD register
+/// under `-C target-cpu=native` on AVX2-class hardware.
+pub const LANES: usize = 8;
+/// Widest packed-B panel (6 lane groups): a full output-row register block
+/// for every recorded tall-skinny shape (n ≤ 48).
+const MAX_PANEL: usize = 48;
+/// Output rows per register-blocked microkernel strip; worker partitions
+/// are aligned to this grain so strips never straddle two workers.
+const MR_GRAIN: usize = 4;
 /// Minimum multiply-accumulate count before the convenience entry points
 /// fan rows out across [`Runtime::global`]; below this, scoped-thread spawn
-/// overhead (tens of microseconds) exceeds the win.
-const PAR_MIN_MACS: usize = 1 << 21;
+/// overhead (tens of microseconds) exceeds the win. Retuned upward from
+/// the scalar-kernel era (1<<21): the vectorized kernels finish ~4-8x
+/// sooner, so the spawn cost amortizes later.
+const PAR_MIN_MACS: usize = 1 << 22;
 
 /// Worker fan-out for `macs` multiply-accumulates: the global runtime above
 /// the threshold, serial below it.
@@ -72,6 +107,463 @@ fn auto_runtime(macs: usize) -> Runtime {
     }
 }
 
+/// Fused multiply-add when the build target has hardware FMA, separate
+/// mul+add otherwise. The compile-time branch keeps every kernel path on
+/// one rounding scheme per binary (and avoids the catastrophically slow
+/// libm soft-fma that `f32::mul_add` becomes without the instruction).
+#[inline(always)]
+fn fmla(a: f32, b: f32, c: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}
+
+#[inline]
+fn pad_lanes(w: usize) -> usize {
+    w.div_ceil(LANES) * LANES
+}
+
+thread_local! {
+    /// Per-thread packing scratch, reused across kernel calls so steady-state
+    /// GEMMs allocate nothing. Taken out of the cell for the duration of a
+    /// call (never borrowed across the parallel section), so nested kernel
+    /// calls and worker threads each simply see their own (possibly fresh)
+    /// buffer.
+    static PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pack the right-hand GEMM operand into zero-padded column panels.
+///
+/// `trans == false`: `rhs` is `[red, cols]` row-major and is packed as-is.
+/// `trans == true`: `rhs` is `[cols, red]` row-major and the transpose is
+/// packed, so the caller's reduction always walks panel rows stride-1.
+/// Panel `p` covers output columns `[p*MAX_PANEL, ...)`, stores
+/// `red * pad_lanes(width)` floats contiguously, and pads its tail columns
+/// with zeros (harmless: padded lanes are never stored to the output).
+fn pack_rhs(rhs: &[f32], red: usize, cols: usize, trans: bool, dst: &mut Vec<f32>) {
+    dst.clear();
+    let mut total = 0;
+    let mut c0 = 0;
+    while c0 < cols {
+        let w = (cols - c0).min(MAX_PANEL);
+        total += red * pad_lanes(w);
+        c0 += w;
+    }
+    dst.resize(total, 0.0);
+    let mut off = 0;
+    c0 = 0;
+    while c0 < cols {
+        let w = (cols - c0).min(MAX_PANEL);
+        let wp = pad_lanes(w);
+        let panel = &mut dst[off..off + red * wp];
+        if trans {
+            for c in 0..w {
+                let src = &rhs[(c0 + c) * red..(c0 + c + 1) * red];
+                for (r, &x) in src.iter().enumerate() {
+                    panel[r * wp + c] = x;
+                }
+            }
+        } else {
+            for r in 0..red {
+                panel[r * wp..r * wp + w].copy_from_slice(&rhs[r * cols + c0..r * cols + c0 + w]);
+            }
+        }
+        off += red * wp;
+        c0 += w;
+    }
+}
+
+/// Epilogue applied to each freshly-written output chunk (one strip row x
+/// one panel's columns `[c0, c0+w)`) right after the microkernel's
+/// writeback, while the chunk is still L1-hot. Each output element is
+/// covered by exactly one (strip, panel) pair — `red` spans the whole
+/// reduction in one call — so the epilogue sees every element's final
+/// value exactly once, and the fused bias+activation costs no separate
+/// pass over the (cache-cold) output. Implementations iterate slices so
+/// the activation compiles to vector selects, not per-element branches.
+trait Epilogue: Copy + Sync {
+    fn apply_chunk(&self, c0: usize, chunk: &mut [f32]);
+}
+
+/// No-op epilogue for plain GEMMs; the calls vanish at compile time.
+#[derive(Clone, Copy)]
+struct EpiId;
+impl Epilogue for EpiId {
+    #[inline(always)]
+    fn apply_chunk(&self, _c0: usize, _chunk: &mut [f32]) {}
+}
+
+/// Bias add + ReLU, the fused-op epilogue for `alpha == None`.
+#[derive(Clone, Copy)]
+struct EpiBiasRelu<'a> {
+    bias: &'a [f32],
+}
+impl Epilogue for EpiBiasRelu<'_> {
+    #[inline(always)]
+    fn apply_chunk(&self, c0: usize, chunk: &mut [f32]) {
+        for (v, &bj) in chunk.iter_mut().zip(&self.bias[c0..]) {
+            *v = (*v + bj).max(0.0);
+        }
+    }
+}
+
+/// Bias add + leaky ReLU (negative slope `al`), the fused-op epilogue for
+/// `alpha == Some(al)`. A separate type from [`EpiBiasRelu`] so each
+/// activation monomorphizes its own select-based loop.
+#[derive(Clone, Copy)]
+struct EpiBiasLeaky<'a> {
+    bias: &'a [f32],
+    al: f32,
+}
+impl Epilogue for EpiBiasLeaky<'_> {
+    #[inline(always)]
+    fn apply_chunk(&self, c0: usize, chunk: &mut [f32]) {
+        for (v, &bj) in chunk.iter_mut().zip(&self.bias[c0..]) {
+            let x = *v + bj;
+            *v = if x > 0.0 { x } else { self.al * x };
+        }
+    }
+}
+
+/// Register-blocked microkernel: `MR` output rows by `NG` lane groups.
+///
+/// Accumulates `Σ_kk lhs(row, kk) * panel(kk, col)` for the strip's rows
+/// into `[[f32; LANES]; NG]` lane arrays (reduction index `kk` increasing,
+/// starting from 0.0 — the per-element order every path shares), then adds
+/// each element's register sum to the output once. `lhs(row, kk)` is read
+/// at `lhs[abase + row*lrs + kk*lcs]`, which expresses both the plain
+/// (`lrs=k, lcs=1`) and transposed (`lrs=1, lcs=k`) left operands without
+/// copying.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro<const NG: usize, const MR: usize>(
+    lhs: &[f32],
+    abase: usize,
+    lrs: usize,
+    lcs: usize,
+    panel: &[f32],
+    red: usize,
+    block: &mut [f32],
+    obase: usize,
+    ors: usize,
+    w: usize,
+) {
+    let mut acc = [[[0.0f32; LANES]; NG]; MR];
+    // Re-slice to the exact extent so the iteration count below is provably
+    // `red` and the per-iteration bounds checks vanish.
+    let panel = &panel[..red * (NG * LANES)];
+    if lcs == 1 {
+        // Contiguous lhs rows (matmul / a_bt): pre-slice each strip row once
+        // so the hot loop indexes check-free.
+        let arows: [&[f32]; MR] = core::array::from_fn(|r| {
+            let s = abase + r * lrs;
+            &lhs[s..s + red]
+        });
+        for (kk, brow) in panel.chunks_exact(NG * LANES).enumerate() {
+            for (r, arow) in arows.iter().enumerate() {
+                let aik = arow[kk];
+                for g in 0..NG {
+                    for l in 0..LANES {
+                        acc[r][g][l] = fmla(aik, brow[g * LANES + l], acc[r][g][l]);
+                    }
+                }
+            }
+        }
+    } else {
+        // Strided lhs (a^T with small reduction): indexed loads.
+        for (kk, brow) in panel.chunks_exact(NG * LANES).enumerate() {
+            for r in 0..MR {
+                let aik = lhs[abase + r * lrs + kk * lcs];
+                for g in 0..NG {
+                    for l in 0..LANES {
+                        acc[r][g][l] = fmla(aik, brow[g * LANES + l], acc[r][g][l]);
+                    }
+                }
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let rb = obase + r * ors;
+        for (g, lanes) in acc_row.iter().enumerate() {
+            let cbase = g * LANES;
+            if cbase >= w {
+                break;
+            }
+            let lim = (w - cbase).min(LANES);
+            for (o, &v) in block[rb + cbase..rb + cbase + lim].iter_mut().zip(lanes) {
+                *o += v;
+            }
+        }
+    }
+}
+
+/// Nine-column microkernel: one full lane group plus one scalar tail
+/// column, for the recorded n == 9 tall-skinny shape where padding to two
+/// lane groups would waste 7 of 16 lanes. Reads the same 16-wide packed
+/// panel as the generic kernel and applies the identical per-element
+/// fused-multiply-add chain (reduction index increasing), so its results
+/// are bit-for-bit the same as the generic path it replaces.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro91<const MR: usize>(
+    lhs: &[f32],
+    abase: usize,
+    lrs: usize,
+    lcs: usize,
+    panel: &[f32],
+    red: usize,
+    block: &mut [f32],
+    obase: usize,
+    ors: usize,
+) {
+    let mut acc = [[0.0f32; LANES]; MR];
+    let mut acct = [0.0f32; MR];
+    let panel = &panel[..red * (2 * LANES)];
+    if lcs == 1 {
+        let arows: [&[f32]; MR] = core::array::from_fn(|r| {
+            let s = abase + r * lrs;
+            &lhs[s..s + red]
+        });
+        for (kk, brow) in panel.chunks_exact(2 * LANES).enumerate() {
+            for (r, arow) in arows.iter().enumerate() {
+                let aik = arow[kk];
+                for l in 0..LANES {
+                    acc[r][l] = fmla(aik, brow[l], acc[r][l]);
+                }
+                acct[r] = fmla(aik, brow[LANES], acct[r]);
+            }
+        }
+    } else {
+        for (kk, brow) in panel.chunks_exact(2 * LANES).enumerate() {
+            for r in 0..MR {
+                let aik = lhs[abase + r * lrs + kk * lcs];
+                for l in 0..LANES {
+                    acc[r][l] = fmla(aik, brow[l], acc[r][l]);
+                }
+                acct[r] = fmla(aik, brow[LANES], acct[r]);
+            }
+        }
+    }
+    for (r, lanes) in acc.iter().enumerate() {
+        let rb = obase + r * ors;
+        for (o, &v) in block[rb..rb + LANES].iter_mut().zip(lanes) {
+            *o += v;
+        }
+        block[rb + LANES] += acct[r];
+    }
+}
+
+/// [`micro91`] over all rows of a block (strips of 4, then singles).
+#[allow(clippy::too_many_arguments)]
+fn panel_rows91<E: Epilogue>(
+    lhs: &[f32],
+    lrs: usize,
+    lcs: usize,
+    row0: usize,
+    panel: &[f32],
+    red: usize,
+    block: &mut [f32],
+    cols: usize,
+    c0: usize,
+    rows: usize,
+    epi: E,
+) {
+    let strip = |block: &mut [f32], r: usize, mr: usize| {
+        for i in 0..mr {
+            let rb = (r + i) * cols + c0;
+            epi.apply_chunk(c0, &mut block[rb..rb + LANES + 1]);
+        }
+    };
+    let mut r = 0;
+    while r + 4 <= rows {
+        micro91::<4>(
+            lhs,
+            (row0 + r) * lrs,
+            lrs,
+            lcs,
+            panel,
+            red,
+            block,
+            r * cols + c0,
+            cols,
+        );
+        strip(block, r, 4);
+        r += 4;
+    }
+    while r < rows {
+        micro91::<1>(
+            lhs,
+            (row0 + r) * lrs,
+            lrs,
+            lcs,
+            panel,
+            red,
+            block,
+            r * cols + c0,
+            cols,
+        );
+        strip(block, r, 1);
+        r += 1;
+    }
+}
+
+/// Run the microkernel over all rows of a block for one packed panel,
+/// register-blocking [`MR_GRAIN`] rows at a time (2 for wide panels, where
+/// the accumulator block would otherwise exceed the register file).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn panel_rows<const NG: usize, E: Epilogue>(
+    lhs: &[f32],
+    lrs: usize,
+    lcs: usize,
+    row0: usize,
+    panel: &[f32],
+    red: usize,
+    block: &mut [f32],
+    cols: usize,
+    c0: usize,
+    w: usize,
+    rows: usize,
+    epi: E,
+) {
+    let strip = |block: &mut [f32], r: usize, mr: usize| {
+        for i in 0..mr {
+            let rb = (r + i) * cols + c0;
+            epi.apply_chunk(c0, &mut block[rb..rb + w]);
+        }
+    };
+    let mut r = 0;
+    if NG <= 2 {
+        while r + 4 <= rows {
+            micro::<NG, 4>(
+                lhs,
+                (row0 + r) * lrs,
+                lrs,
+                lcs,
+                panel,
+                red,
+                block,
+                r * cols + c0,
+                cols,
+                w,
+            );
+            strip(block, r, 4);
+            r += 4;
+        }
+    } else {
+        while r + 2 <= rows {
+            micro::<NG, 2>(
+                lhs,
+                (row0 + r) * lrs,
+                lrs,
+                lcs,
+                panel,
+                red,
+                block,
+                r * cols + c0,
+                cols,
+                w,
+            );
+            strip(block, r, 2);
+            r += 2;
+        }
+    }
+    while r < rows {
+        micro::<NG, 1>(
+            lhs,
+            (row0 + r) * lrs,
+            lrs,
+            lcs,
+            panel,
+            red,
+            block,
+            r * cols + c0,
+            cols,
+            w,
+        );
+        strip(block, r, 1);
+        r += 1;
+    }
+}
+
+/// GEMM over one contiguous block of output rows: walk the packed panels,
+/// dispatching each to the lane-group-specialized microkernel instance.
+fn gemm_block<E: Epilogue>(
+    lhs: &[f32],
+    lrs: usize,
+    lcs: usize,
+    packed: &[f32],
+    red: usize,
+    cols: usize,
+    row0: usize,
+    block: &mut [f32],
+    epi: E,
+) {
+    let rows = block.len() / cols;
+    let mut off = 0;
+    let mut c0 = 0;
+    while c0 < cols {
+        let w = (cols - c0).min(MAX_PANEL);
+        let wp = pad_lanes(w);
+        let panel = &packed[off..off + red * wp];
+        match wp / LANES {
+            1 => panel_rows::<1, E>(
+                lhs, lrs, lcs, row0, panel, red, block, cols, c0, w, rows, epi,
+            ),
+            2 if w == LANES + 1 => {
+                panel_rows91(lhs, lrs, lcs, row0, panel, red, block, cols, c0, rows, epi)
+            }
+            2 => panel_rows::<2, E>(
+                lhs, lrs, lcs, row0, panel, red, block, cols, c0, w, rows, epi,
+            ),
+            3 => panel_rows::<3, E>(
+                lhs, lrs, lcs, row0, panel, red, block, cols, c0, w, rows, epi,
+            ),
+            4 => panel_rows::<4, E>(
+                lhs, lrs, lcs, row0, panel, red, block, cols, c0, w, rows, epi,
+            ),
+            5 => panel_rows::<5, E>(
+                lhs, lrs, lcs, row0, panel, red, block, cols, c0, w, rows, epi,
+            ),
+            _ => panel_rows::<6, E>(
+                lhs, lrs, lcs, row0, panel, red, block, cols, c0, w, rows, epi,
+            ),
+        }
+        off += red * wp;
+        c0 += w;
+    }
+}
+
+/// The one GEMM driver behind every matmul variant: pack the right operand,
+/// split output rows across `rt` on strip-aligned boundaries, and run the
+/// microkernel per block with `epi` applied to each output chunk right
+/// after its (single, final) writeback — so fused bias+activation runs on
+/// L1-hot data instead of re-walking the finished output, and plain GEMMs
+/// ([`EpiId`]) compile to exactly the unfused code.
+#[allow(clippy::too_many_arguments)]
+fn gemm_into<E: Epilogue>(
+    rt: Runtime,
+    lhs: &[f32],
+    lrs: usize,
+    lcs: usize,
+    rhs: &[f32],
+    rhs_trans: bool,
+    red: usize,
+    cols: usize,
+    out: &mut [f32],
+    epi: E,
+) {
+    let mut scratch = PACK_SCRATCH.with(RefCell::take);
+    pack_rhs(rhs, red, cols, rhs_trans, &mut scratch);
+    let packed: &[f32] = &scratch;
+    rt.par_row_blocks_grained(out, cols, MR_GRAIN, |row0, block| {
+        gemm_block(lhs, lrs, lcs, packed, red, cols, row0, block, epi);
+    });
+    let _ = PACK_SCRATCH.with(|c| c.replace(scratch));
+}
+
 /// `c = a[m,k] * b[k,n]` (row-major, into a fresh buffer), parallelized over
 /// rows of `c` via [`Runtime::global`] when large enough.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
@@ -81,57 +573,108 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 /// [`matmul`] with an explicit worker pool (always honored; use
 /// [`Runtime::serial`] to force the single-threaded path).
 pub fn matmul_with(rt: Runtime, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(a.len(), m * k, "matmul: lhs size");
-    assert_eq!(b.len(), k * n, "matmul: rhs size");
     let mut c = vec![0.0f32; m * n];
-    if m == 0 || n == 0 || k == 0 {
-        return c;
-    }
-    count_call(rt, m * k * n, m);
-    rt.par_row_blocks(&mut c, n, |row0, block| {
-        matmul_rows(a, b, k, n, row0, block)
-    });
+    matmul_into_with(rt, a, b, m, k, n, &mut c);
     c
 }
 
-/// Blocked ikj kernel for output rows `[row0, row0 + block.len()/n)`.
-///
-/// Accumulation order per `c` element is `kk = 0..k` increasing regardless
-/// of blocking or row partition — the bitwise-determinism invariant.
-fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, block: &mut [f32]) {
-    let rows = block.len() / n;
-    let mut sr = 0;
-    while sr < rows {
-        let strip_rows = MR.min(rows - sr);
-        let strip = &mut block[sr * n..(sr + strip_rows) * n];
-        let mut kb = 0;
-        while kb < k {
-            let kend = (kb + KB).min(k);
-            let mut jb = 0;
-            while jb < n {
-                let jend = (jb + NB).min(n);
-                for r in 0..strip_rows {
-                    let arow = &a[(row0 + sr + r) * k..(row0 + sr + r + 1) * k];
-                    let crow = &mut strip[r * n + jb..r * n + jend];
-                    for kk in kb..kend {
-                        let aik = arow[kk];
-                        let brow = &b[kk * n + jb..kk * n + jend];
-                        for (cj, bj) in crow.iter_mut().zip(brow) {
-                            *cj += aik * bj;
-                        }
-                    }
-                }
-                jb = jend;
-            }
-            kb = kend;
-        }
-        sr += strip_rows;
-    }
+/// [`matmul_into_with`] with the worker pool chosen from the problem size
+/// (same policy as [`matmul`]).
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    matmul_into_with(auto_runtime(m * k * n), a, b, m, k, n, out);
 }
+
+/// Accumulate `a[m,k] * b[k,n]` into `out[m,n]` (`out += a*b`; zero `out`
+/// first for a plain product). This is the allocation-free entry the tape's
+/// arena-backed forward pass writes through.
+pub fn matmul_into_with(
+    rt: Runtime,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "matmul: lhs size");
+    assert_eq!(b.len(), k * n, "matmul: rhs size");
+    assert_eq!(out.len(), m * n, "matmul: out size");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    count_call(rt, m * k * n, m);
+    if n == 1 {
+        // Matrix-vector product (MLP output heads): the 8-lane panel would
+        // waste 7/8 of its multiplies on padding. Per element this is the
+        // same single k-increasing fmla chain as the panel kernel, so the
+        // bits are identical; rows run as independent chains to keep the
+        // FPU pipeline full.
+        matvec_into(rt, a, b, k, out);
+        return;
+    }
+    gemm_into(rt, a, k, 1, b, false, k, n, out, EpiId);
+}
+
+/// `out[r] += dot(a[r, :], b)` with the dot accumulated in k-increasing
+/// order by one fmla chain per row — bitwise-equal to what the panel
+/// kernel computes for a width-1 output. Four rows in flight.
+fn matvec_into(rt: Runtime, a: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
+    let b = &b[..k];
+    rt.par_row_blocks_grained(out, 1, MR_GRAIN, |row0, block| {
+        let mut r = 0usize;
+        while r + 4 <= block.len() {
+            let base = (row0 + r) * k;
+            let a0 = &a[base..base + k];
+            let a1 = &a[base + k..base + 2 * k];
+            let a2 = &a[base + 2 * k..base + 3 * k];
+            let a3 = &a[base + 3 * k..base + 4 * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (kk, &bv) in b.iter().enumerate() {
+                s0 = fmla(a0[kk], bv, s0);
+                s1 = fmla(a1[kk], bv, s1);
+                s2 = fmla(a2[kk], bv, s2);
+                s3 = fmla(a3[kk], bv, s3);
+            }
+            block[r] += s0;
+            block[r + 1] += s1;
+            block[r + 2] += s2;
+            block[r + 3] += s3;
+            r += 4;
+        }
+        while r < block.len() {
+            let base = (row0 + r) * k;
+            let arow = &a[base..base + k];
+            let mut s = 0.0f32;
+            for (kk, &bv) in b.iter().enumerate() {
+                s = fmla(arow[kk], bv, s);
+            }
+            block[r] += s;
+            r += 1;
+        }
+    });
+}
+
+/// Output size (floats) below which [`matmul_at_b`] streams samples through
+/// a cache-resident output instead of register strips. A `k x n` weight
+/// gradient is at most a few KB while the sample stream is MBs, so the
+/// streaming path reads `a` and `b` exactly once.
+const AT_B_STREAM_MAX_OUT: usize = 8192;
+/// Minimum reduction length before the streaming path pays off (below it
+/// the register-strip path re-reads nothing anyway).
+const AT_B_STREAM_MIN_RED: usize = 256;
 
 /// Accumulate `a[m,k]^T * b[m,n]` into `out[k,n]` (i.e. `out += a^T * b`),
 /// parallelized over rows of `out` via [`Runtime::global`] when large
 /// enough. Used for weight gradients: `dW = x^T * dy`.
+///
+/// Per element the sample index increases — the gradient-reduction order.
+/// Two shape-dispatched regimes share that order: small outputs
+/// (`k*n <= AT_B_STREAM_MAX_OUT` with a long reduction) stream samples once
+/// through the cache-resident output, fused-multiply-adding each sample's
+/// outer-product contribution directly into `out` in sample order; large
+/// outputs use the register-strip GEMM (per-element register accumulation
+/// in sample order, added to `out` once). The dispatch depends only on the
+/// shape, never on the worker count, so results stay worker-independent.
 pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     matmul_at_b_with(auto_runtime(m * k * n), a, b, m, k, n, out);
 }
@@ -153,36 +696,90 @@ pub fn matmul_at_b_with(
         return;
     }
     count_call(rt, m * k * n, k);
-    rt.par_row_blocks(out, n, |kk0, block| at_b_rows(a, b, m, k, n, kk0, block));
+    if k * n <= AT_B_STREAM_MAX_OUT && m >= AT_B_STREAM_MIN_RED {
+        // Workers split output rows; each streams the full sample range for
+        // its rows, so every element still sees samples in increasing order.
+        rt.par_row_blocks(out, n, |row0, block| {
+            at_b_stream(a, b, m, k, n, row0, block);
+        });
+        return;
+    }
+    // lhs is a^T: element (out_row, sample) lives at a[sample*k + out_row].
+    gemm_into(rt, a, 1, k, b, false, m, n, out, EpiId);
 }
 
-/// Gradient-reduction kernel for `out` rows `[kk0, kk0 + block.len()/n)`:
-/// `out[kk] += sum_i a[i,kk] * b[i]`, with the sample index `i` blocked for
-/// `b`-panel reuse but always increasing per element.
-fn at_b_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, kk0: usize, block: &mut [f32]) {
-    let krows = block.len() / n;
-    let mut ib = 0;
-    while ib < m {
-        let iend = (ib + KB).min(m);
-        for r in 0..krows {
-            let kk = kk0 + r;
-            let orow = &mut block[r * n..(r + 1) * n];
-            for i in ib..iend {
-                let aik = a[i * k + kk];
-                let brow = &b[i * n..(i + 1) * n];
-                for (oj, bj) in orow.iter_mut().zip(brow) {
-                    *oj += aik * bj;
+/// Samples chained through registers per streaming step; each output
+/// element receives one chained fused-multiply-add per sample, so the
+/// arithmetic sequence is identical to updating it sample-by-sample.
+const AT_B_CHAIN: usize = 8;
+
+/// Sample-streaming `out[row0.., :] += a^T b` for cache-resident outputs:
+/// reads `a` and `b` exactly once, accumulating each sample's outer-product
+/// contribution into `block` via register-chained FMAs ([`AT_B_CHAIN`]
+/// samples per load/store round trip). Per element this applies exactly
+/// `out = fmla(a_s, b_s, out)` for `s = 0, 1, ..., m-1` — the same fixed
+/// sample order as the register-strip path, independent of chain length,
+/// column grouping, and worker count.
+fn at_b_stream(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, row0: usize, block: &mut [f32]) {
+    let rows = block.len() / n;
+    let mut s = 0;
+    while s + AT_B_CHAIN <= m {
+        let arows: [&[f32]; AT_B_CHAIN] =
+            core::array::from_fn(|i| &a[(s + i) * k + row0..(s + i) * k + row0 + rows]);
+        let mut c0 = 0;
+        // Full 8-wide column groups: vector FMA chains.
+        while c0 + LANES <= n {
+            let bg: [[f32; LANES]; AT_B_CHAIN] = core::array::from_fn(|i| {
+                let mut v = [0.0f32; LANES];
+                v.copy_from_slice(&b[(s + i) * n + c0..(s + i) * n + c0 + LANES]);
+                v
+            });
+            for r in 0..rows {
+                let o = &mut block[r * n + c0..r * n + c0 + LANES];
+                let mut v = [0.0f32; LANES];
+                v.copy_from_slice(o);
+                for (arow, bgi) in arows.iter().zip(&bg) {
+                    let aik = arow[r];
+                    for l in 0..LANES {
+                        v[l] = fmla(aik, bgi[l], v[l]);
+                    }
                 }
+                o.copy_from_slice(&v);
+            }
+            c0 += LANES;
+        }
+        // Tail columns: scalar FMA chains.
+        for c in c0..n {
+            let bt: [f32; AT_B_CHAIN] = core::array::from_fn(|i| b[(s + i) * n + c]);
+            for r in 0..rows {
+                let mut o = block[r * n + c];
+                for (arow, &bv) in arows.iter().zip(&bt) {
+                    o = fmla(arow[r], bv, o);
+                }
+                block[r * n + c] = o;
             }
         }
-        ib = iend;
+        s += AT_B_CHAIN;
+    }
+    // Leftover samples (m % AT_B_CHAIN), one at a time in sample order.
+    while s < m {
+        let arow = &a[s * k + row0..s * k + row0 + rows];
+        let brow = &b[s * n..(s + 1) * n];
+        for (r, &aik) in arow.iter().enumerate() {
+            for (o, &bv) in block[r * n..(r + 1) * n].iter_mut().zip(brow) {
+                *o = fmla(aik, bv, *o);
+            }
+        }
+        s += 1;
     }
 }
 
 /// Accumulate `out[m,k] += a[m,n] * b[k,n]^T` (i.e. `out += a * b^T`, where
 /// `a` is `[m,n]` and `b` is `[k,n]`, both row-major), parallelized over
 /// rows of `out` via [`Runtime::global`] when large enough. Used for input
-/// gradients: `dx = dy * W^T`.
+/// gradients: `dx = dy * W^T`. `b` is transposed once during panel packing,
+/// so the inner loop is stride-1 (this variant used to be the ~2x outlier).
+/// Per element the index `j` into the shared dim `n` increases.
 pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, out: &mut [f32]) {
     matmul_a_bt_with(auto_runtime(m * n * k), a, b, m, n, k, out);
 }
@@ -204,30 +801,90 @@ pub fn matmul_a_bt_with(
         return;
     }
     count_call(rt, m * n * k, m);
-    rt.par_row_blocks(out, k, |i0, block| a_bt_rows(a, b, n, k, i0, block));
+    gemm_into(rt, a, n, 1, b, true, n, k, out, EpiId);
 }
 
-/// Dot-product kernel for `out` rows `[i0, i0 + block.len()/k)`: each
-/// element is a full-length dot of an `a` row with a `b` row (j increasing),
-/// strips of [`MR`] `a` rows sharing each `b` row load.
-fn a_bt_rows(a: &[f32], b: &[f32], n: usize, k: usize, i0: usize, block: &mut [f32]) {
-    let rows = block.len() / k;
-    let mut sr = 0;
-    while sr < rows {
-        let strip_rows = MR.min(rows - sr);
-        let strip = &mut block[sr * k..(sr + strip_rows) * k];
-        for kk in 0..k {
-            let brow = &b[kk * n..(kk + 1) * n];
-            for r in 0..strip_rows {
-                let arow = &a[(i0 + sr + r) * n..(i0 + sr + r + 1) * n];
-                let mut acc = 0.0f32;
-                for (aj, bj) in arow.iter().zip(brow) {
-                    acc += aj * bj;
-                }
-                strip[r * k + kk] += acc;
-            }
-        }
-        sr += strip_rows;
+/// Fused `act(a[m,k] * b[k,n] + bias)` into a fresh buffer, where `act` is
+/// ReLU (`alpha == None`) or leaky ReLU with negative slope `alpha`.
+///
+/// Bitwise-equal to the unfused `matmul` → `+ bias` → activation chain: the
+/// epilogue adds `bias[j]` to each element's register-accumulated product
+/// exactly once, then applies `max(x, 0)` / `if x > 0 { x } else { alpha*x }`
+/// — the same float operations in the same order.
+pub fn matmul_bias_act(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    alpha: Option<f32>,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    matmul_bias_act_with(auto_runtime(m * k * n), a, b, bias, alpha, m, k, n)
+}
+
+/// [`matmul_bias_act`] with an explicit worker pool (always honored).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_bias_act_with(
+    rt: Runtime,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    alpha: Option<f32>,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    matmul_bias_act_into_with(rt, a, b, bias, alpha, m, k, n, &mut out);
+    out
+}
+
+/// [`matmul_bias_act_into_with`] with the worker pool chosen from the
+/// problem size (same policy as [`matmul`]).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_bias_act_into(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    alpha: Option<f32>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    matmul_bias_act_into_with(auto_runtime(m * k * n), a, b, bias, alpha, m, k, n, out);
+}
+
+/// [`matmul_bias_act`] writing into caller-provided storage. `out` must be
+/// zero-filled (the product is accumulated, then the bias+activation
+/// epilogue rewrites each row in place); it is fully overwritten.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_bias_act_into_with(
+    rt: Runtime,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    alpha: Option<f32>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "matmul_bias_act: lhs size");
+    assert_eq!(b.len(), k * n, "matmul_bias_act: rhs size");
+    assert_eq!(bias.len(), n, "matmul_bias_act: bias size");
+    assert_eq!(out.len(), m * n, "matmul_bias_act: out size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    count_call(rt, m * k * n, m);
+    if harp_obs::enabled() {
+        CALLS_FUSED.add(1);
+    }
+    match alpha {
+        None => gemm_into(rt, a, k, 1, b, false, k, n, out, EpiBiasRelu { bias }),
+        Some(al) => gemm_into(rt, a, k, 1, b, false, k, n, out, EpiBiasLeaky { bias, al }),
     }
 }
 
@@ -321,6 +978,21 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_accumulates() {
+        let mut out = vec![100.0f32, 200.0, 300.0, 400.0];
+        matmul_into_with(
+            Runtime::serial(),
+            &[1., 2., 3., 4.],
+            &[5., 6., 7., 8.],
+            2,
+            2,
+            2,
+            &mut out,
+        );
+        assert_eq!(out, vec![119., 222., 343., 450.]);
+    }
+
+    #[test]
     fn at_b_matches_explicit_transpose() {
         let a = [1., 2., 3., 4., 5., 6.]; // [3,2]
         let b = [1., 0., 2., 1., 0., 3.]; // [3,2]
@@ -360,7 +1032,7 @@ mod tests {
 
         /// Bitwise determinism: every worker count produces exactly the
         /// serial result for all three kernels (dimensions chosen to span
-        /// multiple blocks and uneven strips/partitions).
+        /// multiple panels and uneven strips/partitions).
         #[test]
         fn parallel_kernels_bitwise_equal_serial(
             m in 1usize..40,
@@ -401,6 +1073,62 @@ mod tests {
             }
         }
 
+        /// The sample-streaming `at_b` regime (long reduction, small output)
+        /// stays bitwise-equal across worker counts and agrees with the
+        /// explicit-transpose matmul: on a zero-initialized output both
+        /// regimes apply the identical fused-multiply-add chain per element.
+        #[test]
+        fn at_b_streaming_path_deterministic(
+            m in 256usize..320,
+            k in 1usize..12,
+            n in 1usize..12,
+            seed in 0u64..1000,
+        ) {
+            let a = test_matrix(m * k, seed);
+            let b = test_matrix(m * n, seed.wrapping_add(1));
+            let mut serial = vec![0.0f32; k * n];
+            matmul_at_b_with(Runtime::serial(), &a, &b, m, k, n, &mut serial);
+            for w in [2, 3, 4, 7] {
+                let mut par = vec![0.0f32; k * n];
+                matmul_at_b_with(Runtime::new(w), &a, &b, m, k, n, &mut par);
+                prop_assert_eq!(&par, &serial);
+            }
+            let at = transpose(&a, m, k);
+            let reference = matmul_with(Runtime::serial(), &at, &b, k, m, n);
+            prop_assert_eq!(&serial, &reference);
+        }
+
+        /// The fused matmul+bias+activation kernel is bitwise-equal to the
+        /// unfused composition for both activations, at every worker count.
+        #[test]
+        fn fused_bias_act_bitwise_equal_composed(
+            m in 1usize..40,
+            k in 1usize..50,
+            n in 1usize..52,
+            seed in 0u64..1000,
+        ) {
+            let a = test_matrix(m * k, seed);
+            let b = test_matrix(k * n, seed.wrapping_add(1));
+            let bias = test_matrix(n, seed.wrapping_add(2));
+            for alpha in [None, Some(0.01f32), Some(0.3)] {
+                let mut composed = matmul_with(Runtime::serial(), &a, &b, m, k, n);
+                for r in 0..m {
+                    for j in 0..n {
+                        let x = composed[r * n + j] + bias[j];
+                        composed[r * n + j] = match alpha {
+                            None => x.max(0.0),
+                            Some(al) => if x > 0.0 { x } else { al * x },
+                        };
+                    }
+                }
+                for w in [1, 2, 3, 4, 7] {
+                    let fused =
+                        matmul_bias_act_with(Runtime::new(w), &a, &b, &bias, alpha, m, k, n);
+                    prop_assert_eq!(&fused, &composed, "alpha={:?} workers={}", alpha, w);
+                }
+            }
+        }
+
         /// The blocked kernels agree with a straightforward transpose-based
         /// reference within floating-point tolerance.
         #[test]
@@ -434,6 +1162,10 @@ mod tests {
         assert_eq!(out, vec![1.0; 4]);
         matmul_a_bt(&[], &[], 2, 0, 2, &mut out);
         assert_eq!(out, vec![1.0; 4]);
+        // fused with k == 0: the product is all zeros, the epilogue still
+        // applies bias + activation (same as the unfused composition).
+        let fused = matmul_bias_act(&[], &[], &[1.0, -2.0], Some(0.5), 2, 0, 2);
+        assert_eq!(fused, vec![1.0, -1.0, 1.0, -1.0]);
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //!
 //! ## Model
 //!
-//! * A [`Tape`] records a DAG of operations. Each node owns its forward
-//!   value; [`Tape::backward`] walks the tape in reverse and accumulates
-//!   gradients.
+//! * A [`Tape`] records a DAG of operations. Node values live in a bump
+//!   arena owned by the tape ([`TapeArena`], pooled across tapes so
+//!   steady-state forward passes allocate nothing); [`Tape::backward`]
+//!   walks the tape in reverse and accumulates gradients.
 //! * [`Var`] is a lightweight handle (an index) into a tape.
 //! * Persistent trainable state lives in a [`ParamStore`]; each training
 //!   step injects parameters into a fresh tape as leaves and, after
@@ -74,4 +75,4 @@ pub mod kernels;
 pub use op::Op;
 pub use param::{GradBuffer, ParamId, ParamStore};
 pub use shape::Shape;
-pub use tape::{NodeView, Tape, Var};
+pub use tape::{NodeView, Tape, TapeArena, Var};

@@ -64,6 +64,12 @@ pub enum Op {
     MatMul(Var, Var),
     /// `[b, m, k] x [b, k, n]` batched matrix product.
     BatchMatMul(Var, Var),
+    /// Fused `relu(a @ w + bias)` for `[m, k] x [k, n]` plus a length-`n`
+    /// bias row. One kernel pass; backward masks from the saved output.
+    MatMulBiasRelu(Var, Var, Var),
+    /// Fused `leaky_relu(a @ w + bias, alpha)`. `alpha` must be positive so
+    /// the output sign recovers the pre-activation sign in backward.
+    MatMulBiasLeakyRelu(Var, Var, Var, f32),
     /// Swap the last two axes of a rank-2 or rank-3 tensor.
     TransposeLast2(Var),
 
@@ -139,6 +145,8 @@ impl Op {
             BroadcastScalar(..) => "BroadcastScalar",
             MatMul(..) => "MatMul",
             BatchMatMul(..) => "BatchMatMul",
+            MatMulBiasRelu(..) => "MatMulBiasRelu",
+            MatMulBiasLeakyRelu(..) => "MatMulBiasLeakyRelu",
             TransposeLast2(..) => "TransposeLast2",
             Reshape(..) => "Reshape",
             ConcatCols(..) => "ConcatCols",
@@ -171,6 +179,8 @@ impl Op {
             | MulRow(a, b)
             | MatMul(a, b)
             | BatchMatMul(a, b) => vec![*a, *b],
+            MatMulBiasRelu(a, w, b) => vec![*a, *w, *b],
+            MatMulBiasLeakyRelu(a, w, b, _) => vec![*a, *w, *b],
             Neg(a) | Exp(a) | Ln(a) | Sqrt(a) | Relu(a) | Sigmoid(a) | Tanh(a)
             | TransposeLast2(a) | Reshape(a) | SumAll(a) | MeanAll(a) | MaxAll(a) | SumRows(a)
             | MeanLastDim(a) => vec![*a],

@@ -7,7 +7,7 @@
 //! to pick data-dependent bottleneck indices while keeping gradients exact
 //! (subgradient through the argmax).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use harp_obs::Counter;
@@ -59,7 +59,11 @@ pub struct NodeView<'a> {
 struct Node {
     op: Op,
     shape: Shape,
-    value: Vec<f32>,
+    /// `(offset, len)` of this node's forward value in the tape's arena
+    /// buffer. Values are bump-allocated: each constructor appends at the
+    /// buffer tail, so offsets are monotone in recording order and a node's
+    /// value never moves relative to the buffer once recorded.
+    val: (usize, usize),
     /// Set when this leaf mirrors a parameter in a `ParamStore`.
     param: Option<ParamId>,
     /// Integer side-channel saved by forward for backward (argmaxes).
@@ -68,8 +72,51 @@ struct Node {
     aux_f: Vec<f32>,
 }
 
+/// Reusable backing storage for a [`Tape`]: the bump arena holding every
+/// node's forward value, plus the node table itself.
+///
+/// [`Tape::new`] acquires an arena from a small global pool and `Drop`
+/// returns it cleared with capacity kept, so steady-state forward passes
+/// (the per-request cached-inference path in particular) allocate nothing
+/// for tape values beyond first-touch growth. Hold an arena explicitly with
+/// [`Tape::with_arena`] / [`Tape::recycle`] to pin reuse to one call site
+/// instead of sharing through the pool.
+#[derive(Default)]
+pub struct TapeArena {
+    buf: Vec<f32>,
+    nodes: Vec<Node>,
+}
+
+impl TapeArena {
+    /// An empty arena (no reserved capacity; it grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity of the value buffer in floats (diagnostics only).
+    pub fn value_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.nodes.clear();
+    }
+}
+
+/// Arenas parked between tapes. Bounded: beyond [`ARENA_POOL_MAX`] entries
+/// a dropped tape's storage is freed instead of pooled, so a transient
+/// burst of live tapes does not pin memory forever.
+static ARENA_POOL: Mutex<Vec<TapeArena>> = Mutex::new(Vec::new());
+const ARENA_POOL_MAX: usize = 4;
+/// Tapes created from a pooled (warm) arena vs fresh storage.
+static ARENA_REUSED: Counter = Counter::new("tape.arena_reused");
+static ARENA_FRESH: Counter = Counter::new("tape.arena_fresh");
+
 /// A reverse-mode autodiff tape. Create one per forward/backward pass.
 pub struct Tape {
+    /// Bump arena for node values; `Node.val` ranges index into it.
+    buf: Vec<f32>,
     nodes: Vec<Node>,
     /// Instant of the previous node record; `Some` iff per-op forward
     /// timing was on (`harp_obs::op_timing_enabled`) at construction.
@@ -85,13 +132,60 @@ impl Default for Tape {
     }
 }
 
+impl Drop for Tape {
+    /// Park this tape's storage in the global arena pool (cleared, with
+    /// capacity kept) so the next [`Tape::new`] skips the big allocations.
+    fn drop(&mut self) {
+        if self.buf.capacity() == 0 && self.nodes.capacity() == 0 {
+            return;
+        }
+        let mut arena = TapeArena {
+            buf: std::mem::take(&mut self.buf),
+            nodes: std::mem::take(&mut self.nodes),
+        };
+        arena.clear();
+        if let Ok(mut pool) = ARENA_POOL.lock() {
+            if pool.len() < ARENA_POOL_MAX {
+                pool.push(arena);
+            }
+        }
+    }
+}
+
 impl Tape {
-    /// An empty tape.
+    /// An empty tape, backed by a pooled arena when one is parked (see
+    /// [`TapeArena`]) or by fresh storage otherwise.
     pub fn new() -> Self {
+        let arena = ARENA_POOL.lock().ok().and_then(|mut pool| pool.pop());
+        match &arena {
+            Some(_) => ARENA_REUSED.add(1),
+            None => ARENA_FRESH.add(1),
+        }
+        Self::with_arena(arena.unwrap_or_default())
+    }
+
+    /// An empty tape backed by `arena`'s storage, bypassing the global
+    /// pool. Pair with [`Tape::recycle`] to keep one arena hot across a
+    /// caller-managed loop.
+    pub fn with_arena(mut arena: TapeArena) -> Self {
+        arena.clear();
         Tape {
-            nodes: Vec::new(),
+            buf: arena.buf,
+            nodes: arena.nodes,
             fwd_clock: harp_obs::op_timing_enabled().then(Instant::now),
         }
+    }
+
+    /// Tear down this tape and hand back its storage for reuse, bypassing
+    /// the global pool.
+    pub fn recycle(mut self) -> TapeArena {
+        let mut arena = TapeArena {
+            buf: std::mem::take(&mut self.buf),
+            nodes: std::mem::take(&mut self.nodes),
+        };
+        std::mem::forget(self);
+        arena.clear();
+        arena
     }
 
     /// Number of recorded nodes.
@@ -106,7 +200,13 @@ impl Tape {
 
     /// The forward value of `v`.
     pub fn value(&self, v: Var) -> &[f32] {
-        &self.nodes[v.0].value
+        let (o, l) = self.nodes[v.0].val;
+        &self.buf[o..o + l]
+    }
+
+    /// `(offset, len)` of `v`'s value in the arena buffer.
+    fn range(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].val
     }
 
     /// The shape of `v`.
@@ -117,8 +217,8 @@ impl Tape {
     /// The scalar value of a 1-element tensor. Panics otherwise.
     pub fn scalar_value(&self, v: Var) -> f32 {
         let n = &self.nodes[v.0];
-        assert_eq!(n.value.len(), 1, "scalar_value on shape {:?}", n.shape);
-        n.value[0]
+        assert_eq!(n.val.1, 1, "scalar_value on shape {:?}", n.shape);
+        self.buf[n.val.0]
     }
 
     /// For a [`Tape::max_all`] node: the flat index of the maximum found in
@@ -150,7 +250,7 @@ impl Tape {
             var: v,
             op: &n.op,
             shape: &n.shape,
-            value: &n.value,
+            value: &self.buf[n.val.0..n.val.0 + n.val.1],
             param: n.param,
         }
     }
@@ -167,7 +267,7 @@ impl Tape {
             var: Var(i),
             op: &n.op,
             shape: &n.shape,
-            value: &n.value,
+            value: &self.buf[n.val.0..n.val.0 + n.val.1],
             param: n.param,
         })
     }
@@ -203,19 +303,22 @@ impl Tape {
         self.nodes[v.0].aux_idx = aux_idx;
     }
 
-    fn push(&mut self, op: Op, shape: Shape, value: Vec<f32>) -> Var {
-        self.push_aux(op, shape, value, Vec::new(), Vec::new())
+    /// Record a node whose value is everything appended to the arena buffer
+    /// since `start` (i.e. `buf[start..]` at the time of the call).
+    fn push(&mut self, op: Op, shape: Shape, start: usize) -> Var {
+        self.push_aux(op, shape, start, Vec::new(), Vec::new())
     }
 
     fn push_aux(
         &mut self,
         op: Op,
         shape: Shape,
-        value: Vec<f32>,
+        start: usize,
         aux_idx: Vec<usize>,
         aux_f: Vec<f32>,
     ) -> Var {
-        debug_assert_eq!(shape.numel(), value.len(), "value/shape mismatch");
+        let len = self.buf.len() - start;
+        debug_assert_eq!(shape.numel(), len, "value/shape mismatch");
         NODES_RECORDED.add(1);
         if let Some(last) = &mut self.fwd_clock {
             let now = Instant::now();
@@ -226,7 +329,7 @@ impl Tape {
         self.nodes.push(Node {
             op,
             shape,
-            value,
+            val: (start, len),
             param: None,
             aux_idx,
             aux_f,
@@ -240,27 +343,66 @@ impl Tape {
 
     /// A constant tensor (no gradient).
     pub fn constant(&mut self, shape: Vec<usize>, data: Vec<f32>) -> Var {
+        self.constant_slice(shape, &data)
+    }
+
+    /// [`Self::constant`] from a borrowed slice: copies straight into the
+    /// tape arena without requiring an owned `Vec`. This is the right entry
+    /// for hot paths that inject a large shared buffer every forward pass
+    /// (e.g. a cached embedding table) — one copy instead of clone + copy.
+    pub fn constant_slice(&mut self, shape: Vec<usize>, data: &[f32]) -> Var {
         let shape = Shape(shape);
         assert_eq!(shape.numel(), data.len(), "constant: shape/data mismatch");
-        self.push(Op::Leaf, shape, data)
+        let start = self.buf.len();
+        self.buf.extend_from_slice(data);
+        self.push(Op::Leaf, shape, start)
+    }
+
+    /// A constant `[rows.len(), w]` tensor built by gathering rows of a
+    /// host-side `[data.len()/w, w]` row-major table straight into the tape
+    /// arena. Equivalent (bit-for-bit) to `constant_slice` of the full
+    /// table followed by `gather_rows`, but copies only the rows actually
+    /// used — the entry for serving paths that index a large epoch-cached
+    /// table per request.
+    pub fn constant_rows(&mut self, data: &[f32], w: usize, rows: &[usize]) -> Var {
+        assert!(w > 0, "constant_rows: zero row width");
+        assert_eq!(
+            data.len() % w,
+            0,
+            "constant_rows: data not a multiple of width"
+        );
+        let nrows = data.len() / w;
+        let start = self.buf.len();
+        self.buf.reserve(rows.len() * w);
+        for &r in rows {
+            assert!(r < nrows, "constant_rows: row {r} out of range {nrows}");
+            self.buf.extend_from_slice(&data[r * w..(r + 1) * w]);
+        }
+        self.push(Op::Leaf, Shape(vec![rows.len(), w]), start)
     }
 
     /// A constant scalar.
     pub fn scalar(&mut self, v: f32) -> Var {
-        self.push(Op::Leaf, Shape::scalar(), vec![v])
+        let start = self.buf.len();
+        self.buf.push(v);
+        self.push(Op::Leaf, Shape::scalar(), start)
     }
 
     /// A constant tensor of zeros.
     pub fn zeros(&mut self, shape: Vec<usize>) -> Var {
         let shape = Shape(shape);
         let n = shape.numel();
-        self.push(Op::Leaf, shape, vec![0.0; n])
+        let start = self.buf.len();
+        self.buf.resize(start + n, 0.0);
+        self.push(Op::Leaf, shape, start)
     }
 
     /// Inject a parameter from `store` as a differentiable leaf; gradients
     /// accumulate into the store on [`Tape::backward`].
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        let v = self.push(Op::Leaf, store.shape(id).clone(), store.data(id).to_vec());
+        let start = self.buf.len();
+        self.buf.extend_from_slice(store.data(id));
+        let v = self.push(Op::Leaf, store.shape(id).clone(), start);
         self.nodes[v.0].param = Some(id);
         v
     }
@@ -277,66 +419,59 @@ impl Tape {
         );
     }
 
+    /// Copy `a`'s value to the buffer tail and combine it in place with
+    /// `b`'s value: `tail[i] = f(a[i], b[i])`.
+    fn binary(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f32, f32) -> f32) -> Var {
+        let (ao, alen) = self.range(a);
+        let (bo, _) = self.range(b);
+        let start = self.buf.len();
+        self.buf.extend_from_within(ao..ao + alen);
+        let (head, tail) = self.buf.split_at_mut(start);
+        for (t, &s) in tail.iter_mut().zip(&head[bo..bo + alen]) {
+            *t = f(*t, s);
+        }
+        let sh = self.nodes[a.0].shape.clone();
+        self.push(op, sh, start)
+    }
+
     /// Elementwise `a + b` (identical shapes).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         self.assert_same_shape(a, b, "add");
-        let v: Vec<f32> = self.nodes[a.0]
-            .value
-            .iter()
-            .zip(&self.nodes[b.0].value)
-            .map(|(x, y)| x + y)
-            .collect();
-        let sh = self.nodes[a.0].shape.clone();
-        self.push(Op::Add(a, b), sh, v)
+        self.binary(a, b, Op::Add(a, b), |x, y| x + y)
     }
 
     /// Elementwise `a - b` (identical shapes).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         self.assert_same_shape(a, b, "sub");
-        let v: Vec<f32> = self.nodes[a.0]
-            .value
-            .iter()
-            .zip(&self.nodes[b.0].value)
-            .map(|(x, y)| x - y)
-            .collect();
-        let sh = self.nodes[a.0].shape.clone();
-        self.push(Op::Sub(a, b), sh, v)
+        self.binary(a, b, Op::Sub(a, b), |x, y| x - y)
     }
 
     /// Elementwise `a * b` (identical shapes).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         self.assert_same_shape(a, b, "mul");
-        let v: Vec<f32> = self.nodes[a.0]
-            .value
-            .iter()
-            .zip(&self.nodes[b.0].value)
-            .map(|(x, y)| x * y)
-            .collect();
-        let sh = self.nodes[a.0].shape.clone();
-        self.push(Op::Mul(a, b), sh, v)
+        self.binary(a, b, Op::Mul(a, b), |x, y| x * y)
     }
 
     /// Elementwise `a / b` (identical shapes).
     pub fn div(&mut self, a: Var, b: Var) -> Var {
         self.assert_same_shape(a, b, "div");
-        let v: Vec<f32> = self.nodes[a.0]
-            .value
-            .iter()
-            .zip(&self.nodes[b.0].value)
-            .map(|(x, y)| x / y)
-            .collect();
-        let sh = self.nodes[a.0].shape.clone();
-        self.push(Op::Div(a, b), sh, v)
+        self.binary(a, b, Op::Div(a, b), |x, y| x / y)
     }
 
     // ------------------------------------------------------------------
     // Elementwise unary
     // ------------------------------------------------------------------
 
+    /// Copy `a`'s value to the buffer tail and map it in place.
     fn unary(&mut self, a: Var, op: Op, f: impl Fn(f32) -> f32) -> Var {
-        let v: Vec<f32> = self.nodes[a.0].value.iter().map(|&x| f(x)).collect();
+        let (ao, alen) = self.range(a);
+        let start = self.buf.len();
+        self.buf.extend_from_within(ao..ao + alen);
+        for x in &mut self.buf[start..] {
+            *x = f(*x);
+        }
         let sh = self.nodes[a.0].shape.clone();
-        self.push(op, sh, v)
+        self.push(op, sh, start)
     }
 
     /// Elementwise negation.
@@ -427,15 +562,19 @@ impl Tape {
             w
         );
         let rows = self.nodes[a.0].shape.leading_rows();
-        let mut v = self.nodes[a.0].value.clone();
-        let bias = &self.nodes[b.0].value;
+        let (ao, alen) = self.range(a);
+        let (bo, _) = self.range(b);
+        let start = self.buf.len();
+        self.buf.extend_from_within(ao..ao + alen);
+        let (head, tail) = self.buf.split_at_mut(start);
+        let bias = &head[bo..bo + w];
         for r in 0..rows {
             for j in 0..w {
-                v[r * w + j] += bias[j];
+                tail[r * w + j] += bias[j];
             }
         }
         let sh = self.nodes[a.0].shape.clone();
-        self.push(Op::AddBias(a, b), sh, v)
+        self.push(Op::AddBias(a, b), sh, start)
     }
 
     /// Multiply every row of `a` elementwise by a row vector `b`.
@@ -447,26 +586,31 @@ impl Tape {
             "mul_row: row length mismatch"
         );
         let rows = self.nodes[a.0].shape.leading_rows();
-        let mut v = self.nodes[a.0].value.clone();
-        let row = &self.nodes[b.0].value;
+        let (ao, alen) = self.range(a);
+        let (bo, _) = self.range(b);
+        let start = self.buf.len();
+        self.buf.extend_from_within(ao..ao + alen);
+        let (head, tail) = self.buf.split_at_mut(start);
+        let row = &head[bo..bo + w];
         for r in 0..rows {
             for j in 0..w {
-                v[r * w + j] *= row[j];
+                tail[r * w + j] *= row[j];
             }
         }
         let sh = self.nodes[a.0].shape.clone();
-        self.push(Op::MulRow(a, b), sh, v)
+        self.push(Op::MulRow(a, b), sh, start)
     }
 
     /// Replicate a 1-element tensor into a rank-1 vector of length `n`.
     pub fn broadcast_scalar(&mut self, a: Var, n: usize) -> Var {
         assert_eq!(
-            self.nodes[a.0].value.len(),
-            1,
+            self.nodes[a.0].val.1, 1,
             "broadcast_scalar: input must have one element"
         );
-        let x = self.nodes[a.0].value[0];
-        self.push(Op::BroadcastScalar(a, n), Shape(vec![n]), vec![x; n])
+        let x = self.buf[self.nodes[a.0].val.0];
+        let start = self.buf.len();
+        self.buf.resize(start + n, x);
+        self.push(Op::BroadcastScalar(a, n), Shape(vec![n]), start)
     }
 
     // ------------------------------------------------------------------
@@ -478,8 +622,67 @@ impl Tape {
         let (m, k) = self.nodes[a.0].shape.as_matrix();
         let (k2, n) = self.nodes[b.0].shape.as_matrix();
         assert_eq!(k, k2, "matmul: inner dims {} vs {}", k, k2);
-        let v = kernels::matmul(&self.nodes[a.0].value, &self.nodes[b.0].value, m, k, n);
-        self.push(Op::MatMul(a, b), Shape(vec![m, n]), v)
+        let (ao, alen) = self.range(a);
+        let (bo, blen) = self.range(b);
+        let start = self.buf.len();
+        self.buf.resize(start + m * n, 0.0);
+        let (head, tail) = self.buf.split_at_mut(start);
+        kernels::matmul_into(&head[ao..ao + alen], &head[bo..bo + blen], m, k, n, tail);
+        self.push(Op::MatMul(a, b), Shape(vec![m, n]), start)
+    }
+
+    /// Fused `relu(a @ w + bias)`: one kernel pass over `[m,k] x [k,n]`
+    /// plus a length-`n` bias row, bitwise-equal to the unfused
+    /// `matmul` → `add_bias` → `relu` chain (the kernel epilogue applies
+    /// the same float operations in the same order; see
+    /// [`kernels::matmul_bias_act`]).
+    pub fn matmul_bias_relu(&mut self, a: Var, w: Var, b: Var) -> Var {
+        self.fused_matmul_bias(a, w, b, None)
+    }
+
+    /// Fused `leaky_relu(a @ w + bias, alpha)`. `alpha` must be positive:
+    /// backward recovers the pre-activation sign from the saved output,
+    /// which requires a sign-preserving activation.
+    pub fn matmul_bias_leaky_relu(&mut self, a: Var, w: Var, b: Var, alpha: f32) -> Var {
+        assert!(
+            alpha > 0.0,
+            "matmul_bias_leaky_relu: alpha must be positive"
+        );
+        self.fused_matmul_bias(a, w, b, Some(alpha))
+    }
+
+    fn fused_matmul_bias(&mut self, a: Var, w: Var, b: Var, alpha: Option<f32>) -> Var {
+        let (m, k) = self.nodes[a.0].shape.as_matrix();
+        let (k2, n) = self.nodes[w.0].shape.as_matrix();
+        assert_eq!(k, k2, "matmul_bias_act: inner dims {} vs {}", k, k2);
+        assert_eq!(
+            self.nodes[b.0].shape.numel(),
+            n,
+            "matmul_bias_act: bias length {} vs out cols {}",
+            self.nodes[b.0].shape.numel(),
+            n
+        );
+        let (ao, alen) = self.range(a);
+        let (wo, wlen) = self.range(w);
+        let (bo, blen) = self.range(b);
+        let start = self.buf.len();
+        self.buf.resize(start + m * n, 0.0);
+        let (head, tail) = self.buf.split_at_mut(start);
+        kernels::matmul_bias_act_into(
+            &head[ao..ao + alen],
+            &head[wo..wo + wlen],
+            &head[bo..bo + blen],
+            alpha,
+            m,
+            k,
+            n,
+            tail,
+        );
+        let op = match alpha {
+            None => Op::MatMulBiasRelu(a, w, b),
+            Some(al) => Op::MatMulBiasLeakyRelu(a, w, b, al),
+        };
+        self.push(op, Shape(vec![m, n]), start)
     }
 
     /// Batched matrix product `[b,m,k] x [b,k,n]`.
@@ -488,36 +691,53 @@ impl Tape {
         let (bb, k2, n) = self.nodes[b.0].shape.as_batched();
         assert_eq!(ba, bb, "batch_matmul: batch dims {} vs {}", ba, bb);
         assert_eq!(k, k2, "batch_matmul: inner dims {} vs {}", k, k2);
-        let mut v = Vec::with_capacity(ba * m * n);
+        let (ao, _) = self.range(a);
+        let (bo, _) = self.range(b);
+        let start = self.buf.len();
+        self.buf.resize(start + ba * m * n, 0.0);
+        let (head, tail) = self.buf.split_at_mut(start);
         for i in 0..ba {
-            let av = &self.nodes[a.0].value[i * m * k..(i + 1) * m * k];
-            let bv = &self.nodes[b.0].value[i * k * n..(i + 1) * k * n];
-            v.extend_from_slice(&kernels::matmul(av, bv, m, k, n));
+            kernels::matmul_into(
+                &head[ao + i * m * k..ao + (i + 1) * m * k],
+                &head[bo + i * k * n..bo + (i + 1) * k * n],
+                m,
+                k,
+                n,
+                &mut tail[i * m * n..(i + 1) * m * n],
+            );
         }
-        self.push(Op::BatchMatMul(a, b), Shape(vec![ba, m, n]), v)
+        self.push(Op::BatchMatMul(a, b), Shape(vec![ba, m, n]), start)
     }
 
     /// Swap the last two axes of a rank-2 or rank-3 tensor.
     pub fn transpose_last2(&mut self, a: Var) -> Var {
         let sh = &self.nodes[a.0].shape;
-        match sh.rank() {
+        let (batches, m, n, out_shape) = match sh.rank() {
             2 => {
                 let (m, n) = sh.as_matrix();
-                let v = kernels::transpose(&self.nodes[a.0].value, m, n);
-                self.push(Op::TransposeLast2(a), Shape(vec![n, m]), v)
+                (1, m, n, Shape(vec![n, m]))
             }
             3 => {
                 let (b, m, n) = sh.as_batched();
-                let mut v = Vec::with_capacity(b * m * n);
-                for i in 0..b {
-                    let src = &self.nodes[a.0].value[i * m * n..(i + 1) * m * n];
-                    v.extend_from_slice(&kernels::transpose(src, m, n));
-                }
-                self.push(Op::TransposeLast2(a), Shape(vec![b, n, m]), v)
+                (b, m, n, Shape(vec![b, n, m]))
             }
             // lint: allow(panic) — documented API contract (rank 2 or 3)
             r => panic!("transpose_last2: rank must be 2 or 3, got {}", r),
+        };
+        let (ao, _) = self.range(a);
+        let start = self.buf.len();
+        self.buf.resize(start + batches * m * n, 0.0);
+        let (head, tail) = self.buf.split_at_mut(start);
+        for t in 0..batches {
+            let src = &head[ao + t * m * n..ao + (t + 1) * m * n];
+            let dst = &mut tail[t * m * n..(t + 1) * m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
         }
+        self.push(Op::TransposeLast2(a), out_shape, start)
     }
 
     // ------------------------------------------------------------------
@@ -529,13 +749,15 @@ impl Tape {
         let shape = Shape(shape);
         assert_eq!(
             shape.numel(),
-            self.nodes[a.0].value.len(),
+            self.nodes[a.0].val.1,
             "reshape: {:?} -> {:?} changes element count",
             self.nodes[a.0].shape,
             shape
         );
-        let v = self.nodes[a.0].value.clone();
-        self.push(Op::Reshape(a), shape, v)
+        let (ao, alen) = self.range(a);
+        let start = self.buf.len();
+        self.buf.extend_from_within(ao..ao + alen);
+        self.push(Op::Reshape(a), shape, start)
     }
 
     /// Concatenate rank-2 tensors along the last axis.
@@ -543,6 +765,7 @@ impl Tape {
         assert!(!parts.is_empty(), "concat_cols: empty input");
         let rows = self.nodes[parts[0].0].shape.leading_rows();
         let mut widths = Vec::with_capacity(parts.len());
+        let mut offs = Vec::with_capacity(parts.len());
         for &p in parts {
             assert_eq!(
                 self.nodes[p.0].shape.leading_rows(),
@@ -550,19 +773,31 @@ impl Tape {
                 "concat_cols: row counts differ"
             );
             widths.push(self.nodes[p.0].shape.last_dim());
+            offs.push(self.nodes[p.0].val.0);
         }
         let total_w: usize = widths.iter().sum();
-        let mut v = Vec::with_capacity(rows * total_w);
-        for r in 0..rows {
-            for (&p, &w) in parts.iter().zip(&widths) {
-                let src = &self.nodes[p.0].value[r * w..(r + 1) * w];
-                v.extend_from_slice(src);
+        let start = self.buf.len();
+        // Row-major tight copy loop (not per-row extend_from_within): this
+        // runs every RAU iteration on [tunnels, d_model + features] inputs,
+        // where per-call overhead dominates the actual copying. Writing
+        // each output row contiguously keeps stores sequential.
+        self.buf.resize(start + rows * total_w, 0.0);
+        let (head, tail) = self.buf.split_at_mut(start);
+        for (r, out_row) in tail.chunks_exact_mut(total_w).enumerate() {
+            let mut col = 0usize;
+            for (&w, &o) in widths.iter().zip(&offs) {
+                if w == 1 {
+                    out_row[col] = head[o + r];
+                } else {
+                    out_row[col..col + w].copy_from_slice(&head[o + r * w..o + (r + 1) * w]);
+                }
+                col += w;
             }
         }
         self.push(
             Op::ConcatCols(parts.to_vec()),
             Shape(vec![rows, total_w]),
-            v,
+            start,
         )
     }
 
@@ -571,21 +806,21 @@ impl Tape {
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_rows: empty input");
         let rank1 = self.nodes[parts[0].0].shape.rank() <= 1;
+        let start = self.buf.len();
         if rank1 {
-            let mut v = Vec::new();
             for &p in parts {
                 assert!(
                     self.nodes[p.0].shape.rank() <= 1,
                     "concat_rows: mixed ranks"
                 );
-                v.extend_from_slice(&self.nodes[p.0].value);
+                let (o, l) = self.range(p);
+                self.buf.extend_from_within(o..o + l);
             }
-            let n = v.len();
-            self.push(Op::ConcatRows(parts.to_vec()), Shape(vec![n]), v)
+            let n = self.buf.len() - start;
+            self.push(Op::ConcatRows(parts.to_vec()), Shape(vec![n]), start)
         } else {
             let cols = self.nodes[parts[0].0].shape.last_dim();
             let mut rows = 0;
-            let mut v = Vec::new();
             for &p in parts {
                 assert_eq!(
                     self.nodes[p.0].shape.last_dim(),
@@ -593,9 +828,14 @@ impl Tape {
                     "concat_rows: column counts differ"
                 );
                 rows += self.nodes[p.0].shape.leading_rows();
-                v.extend_from_slice(&self.nodes[p.0].value);
+                let (o, l) = self.range(p);
+                self.buf.extend_from_within(o..o + l);
             }
-            self.push(Op::ConcatRows(parts.to_vec()), Shape(vec![rows, cols]), v)
+            self.push(
+                Op::ConcatRows(parts.to_vec()),
+                Shape(vec![rows, cols]),
+                start,
+            )
         }
     }
 
@@ -609,12 +849,26 @@ impl Tape {
             // lint: allow(panic) — documented API contract (rank 1 or 2)
             r => panic!("gather_rows: rank must be 1 or 2, got {}", r),
         };
-        let mut v = Vec::with_capacity(idx.len() * w);
-        for &i in idx.iter() {
-            assert!(i < rows, "gather_rows: index {} out of {} rows", i, rows);
-            v.extend_from_slice(&self.nodes[a.0].value[i * w..(i + 1) * w]);
+        let (ao, _) = self.range(a);
+        let start = self.buf.len();
+        // Tight copy loops: gathers run several times per RAU iteration
+        // over (tunnel, edge) incidence pairs, so per-element
+        // extend_from_within overhead is the dominant cost, not the copy.
+        self.buf.resize(start + idx.len() * w, 0.0);
+        let (head, tail) = self.buf.split_at_mut(start);
+        let src = &head[ao..ao + rows * w];
+        if w == 1 {
+            for (out, &i) in tail.iter_mut().zip(idx.iter()) {
+                assert!(i < rows, "gather_rows: index {} out of {} rows", i, rows);
+                *out = src[i];
+            }
+        } else {
+            for (out, &i) in tail.chunks_exact_mut(w).zip(idx.iter()) {
+                assert!(i < rows, "gather_rows: index {} out of {} rows", i, rows);
+                out.copy_from_slice(&src[i * w..(i + 1) * w]);
+            }
         }
-        self.push(Op::GatherRows(a, idx), out_shape, v)
+        self.push(Op::GatherRows(a, idx), out_shape, start)
     }
 
     /// Columns `[start, end)` of a rank-2 tensor.
@@ -625,11 +879,14 @@ impl Tape {
             "slice_cols: [{start}, {end}) out of {cols} cols"
         );
         let w = end - start;
-        let mut v = Vec::with_capacity(rows * w);
+        let (ao, _) = self.range(a);
+        let base = self.buf.len();
+        self.buf.reserve(rows * w);
         for r in 0..rows {
-            v.extend_from_slice(&self.nodes[a.0].value[r * cols + start..r * cols + end]);
+            self.buf
+                .extend_from_within(ao + r * cols + start..ao + r * cols + end);
         }
-        self.push(Op::SliceCols(a, start, end), Shape(vec![rows, w]), v)
+        self.push(Op::SliceCols(a, start, end), Shape(vec![rows, w]), base)
     }
 
     // ------------------------------------------------------------------
@@ -638,20 +895,24 @@ impl Tape {
 
     /// Sum of all elements (scalar output).
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let s: f32 = self.nodes[a.0].value.iter().sum();
-        self.push(Op::SumAll(a), Shape::scalar(), vec![s])
+        let s: f32 = self.value(a).iter().sum();
+        let start = self.buf.len();
+        self.buf.push(s);
+        self.push(Op::SumAll(a), Shape::scalar(), start)
     }
 
     /// Mean of all elements (scalar output).
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let n = self.nodes[a.0].value.len().max(1);
-        let s: f32 = self.nodes[a.0].value.iter().sum::<f32>() / n as f32;
-        self.push(Op::MeanAll(a), Shape::scalar(), vec![s])
+        let n = self.nodes[a.0].val.1.max(1);
+        let s: f32 = self.value(a).iter().sum::<f32>() / n as f32;
+        let start = self.buf.len();
+        self.buf.push(s);
+        self.push(Op::MeanAll(a), Shape::scalar(), start)
     }
 
     /// Maximum element (scalar output; subgradient to the first argmax).
     pub fn max_all(&mut self, a: Var) -> Var {
-        let vals = &self.nodes[a.0].value;
+        let vals = self.value(a);
         assert!(!vals.is_empty(), "max_all: empty tensor");
         let mut best = 0usize;
         for (i, &x) in vals.iter().enumerate() {
@@ -660,19 +921,24 @@ impl Tape {
             }
         }
         let m = vals[best];
-        self.push_aux(Op::MaxAll(a), Shape::scalar(), vec![m], vec![best], vec![])
+        let start = self.buf.len();
+        self.buf.push(m);
+        self.push_aux(Op::MaxAll(a), Shape::scalar(), start, vec![best], vec![])
     }
 
     /// Sum over axis 0 of a rank-2 tensor, producing a row vector `[cols]`.
     pub fn sum_rows(&mut self, a: Var) -> Var {
         let (rows, cols) = self.nodes[a.0].shape.as_matrix();
-        let mut v = vec![0.0f32; cols];
+        let (ao, _) = self.range(a);
+        let start = self.buf.len();
+        self.buf.resize(start + cols, 0.0);
+        let (head, tail) = self.buf.split_at_mut(start);
         for r in 0..rows {
             for j in 0..cols {
-                v[j] += self.nodes[a.0].value[r * cols + j];
+                tail[j] += head[ao + r * cols + j];
             }
         }
-        self.push(Op::SumRows(a), Shape(vec![cols]), v)
+        self.push(Op::SumRows(a), Shape(vec![cols]), start)
     }
 
     /// Per-row mean over the last axis, producing `[rows, 1]`.
@@ -680,12 +946,14 @@ impl Tape {
         let w = self.nodes[a.0].shape.last_dim();
         let rows = self.nodes[a.0].shape.leading_rows();
         assert!(w > 0, "mean_last_dim: zero-width rows");
-        let mut v = Vec::with_capacity(rows);
+        let (ao, _) = self.range(a);
+        let start = self.buf.len();
+        self.buf.reserve(rows);
         for r in 0..rows {
-            let s: f32 = self.nodes[a.0].value[r * w..(r + 1) * w].iter().sum();
-            v.push(s / w as f32);
+            let s: f32 = self.buf[ao + r * w..ao + (r + 1) * w].iter().sum();
+            self.buf.push(s / w as f32);
         }
-        self.push(Op::MeanLastDim(a), Shape(vec![rows, 1]), v)
+        self.push(Op::MeanLastDim(a), Shape(vec![rows, 1]), start)
     }
 
     // ------------------------------------------------------------------
@@ -703,42 +971,90 @@ impl Tape {
             r => panic!("segment_sum: rank must be 1 or 2, got {}", r),
         };
         assert_eq!(seg.len(), rows, "segment_sum: segment index length");
-        let mut v = vec![0.0f32; n_segments * w];
-        for (i, &s) in seg.iter().enumerate() {
-            assert!(s < n_segments, "segment_sum: segment {} out of range", s);
-            for j in 0..w {
-                v[s * w + j] += self.nodes[a.0].value[i * w + j];
+        let (ao, _) = self.range(a);
+        let start = self.buf.len();
+        self.buf.resize(start + n_segments * w, 0.0);
+        let (head, tail) = self.buf.split_at_mut(start);
+        if w == 1 {
+            // Accumulate runs of equal segment indices in a register (the
+            // pair arrays are grouped by tunnel, so runs are long), storing
+            // once per run. Element visit order per segment is unchanged,
+            // and `acc = tail[s]; acc += x..; tail[s] = acc` is the same
+            // left-associated chain as `tail[s] += x` one at a time, so the
+            // bits match for any index order.
+            let n = seg.len();
+            let mut i = 0;
+            while i < n {
+                let s = seg[i];
+                assert!(s < n_segments, "segment_sum: segment {} out of range", s);
+                let mut acc = tail[s];
+                let mut j = i;
+                while j < n && seg[j] == s {
+                    acc += head[ao + j];
+                    j += 1;
+                }
+                tail[s] = acc;
+                i = j;
+            }
+        } else {
+            for (i, &s) in seg.iter().enumerate() {
+                assert!(s < n_segments, "segment_sum: segment {} out of range", s);
+                for j in 0..w {
+                    tail[s * w + j] += head[ao + i * w + j];
+                }
             }
         }
-        self.push(Op::SegmentSum(a, seg, n_segments), out_shape, v)
+        self.push(Op::SegmentSum(a, seg, n_segments), out_shape, start)
     }
 
     /// Per-segment maximum of a rank-1 tensor. Every segment must receive at
     /// least one element. Subgradient to each segment's argmax.
     pub fn segment_max(&mut self, a: Var, seg: Arc<Vec<usize>>, n_segments: usize) -> Var {
         assert_eq!(self.nodes[a.0].shape.rank(), 1, "segment_max: rank-1 only");
-        assert_eq!(
-            seg.len(),
-            self.nodes[a.0].value.len(),
-            "segment_max: segment index length"
-        );
-        let vals = &self.nodes[a.0].value;
+        let (ao, alen) = self.range(a);
+        assert_eq!(seg.len(), alen, "segment_max: segment index length");
         let mut best = vec![usize::MAX; n_segments];
-        for (i, &s) in seg.iter().enumerate() {
-            assert!(s < n_segments, "segment_max: segment {} out of range", s);
-            if best[s] == usize::MAX || vals[i] > vals[best[s]] {
-                best[s] = i;
+        // Track the running maximum alongside the argmax so the scan never
+        // re-reads vals[best[s]] (a second random access per element). The
+        // comparison sequence is unchanged: bestv[s] mirrors vals[best[s]]
+        // exactly, including NaN propagation.
+        let mut bestv = vec![f32::NEG_INFINITY; n_segments];
+        {
+            let vals = &self.buf[ao..ao + alen];
+            // Scan runs of equal segment indices with the running
+            // (argmax, max) in registers, touching best[s]/bestv[s] once
+            // per run. The comparison sequence per segment is exactly the
+            // naive per-element loop's, so the result is identical
+            // (including NaN handling) for any index order.
+            let mut i = 0;
+            while i < alen {
+                let s = seg[i];
+                assert!(s < n_segments, "segment_max: segment {} out of range", s);
+                let (mut bi, mut bv) = (best[s], bestv[s]);
+                let mut j = i;
+                while j < alen && seg[j] == s {
+                    if bi == usize::MAX || vals[j] > bv {
+                        bi = j;
+                        bv = vals[j];
+                    }
+                    j += 1;
+                }
+                best[s] = bi;
+                bestv[s] = bv;
+                i = j;
             }
         }
-        let mut v = Vec::with_capacity(n_segments);
+        let start = self.buf.len();
+        self.buf.reserve(n_segments);
         for (s, &b) in best.iter().enumerate() {
             assert!(b != usize::MAX, "segment_max: segment {} is empty", s);
-            v.push(vals[b]);
+            let x = self.buf[ao + b];
+            self.buf.push(x);
         }
         self.push_aux(
             Op::SegmentMax(a, seg, n_segments),
             Shape(vec![n_segments]),
-            v,
+            start,
             best,
             vec![],
         )
@@ -752,33 +1068,67 @@ impl Tape {
             1,
             "segment_softmax: rank-1 only"
         );
-        assert_eq!(
-            seg.len(),
-            self.nodes[a.0].value.len(),
-            "segment_softmax: segment index length"
-        );
-        let vals = &self.nodes[a.0].value;
+        let (ao, alen) = self.range(a);
+        assert_eq!(seg.len(), alen, "segment_softmax: segment index length");
+        // All three passes walk runs of equal segment indices, keeping the
+        // per-segment state (max, exp-sum, divisor) in registers across a
+        // run. Per-segment visit order and arithmetic association are the
+        // naive loops', so results are bitwise-identical for any order.
         let mut mx = vec![f32::NEG_INFINITY; n_segments];
-        for (i, &s) in seg.iter().enumerate() {
-            assert!(s < n_segments, "segment_softmax: segment out of range");
-            if vals[i] > mx[s] {
-                mx[s] = vals[i];
+        {
+            let vals = &self.buf[ao..ao + alen];
+            let mut i = 0;
+            while i < alen {
+                let s = seg[i];
+                assert!(s < n_segments, "segment_softmax: segment out of range");
+                let mut m = mx[s];
+                let mut j = i;
+                while j < alen && seg[j] == s {
+                    if vals[j] > m {
+                        m = vals[j];
+                    }
+                    j += 1;
+                }
+                mx[s] = m;
+                i = j;
             }
         }
         let mut sums = vec![0.0f32; n_segments];
-        let mut v = Vec::with_capacity(vals.len());
-        for (i, &s) in seg.iter().enumerate() {
-            let e = (vals[i] - mx[s]).exp();
-            sums[s] += e;
-            v.push(e);
-        }
-        for (i, &s) in seg.iter().enumerate() {
-            if sums[s] > 0.0 {
-                v[i] /= sums[s];
+        let start = self.buf.len();
+        self.buf.extend_from_within(ao..ao + alen);
+        {
+            let out = &mut self.buf[start..];
+            let mut i = 0;
+            while i < alen {
+                let s = seg[i];
+                let m = mx[s];
+                let mut acc = sums[s];
+                let mut j = i;
+                while j < alen && seg[j] == s {
+                    let e = (out[j] - m).exp();
+                    acc += e;
+                    out[j] = e;
+                    j += 1;
+                }
+                sums[s] = acc;
+                i = j;
+            }
+            let mut i = 0;
+            while i < alen {
+                let s = seg[i];
+                let d = sums[s];
+                let mut j = i;
+                while j < alen && seg[j] == s {
+                    if d > 0.0 {
+                        out[j] /= d;
+                    }
+                    j += 1;
+                }
+                i = j;
             }
         }
         let sh = self.nodes[a.0].shape.clone();
-        self.push(Op::SegmentSoftmax(a, seg, n_segments), sh, v)
+        self.push(Op::SegmentSoftmax(a, seg, n_segments), sh, start)
     }
 
     // ------------------------------------------------------------------
@@ -791,17 +1141,19 @@ impl Tape {
     pub fn softmax_last_dim(&mut self, a: Var, mask: Option<Arc<Vec<f32>>>) -> Var {
         let w = self.nodes[a.0].shape.last_dim();
         let rows = self.nodes[a.0].shape.leading_rows();
-        let mut v = self.nodes[a.0].value.clone();
+        let (ao, alen) = self.range(a);
+        let start = self.buf.len();
+        self.buf.extend_from_within(ao..ao + alen);
         if let Some(m) = &mask {
             assert!(
-                m.len() == w || m.len() == v.len(),
+                m.len() == w || m.len() == alen,
                 "softmax mask: length {} must be {} or {}",
                 m.len(),
                 w,
-                v.len()
+                alen
             );
             for r in 0..rows {
-                let row = &mut v[r * w..(r + 1) * w];
+                let row = &mut self.buf[start + r * w..start + (r + 1) * w];
                 let mrow: &[f32] = if m.len() == w {
                     &m[..]
                 } else {
@@ -811,11 +1163,11 @@ impl Tape {
             }
         } else {
             for r in 0..rows {
-                kernels::softmax_inplace(&mut v[r * w..(r + 1) * w]);
+                kernels::softmax_inplace(&mut self.buf[start + r * w..start + (r + 1) * w]);
             }
         }
         let sh = self.nodes[a.0].shape.clone();
-        self.push(Op::SoftmaxLastDim(a, mask), sh, v)
+        self.push(Op::SoftmaxLastDim(a, mask), sh, start)
     }
 
     /// Layer normalization over the last axis (no affine transform).
@@ -823,10 +1175,12 @@ impl Tape {
         let w = self.nodes[a.0].shape.last_dim();
         let rows = self.nodes[a.0].shape.leading_rows();
         assert!(w > 0, "layer_norm: zero-width rows");
-        let mut v = self.nodes[a.0].value.clone();
+        let (ao, alen) = self.range(a);
+        let start = self.buf.len();
+        self.buf.extend_from_within(ao..ao + alen);
         let mut inv_stds = Vec::with_capacity(rows);
         for r in 0..rows {
-            let row = &mut v[r * w..(r + 1) * w];
+            let row = &mut self.buf[start + r * w..start + (r + 1) * w];
             let mean: f32 = row.iter().sum::<f32>() / w as f32;
             let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w as f32;
             let inv_std = 1.0 / (var + eps).sqrt();
@@ -836,7 +1190,7 @@ impl Tape {
             inv_stds.push(inv_std);
         }
         let sh = self.nodes[a.0].shape.clone();
-        self.push_aux(Op::LayerNorm(a, eps), sh, v, vec![], inv_stds)
+        self.push_aux(Op::LayerNorm(a, eps), sh, start, vec![], inv_stds)
     }
 
     // ------------------------------------------------------------------
@@ -883,8 +1237,7 @@ impl Tape {
     /// loss). Mostly useful for testing; training uses [`Tape::backward`].
     pub fn gradients(&self, loss: Var) -> Vec<Option<Vec<f32>>> {
         assert_eq!(
-            self.nodes[loss.0].value.len(),
-            1,
+            self.nodes[loss.0].val.1, 1,
             "backward: loss must be scalar, got shape {:?}",
             self.nodes[loss.0].shape
         );
@@ -912,7 +1265,7 @@ impl Tape {
     }
 
     fn grad_buf<'a>(&self, grads: &'a mut [Option<Vec<f32>>], v: Var) -> &'a mut Vec<f32> {
-        let n = self.nodes[v.0].value.len();
+        let n = self.nodes[v.0].val.1;
         grads[v.0].get_or_insert_with(|| vec![0.0; n])
     }
 
@@ -944,7 +1297,7 @@ impl Tape {
                 }
             }
             Mul(a, b) => {
-                let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                let (av, bv) = (self.value(*a), self.value(*b));
                 {
                     let ga = self.grad_buf(grads, *a);
                     for ((g, d), x) in ga.iter_mut().zip(dy).zip(bv) {
@@ -957,7 +1310,7 @@ impl Tape {
                 }
             }
             Div(a, b) => {
-                let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                let (av, bv) = (self.value(*a), self.value(*b));
                 {
                     let ga = self.grad_buf(grads, *a);
                     for ((g, d), x) in ga.iter_mut().zip(dy).zip(bv) {
@@ -977,21 +1330,21 @@ impl Tape {
                 }
             }
             Exp(a) => {
-                let yv = &node.value;
+                let yv = self.value(Var(i));
                 let ga = self.grad_buf(grads, *a);
                 for ((g, d), y) in ga.iter_mut().zip(dy).zip(yv) {
                     *g += d * y;
                 }
             }
             Ln(a) => {
-                let xv = &self.nodes[a.0].value;
+                let xv = self.value(*a);
                 let ga = self.grad_buf(grads, *a);
                 for ((g, d), x) in ga.iter_mut().zip(dy).zip(xv) {
                     *g += d / x;
                 }
             }
             Sqrt(a) => {
-                let yv = &node.value;
+                let yv = self.value(Var(i));
                 let ga = self.grad_buf(grads, *a);
                 for ((g, d), y) in ga.iter_mut().zip(dy).zip(yv) {
                     if *y > 0.0 {
@@ -1000,7 +1353,7 @@ impl Tape {
                 }
             }
             Relu(a) => {
-                let xv = &self.nodes[a.0].value;
+                let xv = self.value(*a);
                 let ga = self.grad_buf(grads, *a);
                 for ((g, d), x) in ga.iter_mut().zip(dy).zip(xv) {
                     if *x > 0.0 {
@@ -1009,29 +1362,29 @@ impl Tape {
                 }
             }
             LeakyRelu(a, alpha) => {
-                let xv = &self.nodes[a.0].value;
+                let xv = self.value(*a);
                 let ga = self.grad_buf(grads, *a);
                 for ((g, d), x) in ga.iter_mut().zip(dy).zip(xv) {
                     *g += d * if *x > 0.0 { 1.0 } else { *alpha };
                 }
             }
             Elu(a, alpha) => {
-                let xv = &self.nodes[a.0].value;
-                let yv = &node.value;
+                let xv = self.value(*a);
+                let yv = self.value(Var(i));
                 let ga = self.grad_buf(grads, *a);
                 for (j, (g, d)) in ga.iter_mut().zip(dy).enumerate() {
                     *g += d * if xv[j] > 0.0 { 1.0 } else { yv[j] + alpha };
                 }
             }
             Sigmoid(a) => {
-                let yv = &node.value;
+                let yv = self.value(Var(i));
                 let ga = self.grad_buf(grads, *a);
                 for ((g, d), y) in ga.iter_mut().zip(dy).zip(yv) {
                     *g += d * y * (1.0 - y);
                 }
             }
             Tanh(a) => {
-                let yv = &node.value;
+                let yv = self.value(Var(i));
                 let ga = self.grad_buf(grads, *a);
                 for ((g, d), y) in ga.iter_mut().zip(dy).zip(yv) {
                     *g += d * (1.0 - y * y);
@@ -1050,8 +1403,8 @@ impl Tape {
                 }
             }
             Recip(a, eps) => {
-                let xv = &self.nodes[a.0].value;
-                let yv = &node.value;
+                let xv = self.value(*a);
+                let yv = self.value(Var(i));
                 let ga = self.grad_buf(grads, *a);
                 for (j, (g, d)) in ga.iter_mut().zip(dy).enumerate() {
                     if xv[j] >= *eps {
@@ -1061,8 +1414,8 @@ impl Tape {
             }
 
             AddBias(a, b) => {
-                let w = self.nodes[b.0].value.len();
-                let rows = node.value.len() / w;
+                let w = self.nodes[b.0].val.1;
+                let rows = node.val.1 / w;
                 {
                     let ga = self.grad_buf(grads, *a);
                     for (g, d) in ga.iter_mut().zip(dy) {
@@ -1077,10 +1430,10 @@ impl Tape {
                 }
             }
             MulRow(a, b) => {
-                let w = self.nodes[b.0].value.len();
-                let rows = node.value.len() / w;
-                let av = &self.nodes[a.0].value;
-                let bv = &self.nodes[b.0].value;
+                let w = self.nodes[b.0].val.1;
+                let rows = node.val.1 / w;
+                let av = self.value(*a);
+                let bv = self.value(*b);
                 {
                     let ga = self.grad_buf(grads, *a);
                     for r in 0..rows {
@@ -1104,24 +1457,63 @@ impl Tape {
             MatMul(a, b) => {
                 let (m, k) = self.nodes[a.0].shape.as_matrix();
                 let (_, n) = self.nodes[b.0].shape.as_matrix();
-                let av = self.nodes[a.0].value.clone();
-                let bv = self.nodes[b.0].value.clone();
                 {
                     // da += dy * b^T
                     let ga = self.grad_buf(grads, *a);
-                    kernels::matmul_a_bt(dy, &bv, m, n, k, ga);
+                    kernels::matmul_a_bt(dy, self.value(*b), m, n, k, ga);
                 }
                 // db += a^T * dy
                 let gb = self.grad_buf(grads, *b);
-                kernels::matmul_at_b(&av, dy, m, k, n, gb);
+                kernels::matmul_at_b(self.value(*a), dy, m, k, n, gb);
+            }
+            MatMulBiasRelu(..) | MatMulBiasLeakyRelu(..) => {
+                let (a, w, b, alpha) = match &node.op {
+                    MatMulBiasRelu(a, w, b) => (*a, *w, *b, None),
+                    MatMulBiasLeakyRelu(a, w, b, al) => (*a, *w, *b, Some(*al)),
+                    _ => unreachable!(),
+                };
+                let (m, k) = self.nodes[a.0].shape.as_matrix();
+                let (_, n) = self.nodes[w.0].shape.as_matrix();
+                // Route dy through the activation using the saved output's
+                // sign: alpha > 0 means y > 0 iff the pre-activation > 0.
+                let yv = self.value(Var(i));
+                let dh: Vec<f32> = match alpha {
+                    None => yv
+                        .iter()
+                        .zip(dy)
+                        .map(|(&y, &d)| if y > 0.0 { d } else { 0.0 })
+                        .collect(),
+                    Some(al) => yv
+                        .iter()
+                        .zip(dy)
+                        .map(|(&y, &d)| if y > 0.0 { d } else { al * d })
+                        .collect(),
+                };
+                {
+                    // da += dh * w^T
+                    let ga = self.grad_buf(grads, a);
+                    kernels::matmul_a_bt(&dh, self.value(w), m, n, k, ga);
+                }
+                {
+                    // dw += a^T * dh
+                    let gw = self.grad_buf(grads, w);
+                    kernels::matmul_at_b(self.value(a), &dh, m, k, n, gw);
+                }
+                // db: column sums of dh in row-increasing order — the same
+                // order as the unfused AddBias backward.
+                let gb = self.grad_buf(grads, b);
+                for r in 0..m {
+                    for j in 0..n {
+                        gb[j] += dh[r * n + j];
+                    }
+                }
             }
             BatchMatMul(a, b) => {
                 let (bt, m, k) = self.nodes[a.0].shape.as_batched();
                 let (_, _, n) = self.nodes[b.0].shape.as_batched();
-                let av = self.nodes[a.0].value.clone();
-                let bv = self.nodes[b.0].value.clone();
                 {
                     let ga = self.grad_buf(grads, *a);
+                    let bv = self.value(*b);
                     for t in 0..bt {
                         kernels::matmul_a_bt(
                             &dy[t * m * n..(t + 1) * m * n],
@@ -1134,6 +1526,7 @@ impl Tape {
                     }
                 }
                 let gb = self.grad_buf(grads, *b);
+                let av = self.value(*a);
                 for t in 0..bt {
                     kernels::matmul_at_b(
                         &av[t * m * k..(t + 1) * m * k],
@@ -1196,7 +1589,7 @@ impl Tape {
             ConcatRows(parts) => {
                 let mut offset = 0usize;
                 for &p in parts {
-                    let n = self.nodes[p.0].value.len();
+                    let n = self.nodes[p.0].val.1;
                     let gp = self.grad_buf(grads, p);
                     for j in 0..n {
                         gp[j] += dy[offset + j];
@@ -1235,7 +1628,7 @@ impl Tape {
                 }
             }
             MeanAll(a) => {
-                let n = self.nodes[a.0].value.len().max(1) as f32;
+                let n = self.nodes[a.0].val.1.max(1) as f32;
                 let ga = self.grad_buf(grads, *a);
                 for g in ga.iter_mut() {
                     *g += dy[0] / n;
@@ -1284,7 +1677,7 @@ impl Tape {
                 }
             }
             SegmentSoftmax(a, seg, n_segments) => {
-                let yv = &node.value;
+                let yv = self.value(Var(i));
                 // per-segment dot(y, dy)
                 let mut dots = vec![0.0f32; *n_segments];
                 for (i2, &s) in seg.iter().enumerate() {
@@ -1299,7 +1692,7 @@ impl Tape {
             SoftmaxLastDim(a, _) => {
                 let w = node.shape.last_dim();
                 let rows = node.shape.leading_rows();
-                let yv = &node.value;
+                let yv = self.value(Var(i));
                 let ga = self.grad_buf(grads, *a);
                 for r in 0..rows {
                     kernels::softmax_backward_row(
@@ -1312,7 +1705,7 @@ impl Tape {
             LayerNorm(a, _) => {
                 let w = node.shape.last_dim();
                 let rows = node.shape.leading_rows();
-                let yv = &node.value;
+                let yv = self.value(Var(i));
                 let ga = self.grad_buf(grads, *a);
                 for r in 0..rows {
                     let inv_std = node.aux_f[r];

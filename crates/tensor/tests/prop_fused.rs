@@ -1,0 +1,237 @@
+//! Property tests for the fused matmul ops (`MatMulBiasRelu` /
+//! `MatMulBiasLeakyRelu`): the fused tape op must be bitwise-equal to the
+//! unfused `matmul → add_bias → (leaky_)relu` chain in both forward values
+//! and backward gradients, the fused kernel must be bitwise-equal across
+//! worker counts (the determinism contract: parallel == serial), and both
+//! fused ops must pass finite-difference gradient checking.
+
+use harp_runtime::Runtime;
+use harp_tensor::gradcheck::gradcheck;
+use harp_tensor::{kernels, ParamId, ParamStore, Tape, Var};
+use proptest::prelude::*;
+
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Deterministic pseudo-random fill (xorshift), distinct per seed.
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Build the unfused reference chain on a fresh tape.
+fn unfused(t: &mut Tape, a: Var, w: Var, b: Var, alpha: Option<f32>) -> Var {
+    let mm = t.matmul(a, w);
+    let h = t.add_bias(mm, b);
+    match alpha {
+        None => t.relu(h),
+        Some(al) => t.leaky_relu(h, al),
+    }
+}
+
+fn fused(t: &mut Tape, a: Var, w: Var, b: Var, alpha: Option<f32>) -> Var {
+    match alpha {
+        None => t.matmul_bias_relu(a, w, b),
+        Some(al) => t.matmul_bias_leaky_relu(a, w, b, al),
+    }
+}
+
+/// Forward + backward for `sum(act(a @ w + bias))` on a fresh store; returns
+/// (output bits source, grad_a, grad_w, grad_b).
+fn run_chain(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: Option<f32>,
+    use_fused: bool,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut store = ParamStore::new();
+    let ia = store.register("a", vec![m, k], fill(m * k, 1));
+    let iw = store.register("w", vec![k, n], fill(k * n, 2));
+    let ib = store.register("b", vec![n], fill(n, 3));
+    let mut t = Tape::new();
+    let a = t.param(&store, ia);
+    let w = t.param(&store, iw);
+    let b = t.param(&store, ib);
+    let y = if use_fused {
+        fused(&mut t, a, w, b, alpha)
+    } else {
+        unfused(&mut t, a, w, b, alpha)
+    };
+    let out = t.value(y).to_vec();
+    let l = t.sum_all(y);
+    t.backward(l, &mut store);
+    (
+        out,
+        store.grad(ia).to_vec(),
+        store.grad(iw).to_vec(),
+        store.grad(ib).to_vec(),
+    )
+}
+
+/// The recorded HARP/DOTE/TEAL hot shapes plus lane-boundary widths
+/// (LANES = 8: one lane, lane+1 remainder, two lanes, panel edge).
+const EDGE_SHAPES: [(usize, usize, usize); 8] = [
+    (1, 1, 1),
+    (3, 5, 8),
+    (13, 7, 9),
+    (17, 16, 16),
+    (29, 4, 17),
+    (33, 20, 32),
+    (9, 97, 48),
+    (41, 3, 1),
+];
+
+#[test]
+fn fused_matches_unfused_bitwise_on_edge_shapes() {
+    for &(m, k, n) in &EDGE_SHAPES {
+        for alpha in [None, Some(0.01), Some(0.3)] {
+            let (yu, gau, gwu, gbu) = run_chain(m, k, n, alpha, false);
+            let (yf, gaf, gwf, gbf) = run_chain(m, k, n, alpha, true);
+            assert!(bits_eq(&yu, &yf), "forward {m}x{k}x{n} alpha={alpha:?}");
+            assert!(bits_eq(&gau, &gaf), "grad a {m}x{k}x{n} alpha={alpha:?}");
+            assert!(bits_eq(&gwu, &gwf), "grad w {m}x{k}x{n} alpha={alpha:?}");
+            assert!(bits_eq(&gbu, &gbf), "grad b {m}x{k}x{n} alpha={alpha:?}");
+        }
+    }
+}
+
+#[test]
+fn fused_kernel_parallel_matches_serial_bitwise() {
+    for &(m, k, n) in &EDGE_SHAPES {
+        let a = fill(m * k, 11);
+        let b = fill(k * n, 12);
+        let bias = fill(n, 13);
+        for alpha in [None, Some(0.01)] {
+            let mut serial = vec![0.0f32; m * n];
+            kernels::matmul_bias_act_into_with(
+                Runtime::serial(),
+                &a,
+                &b,
+                &bias,
+                alpha,
+                m,
+                k,
+                n,
+                &mut serial,
+            );
+            for workers in [2usize, 3, 4, 7] {
+                let mut par = vec![0.0f32; m * n];
+                kernels::matmul_bias_act_into_with(
+                    Runtime::new(workers),
+                    &a,
+                    &b,
+                    &bias,
+                    alpha,
+                    m,
+                    k,
+                    n,
+                    &mut par,
+                );
+                assert!(
+                    bits_eq(&serial, &par),
+                    "fused {m}x{k}x{n} alpha={alpha:?} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fused_matches_unfused_bitwise_random_shapes(
+        m in 1usize..34,
+        k in 1usize..20,
+        n in 1usize..50,
+        leaky in proptest::bool::ANY,
+    ) {
+        let alpha = if leaky { Some(0.1) } else { None };
+        let (yu, gau, gwu, gbu) = run_chain(m, k, n, alpha, false);
+        let (yf, gaf, gwf, gbf) = run_chain(m, k, n, alpha, true);
+        prop_assert!(bits_eq(&yu, &yf), "forward {m}x{k}x{n}");
+        prop_assert!(bits_eq(&gau, &gaf), "grad a {m}x{k}x{n}");
+        prop_assert!(bits_eq(&gwu, &gwf), "grad w {m}x{k}x{n}");
+        prop_assert!(bits_eq(&gbu, &gbf), "grad b {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn fused_matmul_kernel_parallel_matches_serial_random(
+        m in 1usize..48,
+        k in 1usize..24,
+        n in 1usize..50,
+        workers in 2usize..8,
+    ) {
+        let a = fill(m * k, 21);
+        let b = fill(k * n, 22);
+        let bias = fill(n, 23);
+        let mut serial = vec![0.0f32; m * n];
+        kernels::matmul_bias_act_into_with(
+            Runtime::serial(), &a, &b, &bias, None, m, k, n, &mut serial,
+        );
+        let mut par = vec![0.0f32; m * n];
+        kernels::matmul_bias_act_into_with(
+            Runtime::new(workers), &a, &b, &bias, None, m, k, n, &mut par,
+        );
+        prop_assert!(bits_eq(&serial, &par), "{m}x{k}x{n} workers={workers}");
+    }
+
+    #[test]
+    fn fused_relu_gradcheck(
+        a in proptest::collection::vec(-1.0f32..1.0, 12),
+        w in proptest::collection::vec(-1.0f32..1.0, 8),
+        b in proptest::collection::vec(-1.0f32..1.0, 2),
+    ) {
+        // Finite differences misbehave within eps of the ReLU kink; skip
+        // draws where any pre-activation sits near zero.
+        let mut safe = true;
+        for r in 0..3 {
+            for j in 0..2 {
+                let mut h = b[j];
+                for c in 0..4 {
+                    h += a[r * 4 + c] * w[c * 2 + j];
+                }
+                safe &= h.abs() > 0.05;
+            }
+        }
+        prop_assume!(safe);
+        for alpha in [None, Some(0.1f32)] {
+            let mut store = ParamStore::new();
+            let ia = store.register("a", vec![3, 4], a.clone());
+            let iw = store.register("w", vec![4, 2], w.clone());
+            let ib = store.register("b", vec![2], b.clone());
+            let res = gradcheck(&mut store, &[ia, iw, ib], 1e-2, 3e-2, move |s| {
+                let mut t = Tape::new();
+                let av = t.param(s, param_id(0));
+                let wv = t.param(s, param_id(1));
+                let bv = t.param(s, param_id(2));
+                let y = match alpha {
+                    None => t.matmul_bias_relu(av, wv, bv),
+                    Some(al) => t.matmul_bias_leaky_relu(av, wv, bv, al),
+                };
+                let l = t.sum_all(y);
+                (t, l)
+            });
+            prop_assert!(res.is_ok(), "alpha={alpha:?}: {res:?}");
+        }
+    }
+}
+
+/// `ParamId`'s constructor is private; the store hands ids out in
+/// registration order, so index-based reconstruction is safe in tests.
+fn param_id(i: usize) -> ParamId {
+    let mut s = ParamStore::new();
+    for k in 0..=i {
+        let _ = s.register(&format!("p{k}"), vec![1], vec![0.0]);
+    }
+    s.ids().nth(i).unwrap()
+}

@@ -329,6 +329,14 @@ fn transfer(
             let k = inner_dim(tape, a);
             (iv(a) * iv(b)).sum_of(k)
         }
+        MatMulBiasRelu(a, w, b) => {
+            let k = inner_dim(tape, a);
+            ((iv(a) * iv(w)).sum_of(k) + iv(b)).relu()
+        }
+        MatMulBiasLeakyRelu(a, w, b, alpha) => {
+            let k = inner_dim(tape, a);
+            ((iv(a) * iv(w)).sum_of(k) + iv(b)).leaky_relu(*alpha as f64)
+        }
         BatchMatMul(a, b) => {
             let k = tape.shape(*a).last_dim();
             (iv(a) * iv(b)).sum_of(k)
@@ -393,6 +401,8 @@ pub(crate) fn op_name(op: &Op) -> &'static str {
         MulRow(_, _) => "mul_row",
         BroadcastScalar(_, _) => "broadcast_scalar",
         MatMul(_, _) => "matmul",
+        MatMulBiasRelu(_, _, _) => "matmul_bias_relu",
+        MatMulBiasLeakyRelu(_, _, _, _) => "matmul_bias_leaky_relu",
         BatchMatMul(_, _) => "batch_matmul",
         TransposeLast2(_) => "transpose_last2",
         Reshape(_) => "reshape",

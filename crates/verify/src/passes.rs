@@ -65,11 +65,22 @@ fn accumulation_of(op: &Op) -> Accumulation {
         // Index-order accumulations: sums, means, matmul dot products
         // (k-order), softmax/layer-norm statistics. All serial kernels scan
         // in index order, and the parallel kernels partition by output row
-        // without changing per-element order.
-        MatMul(..) | BatchMatMul(..) | SumAll(..) | MeanAll(..) | SumRows(..) | MeanLastDim(..)
-        | SegmentSum(..) | SegmentSoftmax(..) | SoftmaxLastDim(..) | LayerNorm(..) => {
-            Accumulation::FixedOrder
-        }
+        // without changing per-element order. The fused matmul+bias+act ops
+        // share the matmul microkernel's per-element k-order and apply the
+        // bias/activation epilogue once per element after the reduction, so
+        // they inherit the same fixed order.
+        MatMul(..)
+        | MatMulBiasRelu(..)
+        | MatMulBiasLeakyRelu(..)
+        | BatchMatMul(..)
+        | SumAll(..)
+        | MeanAll(..)
+        | SumRows(..)
+        | MeanLastDim(..)
+        | SegmentSum(..)
+        | SegmentSoftmax(..)
+        | SoftmaxLastDim(..)
+        | LayerNorm(..) => Accumulation::FixedOrder,
         MaxAll(..) | SegmentMax(..) => Accumulation::OrderSensitiveSelect,
     }
 }
@@ -389,11 +400,14 @@ pub fn analyze_grad_aliasing(
 ///
 /// Walks the two tapes backward from their output nodes in lockstep. The
 /// cached tape may replace an arbitrary full-tape subgraph with a single
-/// constant leaf holding the cached epoch table (`cache`); at that splice
-/// point the full tape's corresponding node value must equal the cache
-/// bitwise (`cache-divergence` otherwise). Everywhere else the nodes must
-/// match exactly — op kind and metadata, shapes, parameter provenance, and
-/// constant leaves bitwise (`cache-structure-mismatch` otherwise).
+/// constant leaf holding the cached epoch table (`cache`), or — at a
+/// full-tape `GatherRows` whose source is that subgraph — with a constant
+/// leaf holding just the gathered rows (`Tape::constant_rows`); at each
+/// splice point the full tape's corresponding value must equal the
+/// spliced constant bitwise (`cache-divergence` otherwise). Everywhere
+/// else the nodes must match exactly — op kind and metadata, shapes,
+/// parameter provenance, and constant leaves bitwise
+/// (`cache-structure-mismatch` otherwise).
 ///
 /// Emits `cache-spliced` (Info) naming the splice node when the proof
 /// found the cache in use, or `cache-unused` (Info) when the cached tape
@@ -436,6 +450,46 @@ pub fn check_epoch_cache(
                 });
             }
             continue; // the subgraph behind the splice is what the cache covers
+        }
+
+        // Row-wise splice point: the cached tape may instead gather rows of
+        // the epoch table host-side and inject only those rows as a
+        // constant leaf (`Tape::constant_rows`), never materializing the
+        // full table. The corresponding full-tape node is then a
+        // GatherRows whose *source* is the cached subgraph. The proof
+        // obligations are the same, restricted to the gathered rows: the
+        // gather's source must equal the cache and the leaf must equal the
+        // gather's output, both bitwise.
+        if matches!(nb.op, Op::Leaf) && nb.param.is_none() {
+            if let Op::GatherRows(src, idx) = na.op {
+                let rows = idx.len();
+                let is_row_gather = rows > 0 && nb.value.len().is_multiple_of(rows) && {
+                    let w = nb.value.len() / rows;
+                    idx.iter().enumerate().all(|(i, &r)| {
+                        cache
+                            .get(r * w..r * w + w)
+                            .is_some_and(|c| bits_eq(c, &nb.value[i * w..i * w + w]))
+                    })
+                };
+                if is_row_gather {
+                    splices.push((a.index(), b.index()));
+                    let src_val = full.node(*src).value;
+                    if !bits_eq(src_val, cache) {
+                        let why = first_diff(src_val, cache);
+                        report.diagnostics.push(Diagnostic {
+                            severity: Severity::Error,
+                            code: "cache-divergence",
+                            node: Some(a.index()),
+                            message: format!(
+                                "cached epoch table diverges from the source of the full \
+                                 forward's gather_rows #{}: {why}",
+                                a.index()
+                            ),
+                        });
+                    }
+                    continue; // rows + the table subgraph are what the cache covers
+                }
+            }
         }
 
         if let Err(why) = nodes_match(&na, &nb) {
@@ -521,6 +575,9 @@ fn ops_match(a: &Op, b: &Op) -> Result<(), String> {
     };
     match (a, b) {
         (LeakyRelu(_, x), LeakyRelu(_, y)) => scalar(x, y, "leaky_relu slope")?,
+        (MatMulBiasLeakyRelu(_, _, _, x), MatMulBiasLeakyRelu(_, _, _, y)) => {
+            scalar(x, y, "matmul_bias_leaky_relu slope")?;
+        }
         (Elu(_, x), Elu(_, y)) => scalar(x, y, "elu alpha")?,
         (MulScalar(_, x), MulScalar(_, y)) => scalar(x, y, "mul_scalar")?,
         (AddScalar(_, x), AddScalar(_, y)) => scalar(x, y, "add_scalar")?,

@@ -79,6 +79,21 @@ pub fn infer_shape(node: &NodeView<'_>, inputs: &[&Shape]) -> Result<Option<Shap
             Ok(Some(Shape(vec![m, n])))
         }
 
+        MatMulBiasRelu(_, _, _) | MatMulBiasLeakyRelu(_, _, _, _) => {
+            let (m, k) = as_matrix(sh(0))?;
+            let (k2, n) = as_matrix(sh(1))?;
+            if k != k2 {
+                return Err(format!("matmul_bias_act inner dims {k} vs {k2}"));
+            }
+            if sh(2).numel() != n {
+                return Err(format!(
+                    "matmul_bias_act bias length {} vs {n} out cols",
+                    sh(2).numel()
+                ));
+            }
+            Ok(Some(Shape(vec![m, n])))
+        }
+
         BatchMatMul(_, _) => {
             let (a, b) = (sh(0), sh(1));
             if a.rank() != 3 || b.rank() != 3 {
