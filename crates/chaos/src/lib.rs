@@ -27,16 +27,21 @@
 //! corrupt-checkpoint@write=2,mode=flip corrupt the 2nd snapshot write (mode: flip|truncate)
 //! drop-conn@nth=4                      close the 4th accepted serve connection immediately
 //! delay-conn@nth=2,ms=500              stall the 2nd accepted connection 500 ms before serving
+//! drop-conn@every=32                   drop one in every 32 accepted connections, forever
+//! delay-conn@every=16,ms=50            stall one in every 16 accepted connections 50 ms
 //! abort@epoch=2                        abort training after epoch 2 (simulated crash)
 //! seed=42                              seed for corruption byte positions (default 0)
 //! ```
 //!
 //! Counters (`step`, `write`, `nth`, `epoch`) are 0-based and count from
-//! process/plan start. Every fault fires **once**; a plan is exhausted when
-//! all of its faults have fired. Parsing is strict — an unknown fault name
-//! or malformed parameter is an error (surfaced loudly via
-//! `chaos.bad_plan`), never silently ignored: a chaos run that silently
-//! tests nothing is worse than no chaos run.
+//! process/plan start. Every `nth`/`step`-style fault fires **once**; a
+//! plan is exhausted when all of its one-shot faults have fired. The
+//! `every=` conn faults are **periodic open-loop schedules** for fleet
+//! load tests: they re-fire on every Kth accepted connection (1-based:
+//! connections K, 2K, ...) and never exhaust. Parsing is strict — an
+//! unknown fault name or malformed parameter is an error (surfaced loudly
+//! via `chaos.bad_plan`), never silently ignored: a chaos run that
+//! silently tests nothing is worse than no chaos run.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -84,6 +89,21 @@ pub enum FaultKind {
         /// Delay in milliseconds.
         ms: u64,
     },
+    /// Drop one in every `every` accepted connections (periodic, never
+    /// exhausts — an open-loop fault schedule for fleet load tests).
+    DropConnEvery {
+        /// Period in accepted connections (>= 1; fires on the `every`th,
+        /// `2*every`th, ... connection, 1-based).
+        every: u64,
+    },
+    /// Stall one in every `every` accepted connections for `ms` (periodic,
+    /// never exhausts).
+    DelayConnEvery {
+        /// Period in accepted connections (>= 1).
+        every: u64,
+        /// Delay in milliseconds.
+        ms: u64,
+    },
     /// Abort training right after epoch `epoch` completes (simulates a
     /// crash between checkpoint and the next epoch; the caller surfaces it
     /// as a typed error, so in-process tests can exercise kill+resume).
@@ -102,8 +122,19 @@ impl FaultKind {
             FaultKind::CorruptCheckpoint { .. } => "corrupt-checkpoint",
             FaultKind::DropConn { .. } => "drop-conn",
             FaultKind::DelayConn { .. } => "delay-conn",
+            FaultKind::DropConnEvery { .. } => "drop-conn-every",
+            FaultKind::DelayConnEvery { .. } => "delay-conn-every",
             FaultKind::Abort { .. } => "abort",
         }
+    }
+
+    /// True for periodic faults that re-fire on a schedule and are never
+    /// counted toward [`FaultPlan::exhausted`].
+    pub fn is_periodic(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::DropConnEvery { .. } | FaultKind::DelayConnEvery { .. }
+        )
     }
 }
 
@@ -233,12 +264,33 @@ impl FaultPlan {
                     };
                     FaultKind::CorruptCheckpoint { write, mode }
                 }
-                "drop-conn" => FaultKind::DropConn {
-                    nth: require(get("nth")?, "nth")?,
+                "drop-conn" => match get("every")? {
+                    Some(every) if every >= 1 => FaultKind::DropConnEvery { every },
+                    Some(_) => {
+                        return Err(PlanParseError {
+                            spec: spec.to_string(),
+                            reason: "`every` must be >= 1".to_string(),
+                        })
+                    }
+                    None => FaultKind::DropConn {
+                        nth: require(get("nth")?, "nth")?,
+                    },
                 },
-                "delay-conn" => FaultKind::DelayConn {
-                    nth: require(get("nth")?, "nth")?,
-                    ms: require(get("ms")?, "ms")?,
+                "delay-conn" => match get("every")? {
+                    Some(every) if every >= 1 => FaultKind::DelayConnEvery {
+                        every,
+                        ms: require(get("ms")?, "ms")?,
+                    },
+                    Some(_) => {
+                        return Err(PlanParseError {
+                            spec: spec.to_string(),
+                            reason: "`every` must be >= 1".to_string(),
+                        })
+                    }
+                    None => FaultKind::DelayConn {
+                        nth: require(get("nth")?, "nth")?,
+                        ms: require(get("ms")?, "ms")?,
+                    },
                 },
                 "abort" => FaultKind::Abort {
                     epoch: require(get("epoch")?, "epoch")?,
@@ -265,9 +317,13 @@ impl FaultPlan {
         self.faults.iter().map(|a| a.kind.clone()).collect()
     }
 
-    /// True when every fault in the plan has fired.
+    /// True when every one-shot fault in the plan has fired. Periodic
+    /// (`every=`) faults never exhaust and are not counted.
     pub fn exhausted(&self) -> bool {
-        self.faults.iter().all(|a| a.fired.load(Ordering::SeqCst))
+        self.faults
+            .iter()
+            .filter(|a| !a.kind.is_periodic())
+            .all(|a| a.fired.load(Ordering::SeqCst))
     }
 
     /// Find the first un-fired fault matching `pred`, latch it as fired,
@@ -339,18 +395,38 @@ impl FaultPlan {
     }
 
     /// Count one accepted serve connection and return the fault to apply
-    /// to it, if any.
+    /// to it, if any. One-shot `nth=` faults take precedence (and latch);
+    /// otherwise the first matching periodic `every=` schedule fires —
+    /// without latching, so it recurs every period.
     pub fn conn_fault(&self) -> Option<ConnFault> {
         let conn = self.conns.fetch_add(1, Ordering::SeqCst);
         let hit = self.fire(|k| {
             matches!(k, FaultKind::DropConn { nth } if *nth == conn)
                 || matches!(k, FaultKind::DelayConn { nth, .. } if *nth == conn)
-        })?;
+        });
         match hit {
-            FaultKind::DropConn { .. } => Some(ConnFault::Drop),
-            FaultKind::DelayConn { ms, .. } => Some(ConnFault::DelayMs(ms)),
-            _ => None,
+            Some(FaultKind::DropConn { .. }) => return Some(ConnFault::Drop),
+            Some(FaultKind::DelayConn { ms, .. }) => return Some(ConnFault::DelayMs(ms)),
+            _ => {}
         }
+        for armed in &self.faults {
+            // 1-based period: connection indices every-1, 2*every-1, ...
+            let fault = match armed.kind {
+                FaultKind::DropConnEvery { every } if (conn + 1).is_multiple_of(every) => {
+                    ConnFault::Drop
+                }
+                FaultKind::DelayConnEvery { every, ms } if (conn + 1).is_multiple_of(every) => {
+                    ConnFault::DelayMs(ms)
+                }
+                _ => continue,
+            };
+            harp_obs::event("chaos.fire")
+                .field("fault", armed.kind.name())
+                .field("conn", conn)
+                .emit();
+            return Some(fault);
+        }
+        None
     }
 }
 
@@ -540,5 +616,40 @@ mod tests {
         assert_eq!(plan.conn_fault(), Some(ConnFault::DelayMs(30))); // conn 2
         assert_eq!(plan.conn_fault(), None); // conn 3
         assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn periodic_conn_faults_refire_and_never_exhaust() {
+        let plan = FaultPlan::parse("drop-conn@every=3").unwrap();
+        assert_eq!(plan.faults(), vec![FaultKind::DropConnEvery { every: 3 }]);
+        let mut drops = 0;
+        for conn in 0..12u64 {
+            match plan.conn_fault() {
+                Some(ConnFault::Drop) => {
+                    drops += 1;
+                    assert_eq!((conn + 1) % 3, 0, "fires on every 3rd connection");
+                }
+                Some(other) => unreachable!("unexpected fault {other:?}"),
+                None => {}
+            }
+        }
+        assert_eq!(drops, 4, "periodic faults re-fire each period");
+        assert!(
+            plan.exhausted(),
+            "periodic faults never count toward exhaustion"
+        );
+    }
+
+    #[test]
+    fn periodic_delay_parses_and_one_shot_takes_precedence() {
+        let plan = FaultPlan::parse("drop-conn@nth=0; delay-conn@every=1,ms=7").unwrap();
+        // conn 0: the one-shot drop wins over the every-conn delay schedule
+        assert_eq!(plan.conn_fault(), Some(ConnFault::Drop));
+        assert_eq!(plan.conn_fault(), Some(ConnFault::DelayMs(7))); // conn 1
+        assert_eq!(plan.conn_fault(), Some(ConnFault::DelayMs(7))); // conn 2
+
+        // strict parse: every=0 and missing ms are rejected
+        assert!(FaultPlan::parse("drop-conn@every=0").is_err());
+        assert!(FaultPlan::parse("delay-conn@every=4").is_err());
     }
 }

@@ -254,6 +254,22 @@ impl Runtime {
         self.workers
     }
 
+    /// Hand the pool off to `parts` independent owners: returns one
+    /// runtime per part, distributing this runtime's workers as evenly as
+    /// possible (earlier parts get the remainder; every part gets at
+    /// least one worker, so oversubscription only happens when
+    /// `parts > workers`). Used by the serving fleet to give each shard
+    /// its own slice of the machine instead of letting N shards each fan
+    /// out to the full pool.
+    pub fn split(&self, parts: usize) -> Vec<Runtime> {
+        let parts = parts.max(1);
+        let base = self.workers / parts;
+        let rem = self.workers % parts;
+        (0..parts)
+            .map(|i| Runtime::new(base + usize::from(i < rem)))
+            .collect()
+    }
+
     /// Map `f` over `items` in parallel, returning results in item order.
     ///
     /// `f` receives the item's index and a reference to it. Items are
@@ -862,5 +878,18 @@ mod tests {
             })
         }));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn split_distributes_workers_evenly_with_floor_one() {
+        let counts = |rt: Runtime, parts| -> Vec<usize> {
+            rt.split(parts).iter().map(Runtime::workers).collect()
+        };
+        assert_eq!(counts(Runtime::new(8), 4), vec![2, 2, 2, 2]);
+        assert_eq!(counts(Runtime::new(7), 3), vec![3, 2, 2]);
+        // more parts than workers: every part still gets one worker
+        assert_eq!(counts(Runtime::new(2), 4), vec![1, 1, 1, 1]);
+        assert_eq!(counts(Runtime::new(5), 1), vec![5]);
+        assert_eq!(counts(Runtime::new(5), 0), vec![5], "0 parts clamps to 1");
     }
 }

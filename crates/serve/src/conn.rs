@@ -1,0 +1,334 @@
+//! Per-connection state machines for the reactor event loop.
+//!
+//! Each accepted socket gets a [`Conn`]: a [`LineFramer`] turning the raw
+//! nonblocking byte stream into protocol frames, an [`OutBuf`] staging
+//! response bytes until the socket accepts them, and the bookkeeping the
+//! event loop needs (idle clock, in-flight count, chaos pause,
+//! backpressure gate). Nothing here blocks and nothing here spawns — the
+//! structural fix for the old thread-per-connection design, whose handle
+//! vector grew with churn and whose per-idle-connection poll wakeups
+//! burned CPU.
+//!
+//! The framer enforces the same hostile-input contract the threaded
+//! reader did: a line over the byte cap yields exactly one
+//! [`Frame::Oversized`] (so the client hears a structured error) and the
+//! remainder of that line is discarded through its newline, bounding
+//! memory no matter what the peer streams. Slow-loris clients — bytes
+//! dribbling in, never a newline — simply accumulate up to the cap and
+//! otherwise cost one buffer, no thread, no wakeups.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// One unit of client input recovered from the byte stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete, cap-respecting request line (newline stripped; empty
+    /// and whitespace-only lines are dropped by the framer).
+    Line(String),
+    /// A line exceeded the cap — `bytes` seen so far; the rest of the
+    /// line is being discarded through its newline.
+    Oversized {
+        /// Bytes of the offending line observed when the cap tripped.
+        bytes: usize,
+    },
+}
+
+/// Incremental newline framer with a hard per-line byte cap.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    max_line: usize,
+    discarding: bool,
+}
+
+impl LineFramer {
+    /// A framer accepting lines up to `max_line` bytes (incl. newline).
+    pub fn new(max_line: usize) -> Self {
+        LineFramer {
+            buf: Vec::new(),
+            max_line,
+            discarding: false,
+        }
+    }
+
+    /// Bytes buffered for the current partial line.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True while discarding an oversized line (until its newline).
+    pub fn discarding(&self) -> bool {
+        self.discarding
+    }
+
+    /// Feed freshly-read bytes, appending recovered frames to `out`.
+    /// Oversized lines emit exactly one [`Frame::Oversized`] each, at the
+    /// moment the cap trips — even before the newline arrives, so an
+    /// unterminated flood is rejected promptly and never buffered.
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<Frame>) {
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let (head, tail) = rest.split_at(pos + 1);
+                    rest = tail;
+                    if self.discarding {
+                        // tail end of an already-reported oversized line
+                        self.discarding = false;
+                        continue;
+                    }
+                    let total = self.buf.len() + head.len();
+                    if total > self.max_line {
+                        out.push(Frame::Oversized { bytes: total });
+                        self.buf.clear();
+                        continue;
+                    }
+                    self.buf.extend_from_slice(&head[..head.len() - 1]);
+                    let line = String::from_utf8_lossy(&self.buf).into_owned();
+                    self.buf.clear();
+                    if !line.trim().is_empty() {
+                        out.push(Frame::Line(line));
+                    }
+                }
+                None => {
+                    if self.discarding {
+                        return;
+                    }
+                    if self.buf.len() + rest.len() > self.max_line {
+                        out.push(Frame::Oversized {
+                            bytes: self.buf.len() + rest.len(),
+                        });
+                        self.buf.clear();
+                        self.discarding = true;
+                        return;
+                    }
+                    self.buf.extend_from_slice(rest);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Outgoing bytes staged until the socket accepts them.
+#[derive(Debug, Default)]
+pub struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl OutBuf {
+    /// Queue response bytes for flushing.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unflushed bytes pending.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when everything queued has been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Write as much as the socket will take. `Ok(true)` = fully flushed,
+    /// `Ok(false)` = the socket is full (caller arms write interest).
+    pub fn flush(&mut self, stream: &mut TcpStream) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match stream.write(&self.buf[self.pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // reclaim flushed prefix so a slow reader can't make
+                    // the buffer grow by its own history
+                    if self.pos > 0 {
+                        self.buf.drain(..self.pos);
+                        self.pos = 0;
+                    }
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+/// What a readiness-driven read pass concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Connection still open (frames may have been produced).
+    Open,
+    /// Peer closed (serve remaining frames, flush, then drop).
+    Eof,
+}
+
+/// Everything the event loop tracks per connection.
+#[derive(Debug)]
+pub struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Byte stream → frames.
+    pub framer: LineFramer,
+    /// Staged response bytes.
+    pub out: OutBuf,
+    /// Last time the peer sent bytes (drives idle reaping).
+    pub last_progress: Instant,
+    /// Chaos `delay-conn`: ignore the socket until this instant.
+    pub paused_until: Option<Instant>,
+    /// Requests submitted to the fleet, replies still pending.
+    pub inflight: usize,
+    /// Close once the out-buffer drains (EOF seen or shutdown ack sent).
+    pub close_after_flush: bool,
+    /// Read side gated off for backpressure (out-buffer over high water).
+    pub read_paused: bool,
+    /// The interest set currently registered with the reactor (so the
+    /// event loop only issues `epoll_ctl` when it actually changes).
+    pub interest: crate::reactor::Interest,
+    /// Slot generation, guarding stale completions after slot reuse.
+    pub generation: u32,
+}
+
+impl Conn {
+    /// Wrap a freshly-accepted nonblocking socket.
+    pub fn new(stream: TcpStream, max_line: usize, generation: u32) -> Self {
+        Conn {
+            stream,
+            framer: LineFramer::new(max_line),
+            out: OutBuf::default(),
+            last_progress: Instant::now(),
+            paused_until: None,
+            inflight: 0,
+            close_after_flush: false,
+            read_paused: false,
+            interest: crate::reactor::Interest::NONE,
+            generation,
+        }
+    }
+
+    /// Drain the socket (until `WouldBlock`), pushing frames to `out`.
+    pub fn read_ready(&mut self, out: &mut Vec<Frame>) -> io::Result<ReadOutcome> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => {
+                    self.last_progress = Instant::now();
+                    self.framer.push(&chunk[..n], out);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(ReadOutcome::Open),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => Err(e)?,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(framer: &mut LineFramer, input: &[u8]) -> Vec<Frame> {
+        let mut out = Vec::new();
+        framer.push(input, &mut out);
+        out
+    }
+
+    #[test]
+    fn frames_complete_lines_and_holds_partials() {
+        let mut f = LineFramer::new(1024);
+        assert_eq!(
+            lines(&mut f, b"{\"a\":1}\n{\"b\":2}\n{\"c\""),
+            vec![
+                Frame::Line("{\"a\":1}".into()),
+                Frame::Line("{\"b\":2}".into())
+            ]
+        );
+        assert_eq!(f.buffered(), 4);
+        assert_eq!(
+            lines(&mut f, b":3}\n"),
+            vec![Frame::Line("{\"c\":3}".into())]
+        );
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_and_whitespace_lines_are_dropped() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(
+            lines(&mut f, b"\n  \n\t\nx\n"),
+            vec![Frame::Line("x".into())]
+        );
+    }
+
+    #[test]
+    fn oversized_terminated_line_reports_once_then_recovers() {
+        let mut f = LineFramer::new(8);
+        let got = lines(&mut f, b"0123456789ab\nok\n");
+        assert_eq!(
+            got,
+            vec![Frame::Oversized { bytes: 13 }, Frame::Line("ok".into())]
+        );
+    }
+
+    #[test]
+    fn oversized_unterminated_line_reports_at_cap_and_discards() {
+        let mut f = LineFramer::new(8);
+        // cap trips mid-line, before any newline: report immediately
+        assert_eq!(
+            lines(&mut f, b"0123456789"),
+            vec![Frame::Oversized { bytes: 10 }]
+        );
+        assert!(f.discarding());
+        // more bytes of the same line: silently dropped, no second report
+        assert_eq!(lines(&mut f, b"more-of-the-flood"), vec![]);
+        assert_eq!(f.buffered(), 0, "discarded bytes are not buffered");
+        // the newline ends the discard; subsequent lines work again
+        assert_eq!(lines(&mut f, b"tail\nok\n"), vec![Frame::Line("ok".into())]);
+    }
+
+    #[test]
+    fn slow_loris_byte_dribble_buffers_at_most_the_cap() {
+        let mut f = LineFramer::new(16);
+        let mut out = Vec::new();
+        for _ in 0..12 {
+            f.push(b"x", &mut out);
+        }
+        assert!(out.is_empty(), "under cap: no frames yet");
+        assert_eq!(f.buffered(), 12);
+        for _ in 0..100 {
+            f.push(b"x", &mut out);
+        }
+        assert_eq!(out, vec![Frame::Oversized { bytes: 17 }]);
+        assert_eq!(f.buffered(), 0, "flood is discarded, not buffered");
+    }
+
+    #[test]
+    fn split_newline_across_chunks() {
+        let mut f = LineFramer::new(64);
+        assert_eq!(lines(&mut f, b"ab"), vec![]);
+        assert_eq!(lines(&mut f, b"c"), vec![]);
+        assert_eq!(
+            lines(&mut f, b"\nde\nf"),
+            vec![Frame::Line("abc".into()), Frame::Line("de".into())]
+        );
+        assert_eq!(lines(&mut f, b"\n"), vec![Frame::Line("f".into())]);
+    }
+
+    #[test]
+    fn outbuf_tracks_pending_bytes() {
+        let mut out = OutBuf::default();
+        assert!(out.is_empty());
+        out.push(b"hello");
+        out.push(b" world");
+        assert_eq!(out.pending(), 11);
+        assert!(!out.is_empty());
+    }
+}

@@ -5,25 +5,48 @@
 //!
 //! * [`protocol`] — the wire format: `infer`, `topology_update`,
 //!   `reload_checkpoint`, `stats`, `shutdown` requests, one JSON object
-//!   per line each way.
+//!   per line each way; wire integers are bounds-checked against
+//!   [`protocol::WireLimits`] before any cast.
+//! * [`reactor`] — a zero-dependency nonblocking event notifier (epoll
+//!   on Linux, a polling fallback elsewhere) with a cross-thread waker.
+//! * [`conn`] — per-connection state machines: incremental line framing
+//!   with a hard byte cap, staged out-buffers, idle/backpressure
+//!   bookkeeping.
 //! * [`state`] — epoch-versioned network state: base topology + tunnels,
 //!   the failure overlay, pruned tunnels, and last-good splits.
-//! * [`server`] — the daemon: per-connection reader threads feeding one
-//!   batcher thread that owns all mutable state, fans `infer` batches
-//!   across the `harp-runtime` pool, bounds every request with a
-//!   deadline, and degrades to last-good splits (or uniform ECMP on cold
-//!   start) instead of failing or blocking.
+//! * [`shard`] — a serving shard: single-owner batcher thread with its
+//!   own `NetworkState`, parameter store, and topology-epoch embedding
+//!   cache; panics are contained and reported as failovers.
+//! * [`router`] — pure shard selection (epoch-pin match, least depth,
+//!   deterministic shedding) and the [`router::Fleet`] that spawns and
+//!   addresses the shards.
+//! * [`server`] — the daemon: one reactor thread multiplexing every
+//!   connection into the shard fleet, with admission control, per-reason
+//!   load shedding, and deadline-bounded degradation to last-good splits
+//!   (or uniform ECMP on cold start) instead of failing or blocking.
 //! * [`stats`] — serving counters plus latency percentiles, mirrored
 //!   into the `harp-obs` registry.
 //!
-//! See DESIGN.md §8 for the protocol and degradation policy.
+//! See DESIGN.md §8 for the protocol and degradation policy, §13 for the
+//! fleet serving layer.
 
+pub mod conn;
 pub mod protocol;
+pub mod reactor;
+pub mod router;
 pub mod server;
+pub mod shard;
 pub mod state;
 pub mod stats;
 
-pub use protocol::{error_response, ok_response, parse_request, ProtocolError, Request};
+pub use conn::{Frame, LineFramer};
+pub use protocol::{
+    error_response, error_response_kind, ok_response, parse_request, parse_request_bounded,
+    shed_response, ProtocolError, ProtocolErrorKind, Request, WireLimits,
+};
+pub use reactor::{Event, Interest, Reactor, Waker};
+pub use router::{route_infer, Fleet, RouteDecision, ShardView};
 pub use server::{serve, ServeConfig, ServerHandle};
+pub use shard::{InferJob, Job, ReplySink};
 pub use state::{carry_splits, uniform_splits, NetworkState, UpdateSummary, FAILED_CAPACITY};
-pub use stats::{DegradeReason, ServeStats};
+pub use stats::{DegradeReason, ServeStats, ShedReason};

@@ -2,17 +2,32 @@
 //!
 //! Every request is one JSON object on one line with a numeric `id` (echoed
 //! back) and a `type`; every response is one JSON object on one line with
-//! the same `id` plus `ok` (and `error` when `ok` is false). Requests:
+//! the same `id` plus `ok` (and `error` + `error_kind` when `ok` is false).
+//! Requests:
 //!
 //! | `type` | fields | reply payload |
 //! |---|---|---|
 //! | `infer` | `demands: [[src, dst, demand], ..]`, optional `deadline_ms`, optional `epoch` pin | `epoch`, `degraded`, `mlu`, `splits`, `latency_us` |
 //! | `topology_update` | `fail_links: [[u, v], ..]`, `restore_links: [[u, v], ..]` | `epoch`, `num_flows`, `num_tunnels`, `failed_links` |
 //! | `reload_checkpoint` | `path` | `epoch`, `params` |
-//! | `stats` | — | counters + latency percentiles |
-//! | `shutdown` | — | ack, then the daemon drains and exits |
+//! | `stats` | — | counters + latency percentiles + per-shard table |
+//! | `shutdown` | — | ack, then the fleet drains and exits |
+//!
+//! ## Hostile-input stance
+//!
+//! Wire integers are **validated before use**, not trusted: node ids are
+//! checked against [`WireLimits::max_node`] (the served topology's node
+//! count) and array lengths against `max_demands` / `max_links` at parse
+//! time, so an out-of-range id can never reach indexing code. Violations
+//! produce a typed [`ProtocolError`] whose [`ProtocolErrorKind`] is echoed
+//! to the client as `error_kind`.
 
+use harp_obs::Counter;
 use serde_json::Value;
+
+/// Responses that failed to serialize (should be impossible; counted so it
+/// can never fail invisibly — see [`one_line`]).
+static SERIALIZE_ERRORS: Counter = Counter::new("serve.serialize_error");
 
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,54 +59,158 @@ pub enum Request {
     Shutdown,
 }
 
+/// Bounds a request line is validated against at parse time. The serving
+/// layer builds these from the live topology ([`WireLimits::for_nodes`]);
+/// [`WireLimits::unbounded`] keeps standalone parsing (tests, tools)
+/// permissive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireLimits {
+    /// Node ids must be `< max_node` (the topology's node count).
+    pub max_node: usize,
+    /// Most demand triples accepted in one `infer`.
+    pub max_demands: usize,
+    /// Most link pairs accepted per `fail_links` / `restore_links` array.
+    pub max_links: usize,
+}
+
+impl WireLimits {
+    /// No bounds: any id that fits in `usize`, any array length.
+    pub fn unbounded() -> Self {
+        WireLimits {
+            max_node: usize::MAX,
+            max_demands: usize::MAX,
+            max_links: usize::MAX,
+        }
+    }
+
+    /// Limits for a topology with `n` nodes: ids `< n`, at most `4·n²`
+    /// demand triples (a dense matrix is `n²`; the slack admits duplicate
+    /// triples, which the server sums) and `4·n²` link pairs.
+    pub fn for_nodes(n: usize) -> Self {
+        let quad = n.saturating_mul(n).saturating_mul(4).max(16);
+        WireLimits {
+            max_node: n,
+            max_demands: quad,
+            max_links: quad,
+        }
+    }
+}
+
+/// Classification of a [`ProtocolError`], echoed on the wire as
+/// `error_kind` so clients and chaos harnesses can assert on failure
+/// classes instead of scraping message strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolErrorKind {
+    /// The line is not a JSON object.
+    InvalidJson,
+    /// Valid JSON, but not a well-formed request (missing/mis-typed
+    /// fields, unknown type, non-finite demand).
+    InvalidRequest,
+    /// A node id is negative, non-integral, or `>=` the topology's node
+    /// count.
+    NodeOutOfRange,
+    /// An array exceeds the configured wire limits.
+    TooLarge,
+    /// The request line exceeded the byte cap before a newline arrived.
+    Oversized,
+}
+
+impl ProtocolErrorKind {
+    /// Stable wire code for the `error_kind` response field.
+    pub fn code(self) -> &'static str {
+        match self {
+            ProtocolErrorKind::InvalidJson => "invalid_json",
+            ProtocolErrorKind::InvalidRequest => "invalid_request",
+            ProtocolErrorKind::NodeOutOfRange => "node_out_of_range",
+            ProtocolErrorKind::TooLarge => "too_large",
+            ProtocolErrorKind::Oversized => "oversized",
+        }
+    }
+}
+
 /// Why a request line could not be turned into a [`Request`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct ProtocolError {
     /// The request `id`, when one could still be recovered (echoed back so
     /// the client can correlate the error).
     pub id: Option<u64>,
+    /// Failure class (also sent on the wire as `error_kind`).
+    pub kind: ProtocolErrorKind,
     /// Human-readable reason.
     pub reason: String,
 }
 
 impl ProtocolError {
-    fn new(id: Option<u64>, reason: impl Into<String>) -> Self {
+    fn new(id: Option<u64>, kind: ProtocolErrorKind, reason: impl Into<String>) -> Self {
         ProtocolError {
             id,
+            kind,
             reason: reason.into(),
         }
     }
+
+    /// Render this error as a response line.
+    pub fn to_response(&self) -> String {
+        error_response_kind(self.id, self.kind, &self.reason)
+    }
 }
 
-/// Parse one request line. On success returns `(id, request)`.
+/// Parse one request line with no bounds (standalone tools and tests).
+/// Serving code must use [`parse_request_bounded`] with the live
+/// topology's [`WireLimits`].
 pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
+    parse_request_bounded(line, &WireLimits::unbounded())
+}
+
+/// Parse one request line, validating every wire integer against
+/// `limits` before it is converted to an index. On success returns
+/// `(id, request)`.
+pub fn parse_request_bounded(
+    line: &str,
+    limits: &WireLimits,
+) -> Result<(u64, Request), ProtocolError> {
+    use ProtocolErrorKind as K;
     let v: Value = serde_json::from_str(line.trim())
-        .map_err(|e| ProtocolError::new(None, format!("invalid JSON: {e:?}")))?;
+        .map_err(|e| ProtocolError::new(None, K::InvalidJson, format!("invalid JSON: {e:?}")))?;
+    if v.as_object().is_none() {
+        return Err(ProtocolError::new(
+            None,
+            K::InvalidJson,
+            "request line is not a JSON object",
+        ));
+    }
     let id = v
         .get("id")
         .and_then(Value::as_u64)
-        .ok_or_else(|| ProtocolError::new(None, "missing numeric 'id'"))?;
+        .ok_or_else(|| ProtocolError::new(None, K::InvalidRequest, "missing numeric 'id'"))?;
     let ty = v
         .get("type")
         .and_then(Value::as_str)
-        .ok_or_else(|| ProtocolError::new(Some(id), "missing string 'type'"))?;
+        .ok_or_else(|| ProtocolError::new(Some(id), K::InvalidRequest, "missing string 'type'"))?;
     let req = match ty {
         "infer" => Request::Infer {
-            demands: parse_demands(&v).map_err(|r| ProtocolError::new(Some(id), r))?,
+            demands: parse_demands(&v, limits)
+                .map_err(|(k, r)| ProtocolError::new(Some(id), k, r))?,
             deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
             epoch: v.get("epoch").and_then(Value::as_u64),
         },
         "topology_update" => Request::TopologyUpdate {
-            fail_links: parse_links(&v, "fail_links")
-                .map_err(|r| ProtocolError::new(Some(id), r))?,
-            restore_links: parse_links(&v, "restore_links")
-                .map_err(|r| ProtocolError::new(Some(id), r))?,
+            fail_links: parse_links(&v, "fail_links", limits)
+                .map_err(|(k, r)| ProtocolError::new(Some(id), k, r))?,
+            restore_links: parse_links(&v, "restore_links", limits)
+                .map_err(|(k, r)| ProtocolError::new(Some(id), k, r))?,
         },
         "reload_checkpoint" => Request::ReloadCheckpoint {
             path: v
                 .get("path")
                 .and_then(Value::as_str)
-                .ok_or_else(|| ProtocolError::new(Some(id), "reload_checkpoint needs 'path'"))?
+                .ok_or_else(|| {
+                    ProtocolError::new(
+                        Some(id),
+                        K::InvalidRequest,
+                        "reload_checkpoint needs 'path'",
+                    )
+                })?
                 .to_string(),
         },
         "stats" => Request::Stats,
@@ -99,6 +218,7 @@ pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
         other => {
             return Err(ProtocolError::new(
                 Some(id),
+                K::InvalidRequest,
                 format!("unknown request type {other:?}"),
             ))
         }
@@ -106,56 +226,120 @@ pub fn parse_request(line: &str) -> Result<(u64, Request), ProtocolError> {
     Ok((id, req))
 }
 
-fn parse_demands(v: &Value) -> Result<Vec<(usize, usize, f64)>, String> {
-    let arr = v
-        .get("demands")
-        .and_then(Value::as_array)
-        .ok_or("infer needs 'demands': [[src, dst, demand], ..]")?;
+/// Convert one wire integer to a validated node index. Rejects anything
+/// that is not an exact non-negative integer below `max_node` — the cast
+/// happens only after the bound check, so a hostile id can never become an
+/// out-of-range index.
+fn node_id(
+    raw: &Value,
+    what: impl Fn() -> String,
+    limits: &WireLimits,
+) -> Result<usize, (ProtocolErrorKind, String)> {
+    let Some(u) = raw.as_u64() else {
+        // as_u64 is None for negatives, floats with fractions, and
+        // non-numbers: all "not a node id".
+        return Err((
+            ProtocolErrorKind::NodeOutOfRange,
+            format!("{}: {raw:?} is not a non-negative integer node id", what()),
+        ));
+    };
+    match usize::try_from(u) {
+        Ok(idx) if idx < limits.max_node => Ok(idx),
+        _ => Err((
+            ProtocolErrorKind::NodeOutOfRange,
+            format!(
+                "{}: node id {u} is out of range (topology has {} nodes)",
+                what(),
+                limits.max_node
+            ),
+        )),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_demands(
+    v: &Value,
+    limits: &WireLimits,
+) -> Result<Vec<(usize, usize, f64)>, (ProtocolErrorKind, String)> {
+    use ProtocolErrorKind as K;
+    let arr = v.get("demands").and_then(Value::as_array).ok_or((
+        K::InvalidRequest,
+        "infer needs 'demands': [[src, dst, demand], ..]".to_string(),
+    ))?;
+    if arr.len() > limits.max_demands {
+        return Err((
+            K::TooLarge,
+            format!(
+                "demands has {} triples, limit is {}",
+                arr.len(),
+                limits.max_demands
+            ),
+        ));
+    }
     let mut out = Vec::with_capacity(arr.len());
     for (i, triple) in arr.iter().enumerate() {
-        let t = triple
-            .as_array()
-            .filter(|t| t.len() == 3)
-            .ok_or_else(|| format!("demands[{i}] is not a [src, dst, demand] triple"))?;
-        let s = t[0]
-            .as_u64()
-            .ok_or_else(|| format!("demands[{i}]: src is not a node id"))?;
-        let d = t[1]
-            .as_u64()
-            .ok_or_else(|| format!("demands[{i}]: dst is not a node id"))?;
-        let demand = t[2]
-            .as_f64()
-            .ok_or_else(|| format!("demands[{i}]: demand is not a number"))?;
+        let t = triple.as_array().filter(|t| t.len() == 3).ok_or_else(|| {
+            (
+                K::InvalidRequest,
+                format!("demands[{i}] is not a [src, dst, demand] triple"),
+            )
+        })?;
+        let s = node_id(&t[0], || format!("demands[{i}].src"), limits)?;
+        let d = node_id(&t[1], || format!("demands[{i}].dst"), limits)?;
+        let demand = t[2].as_f64().ok_or_else(|| {
+            (
+                K::InvalidRequest,
+                format!("demands[{i}]: demand is not a number"),
+            )
+        })?;
         if !demand.is_finite() || demand < 0.0 {
-            return Err(format!(
-                "demands[{i}]: demand {demand} is not finite and >= 0"
+            return Err((
+                K::InvalidRequest,
+                format!("demands[{i}]: demand {demand} is not finite and >= 0"),
             ));
         }
-        out.push((s as usize, d as usize, demand));
+        out.push((s, d, demand));
     }
     Ok(out)
 }
 
-fn parse_links(v: &Value, key: &str) -> Result<Vec<(usize, usize)>, String> {
+#[allow(clippy::type_complexity)]
+fn parse_links(
+    v: &Value,
+    key: &str,
+    limits: &WireLimits,
+) -> Result<Vec<(usize, usize)>, (ProtocolErrorKind, String)> {
+    use ProtocolErrorKind as K;
     let Some(arr) = v.get(key) else {
         return Ok(Vec::new());
     };
-    let arr = arr
-        .as_array()
-        .ok_or_else(|| format!("'{key}' must be an array of [u, v] pairs"))?;
+    let arr = arr.as_array().ok_or_else(|| {
+        (
+            K::InvalidRequest,
+            format!("'{key}' must be an array of [u, v] pairs"),
+        )
+    })?;
+    if arr.len() > limits.max_links {
+        return Err((
+            K::TooLarge,
+            format!(
+                "{key} has {} pairs, limit is {}",
+                arr.len(),
+                limits.max_links
+            ),
+        ));
+    }
     let mut out = Vec::with_capacity(arr.len());
     for (i, pair) in arr.iter().enumerate() {
-        let p = pair
-            .as_array()
-            .filter(|p| p.len() == 2)
-            .ok_or_else(|| format!("{key}[{i}] is not a [u, v] pair"))?;
-        let u = p[0]
-            .as_u64()
-            .ok_or_else(|| format!("{key}[{i}]: u is not a node id"))?;
-        let w = p[1]
-            .as_u64()
-            .ok_or_else(|| format!("{key}[{i}]: v is not a node id"))?;
-        out.push((u as usize, w as usize));
+        let p = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+            (
+                K::InvalidRequest,
+                format!("{key}[{i}] is not a [u, v] pair"),
+            )
+        })?;
+        let u = node_id(&p[0], || format!("{key}[{i}].u"), limits)?;
+        let w = node_id(&p[1], || format!("{key}[{i}].v"), limits)?;
+        out.push((u, w));
     }
     Ok(out)
 }
@@ -181,10 +365,59 @@ pub fn error_response(id: Option<u64>, error: &str) -> String {
     one_line(&serde_json::json!({ "id": idv, "ok": false, "error": error }))
 }
 
+/// Render a typed error response carrying `error_kind` (see
+/// [`ProtocolErrorKind::code`]; also used for shed responses).
+pub fn error_response_kind(id: Option<u64>, kind: ProtocolErrorKind, error: &str) -> String {
+    let idv = match id {
+        Some(i) => Value::from(i as f64),
+        None => Value::Null,
+    };
+    one_line(&serde_json::json!({
+        "id": idv,
+        "ok": false,
+        "error": error,
+        "error_kind": kind.code(),
+    }))
+}
+
+/// Render a shed (admission-control) error response with a
+/// `shed`-prefixed `error_kind` so clients can distinguish overload from
+/// protocol mistakes.
+pub fn shed_response(id: Option<u64>, reason_code: &str, error: &str) -> String {
+    let idv = match id {
+        Some(i) => Value::from(i as f64),
+        None => Value::Null,
+    };
+    one_line(&serde_json::json!({
+        "id": idv,
+        "ok": false,
+        "error": error,
+        "error_kind": reason_code,
+        "shed": true,
+    }))
+}
+
+/// Serialize one response line. A serialization failure is structurally
+/// impossible for the value shapes this module builds, but if it ever
+/// happens it must not be invisible: it is counted
+/// (`serve.serialize_error`) and shouted via `harp-obs` before the
+/// fallback error line is returned.
 fn one_line(v: &Value) -> String {
-    let mut s = serde_json::to_string(v).unwrap_or_else(|_| "{\"ok\":false}".to_string());
-    s.push('\n');
-    s
+    match serde_json::to_string(v) {
+        Ok(mut s) => {
+            s.push('\n');
+            s
+        }
+        Err(e) => {
+            SERIALIZE_ERRORS.add(1);
+            harp_obs::warn_always(
+                "serve.serialize_error",
+                &[("error", format!("{e:?}").into())],
+            );
+            "{\"id\":null,\"ok\":false,\"error\":\"internal: response serialization failed\",\"error_kind\":\"serialize_error\"}\n"
+                .to_string()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +479,7 @@ mod tests {
     fn rejects_malformed_requests_keeping_id() {
         let e = parse_request(r#"{"id": 9, "type": "warp"}"#).unwrap_err();
         assert_eq!(e.id, Some(9));
+        assert_eq!(e.kind, ProtocolErrorKind::InvalidRequest);
         assert!(e.reason.contains("warp"));
 
         let e = parse_request(r#"{"type": "stats"}"#).unwrap_err();
@@ -253,11 +487,98 @@ mod tests {
 
         let e = parse_request("not json").unwrap_err();
         assert_eq!(e.id, None);
+        assert_eq!(e.kind, ProtocolErrorKind::InvalidJson);
 
         let e =
             parse_request(r#"{"id": 5, "type": "infer", "demands": [[0, 1, -3]]}"#).unwrap_err();
         assert_eq!(e.id, Some(5));
         assert!(e.reason.contains("finite"));
+    }
+
+    #[test]
+    fn node_ids_are_bounds_checked_before_any_cast() {
+        let limits = WireLimits::for_nodes(4);
+
+        // in-range ids parse
+        let (_, req) = parse_request_bounded(
+            r#"{"id": 1, "type": "infer", "demands": [[0, 3, 1.0]]}"#,
+            &limits,
+        )
+        .unwrap();
+        assert!(matches!(req, Request::Infer { .. }));
+
+        // id == node count is out of range (0-based ids)
+        let e = parse_request_bounded(
+            r#"{"id": 2, "type": "infer", "demands": [[0, 4, 1.0]]}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ProtocolErrorKind::NodeOutOfRange);
+        assert_eq!(e.id, Some(2));
+        assert!(e.reason.contains("4 nodes"), "{}", e.reason);
+
+        // a huge wire integer is rejected, never truncated into an index
+        let e = parse_request_bounded(
+            r#"{"id": 3, "type": "infer", "demands": [[18446744073709551615, 0, 1.0]]}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ProtocolErrorKind::NodeOutOfRange);
+
+        // negative ids are NodeOutOfRange, not a generic schema error
+        let e = parse_request_bounded(
+            r#"{"id": 4, "type": "infer", "demands": [[-1, 0, 1.0]]}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ProtocolErrorKind::NodeOutOfRange);
+
+        // link pairs get the same treatment
+        let e = parse_request_bounded(
+            r#"{"id": 5, "type": "topology_update", "fail_links": [[0, 99]]}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ProtocolErrorKind::NodeOutOfRange);
+    }
+
+    #[test]
+    fn oversized_arrays_are_rejected_as_too_large() {
+        let limits = WireLimits {
+            max_node: 4,
+            max_demands: 2,
+            max_links: 2,
+        };
+        let e = parse_request_bounded(
+            r#"{"id": 1, "type": "infer", "demands": [[0,1,1],[1,2,1],[2,3,1]]}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ProtocolErrorKind::TooLarge);
+
+        let e = parse_request_bounded(
+            r#"{"id": 2, "type": "topology_update", "restore_links": [[0,1],[1,2],[2,3]]}"#,
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, ProtocolErrorKind::TooLarge);
+    }
+
+    #[test]
+    fn typed_errors_render_error_kind_on_the_wire() {
+        let e = parse_request_bounded(
+            r#"{"id": 8, "type": "infer", "demands": [[7, 0, 1.0]]}"#,
+            &WireLimits::for_nodes(2),
+        )
+        .unwrap_err();
+        let line = e.to_response();
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("error_kind").and_then(Value::as_str),
+            Some("node_out_of_range")
+        );
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(8));
     }
 
     #[test]
@@ -273,5 +594,26 @@ mod tests {
         let v: Value = serde_json::from_str(&err).unwrap();
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
         assert!(v.get("id").unwrap().is_null());
+    }
+
+    #[test]
+    fn shed_responses_are_marked() {
+        let line = shed_response(Some(4), "shed_overload", "queue full");
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("shed").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("error_kind").and_then(Value::as_str),
+            Some("shed_overload")
+        );
+    }
+
+    #[test]
+    fn serialize_fallback_line_is_valid_json() {
+        // The fallback string in one_line must itself parse, so even the
+        // impossible path yields a protocol-conformant line.
+        let fallback = "{\"id\":null,\"ok\":false,\"error\":\"internal: response serialization failed\",\"error_kind\":\"serialize_error\"}\n";
+        let v: Value = serde_json::from_str(fallback).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
     }
 }

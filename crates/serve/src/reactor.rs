@@ -1,0 +1,525 @@
+//! A zero-dependency readiness reactor: the thinnest possible epoll
+//! wrapper plus a cross-thread waker.
+//!
+//! This is the mio-shaped core of the serving event loop. One reactor
+//! multiplexes the listener and every client connection onto a single
+//! thread; shards finishing work ring the [`Waker`] to pull the loop out
+//! of `epoll_wait` so responses flush immediately instead of waiting for
+//! the next timeout tick.
+//!
+//! Design constraints, in order:
+//!
+//! * **zero dependencies** — raw `epoll_create1`/`epoll_ctl`/`epoll_wait`
+//!   FFI, confined to the [`sys`] module (the only `unsafe` in the
+//!   workspace, ~40 lines, auditable at a glance);
+//! * **level-triggered** — readiness is re-reported until drained, so the
+//!   event loop can stop reading mid-backlog (backpressure) without
+//!   losing the connection;
+//! * **spurious-readiness tolerant** — callers must treat any event as a
+//!   hint and handle `WouldBlock`. That tolerance is what lets the
+//!   non-Linux fallback (timed polling over all registered fds) share the
+//!   exact same caller contract, keeping the crate portable.
+//!
+//! Tokens are caller-chosen `u64`s; [`WAKER_TOKEN`] is reserved for the
+//! internal wake channel and never surfaces in [`Reactor::wait`] results.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Reserved token for the internal wake channel (never reported).
+pub const WAKER_TOKEN: u64 = u64::MAX;
+
+/// What readiness a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest (used while a response is part-flushed).
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Write-only interest (read side paused for backpressure).
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// No interest (connection paused; only errors/hangups surface).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness report from [`Reactor::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable, peer hung up, or errored (caller discovers which by
+    /// reading).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::{Reactor, Waker};
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+    use std::os::unix::prelude::{AsRawFd, RawFd};
+
+    /// Raw epoll FFI. The only unsafe code in the workspace: four libc
+    /// calls with fully-owned arguments (no borrowed pointers outlive the
+    /// call), wrapped immediately into `io::Result`.
+    #[allow(unsafe_code)]
+    mod sys {
+        use std::io;
+
+        pub const EPOLL_CTL_ADD: i32 = 1;
+        pub const EPOLL_CTL_DEL: i32 = 2;
+        pub const EPOLL_CTL_MOD: i32 = 3;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+        const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+        /// Kernel ABI struct for epoll (packed on x86-64 per the kernel
+        /// headers).
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+            fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+            fn close(fd: i32) -> i32;
+        }
+
+        pub fn create() -> io::Result<i32> {
+            // SAFETY: no pointers; returns a new fd or -1.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(fd)
+        }
+
+        pub fn ctl(epfd: i32, op: i32, fd: i32, mut ev: Option<EpollEvent>) -> io::Result<()> {
+            let ptr = ev
+                .as_mut()
+                .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            // SAFETY: `ptr` is null (DEL) or points at a live stack value
+            // that outlives the call; the kernel copies it synchronously.
+            let rc = unsafe { epoll_ctl(epfd, op, fd, ptr) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            let cap = i32::try_from(buf.len()).unwrap_or(i32::MAX);
+            // SAFETY: `buf` is a live, writable slice for the duration of
+            // the call; the kernel writes at most `cap` entries.
+            let rc = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), cap, timeout_ms) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(usize::try_from(rc).unwrap_or(0))
+        }
+
+        pub fn close_fd(fd: i32) {
+            // SAFETY: callers pass an fd they own exactly once (Drop).
+            let _ = unsafe { close(fd) };
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if interest.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+
+    /// Wakes a [`Reactor`] blocked in [`Reactor::wait`] from another
+    /// thread. Cheap to clone; writes are idempotent while a wake is
+    /// already pending.
+    #[derive(Clone, Debug)]
+    pub struct Waker {
+        tx: Arc<UnixStream>,
+    }
+
+    impl Waker {
+        /// Ring the reactor. Never blocks: a full pipe means a wake is
+        /// already pending, which is all we need.
+        pub fn wake(&self) {
+            let _ = (&*self.tx).write(&[1u8]);
+        }
+    }
+
+    /// The epoll instance plus the internal wake channel.
+    pub struct Reactor {
+        epfd: i32,
+        wake_rx: UnixStream,
+        waker: Waker,
+        buf: Vec<sys::EpollEvent>,
+    }
+
+    impl Reactor {
+        /// A new reactor with its wake channel registered under
+        /// [`WAKER_TOKEN`].
+        pub fn new() -> io::Result<Self> {
+            let epfd = sys::create()?;
+            let (tx, rx) = match UnixStream::pair() {
+                Ok(p) => p,
+                Err(e) => {
+                    sys::close_fd(epfd);
+                    return Err(e);
+                }
+            };
+            let init = (|| {
+                tx.set_nonblocking(true)?;
+                rx.set_nonblocking(true)?;
+                sys::ctl(
+                    epfd,
+                    sys::EPOLL_CTL_ADD,
+                    rx.as_raw_fd(),
+                    Some(sys::EpollEvent {
+                        events: interest_bits(Interest::READ),
+                        data: WAKER_TOKEN,
+                    }),
+                )
+            })();
+            if let Err(e) = init {
+                sys::close_fd(epfd);
+                return Err(e);
+            }
+            Ok(Reactor {
+                epfd,
+                wake_rx: rx,
+                waker: Waker { tx: Arc::new(tx) },
+                buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        /// A handle other threads use to interrupt [`Reactor::wait`].
+        pub fn waker(&self) -> Waker {
+            self.waker.clone()
+        }
+
+        /// Start watching `fd` under `token`.
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            sys::ctl(
+                self.epfd,
+                sys::EPOLL_CTL_ADD,
+                fd,
+                Some(sys::EpollEvent {
+                    events: interest_bits(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        /// Change the interest set of an already-registered fd.
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            sys::ctl(
+                self.epfd,
+                sys::EPOLL_CTL_MOD,
+                fd,
+                Some(sys::EpollEvent {
+                    events: interest_bits(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        /// Stop watching `fd`. Safe to call right before closing it.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, None)
+        }
+
+        /// Block until readiness or `timeout` (`None` blocks
+        /// indefinitely), appending reports to `events` (cleared first).
+        /// Wake-channel events are drained internally and not reported.
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            let timeout_ms = match timeout {
+                None => -1,
+                // round up so a 0 < t < 1ms timeout doesn't busy-spin
+                Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+                    .unwrap_or(i32::MAX),
+            };
+            let n = match sys::wait(self.epfd, &mut self.buf, timeout_ms) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            for ev in &self.buf[..n] {
+                // copy out of the (possibly packed) ABI struct first
+                let (bits, token) = (ev.events, ev.data);
+                if token == WAKER_TOKEN {
+                    let mut sink = [0u8; 64];
+                    while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: bits
+                        & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
+                        != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Reactor {
+        fn drop(&mut self) {
+            sys::close_fd(self.epfd);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub use fallback::{Reactor, Waker};
+
+#[cfg(not(target_os = "linux"))]
+mod fallback {
+    //! Portable stand-in: timed polling with spurious readiness. Every
+    //! registered fd is reported ready each tick; since reactor callers
+    //! must tolerate `WouldBlock` anyway (the epoll contract), the event
+    //! loop stays correct — it just burns a ~2ms tick instead of
+    //! sleeping, which is acceptable for a non-Linux dev machine and
+    //! never ships to the benched configuration.
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    /// Raw fd alias so the public API matches the Linux backend.
+    pub type RawFd = i32;
+
+    /// Sets a flag [`Reactor::wait`] polls between sleep slices.
+    #[derive(Clone, Debug)]
+    pub struct Waker {
+        rung: Arc<AtomicBool>,
+    }
+
+    impl Waker {
+        /// Ring the reactor.
+        pub fn wake(&self) {
+            self.rung.store(true, Ordering::Release);
+        }
+    }
+
+    /// Registration table + wake flag.
+    pub struct Reactor {
+        registered: Mutex<BTreeMap<RawFd, (u64, Interest)>>,
+        rung: Arc<AtomicBool>,
+    }
+
+    impl Reactor {
+        /// A new empty reactor.
+        pub fn new() -> io::Result<Self> {
+            Ok(Reactor {
+                registered: Mutex::new(BTreeMap::new()),
+                rung: Arc::new(AtomicBool::new(false)),
+            })
+        }
+
+        /// A handle other threads use to interrupt [`Reactor::wait`].
+        pub fn waker(&self) -> Waker {
+            Waker {
+                rung: Arc::clone(&self.rung),
+            }
+        }
+
+        /// Start watching `fd` under `token`.
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if let Ok(mut map) = self.registered.lock() {
+                map.insert(fd, (token, interest));
+            }
+            Ok(())
+        }
+
+        /// Change the interest set of an already-registered fd.
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)
+        }
+
+        /// Stop watching `fd`.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            if let Ok(mut map) = self.registered.lock() {
+                map.remove(&fd);
+            }
+            Ok(())
+        }
+
+        /// Report every registered fd as ready (spurious readiness) after
+        /// a short sleep, or immediately when the waker rang.
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            let budget = timeout.unwrap_or(Duration::from_millis(2));
+            let slice = Duration::from_millis(1);
+            let mut slept = Duration::ZERO;
+            while slept < budget && !self.rung.swap(false, Ordering::AcqRel) {
+                std::thread::sleep(slice.min(budget - slept));
+                slept += slice;
+            }
+            if let Ok(map) = self.registered.lock() {
+                for (&_fd, &(token, interest)) in map.iter() {
+                    events.push(Event {
+                        token,
+                        readable: interest.readable,
+                        writable: interest.writable,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(target_os = "linux")]
+    use std::os::unix::prelude::AsRawFd;
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reports_readable_when_bytes_arrive() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut reactor = Reactor::new().unwrap();
+        reactor
+            .register(listener.as_raw_fd(), 1, Interest::READ)
+            .unwrap();
+
+        let mut events = Vec::new();
+        // nothing pending: a short wait returns empty
+        reactor
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        reactor
+            .wait(&mut events, Some(Duration::from_millis(2000)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        reactor
+            .register(server_side.as_raw_fd(), 2, Interest::READ)
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        reactor
+            .wait(&mut events, Some(Duration::from_millis(2000)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 2 && e.readable));
+        let mut buf = [0u8; 8];
+        assert_eq!(server_side.read(&mut buf).unwrap(), 4);
+
+        // level-triggered: once drained, no more readable reports
+        reactor
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token == 2 && e.readable));
+
+        reactor.deregister(server_side.as_raw_fd()).unwrap();
+        drop(client);
+        reactor
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token == 2));
+    }
+
+    #[test]
+    fn waker_interrupts_wait_from_another_thread() {
+        let mut reactor = Reactor::new().unwrap();
+        let waker = reactor.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let start = std::time::Instant::now();
+        let mut events = Vec::new();
+        // a 10s timeout cut short by the waker proves the interrupt works
+        reactor
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "waker must interrupt the wait"
+        );
+        handle.join().unwrap();
+        // waker events are internal: never surfaced to the caller
+        assert!(events.iter().all(|e| e.token != WAKER_TOKEN));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn writable_interest_fires_for_connected_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let mut reactor = Reactor::new().unwrap();
+        reactor
+            .register(client.as_raw_fd(), 7, Interest::READ_WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        reactor
+            .wait(&mut events, Some(Duration::from_millis(2000)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+        // drop write interest: no more writable reports
+        reactor
+            .reregister(client.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+        reactor
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token == 7 && e.writable));
+    }
+}

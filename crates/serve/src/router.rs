@@ -1,0 +1,369 @@
+//! The router: N shards behind one cheap, deterministic routing decision.
+//!
+//! Routing is a pure function ([`route_infer`]) over a snapshot of
+//! published shard state ([`ShardView`]): epoch-pinned requests may only
+//! land on a shard whose epoch matches the pin; unpinned requests go to
+//! the least-loaded live shard (lowest index breaks ties, so identical
+//! snapshots always route identically); and when every eligible shard's
+//! queue is at the admission limit the request is **shed** — refused with
+//! a structured `shed_overload` error — instead of queued into a latency
+//! collapse. Control requests (topology updates, checkpoint reloads)
+//! broadcast to every live shard and the replies gather into one
+//! response, so the fleet's epochs advance in lockstep from the client's
+//! point of view.
+//!
+//! [`Fleet`] owns the shard threads. It is deliberately thread-agnostic:
+//! the serving event loop calls it inline (routing is a few atomic loads
+//! — a hop through a dedicated thread would only add latency), and tests
+//! drive it directly with channel sinks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use harp_core::SplitModel;
+use harp_paths::TunnelSet;
+use harp_runtime::Runtime;
+use harp_tensor::ParamStore;
+use harp_topology::Topology;
+use serde_json::Value;
+
+use crate::protocol::{error_response, Request};
+use crate::shard::{shard_main, Gather, InferJob, Job, ReplySink, ShardMeta, ShardSpec};
+use crate::stats::ServeStats;
+
+/// A routing-relevant snapshot of one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardView {
+    /// The shard's current topology epoch.
+    pub epoch: u64,
+    /// Jobs queued on the shard.
+    pub depth: usize,
+    /// False once the shard has died.
+    pub alive: bool,
+}
+
+/// What [`route_infer`] decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Enqueue on this shard index.
+    Shard(usize),
+    /// The pin matches no live shard; `current` is the fleet's epoch.
+    StaleEpoch {
+        /// Highest epoch among live shards.
+        current: u64,
+    },
+    /// Every eligible shard is at the queue limit — shed the request.
+    Overloaded,
+    /// No live shards remain.
+    NoShards,
+}
+
+/// Pure routing: pick a shard for an infer with pin `pin` given the
+/// snapshot `shards` and the per-shard admission limit `queue_limit`.
+/// Deterministic — identical inputs always yield identical decisions
+/// (least depth wins, lowest index breaks ties).
+pub fn route_infer(pin: Option<u64>, shards: &[ShardView], queue_limit: usize) -> RouteDecision {
+    let mut best: Option<(usize, usize)> = None; // (depth, idx)
+    let mut any_alive = false;
+    let mut max_epoch = 0u64;
+    for (idx, s) in shards.iter().enumerate() {
+        if !s.alive {
+            continue;
+        }
+        any_alive = true;
+        max_epoch = max_epoch.max(s.epoch);
+        if let Some(p) = pin {
+            if s.epoch != p {
+                continue;
+            }
+        }
+        let candidate = (s.depth, idx);
+        if best.is_none_or(|b| candidate < b) {
+            best = Some(candidate);
+        }
+    }
+    if !any_alive {
+        return RouteDecision::NoShards;
+    }
+    match best {
+        None => RouteDecision::StaleEpoch { current: max_epoch },
+        Some((depth, _)) if depth >= queue_limit => RouteDecision::Overloaded,
+        Some((_, idx)) => RouteDecision::Shard(idx),
+    }
+}
+
+struct ShardHandle {
+    tx: mpsc::Sender<Job>,
+    meta: Arc<ShardMeta>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+/// The replica group: N single-owner shards plus routing and broadcast.
+pub struct Fleet {
+    shards: Vec<ShardHandle>,
+    queue_limit: usize,
+}
+
+impl Fleet {
+    /// Spawn `num_shards` shards, splitting the global worker pool across
+    /// them. Each shard starts at epoch 0 of `topo`/`tunnels` with its own
+    /// copy of `store` and its own embedding cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn(
+        num_shards: usize,
+        max_batch: usize,
+        queue_limit: usize,
+        model: Arc<dyn SplitModel + Send + Sync>,
+        store: ParamStore,
+        topo: Topology,
+        tunnels: TunnelSet,
+        stop: Arc<AtomicBool>,
+        stats: Arc<ServeStats>,
+    ) -> Fleet {
+        let num_shards = num_shards.max(1);
+        let runtimes = Runtime::global().split(num_shards);
+        let shards = (0..num_shards)
+            .map(|idx| {
+                let (tx, rx) = mpsc::channel::<Job>();
+                let meta = Arc::new(ShardMeta::new());
+                let spec = ShardSpec {
+                    idx,
+                    rx,
+                    meta: Arc::clone(&meta),
+                    model: Arc::clone(&model),
+                    store: store.clone(),
+                    topo: topo.clone(),
+                    tunnels: tunnels.clone(),
+                    max_batch,
+                    rt: runtimes[idx],
+                    stop: Arc::clone(&stop),
+                    stats: Arc::clone(&stats),
+                };
+                let join = thread::Builder::new()
+                    .name(format!("harp-serve-shard-{idx}"))
+                    .spawn(move || shard_main(spec))
+                    .ok();
+                ShardHandle { tx, meta, join }
+            })
+            .collect();
+        harp_obs::event("serve.fleet_start")
+            .field("shards", num_shards)
+            .field("queue_limit", queue_limit)
+            .emit();
+        Fleet {
+            shards,
+            queue_limit,
+        }
+    }
+
+    /// Number of shards (live or dead).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot every shard's routing state.
+    pub fn views(&self) -> Vec<ShardView> {
+        self.shards
+            .iter()
+            .map(|s| ShardView {
+                epoch: s.meta.epoch.load(Ordering::SeqCst),
+                depth: s.meta.depth.load(Ordering::SeqCst),
+                alive: s.meta.alive.load(Ordering::SeqCst),
+            })
+            .collect()
+    }
+
+    /// Highest epoch among live shards (all shards when none live).
+    pub fn current_epoch(&self) -> u64 {
+        let views = self.views();
+        views
+            .iter()
+            .filter(|v| v.alive)
+            .map(|v| v.epoch)
+            .max()
+            .or_else(|| views.iter().map(|v| v.epoch).max())
+            .unwrap_or(0)
+    }
+
+    /// Route and enqueue one infer job. `Err` carries the decision the
+    /// caller turns into a shed/stale/error response. A send failure
+    /// (shard thread gone without marking itself dead) marks the shard
+    /// dead and re-routes, so one lost shard costs a retry, not a hang.
+    pub fn submit_infer(&self, mut job: InferJob) -> Result<usize, RouteDecision> {
+        loop {
+            match route_infer(job.epoch_pin, &self.views(), self.queue_limit) {
+                RouteDecision::Shard(idx) => {
+                    let shard = &self.shards[idx];
+                    shard.meta.depth.fetch_add(1, Ordering::SeqCst);
+                    match shard.tx.send(Job::Infer(job)) {
+                        Ok(()) => return Ok(idx),
+                        Err(mpsc::SendError(returned)) => {
+                            shard.meta.depth.fetch_sub(1, Ordering::SeqCst);
+                            shard.meta.alive.store(false, Ordering::SeqCst);
+                            let Job::Infer(j) = returned else {
+                                return Err(RouteDecision::NoShards);
+                            };
+                            job = j;
+                        }
+                    }
+                }
+                other => return Err(other),
+            }
+        }
+    }
+
+    /// Broadcast a control request to every live shard; the gathered
+    /// response (the first live shard's reply, sent once all have
+    /// applied) goes to `reply`. Dead shards are skipped — their state is
+    /// rebuilt from scratch if they are ever replaced — so one dead shard
+    /// cannot wedge every topology update.
+    pub fn broadcast_control(&self, id: u64, req: Request, reply: ReplySink) {
+        let targets: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| self.shards[i].meta.alive.load(Ordering::SeqCst))
+            .collect();
+        if targets.is_empty() {
+            reply.send(error_response(Some(id), "no live shards"));
+            return;
+        }
+        let gather = Gather::new(targets.len(), reply);
+        for (k, &idx) in targets.iter().enumerate() {
+            let shard = &self.shards[idx];
+            let member = ReplySink::Gather {
+                gather: Arc::clone(&gather),
+                primary: k == 0,
+            };
+            shard.meta.depth.fetch_add(1, Ordering::SeqCst);
+            let job = Job::Control {
+                id,
+                req: req.clone(),
+                reply: member,
+            };
+            if let Err(mpsc::SendError(returned)) = shard.tx.send(job) {
+                shard.meta.depth.fetch_sub(1, Ordering::SeqCst);
+                shard.meta.alive.store(false, Ordering::SeqCst);
+                // answer for the lost member so the gather still completes
+                if let Job::Control { reply: member, .. } = returned {
+                    member.send(error_response(Some(id), "shard failed; please retry"));
+                }
+            }
+        }
+    }
+
+    /// Per-shard rows for the `stats` reply.
+    pub fn shards_payload(&self) -> Value {
+        Value::from(
+            self.shards
+                .iter()
+                .enumerate()
+                .map(|(idx, s)| {
+                    serde_json::json!({
+                        "shard": idx,
+                        "epoch": s.meta.epoch.load(Ordering::SeqCst) as f64,
+                        "depth": s.meta.depth.load(Ordering::SeqCst) as f64,
+                        "alive": s.meta.alive.load(Ordering::SeqCst),
+                        "failed_links": s.meta.failed_links.load(Ordering::SeqCst) as f64,
+                        "num_tunnels": s.meta.num_tunnels.load(Ordering::SeqCst) as f64,
+                    })
+                })
+                .collect::<Vec<Value>>(),
+        )
+    }
+
+    /// Failed links / live tunnels at the fleet's current epoch (read
+    /// from the highest-epoch live shard).
+    pub fn topology_summary(&self) -> (usize, usize) {
+        let best = self
+            .shards
+            .iter()
+            .filter(|s| s.meta.alive.load(Ordering::SeqCst))
+            .max_by_key(|s| s.meta.epoch.load(Ordering::SeqCst))
+            .or_else(|| self.shards.first());
+        match best {
+            Some(s) => (
+                s.meta.failed_links.load(Ordering::SeqCst),
+                s.meta.num_tunnels.load(Ordering::SeqCst),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// Test/chaos hook: make shard `idx` panic mid-loop to exercise
+    /// failover. The shard answers its queued jobs with errors and the
+    /// router stops selecting it.
+    #[doc(hidden)]
+    pub fn crash_shard(&self, idx: usize) {
+        if let Some(shard) = self.shards.get(idx) {
+            shard.meta.depth.fetch_add(1, Ordering::SeqCst);
+            let _ = shard.tx.send(Job::Crash);
+        }
+    }
+
+    /// Join every shard thread (call after setting the stop flag).
+    pub fn join(&mut self) {
+        for s in &mut self.shards {
+            if let Some(h) = s.join.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(epoch: u64, depth: usize, alive: bool) -> ShardView {
+        ShardView {
+            epoch,
+            depth,
+            alive,
+        }
+    }
+
+    #[test]
+    fn unpinned_routes_to_least_depth_lowest_index() {
+        let shards = [v(3, 5, true), v(3, 2, true), v(3, 2, true)];
+        assert_eq!(route_infer(None, &shards, 100), RouteDecision::Shard(1));
+    }
+
+    #[test]
+    fn pinned_routes_only_to_matching_epoch() {
+        let shards = [v(4, 0, true), v(3, 9, true)];
+        assert_eq!(route_infer(Some(3), &shards, 100), RouteDecision::Shard(1));
+        assert_eq!(route_infer(Some(4), &shards, 100), RouteDecision::Shard(0));
+        assert_eq!(
+            route_infer(Some(7), &shards, 100),
+            RouteDecision::StaleEpoch { current: 4 }
+        );
+    }
+
+    #[test]
+    fn dead_shards_are_never_selected() {
+        let shards = [v(3, 0, false), v(3, 50, true)];
+        assert_eq!(route_infer(None, &shards, 100), RouteDecision::Shard(1));
+        assert_eq!(
+            route_infer(None, &[v(1, 0, false), v(2, 0, false)], 100),
+            RouteDecision::NoShards
+        );
+    }
+
+    #[test]
+    fn overload_sheds_deterministically_at_the_limit() {
+        let shards = [v(1, 8, true), v(1, 8, true)];
+        assert_eq!(route_infer(None, &shards, 8), RouteDecision::Overloaded);
+        // one slot under the limit: admitted (lowest index tie-break)
+        let shards = [v(1, 7, true), v(1, 8, true)];
+        assert_eq!(route_infer(None, &shards, 8), RouteDecision::Shard(0));
+    }
+
+    #[test]
+    fn routing_is_a_pure_function_of_the_snapshot() {
+        let shards = [v(2, 3, true), v(2, 1, true), v(1, 0, true)];
+        let first = route_infer(Some(2), &shards, 4);
+        for _ in 0..100 {
+            assert_eq!(route_infer(Some(2), &shards, 4), first);
+        }
+        assert_eq!(first, RouteDecision::Shard(1));
+    }
+}

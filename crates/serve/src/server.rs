@@ -1,46 +1,59 @@
-//! The daemon: TCP listener, per-connection reader threads, and the
-//! single batcher thread that owns all mutable serving state.
+//! The daemon: one reactor thread multiplexing every connection, a shard
+//! fleet doing the inference, and nothing else.
 //!
-//! Concurrency model — one owner, no locks on the hot state:
+//! Concurrency model — single owners all the way down:
 //!
-//! * every connection thread parses request lines and enqueues jobs onto
-//!   one mpsc queue, then blocks for the rendered response line;
-//! * the **batcher thread** is the only owner of [`NetworkState`] and the
-//!   current parameter store. It drains the queue, groups consecutive
-//!   `infer` jobs into a batch (control jobs act as barriers), fans the
-//!   batch across the `harp-runtime` worker pool, and applies topology
-//!   updates / checkpoint swaps between batches. Epoch reads, tunnel
-//!   pruning, and `Arc<ParamStore>` swaps therefore never race.
+//! * the **reactor thread** (epoll event loop, see [`crate::reactor`])
+//!   owns the listener and every connection's state machine
+//!   ([`crate::conn`]). It accepts, frames, parses, and validates request
+//!   lines, answers protocol errors / stats / shed decisions inline, and
+//!   routes infer + control work to the fleet. No thread is ever spawned
+//!   per connection, so connection churn cannot leak handles — the bug
+//!   class the old `conns.push(thread::spawn(...))` design had — and an
+//!   idle connection costs zero wakeups: the loop sleeps in `epoll_wait`
+//!   until a socket actually has bytes.
+//! * each **shard** ([`crate::shard`]) is the single owner of its
+//!   `NetworkState`, parameter store, and topology-epoch embedding cache;
+//!   the **router** ([`crate::router`]) picks shards with a pure function
+//!   over published atomics (epoch pin match, then least queue depth) and
+//!   sheds work when every eligible queue is at the admission limit.
+//! * shards hand finished response lines back on a completion queue and
+//!   ring the reactor's waker; the reactor flushes them into the
+//!   connections' out-buffers, with write-interest and read-gating
+//!   backpressure when a client reads slowly.
 //!
-//! Degradation policy: a response is *degraded* — served from last-good
-//! splits, or uniform ECMP before any inference has succeeded — when the
-//! request's deadline expires before or during inference, or when the
-//! model returns non-finite splits. Degraded responses carry
-//! `degraded: true` plus a `reason`, and are counted in `stats`.
+//! Degradation policy is unchanged from the threaded design: a response
+//! is *degraded* — served from last-good splits, or uniform ECMP before
+//! any inference has succeeded — when the request's deadline expires
+//! before or during inference, or when the model returns non-finite
+//! splits. Degraded responses carry `degraded: true` plus a `reason`, and
+//! are counted in `stats`. Shedding is different from degrading: a shed
+//! request is refused outright (`error_kind: shed_*`) without touching a
+//! shard.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use harp_core::{
-    run_inference, run_inference_cached, EpochCache, EvalOptions, Instance, SplitModel,
-};
-use harp_nn::load_params;
+use harp_core::SplitModel;
 use harp_paths::TunnelSet;
-use harp_runtime::Runtime;
 use harp_tensor::ParamStore;
 use harp_topology::Topology;
-use harp_traffic::TrafficMatrix;
 use serde_json::Value;
 
-use crate::protocol::{error_response, ok_response, parse_request, Request};
-use crate::state::NetworkState;
-use crate::stats::{DegradeReason, ServeStats};
+use crate::conn::{Conn, Frame, ReadOutcome};
+use crate::protocol::{
+    error_response, error_response_kind, ok_response, parse_request_bounded, shed_response,
+    ProtocolErrorKind, Request, WireLimits,
+};
+use crate::reactor::{Event, Interest, Reactor, Waker};
+use crate::router::{Fleet, RouteDecision};
+use crate::shard::{InferJob, ReplySink};
+use crate::stats::{ServeStats, ShedReason};
 
 /// Daemon configuration; see [`ServeConfig::from_env`] for the env knobs.
 #[derive(Clone, Debug)]
@@ -54,12 +67,20 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Close a connection after this long without receiving any bytes
     /// (0 disables the idle timeout). A client that hangs mid-request must
-    /// not pin a reader thread forever.
+    /// not pin server state forever.
     pub read_timeout_ms: u64,
     /// Longest accepted request line in bytes. An oversized line gets a
     /// structured JSON error and is discarded up to its newline — it must
     /// never buffer unboundedly or crash the reader.
     pub max_line_bytes: usize,
+    /// Number of serving shards (each its own batcher + embedding cache).
+    pub shards: usize,
+    /// Most connections held open at once; excess connects are refused
+    /// with a `shed_conn_limit` error line (admission control).
+    pub max_conns: usize,
+    /// Per-shard queue depth at which infer requests are shed with
+    /// `shed_overload` instead of queued (admission control).
+    pub queue_limit: usize,
     /// Fault-injection plan for chaos tests (connection drop/delay faults
     /// at accept). `None` falls back to the process-wide `HARP_FAULT` plan.
     pub chaos: Option<Arc<harp_chaos::FaultPlan>>,
@@ -73,6 +94,9 @@ impl Default for ServeConfig {
             max_batch: 32,
             read_timeout_ms: 30_000,
             max_line_bytes: 64 * 1024,
+            shards: 1,
+            max_conns: 1024,
+            queue_limit: 512,
             chaos: None,
         }
     }
@@ -80,11 +104,13 @@ impl Default for ServeConfig {
 
 impl ServeConfig {
     /// Configuration from the environment: `HARP_SERVE_ADDR` (listen
-    /// address), `HARP_SERVE_DEADLINE_MS` (default deadline), and
+    /// address), `HARP_SERVE_DEADLINE_MS` (default deadline),
     /// `HARP_SERVE_READ_TIMEOUT_MS` (idle-connection timeout; `0`
-    /// disables). Invalid values warn via `harp-obs` and fall back to the
-    /// defaults, matching the `HARP_THREADS` convention of failing loudly
-    /// but not fatally.
+    /// disables), `HARP_SERVE_SHARDS` (replica-group size),
+    /// `HARP_SERVE_MAX_CONNS` (connection cap), and
+    /// `HARP_SERVE_QUEUE_LIMIT` (per-shard shed threshold). Invalid
+    /// values warn via `harp-obs` and fall back to the defaults, matching
+    /// the `HARP_THREADS` convention of failing loudly but not fatally.
     pub fn from_env() -> Self {
         let mut cfg = ServeConfig::default();
         if let Ok(addr) = std::env::var("HARP_SERVE_ADDR") {
@@ -116,28 +142,37 @@ impl ServeConfig {
                 ),
             }
         }
+        for (var, name, field) in [
+            ("HARP_SERVE_SHARDS", "serve.shards_fallback", 0usize),
+            ("HARP_SERVE_MAX_CONNS", "serve.max_conns_fallback", 1),
+            ("HARP_SERVE_QUEUE_LIMIT", "serve.queue_limit_fallback", 2),
+        ] {
+            if let Ok(raw) = std::env::var(var) {
+                match raw.parse::<usize>() {
+                    Ok(v) if v > 0 => match field {
+                        0 => cfg.shards = v,
+                        1 => cfg.max_conns = v,
+                        _ => cfg.queue_limit = v,
+                    },
+                    _ => {
+                        let fallback = match field {
+                            0 => cfg.shards,
+                            1 => cfg.max_conns,
+                            _ => cfg.queue_limit,
+                        };
+                        harp_obs::warn_always(
+                            name,
+                            &[
+                                ("value", raw.clone().into()),
+                                ("fallback", (fallback as u64).into()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
         cfg
     }
-}
-
-/// One queued `infer` request.
-struct InferJob {
-    id: u64,
-    demands: Vec<(usize, usize, f64)>,
-    epoch_pin: Option<u64>,
-    deadline: Instant,
-    enqueued: Instant,
-    reply: mpsc::Sender<String>,
-}
-
-/// Anything the batcher thread processes.
-enum Job {
-    Infer(InferJob),
-    Control {
-        id: u64,
-        req: Request,
-        reply: mpsc::Sender<String>,
-    },
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server;
@@ -146,8 +181,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<ServeStats>,
-    listener: Option<thread::JoinHandle<()>>,
-    batcher: Option<thread::JoinHandle<()>>,
+    waker: Waker,
+    reactor: Option<thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -161,24 +196,29 @@ impl ServerHandle {
         &self.stats
     }
 
-    /// Stop accepting, drain in-flight work, and join every thread.
+    /// Stop accepting, flush in-flight responses, and join every thread.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.batcher.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.listener.take() {
+        self.waker.wake();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
     }
 }
 
-/// How often blocked threads re-check the stop flag.
-const POLL: Duration = Duration::from_millis(50);
+/// Reactor token for the listener socket (`u64::MAX` is the waker's).
+const LISTENER_TOKEN: u64 = u64::MAX - 2;
+/// Out-buffer size at which a connection's read side is gated off.
+const HIGH_WATER: usize = 1024 * 1024;
+/// Out-buffer size at which a gated read side is re-enabled.
+const LOW_WATER: usize = 64 * 1024;
+/// Longest the loop sleeps with nothing scheduled (bounds stop-flag
+/// latency even if a wake is lost).
+const MAX_TICK: Duration = Duration::from_millis(500);
 
-/// Start the daemon: bind `cfg.addr`, spawn the batcher and listener
-/// threads, and return a handle. `model` + `store` are the serving model
-/// (the store is hot-swappable via `reload_checkpoint`); `topo` +
+/// Start the daemon: bind `cfg.addr`, spawn the shard fleet and the
+/// reactor thread, and return a handle. `model` + `store` are the serving
+/// model (the store is hot-swappable via `reload_checkpoint`); `topo` +
 /// `tunnels` define epoch 0 of the network.
 pub fn serve(
     cfg: ServeConfig,
@@ -186,579 +226,621 @@ pub fn serve(
     store: ParamStore,
     topo: Topology,
     tunnels: TunnelSet,
-) -> std::io::Result<ServerHandle> {
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
     let stop = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServeStats::new());
-    let queue_depth = Arc::new(AtomicUsize::new(0));
-    let (tx, rx) = mpsc::channel::<Job>();
+    let limits = WireLimits::for_nodes(topo.num_nodes());
+    let reactor = Reactor::new()?;
+    let waker = reactor.waker();
 
     harp_obs::event("serve.start")
         .field("addr", addr.to_string())
         .field("deadline_ms", cfg.deadline_ms)
+        .field("shards", cfg.shards)
         .emit();
 
-    let batcher = {
-        let stop = Arc::clone(&stop);
-        let stats = Arc::clone(&stats);
-        let depth = Arc::clone(&queue_depth);
-        let cfg = cfg.clone();
-        thread::spawn(move || {
-            let state = NetworkState::new(topo, tunnels);
-            batcher_loop(rx, state, model, store, cfg, stop, stats, depth);
-        })
-    };
+    let fleet = Fleet::spawn(
+        cfg.shards,
+        cfg.max_batch,
+        cfg.queue_limit,
+        model,
+        store,
+        topo,
+        tunnels,
+        Arc::clone(&stop),
+        Arc::clone(&stats),
+    );
 
-    let listener_thread = {
+    let reactor_thread = {
         let stop = Arc::clone(&stop);
         let stats = Arc::clone(&stats);
-        let depth = Arc::clone(&queue_depth);
-        let conn_cfg = cfg.clone();
         let chaos = cfg.chaos.clone().or_else(harp_chaos::global_plan);
-        thread::spawn(move || {
-            let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
-            while !stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        // Chaos: drop or delay this connection at accept,
-                        // simulating a flaky network path to the daemon.
-                        if let Some(plan) = &chaos {
-                            match plan.conn_fault() {
-                                Some(harp_chaos::ConnFault::Drop) => {
-                                    drop(stream);
-                                    continue;
-                                }
-                                Some(harp_chaos::ConnFault::DelayMs(ms)) => {
-                                    thread::sleep(Duration::from_millis(ms));
-                                }
-                                None => {}
-                            }
-                        }
-                        let tx = tx.clone();
-                        let stop = Arc::clone(&stop);
-                        let stats = Arc::clone(&stats);
-                        let depth = Arc::clone(&depth);
-                        let conn_cfg = conn_cfg.clone();
-                        conns.push(thread::spawn(move || {
-                            handle_connection(stream, tx, stop, stats, depth, &conn_cfg);
-                        }));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        thread::sleep(POLL);
-                    }
-                    Err(_) => break,
-                }
-                conns.retain(|h| !h.is_finished());
-            }
-            drop(tx); // batcher's rx disconnects once all connections close
-            for h in conns {
-                let _ = h.join();
-            }
-        })
+        thread::Builder::new()
+            .name("harp-serve-reactor".to_string())
+            .spawn(move || {
+                let mut el =
+                    EventLoop::new(reactor, listener, fleet, cfg, limits, stop, stats, chaos);
+                el.run();
+            })?
     };
 
     Ok(ServerHandle {
         addr,
         stop,
         stats,
-        listener: Some(listener_thread),
-        batcher: Some(batcher),
+        waker,
+        reactor: Some(reactor_thread),
     })
 }
 
-/// Read request lines off one client connection, enqueue jobs, and write
-/// back rendered responses (one per request, in request order).
-///
-/// Hostile-input hardening: any byte sequence a client sends must produce
-/// either a response line or a closed connection — never a panic, never
-/// unbounded buffering. A line over [`ServeConfig::max_line_bytes`] gets a
-/// structured JSON error and is discarded through its newline; a
-/// connection idle past [`ServeConfig::read_timeout_ms`] is closed.
-fn handle_connection(
-    stream: TcpStream,
-    jobs: mpsc::Sender<Job>,
-    stop: Arc<AtomicBool>,
-    stats: Arc<ServeStats>,
-    depth: Arc<AtomicUsize>,
-    cfg: &ServeConfig,
-) {
-    let _ = stream.set_read_timeout(Some(POLL));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut buf: Vec<u8> = Vec::new();
-    let idle_budget = (cfg.read_timeout_ms > 0).then(|| Duration::from_millis(cfg.read_timeout_ms));
-    let mut last_progress = Instant::now();
-    // When an oversized line tripped the cap: keep dropping bytes until
-    // its terminating newline instead of buffering them.
-    let mut discarding = false;
-
-    // Announce a cap violation: structured error back to the client, then
-    // discard the rest of the line. Returns false if the peer is gone.
-    fn reject_oversized(
-        writer: &mut TcpStream,
-        buf: &mut Vec<u8>,
-        stats: &ServeStats,
-        max_line_bytes: usize,
-    ) -> bool {
-        stats.record_protocol_error();
-        harp_obs::event("serve.oversized_line")
-            .field("bytes", buf.len())
-            .field("max_bytes", max_line_bytes)
-            .emit();
-        let resp = error_response(
-            None,
-            &format!("request line exceeds {max_line_bytes} bytes"),
-        );
-        buf.clear();
-        writer.write_all(resp.as_bytes()).is_ok() && writer.flush().is_ok()
-    }
-
-    loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => break, // EOF
-            Ok(_) => {
-                last_progress = Instant::now();
-                let complete = buf.last() == Some(&b'\n');
-                if discarding {
-                    discarding = !complete;
-                    buf.clear();
-                    continue;
-                }
-                if buf.len() > cfg.max_line_bytes {
-                    if !reject_oversized(&mut writer, &mut buf, &stats, cfg.max_line_bytes) {
-                        break;
-                    }
-                    discarding = !complete;
-                    continue;
-                }
-                // a timeout may have returned a partial line earlier; only
-                // a newline terminates a request
-                if !complete {
-                    continue;
-                }
-                let line = String::from_utf8_lossy(&buf).into_owned();
-                buf.clear();
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let response = dispatch_line(&line, &jobs, &stats, &depth, cfg.deadline_ms);
-                if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                // A timed-out read still appends what it got to `buf` —
-                // enforce the cap here too, or a client streaming one
-                // endless unterminated line would buffer without bound
-                // and never hear back.
-                if discarding {
-                    buf.clear();
-                } else if buf.len() > cfg.max_line_bytes {
-                    if !reject_oversized(&mut writer, &mut buf, &stats, cfg.max_line_bytes) {
-                        break;
-                    }
-                    discarding = true;
-                }
-                if let Some(budget) = idle_budget {
-                    if last_progress.elapsed() >= budget {
-                        harp_obs::event("serve.conn_idle_timeout")
-                            .field("idle_ms", last_progress.elapsed().as_millis() as u64)
-                            .emit();
-                        break;
-                    }
-                }
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Parse one request line, route it through the batcher, and return the
-/// rendered response line.
-fn dispatch_line(
-    line: &str,
-    jobs: &mpsc::Sender<Job>,
-    stats: &ServeStats,
-    depth: &AtomicUsize,
-    deadline_ms: u64,
-) -> String {
-    let (id, req) = match parse_request(line) {
-        Ok(parsed) => parsed,
-        Err(e) => {
-            stats.record_protocol_error();
-            return error_response(e.id, &e.reason);
-        }
-    };
-    stats.record_request();
-
-    let (reply_tx, reply_rx) = mpsc::channel::<String>();
-    let enqueued = Instant::now();
-    let job = match req {
-        Request::Infer {
-            demands,
-            deadline_ms: per_req,
-            epoch,
-        } => {
-            let budget = Duration::from_millis(per_req.unwrap_or(deadline_ms));
-            Job::Infer(InferJob {
-                id,
-                demands,
-                epoch_pin: epoch,
-                deadline: enqueued + budget,
-                enqueued,
-                reply: reply_tx,
-            })
-        }
-        other => Job::Control {
-            id,
-            req: other,
-            reply: reply_tx,
-        },
-    };
-    depth.fetch_add(1, Ordering::Relaxed);
-    if jobs.send(job).is_err() {
-        depth.fetch_sub(1, Ordering::Relaxed);
-        return error_response(Some(id), "server is shutting down");
-    }
-    // The batcher always answers every dequeued job; a long timeout only
-    // guards against it having died mid-request.
-    match reply_rx.recv_timeout(Duration::from_secs(60)) {
-        Ok(resp) => resp,
-        Err(_) => error_response(Some(id), "server did not answer in time"),
-    }
-}
-
-/// The batcher thread body: drain jobs, batch infers, apply control ops.
-#[allow(clippy::too_many_arguments)]
-fn batcher_loop(
-    rx: mpsc::Receiver<Job>,
-    mut state: NetworkState,
-    model: Arc<dyn SplitModel + Send + Sync>,
-    store: ParamStore,
+/// Everything the reactor thread owns.
+struct EventLoop {
+    reactor: Reactor,
+    listener: TcpListener,
+    fleet: Fleet,
     cfg: ServeConfig,
+    limits: WireLimits,
     stop: Arc<AtomicBool>,
     stats: Arc<ServeStats>,
-    depth: Arc<AtomicUsize>,
-) {
-    let rt = Runtime::global();
-    let mut store = Arc::new(store);
-    // TM-independent model state for the current (epoch, store) pair;
-    // rebuilt lazily on the first infer after any topology update or
-    // checkpoint reload. Only the batcher touches it, so no locking.
-    let mut epoch_cache: Option<EpochCache> = None;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            break;
+    chaos: Option<Arc<harp_chaos::FaultPlan>>,
+    conns: Vec<Option<Conn>>,
+    generations: Vec<u32>,
+    free: Vec<usize>,
+    open: usize,
+    completions_tx: mpsc::Sender<(u64, String)>,
+    completions_rx: mpsc::Receiver<(u64, String)>,
+    waker: Waker,
+    idle_budget: Option<Duration>,
+}
+
+impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        reactor: Reactor,
+        listener: TcpListener,
+        fleet: Fleet,
+        cfg: ServeConfig,
+        limits: WireLimits,
+        stop: Arc<AtomicBool>,
+        stats: Arc<ServeStats>,
+        chaos: Option<Arc<harp_chaos::FaultPlan>>,
+    ) -> Self {
+        let (completions_tx, completions_rx) = mpsc::channel();
+        let waker = reactor.waker();
+        let idle_budget =
+            (cfg.read_timeout_ms > 0).then(|| Duration::from_millis(cfg.read_timeout_ms));
+        EventLoop {
+            reactor,
+            listener,
+            fleet,
+            cfg,
+            limits,
+            stop,
+            stats,
+            chaos,
+            conns: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            completions_tx,
+            completions_rx,
+            waker,
+            idle_budget,
         }
-        let job = match rx.recv_timeout(POLL) {
-            Ok(j) => j,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        };
-        depth.fetch_sub(1, Ordering::Relaxed);
-        match job {
-            Job::Control { id, req, reply } => {
-                let resp = handle_control(
-                    id,
-                    req,
-                    &mut state,
-                    &mut store,
-                    &mut epoch_cache,
-                    &stop,
-                    &stats,
-                );
-                let _ = reply.send(resp);
+    }
+
+    fn run(&mut self) {
+        if self
+            .reactor
+            .register(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+            .is_err()
+        {
+            harp_obs::warn_always("serve.reactor_register_failed", &[]);
+            self.stop.store(true, Ordering::SeqCst);
+        }
+        let mut events: Vec<Event> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            let timeout = self.next_timeout();
+            if self.reactor.wait(&mut events, Some(timeout)).is_err() {
+                break;
             }
-            Job::Infer(first) => {
-                let mut batch = vec![first];
-                let mut barrier = None;
-                while batch.len() < cfg.max_batch {
-                    match rx.try_recv() {
-                        Ok(Job::Infer(j)) => {
-                            depth.fetch_sub(1, Ordering::Relaxed);
-                            batch.push(j);
+            self.drain_completions();
+            for i in 0..events.len() {
+                let ev = events[i];
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else {
+                    self.conn_ready(ev);
+                }
+                if self.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            self.expire_pauses();
+            self.reap_idle();
+        }
+        self.graceful_exit();
+    }
+
+    /// Sleep until the next scheduled instant (pause expiry or idle
+    /// deadline), capped at [`MAX_TICK`]. With thousands of idle
+    /// connections this is ~2 wakeups/second total — not per connection,
+    /// which is the structural fix for the old per-connection poll loop.
+    fn next_timeout(&self) -> Duration {
+        let now = Instant::now();
+        let mut next: Option<Instant> = None;
+        let mut consider = |t: Instant| {
+            next = Some(next.map_or(t, |n: Instant| n.min(t)));
+        };
+        for conn in self.conns.iter().flatten() {
+            if let Some(p) = conn.paused_until {
+                consider(p);
+            }
+            if let Some(budget) = self.idle_budget {
+                if conn.inflight == 0 {
+                    consider(conn.last_progress + budget);
+                }
+            }
+        }
+        match next {
+            None => MAX_TICK,
+            Some(t) => t
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1))
+                .min(MAX_TICK),
+        }
+    }
+
+    /// Accept until `WouldBlock`, applying chaos faults and admission
+    /// control.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        // Chaos: drop or delay this connection at accept, simulating a
+        // flaky network path to the daemon.
+        let mut pause = None;
+        if let Some(plan) = &self.chaos {
+            match plan.conn_fault() {
+                Some(harp_chaos::ConnFault::Drop) => {
+                    drop(stream);
+                    return;
+                }
+                Some(harp_chaos::ConnFault::DelayMs(ms)) => {
+                    pause = Some(Instant::now() + Duration::from_millis(ms));
+                }
+                None => {}
+            }
+        }
+        // Admission control: refuse connections over the cap with a
+        // structured shed line (the socket is still blocking here, and
+        // one small write to a fresh socket's buffer cannot stall).
+        if self.open >= self.cfg.max_conns {
+            self.stats.record_shed(ShedReason::ConnLimit);
+            harp_obs::event("serve.shed_conn")
+                .field("open", self.open)
+                .field("max_conns", self.cfg.max_conns)
+                .emit();
+            let line = shed_response(
+                None,
+                ShedReason::ConnLimit.code(),
+                &format!("connection limit {} reached", self.cfg.max_conns),
+            );
+            let mut stream = stream;
+            let _ = io::Write::write_all(&mut stream, line.as_bytes());
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.conns.push(None);
+                self.generations.push(0);
+                self.conns.len() - 1
+            }
+        };
+        let generation = self.generations[slot];
+        let mut conn = Conn::new(stream, self.cfg.max_line_bytes, generation);
+        conn.paused_until = pause;
+        let interest = if pause.is_some() {
+            Interest::NONE
+        } else {
+            Interest::READ
+        };
+        let token = conn_token(slot, generation);
+        if self
+            .reactor
+            .register(conn.stream.as_raw_fd(), token, interest)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        conn.interest = interest;
+        self.conns[slot] = Some(conn);
+        self.open += 1;
+        self.stats.record_conn_open();
+    }
+
+    /// Handle readiness on a connection token.
+    fn conn_ready(&mut self, ev: Event) {
+        let Some((slot, generation)) = split_token(ev.token) else {
+            return;
+        };
+        let alive = matches!(&self.conns.get(slot), Some(Some(c)) if c.generation == generation);
+        if !alive {
+            return;
+        }
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut close_now = false;
+        {
+            let Some(conn) = &mut self.conns[slot] else {
+                return;
+            };
+            if ev.readable && conn.paused_until.is_none() && !conn.read_paused {
+                match conn.read_ready(&mut frames) {
+                    Ok(ReadOutcome::Open) => {}
+                    Ok(ReadOutcome::Eof) => conn.close_after_flush = true,
+                    Err(_) => close_now = true,
+                }
+            }
+        }
+        if close_now {
+            self.close_conn(slot);
+            return;
+        }
+        for frame in frames {
+            let stop_requested = self.process_frame(slot, ev.token, frame);
+            if stop_requested {
+                self.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+            if self.conns[slot].is_none() {
+                return; // closed mid-processing
+            }
+        }
+        self.flush_conn(slot);
+    }
+
+    /// Turn one frame into response bytes and/or routed work. Returns
+    /// true when the frame was a shutdown request.
+    fn process_frame(&mut self, slot: usize, token: u64, frame: Frame) -> bool {
+        let line = match frame {
+            Frame::Oversized { bytes } => {
+                self.stats.record_protocol_error();
+                harp_obs::event("serve.oversized_line")
+                    .field("bytes", bytes)
+                    .field("max_bytes", self.cfg.max_line_bytes)
+                    .emit();
+                let resp = error_response_kind(
+                    None,
+                    ProtocolErrorKind::Oversized,
+                    &format!("request line exceeds {} bytes", self.cfg.max_line_bytes),
+                );
+                self.push_out(slot, &resp);
+                return false;
+            }
+            Frame::Line(l) => l,
+        };
+        let (id, req) = match parse_request_bounded(&line, &self.limits) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.stats.record_protocol_error();
+                let resp = e.to_response();
+                self.push_out(slot, &resp);
+                return false;
+            }
+        };
+        self.stats.record_request();
+        match req {
+            Request::Infer {
+                demands,
+                deadline_ms,
+                epoch,
+            } => {
+                let enqueued = Instant::now();
+                let budget = Duration::from_millis(deadline_ms.unwrap_or(self.cfg.deadline_ms));
+                let pin = epoch;
+                let job = InferJob {
+                    id,
+                    demands,
+                    epoch_pin: pin,
+                    deadline: enqueued + budget,
+                    enqueued,
+                    reply: ReplySink::Conn {
+                        token,
+                        completions: self.completions_tx.clone(),
+                        waker: self.waker.clone(),
+                    },
+                };
+                match self.fleet.submit_infer(job) {
+                    Ok(_) => {
+                        if let Some(conn) = &mut self.conns[slot] {
+                            conn.inflight += 1;
                         }
-                        Ok(ctl) => {
-                            depth.fetch_sub(1, Ordering::Relaxed);
-                            barrier = Some(ctl);
-                            break;
-                        }
-                        Err(_) => break,
+                    }
+                    Err(RouteDecision::StaleEpoch { current }) => {
+                        self.stats.record_stale_epoch();
+                        let p = pin.unwrap_or(current);
+                        let resp = error_response(
+                            Some(id),
+                            &format!("stale epoch: request pinned to {p}, current is {current}"),
+                        );
+                        self.push_out(slot, &resp);
+                    }
+                    Err(RouteDecision::Overloaded) => {
+                        self.stats.record_shed(ShedReason::Overload);
+                        let resp = shed_response(
+                            Some(id),
+                            ShedReason::Overload.code(),
+                            "overloaded: request shed, retry with backoff",
+                        );
+                        self.push_out(slot, &resp);
+                    }
+                    Err(_) => {
+                        let resp = error_response(Some(id), "no live shards");
+                        self.push_out(slot, &resp);
                     }
                 }
-                stats.record_batch(batch.len(), depth.load(Ordering::Relaxed));
-                if epoch_cache.is_none() {
-                    // Zero-TM instance: precompute only reads the
-                    // topology/tunnel tensors.
-                    let blank = TrafficMatrix::zeros(state.topology().num_nodes());
-                    let inst = Instance::compile(state.topology(), state.tunnels(), &blank);
-                    epoch_cache = model.precompute_epoch(&store, &inst);
-                }
-                process_batch(
-                    batch,
-                    &mut state,
-                    model.as_ref(),
-                    &store,
-                    epoch_cache.as_ref(),
-                    &rt,
-                    &stats,
-                );
-                if let Some(Job::Control { id, req, reply }) = barrier {
-                    let resp = handle_control(
-                        id,
-                        req,
-                        &mut state,
-                        &mut store,
-                        &mut epoch_cache,
-                        &stop,
-                        &stats,
+            }
+            Request::Stats => {
+                let mut payload = self.stats.snapshot();
+                if let Value::Object(map) = &mut payload {
+                    map.insert(
+                        "epoch".into(),
+                        Value::from(self.fleet.current_epoch() as f64),
                     );
-                    let _ = reply.send(resp);
+                    let (failed_links, num_tunnels) = self.fleet.topology_summary();
+                    map.insert("failed_links".into(), Value::from(failed_links as f64));
+                    map.insert("num_tunnels".into(), Value::from(num_tunnels as f64));
+                    map.insert("shards".into(), self.fleet.shards_payload());
+                }
+                let resp = ok_response(id, payload);
+                self.push_out(slot, &resp);
+            }
+            Request::Shutdown => {
+                harp_obs::event("serve.shutdown").field("id", id).emit();
+                let resp = ok_response(id, serde_json::json!({ "stopping": true }));
+                self.push_out(slot, &resp);
+                return true;
+            }
+            control @ (Request::TopologyUpdate { .. } | Request::ReloadCheckpoint { .. }) => {
+                let sink = ReplySink::Conn {
+                    token,
+                    completions: self.completions_tx.clone(),
+                    waker: self.waker.clone(),
+                };
+                self.fleet.broadcast_control(id, control, sink);
+                if let Some(conn) = &mut self.conns[slot] {
+                    conn.inflight += 1;
                 }
             }
         }
+        false
     }
-}
 
-/// Run one batch of infer jobs through the model on the worker pool and
-/// answer each, degrading individually on deadline miss or model error.
-fn process_batch(
-    batch: Vec<InferJob>,
-    state: &mut NetworkState,
-    model: &dyn SplitModel,
-    store: &Arc<ParamStore>,
-    epoch_cache: Option<&EpochCache>,
-    rt: &Runtime,
-    stats: &ServeStats,
-) {
-    let _span = harp_obs::span("serve.batch");
-    let n = state.topology().num_nodes();
-    let epoch = state.epoch();
+    /// Append bytes to a connection's out-buffer.
+    fn push_out(&mut self, slot: usize, line: &str) {
+        if let Some(conn) = &mut self.conns[slot] {
+            conn.out.push(line.as_bytes());
+        }
+    }
 
-    // Weed out jobs that can't run: stale epoch pins and bad node ids get
-    // error responses; already-expired deadlines degrade immediately.
-    let mut runnable: Vec<InferJob> = Vec::with_capacity(batch.len());
-    for job in batch {
-        if let Some(pin) = job.epoch_pin {
-            if pin != epoch {
-                stats.record_stale_epoch();
-                let _ = job.reply.send(error_response(
-                    Some(job.id),
-                    &format!("stale epoch: request pinned to {pin}, current is {epoch}"),
-                ));
+    /// Move completed responses from the fleet into their connections'
+    /// out-buffers (dropping lines whose connection is gone), then flush.
+    fn drain_completions(&mut self) {
+        let mut touched: Vec<usize> = Vec::new();
+        while let Ok((token, line)) = self.completions_rx.try_recv() {
+            let Some((slot, generation)) = split_token(token) else {
                 continue;
+            };
+            match self.conns.get_mut(slot) {
+                Some(Some(conn)) if conn.generation == generation => {
+                    conn.inflight = conn.inflight.saturating_sub(1);
+                    conn.out.push(line.as_bytes());
+                    if !touched.contains(&slot) {
+                        touched.push(slot);
+                    }
+                }
+                _ => {} // connection closed while the job was in flight
             }
         }
-        if let Some(&(s, t, _)) = job.demands.iter().find(|&&(s, t, _)| s >= n || t >= n) {
-            let _ = job.reply.send(error_response(
-                Some(job.id),
-                &format!("demand ({s}, {t}) references a node >= {n}"),
-            ));
-            continue;
+        for slot in touched {
+            self.flush_conn(slot);
         }
-        if Instant::now() >= job.deadline {
-            degrade(&job, state, stats, DegradeReason::DeadlineMiss);
-            continue;
-        }
-        runnable.push(job);
-    }
-    if runnable.is_empty() {
-        return;
     }
 
-    // Fan the batch across the worker pool. Each job compiles its own
-    // instance (the TM differs per request; topology and tunnels are the
-    // epoch's). Tunnels crossing failed links are already pruned, so no
-    // local rescaling is needed on top.
-    let matrices: Vec<TrafficMatrix> = runnable
-        .iter()
-        .map(|job| {
-            let mut tm = TrafficMatrix::zeros(n);
-            for &(s, t, d) in &job.demands {
-                tm.set_demand(s, t, tm.demand(s, t) + d);
+    /// Flush a connection's out-buffer, update backpressure gating and
+    /// epoll interest, and close if the connection is finished.
+    fn flush_conn(&mut self, slot: usize) {
+        let mut close = false;
+        {
+            let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                return;
+            };
+            match conn.out.flush(&mut conn.stream) {
+                Ok(true) => {
+                    if conn.close_after_flush && conn.inflight == 0 {
+                        close = true;
+                    }
+                }
+                Ok(false) => {}
+                Err(_) => close = true,
             }
-            tm
-        })
-        .collect();
-    let topo = state.topology().clone();
-    let tunnels = state.tunnels().clone();
-    let store_ref = Arc::clone(store);
-    let deadlines: Vec<Instant> = runnable.iter().map(|j| j.deadline).collect();
-    let results = rt.par_map(&matrices, |i, tm| {
-        if Instant::now() >= deadlines[i] {
-            return None; // expired while queued behind batch-mates
+            if !close {
+                // read-gating backpressure against slow readers
+                let pending = conn.out.pending();
+                if pending > HIGH_WATER {
+                    conn.read_paused = true;
+                } else if conn.read_paused && pending <= LOW_WATER {
+                    conn.read_paused = false;
+                }
+                let desired = Interest {
+                    readable: conn.paused_until.is_none()
+                        && !conn.read_paused
+                        && !conn.close_after_flush,
+                    writable: !conn.out.is_empty(),
+                };
+                if desired != conn.interest {
+                    let token = conn_token(slot, conn.generation);
+                    if self
+                        .reactor
+                        .reregister(conn.stream.as_raw_fd(), token, desired)
+                        .is_ok()
+                    {
+                        conn.interest = desired;
+                    }
+                }
+            }
         }
-        let _span = harp_obs::span("serve.infer");
-        let instance = Instance::compile(&topo, &tunnels, tm);
-        // Each inference reuses a pooled tape arena (see `harp_tensor::Tape`),
-        // so the per-request hot loop is allocation-free after warm-up.
-        Some(match epoch_cache {
-            Some(c) => run_inference_cached(
-                model,
-                store_ref.as_ref(),
-                &instance,
-                EvalOptions::default(),
-                c,
-            ),
-            None => run_inference(model, store_ref.as_ref(), &instance, EvalOptions::default()),
-        })
-    });
+        if close {
+            self.close_conn(slot);
+        }
+    }
 
-    let mut newest_good: Option<Vec<f64>> = None;
-    for (job, result) in runnable.into_iter().zip(results) {
-        match result {
-            None => degrade(&job, state, stats, DegradeReason::DeadlineMiss),
-            Some(inf) if !inf.is_finite() => {
-                harp_obs::event("serve.model_error")
-                    .field("id", job.id)
+    /// Un-pause connections whose chaos delay has elapsed.
+    fn expire_pauses(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, c)| match c {
+                Some(conn) => (conn.paused_until.is_some_and(|t| t <= now)).then_some(slot),
+                None => None,
+            })
+            .collect();
+        for slot in expired {
+            if let Some(Some(conn)) = self.conns.get_mut(slot) {
+                conn.paused_until = None;
+                conn.last_progress = Instant::now();
+            }
+            // flush_conn recomputes interest (read re-enabled) and the
+            // level-triggered reactor re-reports any bytes that arrived
+            // during the pause.
+            self.flush_conn(slot);
+        }
+    }
+
+    /// Close connections idle past the budget (no bytes, nothing queued).
+    fn reap_idle(&mut self) {
+        let Some(budget) = self.idle_budget else {
+            return;
+        };
+        let stale: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, c)| match c {
+                Some(conn)
+                    if conn.inflight == 0
+                        && conn.paused_until.is_none()
+                        && conn.out.is_empty()
+                        && conn.last_progress.elapsed() >= budget =>
+                {
+                    Some(slot)
+                }
+                _ => None,
+            })
+            .collect();
+        for slot in stale {
+            if let Some(Some(conn)) = self.conns.get(slot) {
+                harp_obs::event("serve.conn_idle_timeout")
+                    .field("idle_ms", conn.last_progress.elapsed().as_millis() as u64)
                     .emit();
-                degrade(&job, state, stats, DegradeReason::ModelError);
             }
-            Some(inf) if Instant::now() >= job.deadline => {
-                // finished too late to ship; still remember the splits
-                newest_good = Some(inf.splits);
-                degrade(&job, state, stats, DegradeReason::DeadlineMiss);
-            }
-            Some(inf) => {
-                let latency_us = job.enqueued.elapsed().as_micros() as u64;
-                stats.record_infer_ok(latency_us);
-                let _ = job.reply.send(ok_response(
-                    job.id,
-                    serde_json::json!({
-                        "epoch": epoch,
-                        "degraded": false,
-                        "mlu": inf.mlu,
-                        "splits": Value::from(inf.splits.clone()),
-                        "latency_us": latency_us,
-                    }),
-                ));
-                newest_good = Some(inf.splits);
-            }
+            self.close_conn(slot);
         }
     }
-    if let Some(splits) = newest_good {
-        state.set_last_good(splits);
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
+            let _ = self.reactor.deregister(conn.stream.as_raw_fd());
+            self.generations[slot] = self.generations[slot].wrapping_add(1);
+            self.free.push(slot);
+            self.open -= 1;
+            self.stats.record_conn_close();
+        }
+    }
+
+    /// Best-effort drain on shutdown: give in-flight responses a short
+    /// window to land and flush, then close everything and join the
+    /// shards.
+    fn graceful_exit(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            self.drain_completions();
+            let pending = self
+                .conns
+                .iter()
+                .flatten()
+                .any(|c| !c.out.is_empty() || c.inflight > 0);
+            if !pending || Instant::now() >= deadline {
+                break;
+            }
+            let _ = self
+                .reactor
+                .wait(&mut events, Some(Duration::from_millis(10)));
+        }
+        for slot in 0..self.conns.len() {
+            self.close_conn(slot);
+        }
+        self.fleet.join();
+        harp_obs::event("serve.stopped").emit();
     }
 }
 
-/// Answer one job from fallback splits and count it as degraded.
-fn degrade(job: &InferJob, state: &NetworkState, stats: &ServeStats, reason: DegradeReason) {
-    let (splits, source) = state.fallback_splits();
-    let latency_us = job.enqueued.elapsed().as_micros() as u64;
-    stats.record_degraded(reason, latency_us);
-    let reason_str = match reason {
-        DegradeReason::DeadlineMiss => "deadline_miss",
-        DegradeReason::ModelError => "model_error",
-    };
-    let _ = job.reply.send(ok_response(
-        job.id,
-        serde_json::json!({
-            "epoch": state.epoch(),
-            "degraded": true,
-            "reason": reason_str,
-            "splits_source": source,
-            "splits": Value::from(splits),
-            "latency_us": latency_us,
-        }),
-    ));
+/// Build a connection token: generation in the high 32 bits, slot low.
+fn conn_token(slot: usize, generation: u32) -> u64 {
+    (u64::from(generation) << 32) | (slot as u64 & 0xFFFF_FFFF)
 }
 
-/// Apply one control request on the batcher thread.
-fn handle_control(
-    id: u64,
-    req: Request,
-    state: &mut NetworkState,
-    store: &mut Arc<ParamStore>,
-    epoch_cache: &mut Option<EpochCache>,
-    stop: &AtomicBool,
-    stats: &ServeStats,
-) -> String {
-    match req {
-        Request::TopologyUpdate {
-            fail_links,
-            restore_links,
-        } => {
-            let _span = harp_obs::span("serve.topology_update");
-            match state.apply_update(&fail_links, &restore_links) {
-                Ok(s) => {
-                    *epoch_cache = None; // tunnels changed: embeddings are stale
-                    stats.record_topology_update();
-                    harp_obs::event("serve.topology_update")
-                        .field("epoch", s.epoch)
-                        .field("failed_links", s.failed_links)
-                        .emit();
-                    ok_response(
-                        id,
-                        serde_json::json!({
-                            "epoch": s.epoch,
-                            "num_flows": s.num_flows,
-                            "num_tunnels": s.num_tunnels,
-                            "failed_links": s.failed_links,
-                        }),
-                    )
-                }
-                Err(e) => error_response(Some(id), &e),
-            }
+/// Split a token back into `(slot, generation)`; `None` for reserved
+/// tokens.
+fn split_token(token: u64) -> Option<(usize, u32)> {
+    if token == LISTENER_TOKEN {
+        return None;
+    }
+    let slot = usize::try_from(token & 0xFFFF_FFFF).ok()?;
+    let generation = u32::try_from(token >> 32).ok()?;
+    Some((slot, generation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_roundtrip_slot_and_generation() {
+        for (slot, generation) in [(0usize, 0u32), (7, 3), (0xFFFF_FFFE, u32::MAX - 1)] {
+            let token = conn_token(slot, generation);
+            assert_eq!(split_token(token), Some((slot, generation)));
         }
-        Request::ReloadCheckpoint { path } => {
-            let _span = harp_obs::span("serve.reload_checkpoint");
-            // Validate into a clone; the live store is swapped only after
-            // the whole checkpoint passes the strict loader.
-            let mut candidate = (**store).clone();
-            match load_params(&mut candidate, Path::new(&path)) {
-                Ok(()) => {
-                    let params = candidate.ids().count();
-                    *store = Arc::new(candidate);
-                    *epoch_cache = None; // parameters changed: embeddings are stale
-                    stats.record_reload(true);
-                    harp_obs::event("serve.reload")
-                        .field("path", path)
-                        .field("params", params)
-                        .emit();
-                    ok_response(
-                        id,
-                        serde_json::json!({ "epoch": state.epoch(), "params": params }),
-                    )
-                }
-                Err(e) => {
-                    stats.record_reload(false);
-                    error_response(Some(id), &format!("reload rejected: {e}"))
-                }
-            }
-        }
-        Request::Stats => {
-            let mut payload = stats.snapshot();
-            if let Value::Object(map) = &mut payload {
-                map.insert("epoch".into(), Value::from(state.epoch() as f64));
-                map.insert(
-                    "failed_links".into(),
-                    Value::from(state.failed_edges().len() as f64),
-                );
-                map.insert(
-                    "num_tunnels".into(),
-                    Value::from(state.tunnels().num_tunnels() as f64),
-                );
-            }
-            ok_response(id, payload)
-        }
-        Request::Shutdown => {
-            stop.store(true, Ordering::SeqCst);
-            harp_obs::event("serve.shutdown").field("id", id).emit();
-            ok_response(id, serde_json::json!({ "stopping": true }))
-        }
-        Request::Infer { .. } => error_response(Some(id), "infer routed as control"),
+        assert_eq!(split_token(LISTENER_TOKEN), None);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.shards, 1);
+        assert!(cfg.max_conns >= 64);
+        assert!(cfg.queue_limit >= 1);
     }
 }

@@ -1,0 +1,229 @@
+//! Fleet-level shard routing invariants, driven through the public
+//! [`harp_serve::Fleet`] API with channel reply sinks (no sockets):
+//!
+//! * epoch-pin matching — after a broadcast topology update every live
+//!   shard advances in lockstep, pins to the new epoch route, pins to
+//!   the old one are refused as stale;
+//! * deterministic shedding — at the admission limit every submission is
+//!   shed, every time, not probabilistically;
+//! * failover — a shard dying mid-batch is marked dead, its queued work
+//!   is answered with retryable errors, and the router never selects it
+//!   again while the survivors keep serving.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use harp_core::{Harp, HarpConfig, SplitModel};
+use harp_paths::TunnelSet;
+use harp_serve::{parse_request, Fleet, InferJob, ReplySink, Request, RouteDecision, ServeStats};
+use harp_tensor::ParamStore;
+use harp_topology::Topology;
+use rand::{rngs::StdRng, SeedableRng};
+use serde_json::Value;
+
+fn square() -> (Topology, TunnelSet) {
+    let mut topo = Topology::new(4);
+    topo.add_link(0, 1, 10.0).unwrap();
+    topo.add_link(1, 2, 10.0).unwrap();
+    topo.add_link(2, 3, 10.0).unwrap();
+    topo.add_link(3, 0, 10.0).unwrap();
+    topo.add_link(0, 2, 5.0).unwrap();
+    let tunnels = TunnelSet::k_shortest(&topo, &[0, 1, 2, 3], 3, 0.0);
+    (topo, tunnels)
+}
+
+fn spawn_fleet(num_shards: usize, queue_limit: usize) -> (Fleet, Arc<AtomicBool>) {
+    let (topo, tunnels) = square();
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let harp = Harp::new(
+        &mut store,
+        &mut rng,
+        HarpConfig {
+            gnn_layers: 1,
+            gnn_hidden: 4,
+            d_model: 8,
+            settrans_layers: 1,
+            heads: 1,
+            d_ff: 8,
+            mlp_hidden: 8,
+            rau_iters: 1,
+        },
+    );
+    let model: Arc<dyn SplitModel + Send + Sync> = Arc::new(harp);
+    let stop = Arc::new(AtomicBool::new(false));
+    let fleet = Fleet::spawn(
+        num_shards,
+        8,
+        queue_limit,
+        model,
+        store,
+        topo,
+        tunnels,
+        Arc::clone(&stop),
+        Arc::new(ServeStats::new()),
+    );
+    (fleet, stop)
+}
+
+fn infer_job(id: u64, pin: Option<u64>, reply: ReplySink) -> InferJob {
+    let now = Instant::now();
+    InferJob {
+        id,
+        demands: vec![(0, 2, 1.0)],
+        epoch_pin: pin,
+        deadline: now + Duration::from_secs(5),
+        enqueued: now,
+        reply,
+    }
+}
+
+fn recv_json(rx: &mpsc::Receiver<String>) -> Value {
+    let line = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("reply within 10s");
+    serde_json::from_str(&line).expect("reply is valid JSON")
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting: {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn topology_update(fail: &[(usize, usize)]) -> Request {
+    let links: Vec<Value> = fail
+        .iter()
+        .map(|&(a, b)| Value::from(vec![a as f64, b as f64]))
+        .collect();
+    let line = serde_json::to_string(&serde_json::json!({
+        "id": 1, "type": "topology_update", "fail_links": links
+    }))
+    .unwrap();
+    let (_, req) = parse_request(&line).expect("valid update");
+    req
+}
+
+#[test]
+fn epoch_pins_route_only_after_every_shard_advances() {
+    let (mut fleet, stop) = spawn_fleet(3, 64);
+
+    // epoch 0: a pin to 0 routes, a pin to 1 is stale
+    let (tx, rx) = mpsc::channel();
+    fleet
+        .submit_infer(infer_job(10, Some(0), ReplySink::Channel(tx)))
+        .expect("pin 0 routes at epoch 0");
+    let v = recv_json(&rx);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    let (tx, _rx2) = mpsc::channel();
+    assert_eq!(
+        fleet.submit_infer(infer_job(11, Some(1), ReplySink::Channel(tx))),
+        Err(RouteDecision::StaleEpoch { current: 0 })
+    );
+
+    // broadcast update: all three shards advance to epoch 1 in lockstep
+    let (tx, rx) = mpsc::channel();
+    fleet.broadcast_control(12, topology_update(&[(0, 1)]), ReplySink::Channel(tx));
+    let v = recv_json(&rx);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("epoch").and_then(Value::as_u64), Some(1));
+    wait_until("all shards at epoch 1", || {
+        fleet.views().iter().all(|s| s.alive && s.epoch == 1)
+    });
+    assert_eq!(fleet.current_epoch(), 1);
+
+    // now the pins invert: 1 routes everywhere, 0 is stale
+    for _ in 0..8 {
+        let (tx, rx) = mpsc::channel();
+        fleet
+            .submit_infer(infer_job(13, Some(1), ReplySink::Channel(tx)))
+            .expect("pin 1 routes at epoch 1");
+        let v = recv_json(&rx);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("epoch").and_then(Value::as_u64), Some(1));
+    }
+    let (tx, _rx2) = mpsc::channel();
+    assert_eq!(
+        fleet.submit_infer(infer_job(14, Some(0), ReplySink::Channel(tx))),
+        Err(RouteDecision::StaleEpoch { current: 1 })
+    );
+
+    stop.store(true, Ordering::SeqCst);
+    fleet.join();
+}
+
+#[test]
+fn shedding_at_the_admission_limit_is_deterministic() {
+    // queue_limit 0: the admission check trips before any enqueue, so
+    // every single submission must shed — no flapping, no probability.
+    let (mut fleet, stop) = spawn_fleet(2, 0);
+    for i in 0..32u64 {
+        let (tx, _rx) = mpsc::channel();
+        assert_eq!(
+            fleet.submit_infer(infer_job(i, None, ReplySink::Channel(tx))),
+            Err(RouteDecision::Overloaded),
+            "submission {i} was not shed"
+        );
+    }
+    stop.store(true, Ordering::SeqCst);
+    fleet.join();
+}
+
+#[test]
+fn router_fails_over_when_a_shard_dies_mid_batch() {
+    let (mut fleet, stop) = spawn_fleet(2, 64);
+
+    // park some work on shard 0's queue, then kill it mid-batch: the
+    // crash hook panics the batcher while these jobs are queued behind it
+    let mut queued = Vec::new();
+    for i in 0..4u64 {
+        let (tx, rx) = mpsc::channel();
+        let idx = fleet
+            .submit_infer(infer_job(i, None, ReplySink::Channel(tx)))
+            .expect("routes while both shards live");
+        queued.push((idx, rx));
+    }
+    fleet.crash_shard(0);
+    wait_until("shard 0 marked dead", || {
+        !fleet.views()[0].alive && fleet.views()[1].alive
+    });
+
+    // every queued job still gets an answer: served if it beat the
+    // crash (or landed on shard 1), else a retryable error
+    for (idx, rx) in queued {
+        let v = recv_json(&rx);
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                assert_eq!(idx, 0, "only the crashed shard may error");
+                let err = v.get("error").and_then(Value::as_str).unwrap();
+                assert!(err.contains("retry"), "error not retryable: {err}");
+            }
+            None => panic!("reply without ok field: {v}"),
+        }
+    }
+
+    // the survivor keeps serving and the router never selects the corpse
+    for i in 100..120u64 {
+        let (tx, rx) = mpsc::channel();
+        let idx = fleet
+            .submit_infer(infer_job(i, None, ReplySink::Channel(tx)))
+            .expect("survivor routes");
+        assert_eq!(idx, 1, "dead shard selected");
+        let v = recv_json(&rx);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    // control broadcasts skip the corpse instead of wedging
+    let (tx, rx) = mpsc::channel();
+    fleet.broadcast_control(200, topology_update(&[(1, 2)]), ReplySink::Channel(tx));
+    let v = recv_json(&rx);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(fleet.current_epoch(), 1);
+
+    stop.store(true, Ordering::SeqCst);
+    fleet.join();
+}
