@@ -1,0 +1,269 @@
+//! End-to-end lifecycle drill: replays a seeded AnonNet drift sequence
+//! (failure storms, maintenance windows, flash crowds) into a live
+//! in-process `harp-serve` fleet while the online trainer fine-tunes on
+//! each drifted window and hot-ships parameter generations over
+//! `reload_checkpoint`. Scores the run as an SLA: NormMLU over time
+//! against a per-snapshot LP oracle, time-to-recover per storm, and
+//! served-model staleness.
+//!
+//! `--chaos` arms all three fault surfaces at once — connection drops at
+//! the fleet's accept loop, a worker kill inside a fine-tune, and a
+//! corrupt checkpoint on the first ship (the fleet must reject it and the
+//! engine re-ships clean) — and the run must still be bitwise
+//! reproducible from its seed: `--check` runs the scenario twice and
+//! diffs the deterministic report projections.
+//!
+//! Results go to `BENCH_lifecycle.json`; `--assert-*` flags turn SLA
+//! measurements into CI gates (non-zero exit on violation).
+//!
+//! Usage: `cargo run --release -p harp-bench --bin bench_lifecycle -- \
+//!   [out.json] [--seed N] [--scenario quick|flagship] [--shards N] \
+//!   [--chaos] [--check] [--assert-zero-protocol-errors] \
+//!   [--assert-recover-ticks N] [--assert-max-staleness N] \
+//!   [--assert-mean-norm-mlu X]`
+
+use std::sync::Arc;
+
+use harp_chaos::FaultPlan;
+use harp_lifecycle::{run_lifecycle, LifecycleConfig, LifecycleReport, Scenario};
+use serde_json::Value;
+
+struct Gates {
+    zero_protocol_errors: bool,
+    max_recover_ticks: Option<usize>,
+    max_staleness: Option<u64>,
+    max_mean_norm_mlu: Option<f64>,
+}
+
+fn plan(spec: &str) -> Arc<FaultPlan> {
+    Arc::new(FaultPlan::parse(spec).expect("valid fault plan"))
+}
+
+fn report_json(r: &LifecycleReport, chaos: bool, shards: usize) -> Value {
+    let mut doc = r.to_json();
+    if let Value::Object(map) = &mut doc {
+        map.insert(
+            "suite".into(),
+            Value::from(format!(
+                "harp-lifecycle drill: scenario {} seed {}, {} shard(s), chaos {}",
+                r.scenario,
+                r.seed,
+                shards,
+                if chaos { "on" } else { "off" }
+            )),
+        );
+        map.insert(
+            "host_cpus".into(),
+            Value::from(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+        );
+        map.insert("chaos".into(), Value::from(chaos));
+        map.insert("shards".into(), Value::from(shards as f64));
+    }
+    doc
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let mut out_path = "BENCH_lifecycle.json".to_string();
+    let mut seed = 7u64;
+    let mut scenario_name = "flagship".to_string();
+    let mut shards: Option<usize> = None;
+    let mut chaos = false;
+    let mut check = false;
+    let mut gates = Gates {
+        zero_protocol_errors: false,
+        max_recover_ticks: None,
+        max_staleness: None,
+        max_mean_norm_mlu: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> f64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} requires a number"))
+        };
+        match a.as_str() {
+            "--seed" => seed = num("--seed") as u64,
+            "--scenario" => {
+                scenario_name = args.next().expect("--scenario requires quick|flagship");
+            }
+            "--shards" => shards = Some((num("--shards") as usize).max(1)),
+            "--chaos" => chaos = true,
+            "--check" => check = true,
+            "--assert-zero-protocol-errors" => gates.zero_protocol_errors = true,
+            "--assert-recover-ticks" => {
+                gates.max_recover_ticks = Some(num("--assert-recover-ticks") as usize);
+            }
+            "--assert-max-staleness" => {
+                gates.max_staleness = Some(num("--assert-max-staleness") as u64);
+            }
+            "--assert-mean-norm-mlu" => {
+                gates.max_mean_norm_mlu = Some(num("--assert-mean-norm-mlu"));
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+
+    // fault-plan latches are one-shot per plan instance, so every run
+    // (including the --check rerun) gets freshly parsed plans
+    let build_cfg = |tag: &str| {
+        let scenario = match scenario_name.as_str() {
+            "quick" => Scenario::quick(seed),
+            "flagship" => Scenario::flagship(seed),
+            other => panic!("unknown scenario {other:?} (quick|flagship)"),
+        };
+        let mut cfg = LifecycleConfig::new(scenario).apply_env();
+        if let Some(n) = shards {
+            cfg.shards = n;
+        }
+        if !tag.is_empty() {
+            cfg.work_dir = cfg.work_dir.join(tag);
+        }
+        if chaos {
+            // all three fault surfaces at once: the fleet loses
+            // connections, one fine-tune loses a worker mid-epoch, and the
+            // first shipped checkpoint arrives corrupt (rejected,
+            // re-shipped clean)
+            cfg.chaos_serve = Some(plan("drop-conn@nth=6"));
+            cfg.chaos_train = Some(plan("kill-worker@epoch=1,worker=0"));
+            cfg.chaos_ship = Some(plan("corrupt-checkpoint@write=1,mode=flip"));
+        }
+        cfg
+    };
+    let cfg = build_cfg("");
+
+    println!(
+        "lifecycle drill: scenario {} seed {seed}, {} shard(s), chaos {}",
+        cfg.scenario.name,
+        cfg.shards,
+        if chaos { "on" } else { "off" }
+    );
+    let report = match run_lifecycle(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: lifecycle run failed: {e}");
+            // lint: allow(exit) — bench tooling: a failed drill is fatal
+            std::process::exit(1);
+        }
+    };
+
+    if check {
+        println!("[--check: re-running for bitwise reproducibility]");
+        let cfg2 = build_cfg("check");
+        let second = match run_lifecycle(&cfg2) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: --check rerun failed: {e}");
+                // lint: allow(exit) — bench tooling
+                std::process::exit(1);
+            }
+        };
+        if report.deterministic_json().to_string() != second.deterministic_json().to_string() {
+            eprintln!("error: --check failed: two runs with seed {seed} diverged");
+            // lint: allow(exit) — determinism gate
+            std::process::exit(1);
+        }
+        println!("[--check ok: deterministic projections identical]");
+    }
+
+    println!(
+        "  {} ticks over {} maintenance window(s): NormMLU mean {:.4}  p95 {:.4}  worst {:.4}",
+        report.ticks.len(),
+        report.maintenance_windows + 1,
+        report.mean_norm_mlu,
+        report.p95_norm_mlu,
+        report.worst_norm_mlu
+    );
+    for s in &report.storms {
+        println!(
+            "  storm {} at t={} ({} links): ttr {}",
+            s.id,
+            s.at_tick,
+            s.links.len(),
+            s.ttr
+                .map_or("never".to_string(), |t| format!("{t} tick(s)")),
+        );
+    }
+    for r in &report.retrains {
+        println!(
+            "  retrain gen {} triggered t={}: {}{}",
+            r.generation,
+            r.trigger_tick,
+            match (r.ok, r.shipped_tick) {
+                (true, Some(t)) => format!("shipped t={t}"),
+                (true, None) => "trained, never shipped".to_string(),
+                (false, _) => format!("failed ({})", r.detail),
+            },
+            if r.corrupted_ship {
+                " [ship corrupted -> re-shipped]"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "  staleness max {} gen(s) over {} tick(s); conn drops {}, reload rejects {}, \
+         degraded {}, protocol errors {}",
+        report.max_staleness,
+        report.stale_ticks,
+        report.conn_drops,
+        report.reload_rejects,
+        report.degraded_ticks,
+        report.protocol_errors
+    );
+
+    let doc = report_json(&report, chaos, cfg.shards);
+    let text = serde_json::to_string_pretty(&doc).expect("serialize lifecycle report");
+    if let Err(e) = std::fs::write(&out_path, text) {
+        eprintln!("error: write {out_path}: {e}");
+        // lint: allow(exit) — bench tooling: unwritable results path is fatal
+        std::process::exit(1);
+    }
+    println!("[results -> {out_path}]");
+
+    // --- gates: turn SLA measurements into exit status for CI ---
+    let mut failures = Vec::new();
+    if gates.zero_protocol_errors && report.protocol_errors > 0 {
+        failures.push(format!(
+            "{} protocol errors (chaos must cause none)",
+            report.protocol_errors
+        ));
+    }
+    if let Some(max) = gates.max_recover_ticks {
+        for s in &report.storms {
+            match s.ttr {
+                Some(t) if t <= max => {}
+                Some(t) => failures.push(format!(
+                    "storm {} recovered in {t} tick(s) > allowed {max}",
+                    s.id
+                )),
+                None => failures.push(format!("storm {} never recovered", s.id)),
+            }
+        }
+    }
+    if let Some(max) = gates.max_staleness {
+        if report.max_staleness > max {
+            failures.push(format!(
+                "max staleness {} generation(s) > allowed {max}",
+                report.max_staleness
+            ));
+        }
+    }
+    if let Some(max) = gates.max_mean_norm_mlu {
+        // NaN mean (no samples) must fail the gate too
+        if report.mean_norm_mlu.is_nan() || report.mean_norm_mlu > max {
+            failures.push(format!(
+                "mean NormMLU {:.4} > allowed {max:.4}",
+                report.mean_norm_mlu
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("GATE FAILED: {f}");
+        }
+        // lint: allow(exit) — CI gate
+        std::process::exit(1);
+    }
+}

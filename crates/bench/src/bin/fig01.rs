@@ -1,26 +1,31 @@
 //! Figure 1: variation in node and link counts over the AnonNet dataset
 //! (total vs active vs edge nodes; total vs active links), normalized by
-//! the maximum across snapshots.
+//! the maximum across snapshots. Consumes the pull-based
+//! [`harp_datasets::SnapshotStream`] directly — the same code path the
+//! lifecycle engine replays — rather than materializing the dataset.
 
 use harp_bench::{cli::Ctx, data, report};
+use harp_datasets::SnapshotStream;
 
 fn main() {
     let ctx = Ctx::from_args();
     report::section("Figure 1: AnonNet topology variation over time");
-    let ds = data::anonnet(&ctx);
 
     let mut series = Vec::new();
-    for c in &ds.clusters {
-        for s in &c.snapshots {
-            series.push((
-                s.time,
-                s.meta.total_nodes,
-                s.meta.active_nodes,
-                s.meta.edge_node_count,
-                s.meta.total_links,
-                s.meta.active_links,
-            ));
+    let mut num_clusters = 0usize;
+    for item in SnapshotStream::new(&data::anonnet_cfg(&ctx)) {
+        if item.delta.new_cluster {
+            num_clusters += 1;
         }
+        let s = &item.snapshot;
+        series.push((
+            s.time,
+            s.meta.total_nodes,
+            s.meta.active_nodes,
+            s.meta.edge_node_count,
+            s.meta.total_links,
+            s.meta.active_links,
+        ));
     }
     let max_nodes = series.iter().map(|r| r.1).max().unwrap() as f64;
     let max_links = series.iter().map(|r| r.4).max().unwrap() as f64;
@@ -28,7 +33,7 @@ fn main() {
     println!(
         "snapshots: {}   clusters: {}   max total nodes: {}   max total links: {}",
         series.len(),
-        ds.clusters.len(),
+        num_clusters,
         max_nodes,
         max_links
     );

@@ -23,7 +23,14 @@ use crate::cli::Ctx;
 /// Build the AnonNet dataset for this run (deterministic; quick mode keeps
 /// the default scale, full mode lengthens clusters).
 pub fn anonnet(ctx: &Ctx) -> AnonNetDataset {
-    let cfg = if ctx.quick {
+    AnonNetDataset::generate(&anonnet_cfg(ctx))
+}
+
+/// The AnonNet generator configuration the harnesses share (streaming
+/// consumers build a `SnapshotStream` from it; batch consumers go through
+/// [`anonnet`]).
+pub fn anonnet_cfg(ctx: &Ctx) -> AnonNetConfig {
+    if ctx.quick {
         AnonNetConfig::default()
     } else {
         AnonNetConfig {
@@ -31,8 +38,7 @@ pub fn anonnet(ctx: &Ctx) -> AnonNetDataset {
             large_cluster_size: 120,
             ..AnonNetConfig::default()
         }
-    };
-    AnonNetDataset::generate(&cfg)
+    }
 }
 
 /// Compile every snapshot of one AnonNet cluster into instances (aligned

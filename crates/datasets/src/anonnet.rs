@@ -14,6 +14,9 @@
 //! per-snapshot capacities and traffic matrices). Figures 1, 3 and 15 are
 //! *measured from the generated stream*, not hard-coded.
 
+use std::collections::VecDeque;
+use std::sync::Arc;
+
 use harp_paths::TunnelSet;
 use harp_topology::Topology;
 use harp_traffic::TrafficMatrix;
@@ -216,9 +219,237 @@ impl LinkState {
     }
 }
 
+/// What changed between consecutive [`SnapshotStream`] items.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotDelta {
+    /// True when this item opens a new cluster (topology, tunnels, or
+    /// edge-node set changed). `failed_links` then lists every link
+    /// already down at cluster entry (the previous-state baseline is
+    /// "all nominal").
+    pub new_cluster: bool,
+    /// Undirected links `(u, v)` that dropped to the zero-capacity floor
+    /// since the previous item.
+    pub failed_links: Vec<(usize, usize)>,
+    /// Undirected links `(u, v)` that came back above the floor since the
+    /// previous item.
+    pub restored_links: Vec<(usize, usize)>,
+}
+
+/// The per-cluster invariants of a stream item, shared (via `Arc`) by
+/// every snapshot of the cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterHeader {
+    /// Cluster index (0-based, chronological).
+    pub id: usize,
+    /// Topology over the full node universe; only this cluster's active
+    /// links are present (capacities are the links' nominal values).
+    pub topo: Topology,
+    /// Edge nodes (traffic sources/sinks) for this cluster.
+    pub edge_nodes: Vec<usize>,
+    /// The tunnel set (recomputed per cluster, as the paper prescribes).
+    pub tunnels: TunnelSet,
+}
+
+/// One streamed snapshot: its cluster, the snapshot itself (TM already
+/// demand-calibrated), and the failure delta against the previous item.
+#[derive(Clone, Debug)]
+pub struct StreamItem {
+    /// Per-cluster invariants.
+    pub cluster: Arc<ClusterHeader>,
+    /// The snapshot.
+    pub snapshot: Snapshot,
+    /// What changed since the previous item.
+    pub delta: SnapshotDelta,
+}
+
+/// A pull-based, seeded snapshot stream: the same generator as
+/// [`AnonNetDataset::generate`] (which is implemented on top of it),
+/// yielding one snapshot at a time instead of materializing the whole
+/// dataset. The lifecycle engine replays items as `topology_update` +
+/// `infer` traffic; the figure harnesses collect them into clusters —
+/// one code path, bitwise-identical output either way.
+///
+/// Cluster 0 is generated eagerly at construction (the single global
+/// demand scale is calibrated on its unscaled traffic, exactly as the
+/// batch generator does); later clusters are produced lazily as the
+/// stream reaches them.
+pub struct SnapshotStream {
+    gen: GenState,
+    scale: f64,
+    current: Option<Arc<ClusterHeader>>,
+    buffered: VecDeque<Snapshot>,
+    /// Down-state per undirected link of the current cluster, in
+    /// `topo.links()` order; drives the delta computation.
+    prev_down: Vec<bool>,
+    new_cluster: bool,
+}
+
+impl SnapshotStream {
+    /// Open a stream over the dataset `cfg` describes (deterministic in
+    /// `cfg.seed`).
+    pub fn new(cfg: &AnonNetConfig) -> SnapshotStream {
+        let mut gen = GenState::new(cfg);
+        let first = gen.next_cluster().expect("num_clusters >= 1");
+        let tms: Vec<TrafficMatrix> = first.snapshots.iter().map(|s| s.tm.clone()).collect();
+        let scale =
+            calibrate_demand_scale(&first.topo, &first.tunnels, &tms, cfg.target_uniform_mlu);
+        let mut stream = SnapshotStream {
+            gen,
+            scale,
+            current: None,
+            buffered: VecDeque::new(),
+            prev_down: Vec::new(),
+            new_cluster: true,
+        };
+        stream.load_cluster(first);
+        stream
+    }
+
+    /// The final (fully-built) universe topology.
+    pub fn universe(&self) -> &Topology {
+        &self.gen.universe
+    }
+
+    /// The global demand scale calibrated on cluster 0.
+    pub fn demand_scale(&self) -> f64 {
+        self.scale
+    }
+
+    fn load_cluster(&mut self, cluster: Cluster) {
+        let Cluster {
+            id,
+            topo,
+            edge_nodes,
+            tunnels,
+            snapshots,
+        } = cluster;
+        self.prev_down = vec![false; topo.links().len()];
+        self.current = Some(Arc::new(ClusterHeader {
+            id,
+            topo,
+            edge_nodes,
+            tunnels,
+        }));
+        self.buffered = snapshots.into();
+        self.new_cluster = true;
+    }
+}
+
+impl Iterator for SnapshotStream {
+    type Item = StreamItem;
+
+    fn next(&mut self) -> Option<StreamItem> {
+        if self.buffered.is_empty() {
+            let cluster = self.gen.next_cluster()?;
+            self.load_cluster(cluster);
+        }
+        let mut snapshot = self.buffered.pop_front()?;
+        // the batch generator applies the same factor to every snapshot,
+        // so scaling at emission is bitwise-identical to scaling at the end
+        snapshot.tm = snapshot.tm.scaled(self.scale);
+        let header = Arc::clone(self.current.as_ref().expect("cluster loaded"));
+        let mut delta = SnapshotDelta {
+            new_cluster: self.new_cluster,
+            ..SnapshotDelta::default()
+        };
+        for (li, (u, v, fwd, _)) in header.topo.links().into_iter().enumerate() {
+            let down = snapshot.capacities[fwd] <= self.gen.cfg.zero_cap;
+            if down && !self.prev_down[li] {
+                delta.failed_links.push((u, v));
+            } else if !down && self.prev_down[li] {
+                delta.restored_links.push((u, v));
+            }
+            self.prev_down[li] = down;
+        }
+        self.new_cluster = false;
+        Some(StreamItem {
+            cluster: header,
+            snapshot,
+            delta,
+        })
+    }
+}
+
 impl AnonNetDataset {
-    /// Generate the dataset (deterministic in `cfg.seed`).
+    /// Generate the dataset (deterministic in `cfg.seed`). Implemented by
+    /// draining a [`SnapshotStream`], so the batch and streaming paths
+    /// cannot drift apart.
     pub fn generate(cfg: &AnonNetConfig) -> AnonNetDataset {
+        let stream = SnapshotStream::new(cfg);
+        let universe = stream.universe().clone();
+        let mut clusters: Vec<Cluster> = Vec::with_capacity(cfg.num_clusters);
+        for item in stream {
+            if item.delta.new_cluster {
+                clusters.push(Cluster {
+                    id: item.cluster.id,
+                    topo: item.cluster.topo.clone(),
+                    edge_nodes: item.cluster.edge_nodes.clone(),
+                    tunnels: item.cluster.tunnels.clone(),
+                    snapshots: Vec::new(),
+                });
+            }
+            let cluster = clusters
+                .last_mut()
+                .expect("stream opens with a new cluster");
+            cluster.snapshots.push(item.snapshot);
+        }
+        AnonNetDataset {
+            cfg: cfg.clone(),
+            universe,
+            clusters,
+        }
+    }
+
+    /// Total snapshot count.
+    pub fn num_snapshots(&self) -> usize {
+        self.clusters.iter().map(|c| c.snapshots.len()).sum()
+    }
+
+    /// Indices of the `n` largest clusters (by snapshot count, descending).
+    pub fn largest_clusters(&self, n: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..self.clusters.len()).collect();
+        ids.sort_by_key(|&i| std::cmp::Reverse(self.clusters[i].snapshots.len()));
+        ids.truncate(n);
+        ids
+    }
+}
+
+/// Incremental generator state: everything fixed at dataset start plus
+/// the evolving topology/edge-set/RNG state, advanced one cluster at a
+/// time by [`GenState::next_cluster`]. The RNG call sequence is exactly
+/// the old monolithic generator's, so output is bitwise-unchanged.
+struct GenState {
+    cfg: AnonNetConfig,
+    rng: StdRng,
+    universe: Topology,
+    /// BFS commissioning order (connected prefixes).
+    order: Vec<usize>,
+    commissioned: Vec<bool>,
+    next_commission: usize,
+    /// Universal undirected link list (u < v) with nominal capacities.
+    links: Vec<(usize, usize, f64)>,
+    /// Per-link long-term maintenance flag (down across clusters).
+    maintenance: Vec<bool>,
+    /// Per-link (sublinks, circuits) structure, fixed for the dataset.
+    link_structs: Vec<(usize, usize)>,
+    /// Links that never degrade (fully protected metro fiber).
+    link_stable: Vec<bool>,
+    /// Gravity node weights, fixed for the whole dataset.
+    node_weight: Vec<f64>,
+    /// Per-pair diurnal phases, fixed for the whole dataset.
+    phases: Vec<f64>,
+    edge_nodes: Vec<usize>,
+    edge_net_adds: i64,
+    removed_edge: Vec<usize>,
+    /// Cluster ids forced to `large_cluster_size` snapshots.
+    large_ids: Vec<usize>,
+    /// Global snapshot index.
+    time: usize,
+    next_cid: usize,
+}
+
+impl GenState {
+    fn new(cfg: &AnonNetConfig) -> GenState {
         assert!(cfg.initial_nodes >= 3 && cfg.initial_nodes <= cfg.universe_nodes);
         assert!(cfg.num_clusters >= 1);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -238,7 +469,6 @@ impl AnonNetDataset {
         for &u in order.iter().take(cfg.initial_nodes) {
             commissioned[u] = true;
         }
-        let mut next_commission = cfg.initial_nodes;
 
         // universal undirected link list (u < v) with nominal capacities
         let links: Vec<(usize, usize, f64)> = universe
@@ -246,9 +476,6 @@ impl AnonNetDataset {
             .iter()
             .map(|&(u, v, f, _)| (u, v, universe.capacity(f)))
             .collect();
-
-        // per-link long-term maintenance flag (down across clusters)
-        let mut maintenance = vec![false; links.len()];
 
         // per-link sub-link structure, fixed for the dataset
         let link_structs: Vec<(usize, usize)> = (0..links.len())
@@ -276,12 +503,9 @@ impl AnonNetDataset {
         let phases: Vec<f64> = (0..cfg.universe_nodes * cfg.universe_nodes)
             .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
             .collect();
-        let diurnal_period = 96usize;
-        let diurnal_amp = 0.3;
-        let noise_sigma = 0.08;
 
         // initial edge nodes
-        let mut edge_nodes: Vec<usize> = {
+        let edge_nodes: Vec<usize> = {
             let mut cands: Vec<usize> = (0..cfg.universe_nodes)
                 .filter(|&u| commissioned[u])
                 .collect();
@@ -292,13 +516,6 @@ impl AnonNetDataset {
             e
         };
 
-        // net edge-node additions are capped so the first and last clusters
-        // keep comparable flow sets (the paper's churn is only ~20%), and
-        // removed edge nodes are preferentially re-added (maintenance
-        // toggles membership; it rarely changes it permanently)
-        let mut edge_net_adds: i64 = 0;
-        let mut removed_edge: Vec<usize> = Vec::new();
-
         // The first three clusters are the "large" ones: they serve as the
         // paper's training clusters (Fig 4/16) and as the largest clusters
         // used for the within-cluster comparisons (Figs 3/5/6), and making
@@ -306,307 +523,318 @@ impl AnonNetDataset {
         // the paper's multi-week training windows have.
         let large_ids: Vec<usize> = (0..cfg.num_clusters.min(3)).collect();
 
-        let mut clusters: Vec<Cluster> = Vec::with_capacity(cfg.num_clusters);
-        let mut time = 0usize;
-        let mut demand_scale: Option<f64> = None;
+        GenState {
+            cfg: cfg.clone(),
+            rng,
+            universe,
+            order,
+            commissioned,
+            next_commission: cfg.initial_nodes,
+            maintenance: vec![false; links.len()],
+            links,
+            link_structs,
+            link_stable,
+            node_weight,
+            phases,
+            edge_nodes,
+            // net edge-node additions are capped so the first and last
+            // clusters keep comparable flow sets (the paper's churn is only
+            // ~20%), and removed edge nodes are preferentially re-added
+            // (maintenance toggles membership; it rarely changes it
+            // permanently)
+            edge_net_adds: 0,
+            removed_edge: Vec::new(),
+            large_ids,
+            time: 0,
+            next_cid: 0,
+        }
+    }
 
-        for cid in 0..cfg.num_clusters {
-            // --- cluster-boundary events (at least one per boundary) ---
-            if cid > 0 {
-                let mut changed = false;
-                for _ in 0..4 {
-                    // event mix: commissioning and maintenance dominate;
-                    // edge-node churn is rarer (it reshapes many flows and
-                    // the paper's tunnel churn between first/last cluster
-                    // is only ~20%)
-                    let ev = match rng.gen_range(0..100) {
-                        0..=24 => 0,
-                        25..=58 => 1,
-                        59..=93 => 2,
-                        _ => 3,
-                    };
-                    match ev {
-                        0 if next_commission < cfg.universe_nodes => {
-                            commissioned[order[next_commission]] = true;
-                            next_commission += 1;
+    /// Advance past one cluster boundary and generate the next cluster
+    /// (snapshots carry **unscaled** traffic; the caller applies the
+    /// global demand scale). `None` once `cfg.num_clusters` are done.
+    fn next_cluster(&mut self) -> Option<Cluster> {
+        if self.next_cid >= self.cfg.num_clusters {
+            return None;
+        }
+        let cid = self.next_cid;
+        self.next_cid += 1;
+        let GenState {
+            cfg,
+            rng,
+            order,
+            commissioned,
+            next_commission,
+            links,
+            maintenance,
+            link_structs,
+            link_stable,
+            node_weight,
+            phases,
+            edge_nodes,
+            edge_net_adds,
+            removed_edge,
+            large_ids,
+            time,
+            ..
+        } = self;
+        let diurnal_period = 96usize;
+        let diurnal_amp = 0.3;
+        let noise_sigma = 0.08;
+
+        // --- cluster-boundary events (at least one per boundary) ---
+        if cid > 0 {
+            let mut changed = false;
+            for _ in 0..4 {
+                // event mix: commissioning and maintenance dominate;
+                // edge-node churn is rarer (it reshapes many flows and
+                // the paper's tunnel churn between first/last cluster
+                // is only ~20%)
+                let ev = match rng.gen_range(0..100) {
+                    0..=24 => 0,
+                    25..=58 => 1,
+                    59..=93 => 2,
+                    _ => 3,
+                };
+                match ev {
+                    0 if *next_commission < cfg.universe_nodes => {
+                        commissioned[order[*next_commission]] = true;
+                        *next_commission += 1;
+                        changed = true;
+                    }
+                    1 => {
+                        // start maintenance on a random non-cut link
+                        let cand: Vec<usize> = (0..links.len())
+                            .filter(|&l| {
+                                !maintenance[l]
+                                    && link_removal_keeps_connectivity(
+                                        links,
+                                        maintenance,
+                                        commissioned,
+                                        l,
+                                    )
+                            })
+                            .collect();
+                        if let Some(&l) = cand.choose(&mut *rng) {
+                            maintenance[l] = true;
                             changed = true;
                         }
-                        1 => {
-                            // start maintenance on a random non-cut link
-                            let cand: Vec<usize> = (0..links.len())
-                                .filter(|&l| {
-                                    !maintenance[l]
-                                        && link_removal_keeps_connectivity(
-                                            &links,
-                                            &maintenance,
-                                            &commissioned,
-                                            l,
-                                        )
-                                })
-                                .collect();
-                            if let Some(&l) = cand.choose(&mut rng) {
-                                maintenance[l] = true;
-                                changed = true;
-                            }
+                    }
+                    2 => {
+                        // end maintenance somewhere
+                        let cand: Vec<usize> = (0..links.len())
+                            .filter(|&l| {
+                                maintenance[l]
+                                    && commissioned[links[l].0]
+                                    && commissioned[links[l].1]
+                            })
+                            .collect();
+                        if let Some(&l) = cand.choose(&mut *rng) {
+                            maintenance[l] = false;
+                            changed = true;
                         }
-                        2 => {
-                            // end maintenance somewhere
-                            let cand: Vec<usize> = (0..links.len())
-                                .filter(|&l| {
-                                    maintenance[l]
-                                        && commissioned[links[l].0]
-                                        && commissioned[links[l].1]
-                                })
-                                .collect();
-                            if let Some(&l) = cand.choose(&mut rng) {
-                                maintenance[l] = false;
+                    }
+                    _ => {
+                        // edge-node churn (biased toward additions so
+                        // the edge set grows mildly over the dataset,
+                        // matching Fig 1a)
+                        let min_edge = ((cfg.initial_nodes as f64) * cfg.edge_node_fraction * 0.8)
+                            .round() as usize;
+                        if rng.gen_bool(0.4)
+                            && edge_nodes.len() > min_edge.max(3)
+                            && *edge_net_adds > -1
+                        {
+                            let i = rng.gen_range(0..edge_nodes.len());
+                            removed_edge.push(edge_nodes.remove(i));
+                            *edge_net_adds -= 1;
+                            changed = true;
+                        } else if *edge_net_adds < 1 {
+                            // re-add a previously removed edge node if
+                            // any; otherwise promote a new one
+                            let u = if let Some(u) = removed_edge.pop() {
+                                Some(u)
+                            } else {
+                                let cand: Vec<usize> = (0..cfg.universe_nodes)
+                                    .filter(|&u| commissioned[u] && !edge_nodes.contains(&u))
+                                    .collect();
+                                cand.choose(&mut *rng).copied()
+                            };
+                            if let Some(u) = u {
+                                edge_nodes.push(u);
+                                edge_nodes.sort_unstable();
+                                *edge_net_adds += 1;
                                 changed = true;
-                            }
-                        }
-                        _ => {
-                            // edge-node churn (biased toward additions so
-                            // the edge set grows mildly over the dataset,
-                            // matching Fig 1a)
-                            let min_edge =
-                                ((cfg.initial_nodes as f64) * cfg.edge_node_fraction * 0.8).round()
-                                    as usize;
-                            if rng.gen_bool(0.4)
-                                && edge_nodes.len() > min_edge.max(3)
-                                && edge_net_adds > -1
-                            {
-                                let i = rng.gen_range(0..edge_nodes.len());
-                                removed_edge.push(edge_nodes.remove(i));
-                                edge_net_adds -= 1;
-                                changed = true;
-                            } else if edge_net_adds < 1 {
-                                // re-add a previously removed edge node if
-                                // any; otherwise promote a new one
-                                let u = if let Some(u) = removed_edge.pop() {
-                                    Some(u)
-                                } else {
-                                    let cand: Vec<usize> = (0..cfg.universe_nodes)
-                                        .filter(|&u| commissioned[u] && !edge_nodes.contains(&u))
-                                        .collect();
-                                    cand.choose(&mut rng).copied()
-                                };
-                                if let Some(u) = u {
-                                    edge_nodes.push(u);
-                                    edge_nodes.sort_unstable();
-                                    edge_net_adds += 1;
-                                    changed = true;
-                                }
                             }
                         }
                     }
-                    if changed && rng.gen_bool(0.7) {
-                        break;
+                }
+                if changed && rng.gen_bool(0.7) {
+                    break;
+                }
+            }
+        }
+
+        // --- cluster topology ---
+        let mut topo = Topology::new(cfg.universe_nodes);
+        let mut cluster_links: Vec<usize> = Vec::new();
+        for (l, &(u, v, cap)) in links.iter().enumerate() {
+            if commissioned[u] && commissioned[v] && !maintenance[l] {
+                topo.add_link(u, v, cap).expect("cluster link");
+                cluster_links.push(l);
+            }
+        }
+        let tunnels = TunnelSet::k_shortest(&topo, edge_nodes, cfg.tunnels_per_flow, 0.0);
+
+        // --- per-snapshot dynamics ---
+        let n_snapshots = if large_ids.contains(&cid) {
+            cfg.large_cluster_size
+        } else {
+            rng.gen_range(cfg.cluster_size_range.0..=cfg.cluster_size_range.1)
+        };
+
+        let mut states: Vec<LinkState> = cluster_links
+            .iter()
+            .map(|&l| {
+                let (sub, circ) = link_structs[l];
+                LinkState {
+                    nominal: links[l].2,
+                    sublinks: sub,
+                    circuits: circ,
+                    sub_down: vec![0; sub],
+                    circuit_down: vec![0; sub * circ],
+                    full_down: 0,
+                }
+            })
+            .collect();
+
+        let total_nodes = commissioned.iter().filter(|c| **c).count();
+        let total_links = links
+            .iter()
+            .filter(|&&(u, v, _)| commissioned[u] && commissioned[v])
+            .count();
+
+        let mut snapshots = Vec::with_capacity(n_snapshots);
+        for _ in 0..n_snapshots {
+            // advance failure state machines
+            for (si, st) in states.iter_mut().enumerate() {
+                for d in st.sub_down.iter_mut().chain(st.circuit_down.iter_mut()) {
+                    if *d > 0 {
+                        *d -= 1;
+                    }
+                }
+                if st.full_down > 0 {
+                    st.full_down -= 1;
+                }
+                if link_stable[cluster_links[si]] {
+                    continue;
+                }
+                for s in 0..st.sublinks {
+                    if st.sub_down[s] == 0 && rng.gen_bool(cfg.sublink_down_prob) {
+                        // lint: allow(as-cast) — duration in slots, exp-tail bounded far below u32::MAX
+                        st.sub_down[s] = 1 + (cfg.failure_duration * rng_exp(&mut *rng)) as u32;
+                    }
+                    for c in 0..st.circuits {
+                        let i = s * st.circuits + c;
+                        if st.circuit_down[i] == 0 && rng.gen_bool(cfg.circuit_degrade_prob) {
+                            st.circuit_down[i] = 1
+                                // lint: allow(as-cast) — duration in slots, bounded below u32::MAX
+                                + (cfg.failure_duration * rng_exp(&mut *rng)) as u32;
+                        }
+                    }
+                }
+                if st.full_down == 0 && rng.gen_bool(cfg.full_failure_prob) {
+                    // only fail fully if the cluster graph stays connected
+                    let l = cluster_links[si];
+                    if link_removal_keeps_connectivity(links, maintenance, commissioned, l) {
+                        // lint: allow(as-cast) — duration in slots, exp-tail bounded far below u32::MAX
+                        st.full_down = 2 + (cfg.failure_duration * rng_exp(&mut *rng)) as u32;
                     }
                 }
             }
 
-            // --- cluster topology ---
-            let mut topo = Topology::new(cfg.universe_nodes);
-            let mut cluster_links: Vec<usize> = Vec::new();
-            for (l, &(u, v, cap)) in links.iter().enumerate() {
-                if commissioned[u] && commissioned[v] && !maintenance[l] {
-                    topo.add_link(u, v, cap).expect("cluster link");
-                    cluster_links.push(l);
+            // capacities per directed edge (symmetric)
+            let mut caps = vec![0.0f64; topo.num_edges()];
+            for (si, &l) in cluster_links.iter().enumerate() {
+                let c = states[si].capacity(cfg.zero_cap);
+                let (u, v, _) = links[l];
+                let fwd = topo.edge_id(u, v).expect("generated link present");
+                let rev = topo.edge_id(v, u).expect("generated link present");
+                caps[fwd] = c;
+                caps[rev] = c;
+            }
+
+            // traffic matrix
+            let mut tm = TrafficMatrix::zeros(cfg.universe_nodes);
+            let mut base_total = 0.0;
+            for &s in edge_nodes.iter() {
+                for &t in edge_nodes.iter() {
+                    if s != t {
+                        base_total += node_weight[s] * node_weight[t];
+                    }
                 }
             }
-            let tunnels = TunnelSet::k_shortest(&topo, &edge_nodes, cfg.tunnels_per_flow, 0.0);
-
-            // --- per-snapshot dynamics ---
-            let n_snapshots = if large_ids.contains(&cid) {
-                cfg.large_cluster_size
+            let norm = if base_total > 0.0 {
+                1.0 / base_total
             } else {
-                rng.gen_range(cfg.cluster_size_range.0..=cfg.cluster_size_range.1)
+                0.0
             };
-
-            let mut states: Vec<LinkState> = cluster_links
-                .iter()
-                .map(|&l| {
-                    let (sub, circ) = link_structs[l];
-                    LinkState {
-                        nominal: links[l].2,
-                        sublinks: sub,
-                        circuits: circ,
-                        sub_down: vec![0; sub],
-                        circuit_down: vec![0; sub * circ],
-                        full_down: 0,
-                    }
-                })
-                .collect();
-
-            let total_nodes = commissioned.iter().filter(|c| **c).count();
-            let total_links = links
-                .iter()
-                .filter(|&&(u, v, _)| commissioned[u] && commissioned[v])
-                .count();
-
-            let mut snapshots = Vec::with_capacity(n_snapshots);
-            for _ in 0..n_snapshots {
-                // advance failure state machines
-                for (si, st) in states.iter_mut().enumerate() {
-                    for d in st.sub_down.iter_mut().chain(st.circuit_down.iter_mut()) {
-                        if *d > 0 {
-                            *d -= 1;
-                        }
-                    }
-                    if st.full_down > 0 {
-                        st.full_down -= 1;
-                    }
-                    if link_stable[cluster_links[si]] {
+            for &s in edge_nodes.iter() {
+                for &t in edge_nodes.iter() {
+                    if s == t {
                         continue;
                     }
-                    for s in 0..st.sublinks {
-                        if st.sub_down[s] == 0 && rng.gen_bool(cfg.sublink_down_prob) {
-                            // lint: allow(as-cast) — duration in slots, exp-tail bounded far below u32::MAX
-                            st.sub_down[s] = 1 + (cfg.failure_duration * rng_exp(&mut rng)) as u32;
-                        }
-                        for c in 0..st.circuits {
-                            let i = s * st.circuits + c;
-                            if st.circuit_down[i] == 0 && rng.gen_bool(cfg.circuit_degrade_prob) {
-                                st.circuit_down[i] = 1
-                                    // lint: allow(as-cast) — duration in slots, bounded below u32::MAX
-                                    + (cfg.failure_duration * rng_exp(&mut rng)) as u32;
-                            }
-                        }
-                    }
-                    if st.full_down == 0 && rng.gen_bool(cfg.full_failure_prob) {
-                        // only fail fully if the cluster graph stays connected
-                        let l = cluster_links[si];
-                        if link_removal_keeps_connectivity(&links, &maintenance, &commissioned, l) {
-                            // lint: allow(as-cast) — duration in slots, exp-tail bounded far below u32::MAX
-                            st.full_down = 2 + (cfg.failure_duration * rng_exp(&mut rng)) as u32;
-                        }
-                    }
+                    let base = node_weight[s] * node_weight[t] * norm;
+                    let diurnal = 1.0
+                        + diurnal_amp
+                            * (std::f64::consts::TAU * *time as f64 / diurnal_period as f64
+                                + phases[s * cfg.universe_nodes + t])
+                                .sin();
+                    let noise = lognormal(&mut *rng, noise_sigma);
+                    tm.set_demand(s, t, (base * diurnal * noise).max(0.0));
                 }
-
-                // capacities per directed edge (symmetric)
-                let mut caps = vec![0.0f64; topo.num_edges()];
-                for (si, &l) in cluster_links.iter().enumerate() {
-                    let c = states[si].capacity(cfg.zero_cap);
-                    let (u, v, _) = links[l];
-                    let fwd = topo.edge_id(u, v).expect("generated link present");
-                    let rev = topo.edge_id(v, u).expect("generated link present");
-                    caps[fwd] = c;
-                    caps[rev] = c;
-                }
-
-                // traffic matrix
-                let mut tm = TrafficMatrix::zeros(cfg.universe_nodes);
-                let mut base_total = 0.0;
-                for &s in &edge_nodes {
-                    for &t in &edge_nodes {
-                        if s != t {
-                            base_total += node_weight[s] * node_weight[t];
-                        }
-                    }
-                }
-                let norm = if base_total > 0.0 {
-                    1.0 / base_total
-                } else {
-                    0.0
-                };
-                for &s in &edge_nodes {
-                    for &t in &edge_nodes {
-                        if s == t {
-                            continue;
-                        }
-                        let base = node_weight[s] * node_weight[t] * norm;
-                        let diurnal = 1.0
-                            + diurnal_amp
-                                * (std::f64::consts::TAU * time as f64 / diurnal_period as f64
-                                    + phases[s * cfg.universe_nodes + t])
-                                    .sin();
-                        let noise = lognormal(&mut rng, noise_sigma);
-                        tm.set_demand(s, t, (base * diurnal * noise).max(0.0));
-                    }
-                }
-
-                let active_links = caps
-                    .iter()
-                    .step_by(1)
-                    .enumerate()
-                    .filter(|(e, c)| {
-                        // count undirected links once (forward direction)
-                        let edge = topo.edge(*e);
-                        edge.src < edge.dst && **c > cfg.zero_cap
-                    })
-                    .count();
-                let mut node_active = vec![false; cfg.universe_nodes];
-                for (e, c) in caps.iter().enumerate() {
-                    if *c > cfg.zero_cap {
-                        node_active[topo.edge(e).src] = true;
-                        node_active[topo.edge(e).dst] = true;
-                    }
-                }
-                let meta = SnapshotMeta {
-                    total_nodes,
-                    active_nodes: node_active.iter().filter(|a| **a).count(),
-                    edge_node_count: edge_nodes.len(),
-                    total_links,
-                    active_links,
-                };
-
-                snapshots.push(Snapshot {
-                    time,
-                    capacities: caps,
-                    tm,
-                    meta,
-                });
-                time += 1;
             }
 
-            let cluster = Cluster {
-                id: cid,
-                topo,
-                edge_nodes: edge_nodes.clone(),
-                tunnels,
-                snapshots,
+            let active_links = caps
+                .iter()
+                .step_by(1)
+                .enumerate()
+                .filter(|(e, c)| {
+                    // count undirected links once (forward direction)
+                    let edge = topo.edge(*e);
+                    edge.src < edge.dst && **c > cfg.zero_cap
+                })
+                .count();
+            let mut node_active = vec![false; cfg.universe_nodes];
+            for (e, c) in caps.iter().enumerate() {
+                if *c > cfg.zero_cap {
+                    node_active[topo.edge(e).src] = true;
+                    node_active[topo.edge(e).dst] = true;
+                }
+            }
+            let meta = SnapshotMeta {
+                total_nodes,
+                active_nodes: node_active.iter().filter(|a| **a).count(),
+                edge_node_count: edge_nodes.len(),
+                total_links,
+                active_links,
             };
 
-            // calibrate demand once, on the first cluster
-            if demand_scale.is_none() {
-                let tms: Vec<TrafficMatrix> =
-                    cluster.snapshots.iter().map(|s| s.tm.clone()).collect();
-                let scale = calibrate_demand_scale(
-                    &cluster.topo,
-                    &cluster.tunnels,
-                    &tms,
-                    cfg.target_uniform_mlu,
-                );
-                demand_scale = Some(scale);
-            }
-            clusters.push(cluster);
+            snapshots.push(Snapshot {
+                time: *time,
+                capacities: caps,
+                tm,
+                meta,
+            });
+            *time += 1;
         }
 
-        // apply the single global demand scale
-        let scale = demand_scale.unwrap_or(1.0);
-        for cluster in &mut clusters {
-            for snap in &mut cluster.snapshots {
-                snap.tm = snap.tm.scaled(scale);
-            }
-        }
-
-        AnonNetDataset {
-            cfg: cfg.clone(),
-            universe,
-            clusters,
-        }
-    }
-
-    /// Total snapshot count.
-    pub fn num_snapshots(&self) -> usize {
-        self.clusters.iter().map(|c| c.snapshots.len()).sum()
-    }
-
-    /// Indices of the `n` largest clusters (by snapshot count, descending).
-    pub fn largest_clusters(&self, n: usize) -> Vec<usize> {
-        let mut ids: Vec<usize> = (0..self.clusters.len()).collect();
-        ids.sort_by_key(|&i| std::cmp::Reverse(self.clusters[i].snapshots.len()));
-        ids.truncate(n);
-        ids
+        Some(Cluster {
+            id: cid,
+            topo,
+            edge_nodes: edge_nodes.clone(),
+            tunnels,
+            snapshots,
+        })
     }
 }
 
@@ -782,6 +1010,72 @@ mod tests {
                 assert!(s.meta.edge_node_count <= s.meta.active_nodes);
             }
         }
+    }
+
+    #[test]
+    fn stream_and_generate_agree_bitwise() {
+        let cfg = AnonNetConfig::tiny();
+        let ds = AnonNetDataset::generate(&cfg);
+        let items: Vec<StreamItem> = SnapshotStream::new(&cfg).collect();
+        assert_eq!(items.len(), ds.num_snapshots());
+        let flat: Vec<(&Cluster, &Snapshot)> = ds
+            .clusters
+            .iter()
+            .flat_map(|c| c.snapshots.iter().map(move |s| (c, s)))
+            .collect();
+        for (item, &(c, s)) in items.iter().zip(&flat) {
+            assert_eq!(item.cluster.id, c.id);
+            assert_eq!(item.cluster.edge_nodes, c.edge_nodes);
+            assert_eq!(item.snapshot.time, s.time);
+            assert_eq!(item.snapshot.capacities, s.capacities);
+            assert_eq!(item.snapshot.tm, s.tm);
+            assert_eq!(item.snapshot.meta, s.meta);
+        }
+        // cluster boundaries are flagged exactly where generate() cuts them
+        let boundaries: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.delta.new_cluster)
+            .map(|(k, _)| k)
+            .collect();
+        let mut expect = Vec::new();
+        let mut at = 0;
+        for c in &ds.clusters {
+            expect.push(at);
+            at += c.snapshots.len();
+        }
+        assert_eq!(boundaries, expect);
+    }
+
+    #[test]
+    fn stream_deltas_replay_the_failure_sets() {
+        use std::collections::BTreeSet;
+        let cfg = AnonNetConfig::tiny();
+        let mut down: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut saw_any_failure = false;
+        for item in SnapshotStream::new(&cfg) {
+            if item.delta.new_cluster {
+                down.clear();
+            }
+            for &l in &item.delta.failed_links {
+                assert!(down.insert(l), "link {l:?} failed twice without restore");
+                saw_any_failure = true;
+            }
+            for &l in &item.delta.restored_links {
+                assert!(down.remove(&l), "link {l:?} restored while up");
+            }
+            // accumulated deltas must reproduce the snapshot's down-set
+            let mut expect = BTreeSet::new();
+            for (u, v, fwd, _) in item.cluster.topo.links() {
+                if item.snapshot.capacities[fwd] <= cfg.zero_cap {
+                    expect.insert((u, v));
+                }
+            }
+            assert_eq!(down, expect);
+        }
+        // the tiny config does produce full failures; if this stops being
+        // true the test above is vacuous
+        assert!(saw_any_failure, "no full failure in the tiny dataset");
     }
 
     #[test]

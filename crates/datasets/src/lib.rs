@@ -22,7 +22,10 @@ mod calibrate;
 mod real;
 mod zoo;
 
-pub use anonnet::{AnonNetConfig, AnonNetDataset, Cluster, Snapshot, SnapshotMeta};
+pub use anonnet::{
+    AnonNetConfig, AnonNetDataset, Cluster, ClusterHeader, Snapshot, SnapshotDelta, SnapshotMeta,
+    SnapshotStream, StreamItem,
+};
 pub use calibrate::calibrate_demand_scale;
 pub use real::{abilene, geant};
 pub use zoo::{kdl_like, kdl_small, us_carrier_like};

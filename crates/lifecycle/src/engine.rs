@@ -1,0 +1,1103 @@
+//! The lifecycle engine: a deterministic closed loop that replays an
+//! AnonNet drift sequence into a live in-process `harp-serve` fleet while
+//! an online trainer fine-tunes on the drifted traffic and hot-ships new
+//! parameter generations over `reload_checkpoint`.
+//!
+//! Virtual time: one tick per replayed snapshot. Per tick the engine
+//!
+//! 1. handles the cluster boundary (maintenance window: fleet shutdown +
+//!    respawn on the new topology with the freshest served parameters),
+//! 2. translates the snapshot delta plus any scheduled storm transitions
+//!    into one `topology_update`,
+//! 3. rendezvouses with a due trainer thread and ships its checkpoint
+//!    (optionally chaos-corrupted — the fleet rejects it and the engine
+//!    re-ships clean next tick, surfacing as model staleness),
+//! 4. scores one `infer` round trip against a per-snapshot LP oracle on
+//!    the *true* drifted topology (snapshot capacities + storm failures),
+//! 5. fires the retrain trigger when the rolling NormMLU regresses.
+//!
+//! Every socket round trip is sequential (one request in flight), the
+//! trainer joins at a fixed virtual tick, and all randomness is seeded,
+//! so the event log and every metric are bitwise-reproducible per seed —
+//! `tests/determinism.rs` holds that bar.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use harp_chaos::FaultPlan;
+use harp_core::{
+    norm_mlu, percentile, train_model, EvalOptions, Harp, HarpConfig, Instance, SplitModel,
+    TrainConfig, SNAPSHOT_FILE,
+};
+use harp_datasets::{SnapshotStream, StreamItem};
+use harp_nn::save_params;
+use harp_opt::MluOracle;
+use harp_serve::{serve, NetworkState, ServeConfig, ServerHandle};
+use harp_tensor::ParamStore;
+use harp_topology::{EdgeId, Topology};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde_json::Value;
+
+use crate::metrics::{LifecycleReport, RetrainOutcome, StormOutcome, TickSample};
+use crate::scenario::{warn_knob, Scenario};
+
+/// A lifecycle run failed outside the scripted fault envelope.
+#[derive(Debug)]
+pub enum LifecycleError {
+    /// Filesystem or socket failure.
+    Io(io::Error),
+    /// The fleet answered something the engine cannot reconcile with its
+    /// mirror of the network state (a determinism bug, not chaos).
+    Protocol(String),
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::Io(e) => write!(f, "lifecycle io error: {e}"),
+            LifecycleError::Protocol(msg) => write!(f, "lifecycle protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+impl From<io::Error> for LifecycleError {
+    fn from(e: io::Error) -> Self {
+        LifecycleError::Io(e)
+    }
+}
+
+/// Everything a lifecycle run needs beyond the [`Scenario`] itself: fleet
+/// shape, trainer parallelism, scratch space, and the three independent
+/// chaos plans (fleet, trainer, checkpoint shipping).
+#[derive(Clone, Debug)]
+pub struct LifecycleConfig {
+    /// The drill to run.
+    pub scenario: Scenario,
+    /// Serving shards in the fleet.
+    pub shards: usize,
+    /// Per-request deadline. Generous by default: the drill measures SLA
+    /// quality and recovery, not serving latency, and a degraded answer
+    /// on a loaded CI host would break bitwise reproducibility.
+    pub deadline_ms: u64,
+    /// Trainer worker threads (1 keeps the rendezvous cheap).
+    pub train_workers: usize,
+    /// Model architecture served and fine-tuned.
+    pub model: HarpConfig,
+    /// Scratch directory for checkpoints and shipped parameter files;
+    /// wiped at the start of every run.
+    pub work_dir: PathBuf,
+    /// Connection faults injected into the fleet's accept loop.
+    pub chaos_serve: Option<Arc<FaultPlan>>,
+    /// Worker-kill / NaN-gradient faults injected into fine-tuning runs.
+    pub chaos_train: Option<Arc<FaultPlan>>,
+    /// Checkpoint corruption applied to shipped parameter files.
+    pub chaos_ship: Option<Arc<FaultPlan>>,
+}
+
+impl LifecycleConfig {
+    /// Defaults for `scenario`: 2 shards, 60 s deadlines, 1 trainer
+    /// worker, a quick HARP architecture, and a scratch dir under the
+    /// system temp directory keyed by scenario name + seed.
+    pub fn new(scenario: Scenario) -> Self {
+        let work_dir = std::env::temp_dir().join(format!(
+            "harp_lifecycle_{}_{}",
+            scenario.name, scenario.seed
+        ));
+        LifecycleConfig {
+            scenario,
+            shards: 2,
+            deadline_ms: 60_000,
+            train_workers: 1,
+            model: HarpConfig {
+                gnn_layers: 1,
+                settrans_layers: 1,
+                rau_iters: 2,
+                ..HarpConfig::default()
+            },
+            work_dir,
+            chaos_serve: None,
+            chaos_train: None,
+            chaos_ship: None,
+        }
+    }
+
+    /// Apply the `HARP_LIFECYCLE_*` env knobs that shape the run (shards,
+    /// deadline, trainer workers, scratch dir). Malformed values warn and
+    /// keep defaults.
+    pub fn apply_env(mut self) -> Self {
+        if let Ok(raw) = std::env::var("HARP_LIFECYCLE_SHARDS") {
+            match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => self.shards = n,
+                _ => warn_knob("HARP_LIFECYCLE_SHARDS", &raw),
+            }
+        }
+        if let Ok(raw) = std::env::var("HARP_LIFECYCLE_DEADLINE_MS") {
+            match raw.parse::<u64>() {
+                Ok(ms) if ms > 0 => self.deadline_ms = ms,
+                _ => warn_knob("HARP_LIFECYCLE_DEADLINE_MS", &raw),
+            }
+        }
+        if let Ok(raw) = std::env::var("HARP_LIFECYCLE_WORKERS") {
+            match raw.parse::<usize>() {
+                Ok(n) => self.train_workers = n,
+                Err(_) => warn_knob("HARP_LIFECYCLE_WORKERS", &raw),
+            }
+        }
+        if let Ok(raw) = std::env::var("HARP_LIFECYCLE_WORK_DIR") {
+            if !raw.is_empty() {
+                self.work_dir = PathBuf::from(raw);
+            }
+        }
+        self.scenario = self.scenario.apply_env();
+        self
+    }
+}
+
+/// A storm currently being tracked (failed, restored, or awaiting
+/// NormMLU recovery).
+struct ActiveStorm {
+    id: usize,
+    at_tick: usize,
+    duration: usize,
+    ends: usize,
+    links: Vec<(usize, usize)>,
+    baseline: f64,
+    recovered: Option<usize>,
+}
+
+impl ActiveStorm {
+    fn into_outcome(self) -> StormOutcome {
+        StormOutcome {
+            id: self.id,
+            at_tick: self.at_tick,
+            duration: self.duration,
+            links: self.links,
+            baseline: self.baseline,
+            recovered_at: self.recovered,
+            ttr: self.recovered.map(|t| t - self.at_tick),
+        }
+    }
+}
+
+/// A fine-tune in flight on its own thread, joined at tick `due`.
+struct InFlightRetrain {
+    generation: u64,
+    trigger_tick: usize,
+    due: usize,
+    handle: JoinHandle<Result<ParamStore, String>>,
+}
+
+/// Run one lifecycle drill to completion and score it.
+pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, LifecycleError> {
+    let started = Instant::now();
+    let sc = &cfg.scenario;
+    let mut anonnet = sc.anonnet.clone();
+    anonnet.seed = sc.seed;
+    let zero_cap = anonnet.zero_cap;
+
+    let _ = fs::remove_dir_all(&cfg.work_dir);
+    fs::create_dir_all(&cfg.work_dir)?;
+
+    harp_obs::event("lifecycle.start")
+        .field("scenario", sc.name.clone())
+        .field("seed", sc.seed)
+        .field("shards", cfg.shards)
+        .emit();
+
+    // ------------------------------------------------------------------
+    // Bootstrap: pull the leading snapshots and pretrain generation 0.
+    // The prefix is replayed as live traffic afterwards — the model
+    // serves the very window it learned from, then drifts away from it.
+    // ------------------------------------------------------------------
+    let mut stream = SnapshotStream::new(&anonnet);
+    let mut prefix: Vec<StreamItem> = Vec::new();
+    for _ in 0..sc.bootstrap_ticks.max(1) {
+        match stream.next() {
+            Some(item) => prefix.push(item),
+            None => break,
+        }
+    }
+    if prefix.is_empty() {
+        return Err(LifecycleError::Protocol(
+            "snapshot stream is empty".to_string(),
+        ));
+    }
+
+    let oracle = MluOracle::default();
+    let boot: Vec<(Instance, f64)> = prefix
+        .iter()
+        .map(|item| {
+            let (inst, _) = true_instance(item, &BTreeSet::new(), zero_cap, 1.0);
+            let opt = oracle.solve(&inst.program).mlu;
+            (inst, opt)
+        })
+        .collect();
+
+    let mut init_store = ParamStore::new();
+    let mut mrng = StdRng::seed_from_u64(sc.seed ^ 0x11FE_C0DE);
+    let harp = Harp::new(&mut init_store, &mut mrng, cfg.model);
+    {
+        let refs: Vec<(&Instance, f64)> = boot.iter().map(|(i, o)| (i, *o)).collect();
+        let val_n = refs.len().min(3);
+        let val = &refs[refs.len() - val_n..];
+        let tc = TrainConfig {
+            epochs: sc.bootstrap_epochs,
+            batch_size: 4,
+            lr: 2e-3,
+            patience: 0,
+            workers: cfg.train_workers,
+            checkpoint_dir: Some(gen_dir(&cfg.work_dir, 0)),
+            checkpoint_every: 1,
+            seed: sc.seed ^ 0xB007,
+            ..TrainConfig::default()
+        };
+        train_model(
+            &harp,
+            &mut init_store,
+            &refs,
+            val,
+            tc,
+            EvalOptions::default(),
+        )
+        .map_err(|e| LifecycleError::Protocol(format!("bootstrap training failed: {e:?}")))?;
+    }
+
+    let model: Arc<dyn SplitModel + Send + Sync> = Arc::new(harp);
+    let mut current_params = init_store;
+
+    // ------------------------------------------------------------------
+    // Engine state.
+    // ------------------------------------------------------------------
+    let mut events: Vec<String> = Vec::new();
+    let mut ticks_out: Vec<TickSample> = Vec::new();
+    let mut storms_out: Vec<StormOutcome> = Vec::new();
+    let mut retrains_out: Vec<RetrainOutcome> = Vec::new();
+
+    let mut fleet: Option<(ServerHandle, SocketAddr)> = None;
+    let mut mirror: Option<NetworkState> = None;
+    let mut link_ids: BTreeMap<(usize, usize), (EdgeId, EdgeId)> = BTreeMap::new();
+    let mut gen_down: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut active_storms: Vec<ActiveStorm> = Vec::new();
+    let mut flash: Option<(usize, f64)> = None; // (end tick, multiplier)
+
+    let mut ring: VecDeque<(Instance, f64)> = VecDeque::new();
+    let mut rolling: VecDeque<f64> = VecDeque::new();
+    let mut warm: Option<Vec<f64>> = None;
+
+    let mut in_flight: Option<InFlightRetrain> = None;
+    let mut pending_reship: Option<(u64, ParamStore)> = None;
+    let mut last_trigger: Option<usize> = None;
+    let mut available_gen: u64 = 0;
+    let mut served_gen: u64 = 0;
+    let mut fleet_gen: u64 = 0; // per-incarnation, mirrors serve's counter
+
+    let mut req_id: u64 = 0;
+    let mut conn_drops: u64 = 0;
+    let mut reload_rejects: u64 = 0;
+    let mut maintenance_windows = 0usize;
+    let mut max_staleness: u64 = 0;
+    let mut stale_ticks = 0usize;
+    let mut degraded_ticks = 0usize;
+
+    let mut tick = 0usize;
+    let source = prefix.into_iter().chain(&mut stream);
+
+    for item in source {
+        if sc.max_ticks > 0 && tick >= sc.max_ticks {
+            break;
+        }
+        let header = item.cluster.clone();
+
+        // -------------------------------------------------- phase edge
+        if item.delta.new_cluster {
+            if let Some((h, _)) = fleet.take() {
+                for st in active_storms.drain(..) {
+                    events.push(format!(
+                        "t={tick} storm_closed id={} recovered={}",
+                        st.id,
+                        st.recovered.is_some()
+                    ));
+                    storms_out.push(st.into_outcome());
+                }
+                flash = None;
+                h.shutdown();
+                maintenance_windows += 1;
+                events.push(format!("t={tick} maintenance cluster={}", header.id));
+                harp_obs::event("lifecycle.maintenance")
+                    .field("tick", tick)
+                    .field("cluster", header.id)
+                    .emit();
+            } else {
+                events.push(format!("t={tick} start cluster={}", header.id));
+            }
+
+            let scfg = ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                deadline_ms: cfg.deadline_ms,
+                max_batch: 8,
+                read_timeout_ms: 30_000,
+                max_line_bytes: 1 << 20,
+                shards: cfg.shards,
+                max_conns: 64,
+                queue_limit: 64,
+                chaos: cfg.chaos_serve.clone(),
+            };
+            let h = serve(
+                scfg,
+                model.clone(),
+                current_params.clone(),
+                header.topo.clone(),
+                header.tunnels.clone(),
+            )?;
+            let a = h.addr();
+            fleet = Some((h, a));
+            mirror = Some(NetworkState::new(
+                header.topo.clone(),
+                header.tunnels.clone(),
+            ));
+            link_ids = header
+                .topo
+                .links()
+                .into_iter()
+                .map(|(u, v, f, r)| ((u, v), (f, r)))
+                .collect();
+            gen_down.clear();
+            ring.clear();
+            rolling.clear();
+            warm = None;
+            fleet_gen = 0;
+            // the respawn serves the freshest trained parameters
+            served_gen = available_gen;
+            pending_reship = None;
+        }
+        let addr = fleet.as_ref().expect("fleet spawned at cluster start").1;
+        let state = mirror.as_mut().expect("mirror tracks the fleet");
+
+        // --------------------------------------- drift + storm schedule
+        let mut fail: BTreeSet<(usize, usize)> = item.delta.failed_links.iter().copied().collect();
+        let mut restore: BTreeSet<(usize, usize)> =
+            item.delta.restored_links.iter().copied().collect();
+        for l in &fail {
+            gen_down.insert(*l);
+        }
+        for l in &restore {
+            gen_down.remove(l);
+        }
+
+        for st in active_storms.iter() {
+            if st.ends == tick {
+                for l in &st.links {
+                    // a link the generator also holds down stays down
+                    if !gen_down.contains(l) {
+                        restore.insert(*l);
+                        fail.remove(l);
+                    }
+                }
+                events.push(format!("t={tick} storm_end id={}", st.id));
+                harp_obs::event("lifecycle.storm_end")
+                    .field("tick", tick)
+                    .field("storm", st.id)
+                    .emit();
+            }
+        }
+
+        for (i, storm) in sc.storms.iter().enumerate() {
+            if storm.at_tick != tick {
+                continue;
+            }
+            let baseline = if rolling.is_empty() {
+                1.05
+            } else {
+                rolling.iter().sum::<f64>() / rolling.len() as f64
+            };
+            let mut srng = StdRng::seed_from_u64(sc.seed ^ 0x0570_0421 ^ ((i as u64) << 8));
+            let links = pick_storm_links(
+                state.topology(),
+                &link_ids,
+                &fail,
+                storm.links,
+                zero_cap,
+                &mut srng,
+            );
+            if links.is_empty() {
+                events.push(format!("t={tick} storm_skipped id={i}"));
+                continue;
+            }
+            for l in &links {
+                fail.insert(*l);
+                restore.remove(l);
+            }
+            events.push(format!("t={tick} storm_start id={i} links={links:?}"));
+            harp_obs::event("lifecycle.storm_start")
+                .field("tick", tick)
+                .field("storm", i)
+                .field("links", links.len())
+                .emit();
+            active_storms.push(ActiveStorm {
+                id: i,
+                at_tick: tick,
+                duration: storm.duration,
+                ends: tick + storm.duration,
+                links,
+                baseline,
+                recovered: None,
+            });
+        }
+
+        if !fail.is_empty() || !restore.is_empty() {
+            let fail_v: Vec<(usize, usize)> = fail.iter().copied().collect();
+            let restore_v: Vec<(usize, usize)> = restore.iter().copied().collect();
+            req_id += 1;
+            let req = serde_json::json!({
+                "id": req_id,
+                "type": "topology_update",
+                "fail_links": pairs_json(&fail_v),
+                "restore_links": pairs_json(&restore_v),
+            })
+            .to_string();
+            let resp = control_retry(addr, &req, tick, &mut conn_drops, &mut events)?;
+            let summary = state
+                .apply_update(&fail_v, &restore_v)
+                .map_err(LifecycleError::Protocol)?;
+            let fleet_epoch = resp.get("epoch").and_then(Value::as_f64);
+            if fleet_epoch != Some(state.epoch() as f64) {
+                return Err(LifecycleError::Protocol(format!(
+                    "epoch skew after update: fleet {fleet_epoch:?} vs mirror {}",
+                    state.epoch()
+                )));
+            }
+            events.push(format!(
+                "t={tick} topo_update fail={} restore={} epoch={} tunnels={}",
+                fail_v.len(),
+                restore_v.len(),
+                state.epoch(),
+                summary.num_tunnels,
+            ));
+        }
+
+        // ------------------------------------------------ model shipping
+        if let Some((g, store)) = pending_reship.take() {
+            // rewrite the ship file clean (the corruption latch already
+            // fired) and retry the broadcast
+            let path = ship_path(&cfg.work_dir, g);
+            save_params(&store, &path)?;
+            req_id += 1;
+            let (ok, resp) = reload(addr, req_id, &path, tick, &mut conn_drops, &mut events)?;
+            if ok {
+                fleet_gen += 1;
+                state.bump_epoch();
+                check_reload_reply(&resp, state.epoch(), fleet_gen)?;
+                served_gen = g;
+                current_params = store;
+                if let Some(r) = retrains_out.iter_mut().find(|r| r.generation == g) {
+                    r.shipped_tick = Some(tick);
+                }
+                events.push(format!("t={tick} reship gen={g} ok=true"));
+            } else {
+                reload_rejects += 1;
+                pending_reship = Some((g, store));
+                events.push(format!("t={tick} reship gen={g} ok=false"));
+            }
+        }
+
+        if in_flight.as_ref().is_some_and(|fl| tick >= fl.due) {
+            let fl = in_flight.take().expect("checked in flight");
+            match fl.handle.join() {
+                Ok(Ok(store)) => {
+                    available_gen = fl.generation;
+                    let path = ship_path(&cfg.work_dir, fl.generation);
+                    save_params(&store, &path)?;
+                    let mut corrupted = false;
+                    if let Some(plan) = &cfg.chaos_ship {
+                        let mut bytes = fs::read(&path)?;
+                        if plan.corrupt_checkpoint_write(&mut bytes).is_some() {
+                            fs::write(&path, &bytes)?;
+                            corrupted = true;
+                        }
+                    }
+                    req_id += 1;
+                    let (ok, resp) =
+                        reload(addr, req_id, &path, tick, &mut conn_drops, &mut events)?;
+                    if ok {
+                        fleet_gen += 1;
+                        state.bump_epoch();
+                        check_reload_reply(&resp, state.epoch(), fleet_gen)?;
+                        served_gen = fl.generation;
+                        current_params = store;
+                    } else {
+                        reload_rejects += 1;
+                        pending_reship = Some((fl.generation, store));
+                    }
+                    events.push(format!(
+                        "t={tick} ship gen={} corrupted={corrupted} ok={ok}",
+                        fl.generation
+                    ));
+                    harp_obs::event("lifecycle.ship")
+                        .field("tick", tick)
+                        .field("generation", fl.generation)
+                        .field("corrupted", corrupted)
+                        .field("accepted", ok)
+                        .emit();
+                    retrains_out.push(RetrainOutcome {
+                        generation: fl.generation,
+                        trigger_tick: fl.trigger_tick,
+                        shipped_tick: if ok { Some(tick) } else { None },
+                        ok: true,
+                        corrupted_ship: corrupted,
+                        detail: String::new(),
+                    });
+                }
+                Ok(Err(detail)) => {
+                    // a failed fine-tune leaves no usable generation; wipe
+                    // its checkpoints so a later retry cannot resume them
+                    let _ = fs::remove_dir_all(gen_dir(&cfg.work_dir, fl.generation));
+                    events.push(format!(
+                        "t={tick} retrain_failed gen={} detail={detail}",
+                        fl.generation
+                    ));
+                    harp_obs::event("lifecycle.retrain_failed")
+                        .field("tick", tick)
+                        .field("generation", fl.generation)
+                        .emit();
+                    retrains_out.push(RetrainOutcome {
+                        generation: fl.generation,
+                        trigger_tick: fl.trigger_tick,
+                        shipped_tick: None,
+                        ok: false,
+                        corrupted_ship: false,
+                        detail,
+                    });
+                }
+                Err(_) => {
+                    let _ = fs::remove_dir_all(gen_dir(&cfg.work_dir, fl.generation));
+                    events.push(format!("t={tick} retrain_panicked gen={}", fl.generation));
+                    retrains_out.push(RetrainOutcome {
+                        generation: fl.generation,
+                        trigger_tick: fl.trigger_tick,
+                        shipped_tick: None,
+                        ok: false,
+                        corrupted_ship: false,
+                        detail: "trainer thread panicked".to_string(),
+                    });
+                }
+            }
+        }
+
+        // ------------------------------------------------- flash crowds
+        if let Some((ends, _)) = flash {
+            if ends == tick {
+                flash = None;
+                events.push(format!("t={tick} flash_end"));
+            }
+        }
+        for fc in &sc.flash_crowds {
+            if fc.at_tick == tick {
+                flash = Some((tick + fc.duration, fc.multiplier));
+                events.push(format!(
+                    "t={tick} flash_start x{:.2} ticks={}",
+                    fc.multiplier, fc.duration
+                ));
+            }
+        }
+
+        // -------------------------------------------------- score a tick
+        let storm_down: BTreeSet<(usize, usize)> = active_storms
+            .iter()
+            .filter(|st| st.at_tick <= tick && tick < st.ends)
+            .flat_map(|st| st.links.iter().copied())
+            .collect();
+        let multiplier = flash.map_or(1.0, |(_, m)| m);
+        let (inst, tm_pairs) = scored_instance(
+            &item,
+            state.tunnels(),
+            &storm_down,
+            &link_ids,
+            zero_cap,
+            multiplier,
+        );
+        let warm_ref = warm
+            .as_deref()
+            .filter(|w| w.len() == inst.program.num_tunnels());
+        let sol = oracle.solve_warm(&inst.program, warm_ref);
+        let oracle_mlu = sol.mlu;
+        warm = Some(sol.splits);
+
+        req_id += 1;
+        let req = serde_json::json!({
+            "id": req_id,
+            "type": "infer",
+            "demands": tm_pairs,
+            "epoch": state.epoch(),
+            "deadline_ms": cfg.deadline_ms,
+        })
+        .to_string();
+        let resp = control_retry(addr, &req, tick, &mut conn_drops, &mut events)?;
+        if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(LifecycleError::Protocol(format!(
+                "infer at tick {tick} rejected: {resp}"
+            )));
+        }
+        let degraded = resp.get("degraded").and_then(Value::as_bool) == Some(true);
+        let splits: Vec<f64> = resp
+            .get("splits")
+            .and_then(Value::as_array)
+            .ok_or_else(|| {
+                LifecycleError::Protocol(format!("infer at tick {tick}: no splits array"))
+            })?
+            .iter()
+            .filter_map(Value::as_f64)
+            .collect();
+        if splits.len() != inst.program.num_tunnels() {
+            return Err(LifecycleError::Protocol(format!(
+                "splits length skew at tick {tick}: fleet {} vs mirror {}",
+                splits.len(),
+                inst.program.num_tunnels()
+            )));
+        }
+        let model_mlu = inst.program.mlu(&splits);
+        let nm = norm_mlu(model_mlu, oracle_mlu);
+
+        ring.push_back((inst, oracle_mlu));
+        while ring.len() > sc.retrain.train_window {
+            ring.pop_front();
+        }
+        rolling.push_back(nm);
+        while rolling.len() > sc.retrain.rolling_window {
+            rolling.pop_front();
+        }
+
+        for st in active_storms.iter_mut() {
+            if st.recovered.is_none() && tick > st.at_tick && nm <= st.baseline * sc.recover_factor
+            {
+                st.recovered = Some(tick);
+                events.push(format!(
+                    "t={tick} storm_recovered id={} ttr={}",
+                    st.id,
+                    tick - st.at_tick
+                ));
+                harp_obs::event("lifecycle.storm_recovered")
+                    .field("tick", tick)
+                    .field("storm", st.id)
+                    .field("ttr", tick - st.at_tick)
+                    .emit();
+            }
+        }
+        let mut still = Vec::new();
+        for st in active_storms.drain(..) {
+            if st.recovered.is_some() && st.ends <= tick {
+                storms_out.push(st.into_outcome());
+            } else {
+                still.push(st);
+            }
+        }
+        active_storms = still;
+
+        // ---------------------------------------------- retrain trigger
+        let rolling_mean = rolling.iter().sum::<f64>() / rolling.len().max(1) as f64;
+        let interval_ok = last_trigger.is_none_or(|t| tick >= t + sc.retrain.min_interval);
+        if in_flight.is_none()
+            && pending_reship.is_none()
+            && rolling.len() >= sc.retrain.rolling_window
+            && interval_ok
+            && rolling_mean > sc.retrain.normmlu_trigger
+            && ring.len() >= 4
+        {
+            let generation = available_gen + 1;
+            last_trigger = Some(tick);
+            let window: Vec<(Instance, f64)> = ring.iter().cloned().collect();
+            let warm_path = gen_dir(&cfg.work_dir, available_gen).join(SNAPSHOT_FILE);
+            let dir = gen_dir(&cfg.work_dir, generation);
+            let _ = fs::remove_dir_all(&dir);
+            let model_cfg = cfg.model;
+            let workers = cfg.train_workers;
+            let epochs = sc.retrain.epochs;
+            let lr = sc.retrain.lr;
+            let chaos = cfg.chaos_train.clone();
+            let tseed = sc.seed ^ 0x7281 ^ generation;
+            let handle = std::thread::spawn(move || {
+                fine_tune(
+                    model_cfg, window, warm_path, dir, workers, epochs, lr, tseed, chaos,
+                )
+            });
+            in_flight = Some(InFlightRetrain {
+                generation,
+                trigger_tick: tick,
+                due: tick + sc.retrain.ship_delay,
+                handle,
+            });
+            events.push(format!(
+                "t={tick} retrain_trigger gen={generation} rolling={rolling_mean:.4}"
+            ));
+            harp_obs::event("lifecycle.retrain_trigger")
+                .field("tick", tick)
+                .field("generation", generation)
+                .field("rolling_norm_mlu", rolling_mean)
+                .emit();
+        }
+
+        // ------------------------------------------------- tick sample
+        let staleness = available_gen - served_gen;
+        if staleness > 0 {
+            stale_ticks += 1;
+            max_staleness = max_staleness.max(staleness);
+        }
+        if degraded {
+            degraded_ticks += 1;
+        }
+        ticks_out.push(TickSample {
+            tick,
+            cluster: header.id,
+            epoch: state.epoch(),
+            generation: served_gen,
+            staleness,
+            model_mlu,
+            oracle_mlu,
+            norm_mlu: nm,
+            degraded,
+        });
+        tick += 1;
+    }
+
+    // ---------------------------------------------------------- wrap up
+    if let Some(fl) = in_flight.take() {
+        // the run ended before the rendezvous tick; settle the thread but
+        // nothing ships
+        let ok = matches!(fl.handle.join(), Ok(Ok(_)));
+        events.push(format!(
+            "t={tick} retrain_abandoned gen={} trained={ok}",
+            fl.generation
+        ));
+        retrains_out.push(RetrainOutcome {
+            generation: fl.generation,
+            trigger_tick: fl.trigger_tick,
+            shipped_tick: None,
+            ok,
+            corrupted_ship: false,
+            detail: "run ended before ship".to_string(),
+        });
+    }
+    for st in active_storms.drain(..) {
+        storms_out.push(st.into_outcome());
+    }
+
+    let (handle, addr) = fleet.take().ok_or_else(|| {
+        LifecycleError::Protocol("no ticks were replayed (stream shorter than bootstrap)".into())
+    })?;
+    req_id += 1;
+    let stats_req = serde_json::json!({"id": req_id, "type": "stats"}).to_string();
+    let stats = control_retry(addr, &stats_req, tick, &mut conn_drops, &mut events)?;
+    handle.shutdown();
+
+    let counter = |key: &str| -> u64 {
+        stats.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64 // lint: allow(as-cast) — non-negative counter
+    };
+    let norms: Vec<f64> = ticks_out.iter().map(|t| t.norm_mlu).collect();
+    let mean_norm_mlu = norms.iter().sum::<f64>() / norms.len().max(1) as f64;
+    let p95_norm_mlu = percentile(&norms, 95.0).unwrap_or(f64::NAN);
+    let worst_norm_mlu = norms.iter().cloned().fold(f64::NAN, f64::max);
+
+    let report = LifecycleReport {
+        scenario: sc.name.clone(),
+        seed: sc.seed,
+        ticks: ticks_out,
+        storms: storms_out,
+        retrains: retrains_out,
+        maintenance_windows,
+        conn_drops,
+        reload_rejects,
+        max_staleness,
+        stale_ticks,
+        mean_norm_mlu,
+        p95_norm_mlu,
+        worst_norm_mlu,
+        degraded_ticks,
+        protocol_errors: counter("protocol_errors"),
+        shed_total: counter("shed"),
+        reload_ok: counter("reload_ok"),
+        reload_failed: counter("reload_failed"),
+        events,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    harp_obs::event("lifecycle.done")
+        .field("ticks", report.ticks.len())
+        .field("mean_norm_mlu", report.mean_norm_mlu)
+        .field("max_staleness", report.max_staleness)
+        .emit();
+    Ok(report)
+}
+
+/// Fine-tune a fresh same-architecture model warm-started from the
+/// previous generation's snapshot on the engine's recent-instance window.
+/// Runs on the trainer thread; returns the trained store.
+#[allow(clippy::too_many_arguments)]
+fn fine_tune(
+    model_cfg: HarpConfig,
+    window: Vec<(Instance, f64)>,
+    warm_path: PathBuf,
+    dir: PathBuf,
+    workers: usize,
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+    chaos: Option<Arc<FaultPlan>>,
+) -> Result<ParamStore, String> {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let harp = Harp::new(&mut store, &mut rng, model_cfg);
+    let refs: Vec<(&Instance, f64)> = window.iter().map(|(i, o)| (i, *o)).collect();
+    let val_n = refs.len().min(3);
+    let val = &refs[refs.len() - val_n..];
+    let tc = TrainConfig {
+        epochs,
+        batch_size: 4,
+        lr,
+        patience: 0,
+        workers,
+        checkpoint_dir: Some(dir),
+        checkpoint_every: 1,
+        seed,
+        chaos,
+        ..TrainConfig::default()
+    }
+    .warm_start_from(warm_path);
+    train_model(&harp, &mut store, &refs, val, tc, EvalOptions::default())
+        .map_err(|e| format!("{e:?}"))?;
+    Ok(store)
+}
+
+/// The "true" drifted view of one tick for bootstrap labeling: snapshot
+/// capacities (partial degradations included), storm links floored, and
+/// the cluster's full tunnel set pruned by everything that is down.
+fn true_instance(
+    item: &StreamItem,
+    storm_down: &BTreeSet<(usize, usize)>,
+    zero_cap: f64,
+    multiplier: f64,
+) -> (Instance, Vec<Value>) {
+    let links = item.cluster.topo.links();
+    let mut caps = item.snapshot.capacities.clone();
+    let mut down_edges: BTreeSet<EdgeId> = BTreeSet::new();
+    for &(u, v, f, r) in &links {
+        if storm_down.contains(&(u, v)) {
+            caps[f] = zero_cap;
+            caps[r] = zero_cap;
+        }
+        if caps[f] <= zero_cap * 1.000_001 {
+            down_edges.insert(f);
+        }
+        if caps[r] <= zero_cap * 1.000_001 {
+            down_edges.insert(r);
+        }
+    }
+    let mut topo = item.cluster.topo.clone();
+    topo.set_capacities(&caps)
+        .expect("capacities aligned to the cluster topology");
+    let tunnels = item.cluster.tunnels.without_edges(&down_edges);
+    let tm = item.snapshot.tm.scaled(multiplier);
+    let inst = Instance::compile(&topo, &tunnels, &tm);
+    let pairs = demand_pairs(&tm);
+    (inst, pairs)
+}
+
+/// The scored view of one live tick: like [`true_instance`] but with the
+/// *fleet's* pruned tunnel set, so the served splits line up with the
+/// program one-to-one.
+fn scored_instance(
+    item: &StreamItem,
+    fleet_tunnels: &harp_paths::TunnelSet,
+    storm_down: &BTreeSet<(usize, usize)>,
+    link_ids: &BTreeMap<(usize, usize), (EdgeId, EdgeId)>,
+    zero_cap: f64,
+    multiplier: f64,
+) -> (Instance, Vec<Value>) {
+    let mut caps = item.snapshot.capacities.clone();
+    for l in storm_down {
+        let (f, r) = link_ids[l];
+        caps[f] = zero_cap;
+        caps[r] = zero_cap;
+    }
+    let mut topo = item.cluster.topo.clone();
+    topo.set_capacities(&caps)
+        .expect("capacities aligned to the cluster topology");
+    let tm = item.snapshot.tm.scaled(multiplier);
+    let inst = Instance::compile(&topo, fleet_tunnels, &tm);
+    let pairs = demand_pairs(&tm);
+    (inst, pairs)
+}
+
+/// All strictly-positive demands of a TM as `[s, t, d]` JSON triples.
+fn demand_pairs(tm: &harp_traffic::TrafficMatrix) -> Vec<Value> {
+    let n = tm.num_nodes();
+    let mut pairs = Vec::new();
+    for s in 0..n {
+        for t in 0..n {
+            let d = tm.demand(s, t);
+            if d > 0.0 {
+                pairs.push(serde_json::json!([s, t, d]));
+            }
+        }
+    }
+    pairs
+}
+
+fn pairs_json(links: &[(usize, usize)]) -> Vec<Value> {
+    links
+        .iter()
+        .map(|&(u, v)| serde_json::json!([u, v]))
+        .collect()
+}
+
+/// Draw up to `want` currently-up links whose loss keeps the *active*
+/// subgraph connected (the cluster topology spans the full node universe,
+/// so this mirrors the generator's commissioned-subgraph failure rule
+/// rather than whole-graph strong connectivity).
+fn pick_storm_links(
+    current: &Topology,
+    link_ids: &BTreeMap<(usize, usize), (EdgeId, EdgeId)>,
+    queued_fail: &BTreeSet<(usize, usize)>,
+    want: usize,
+    zero_cap: f64,
+    rng: &mut StdRng,
+) -> Vec<(usize, usize)> {
+    let thresh = zero_cap * 10.0;
+    let mut live: BTreeSet<(usize, usize)> = link_ids
+        .iter()
+        .filter(|(l, &(f, _))| current.capacity(f) > thresh && !queued_fail.contains(l))
+        .map(|(l, _)| *l)
+        .collect();
+    // the node set is pinned before any draw: a pick that isolates a
+    // currently-active node is rejected, like the generator's rule
+    let nodes: BTreeSet<usize> = live.iter().flat_map(|&(u, v)| [u, v]).collect();
+    let mut candidates: Vec<(usize, usize)> = live.iter().copied().collect();
+    let mut picked = Vec::new();
+    while picked.len() < want && !candidates.is_empty() {
+        let i = rng.gen_range(0..candidates.len());
+        let l = candidates.swap_remove(i);
+        live.remove(&l);
+        if undirected_connected(&live, &nodes) {
+            picked.push(l);
+        } else {
+            live.insert(l);
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Are all of `nodes` mutually reachable over the undirected `live` links?
+fn undirected_connected(live: &BTreeSet<(usize, usize)>, nodes: &BTreeSet<usize>) -> bool {
+    let Some(&start) = nodes.iter().next() else {
+        return true;
+    };
+    let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &(u, v) in live {
+        adj.entry(u).or_default().push(v);
+        adj.entry(v).or_default().push(u);
+    }
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    seen.insert(start);
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        for &v in adj.get(&u).map_or(&[][..], Vec::as_slice) {
+            if seen.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    nodes.iter().all(|n| seen.contains(n))
+}
+
+fn gen_dir(work_dir: &Path, generation: u64) -> PathBuf {
+    work_dir.join(format!("gen{generation:03}"))
+}
+
+fn ship_path(work_dir: &Path, generation: u64) -> PathBuf {
+    work_dir.join(format!("ship_gen{generation:03}.json"))
+}
+
+/// Ship one checkpoint file to the fleet; returns whether every shard
+/// accepted it, plus the merged reply.
+fn reload(
+    addr: SocketAddr,
+    id: u64,
+    path: &Path,
+    tick: usize,
+    conn_drops: &mut u64,
+    events: &mut Vec<String>,
+) -> Result<(bool, Value), LifecycleError> {
+    let req = serde_json::json!({
+        "id": id,
+        "type": "reload_checkpoint",
+        "path": path.display().to_string(),
+    })
+    .to_string();
+    let resp = control_retry(addr, &req, tick, conn_drops, events)?;
+    let ok = resp.get("ok").and_then(Value::as_bool) == Some(true);
+    Ok((ok, resp))
+}
+
+/// Cross-check a successful reload reply against the engine's mirror.
+fn check_reload_reply(resp: &Value, epoch: u64, generation: u64) -> Result<(), LifecycleError> {
+    let repoch = resp.get("epoch").and_then(Value::as_f64);
+    let rgen = resp.get("generation").and_then(Value::as_f64);
+    if repoch != Some(epoch as f64) || rgen != Some(generation as f64) {
+        return Err(LifecycleError::Protocol(format!(
+            "reload skew: fleet epoch {repoch:?} gen {rgen:?} vs mirror epoch {epoch} gen {generation}"
+        )));
+    }
+    Ok(())
+}
+
+/// Fire one request on its own connection and return the parsed reply
+/// (`None` = the connection died, e.g. a chaos drop at accept).
+fn control_once(addr: SocketAddr, line: &str) -> Option<Value> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = stream;
+    writer.write_all(line.as_bytes()).ok()?;
+    writer.write_all(b"\n").ok()?;
+    writer.flush().ok()?;
+    let mut resp = String::new();
+    reader.read_line(&mut resp).ok()?;
+    if resp.is_empty() {
+        return None; // dropped before answering
+    }
+    serde_json::from_str(&resp).ok()
+}
+
+/// Retry a request through chaos-dropped connections, counting each drop
+/// into the event log. Five consecutive losses is a real failure.
+fn control_retry(
+    addr: SocketAddr,
+    line: &str,
+    tick: usize,
+    conn_drops: &mut u64,
+    events: &mut Vec<String>,
+) -> Result<Value, LifecycleError> {
+    for _ in 0..5 {
+        match control_once(addr, line) {
+            Some(v) => return Ok(v),
+            None => {
+                *conn_drops += 1;
+                events.push(format!("t={tick} conn_drop"));
+                harp_obs::event("lifecycle.conn_drop")
+                    .field("tick", tick)
+                    .emit();
+            }
+        }
+    }
+    Err(LifecycleError::Protocol(format!(
+        "connection to the fleet dropped 5 times in a row at tick {tick}"
+    )))
+}

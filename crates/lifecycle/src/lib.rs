@@ -1,0 +1,25 @@
+//! End-to-end WAN lifecycle simulator for the HARP reproduction.
+//!
+//! This crate closes the loop the paper's evaluation only sketches: it
+//! replays a multi-week AnonNet drift sequence — organic growth, failure
+//! storms, maintenance windows, flash crowds — as live
+//! `topology_update`/`infer` traffic into an in-process `harp-serve`
+//! fleet, while an online trainer fine-tunes on each drifted window from
+//! the last generation's checkpoint and hot-ships parameters over
+//! `reload_checkpoint`. The run is scored as an SLA: NormMLU over time
+//! against a per-snapshot LP oracle, time-to-recover per storm, and
+//! served-model staleness.
+//!
+//! Three independent chaos plans ([`LifecycleConfig::chaos_serve`],
+//! [`LifecycleConfig::chaos_train`], [`LifecycleConfig::chaos_ship`])
+//! let one drill exercise connection drops during storms, worker kills
+//! mid-fine-tune, and corrupt checkpoints mid-reload simultaneously —
+//! and every run is bitwise-reproducible from a single seed.
+
+mod engine;
+mod metrics;
+mod scenario;
+
+pub use engine::{run_lifecycle, LifecycleConfig, LifecycleError};
+pub use metrics::{LifecycleReport, RetrainOutcome, StormOutcome, TickSample};
+pub use scenario::{FlashCrowd, RetrainPolicy, Scenario, Storm};

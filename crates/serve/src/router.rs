@@ -250,13 +250,16 @@ impl Fleet {
         }
     }
 
-    /// Per-shard rows for the `stats` reply.
+    /// Per-shard rows for the `stats` reply. `staleness` is how many
+    /// checkpoint generations the shard lags the freshest live shard.
     pub fn shards_payload(&self) -> Value {
+        let (freshest, _) = self.generation_summary();
         Value::from(
             self.shards
                 .iter()
                 .enumerate()
                 .map(|(idx, s)| {
+                    let generation = s.meta.param_generation.load(Ordering::SeqCst);
                     serde_json::json!({
                         "shard": idx,
                         "epoch": s.meta.epoch.load(Ordering::SeqCst) as f64,
@@ -264,10 +267,27 @@ impl Fleet {
                         "alive": s.meta.alive.load(Ordering::SeqCst),
                         "failed_links": s.meta.failed_links.load(Ordering::SeqCst) as f64,
                         "num_tunnels": s.meta.num_tunnels.load(Ordering::SeqCst) as f64,
+                        "param_generation": generation as f64,
+                        "staleness": freshest.saturating_sub(generation) as f64,
                     })
                 })
                 .collect::<Vec<Value>>(),
         )
+    }
+
+    /// `(freshest generation, max staleness)` across live shards: the
+    /// highest checkpoint generation any live shard serves, and how far
+    /// the most-lagging live shard trails it.
+    pub fn generation_summary(&self) -> (u64, u64) {
+        let gens: Vec<u64> = self
+            .shards
+            .iter()
+            .filter(|s| s.meta.alive.load(Ordering::SeqCst))
+            .map(|s| s.meta.param_generation.load(Ordering::SeqCst))
+            .collect();
+        let max = gens.iter().copied().max().unwrap_or(0);
+        let min = gens.iter().copied().min().unwrap_or(0);
+        (max, max - min)
     }
 
     /// Failed links / live tunnels at the fleet's current epoch (read

@@ -608,6 +608,9 @@ impl EventLoop {
                     let (failed_links, num_tunnels) = self.fleet.topology_summary();
                     map.insert("failed_links".into(), Value::from(failed_links as f64));
                     map.insert("num_tunnels".into(), Value::from(num_tunnels as f64));
+                    let (generation, staleness) = self.fleet.generation_summary();
+                    map.insert("param_generation".into(), Value::from(generation as f64));
+                    map.insert("model_staleness".into(), Value::from(staleness as f64));
                     map.insert("shards".into(), self.fleet.shards_payload());
                 }
                 let resp = ok_response(id, payload);

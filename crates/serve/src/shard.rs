@@ -51,6 +51,10 @@ pub struct ShardMeta {
     pub failed_links: AtomicUsize,
     /// Live tunnels at the current epoch.
     pub num_tunnels: AtomicUsize,
+    /// Checkpoint generation the shard serves from: 0 at spawn, +1 per
+    /// successful `reload_checkpoint`. The fleet-wide max minus this is
+    /// the shard's model staleness.
+    pub param_generation: AtomicU64,
 }
 
 impl ShardMeta {
@@ -62,6 +66,7 @@ impl ShardMeta {
             alive: AtomicBool::new(true),
             failed_links: AtomicUsize::new(0),
             num_tunnels: AtomicUsize::new(0),
+            param_generation: AtomicU64::new(0),
         }
     }
 }
@@ -221,7 +226,7 @@ pub(crate) fn shard_main(spec: ShardSpec) {
         stats,
     } = spec;
     let state = NetworkState::new(topo, tunnels);
-    publish_meta(&meta, &state);
+    publish_meta(&meta, &state, 0);
     let crashed = catch_unwind(AssertUnwindSafe(|| {
         batcher_loop(
             &rx, state, model, store, max_batch, &rt, &stop, &stats, &meta,
@@ -261,12 +266,14 @@ pub(crate) fn shard_main(spec: ShardSpec) {
 }
 
 /// Copy the shard's current epoch state into its published metadata.
-fn publish_meta(meta: &ShardMeta, state: &NetworkState) {
+fn publish_meta(meta: &ShardMeta, state: &NetworkState, param_generation: u64) {
     meta.epoch.store(state.epoch(), Ordering::SeqCst);
     meta.failed_links
         .store(state.failed_edges().len(), Ordering::SeqCst);
     meta.num_tunnels
         .store(state.tunnels().num_tunnels(), Ordering::SeqCst);
+    meta.param_generation
+        .store(param_generation, Ordering::SeqCst);
 }
 
 /// The batcher loop: drain jobs, batch infers, apply control ops.
@@ -287,6 +294,9 @@ fn batcher_loop(
     // rebuilt lazily on the first infer after any topology update or
     // checkpoint reload. Only this shard touches it, so no locking.
     let mut epoch_cache: Option<EpochCache> = None;
+    // Checkpoint generation served by this shard; mirrored into
+    // `meta.param_generation` after every control op.
+    let mut param_generation: u64 = 0;
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -309,10 +319,11 @@ fn batcher_loop(
                     &mut state,
                     &mut store,
                     &mut epoch_cache,
+                    &mut param_generation,
                     stop,
                     stats,
                 );
-                publish_meta(meta, &state);
+                publish_meta(meta, &state, param_generation);
                 reply.send(resp);
             }
             Job::Infer(first) => {
@@ -346,6 +357,7 @@ fn batcher_loop(
                     model.as_ref(),
                     &store,
                     epoch_cache.as_ref(),
+                    param_generation,
                     rt,
                     stats,
                 );
@@ -357,10 +369,11 @@ fn batcher_loop(
                             &mut state,
                             &mut store,
                             &mut epoch_cache,
+                            &mut param_generation,
                             stop,
                             stats,
                         );
-                        publish_meta(meta, &state);
+                        publish_meta(meta, &state, param_generation);
                         reply.send(resp);
                     }
                     Some(Job::Crash) => {
@@ -376,12 +389,14 @@ fn batcher_loop(
 
 /// Run one batch of infer jobs through the model on the worker pool and
 /// answer each, degrading individually on deadline miss or model error.
+#[allow(clippy::too_many_arguments)]
 fn process_batch(
     batch: Vec<InferJob>,
     state: &mut NetworkState,
     model: &dyn SplitModel,
     store: &Arc<ParamStore>,
     epoch_cache: Option<&EpochCache>,
+    param_generation: u64,
     rt: &Runtime,
     stats: &ServeStats,
 ) {
@@ -482,6 +497,7 @@ fn process_batch(
                     job.id,
                     serde_json::json!({
                         "epoch": epoch,
+                        "generation": param_generation,
                         "degraded": false,
                         "mlu": inf.mlu,
                         "splits": Value::from(inf.splits.clone()),
@@ -520,12 +536,14 @@ fn degrade(job: &InferJob, state: &NetworkState, stats: &ServeStats, reason: Deg
 }
 
 /// Apply one control request on the shard thread.
+#[allow(clippy::too_many_arguments)]
 fn handle_control(
     id: u64,
     req: Request,
     state: &mut NetworkState,
     store: &mut Arc<ParamStore>,
     epoch_cache: &mut Option<EpochCache>,
+    param_generation: &mut u64,
     stop: &AtomicBool,
     stats: &ServeStats,
 ) -> String {
@@ -566,14 +584,25 @@ fn handle_control(
                     let params = candidate.ids().count();
                     *store = Arc::new(candidate);
                     *epoch_cache = None; // parameters changed: embeddings are stale
+                    *param_generation += 1;
+                    // A reload is a new epoch: requests pinned to the old
+                    // epoch are stale everywhere the swap has landed, so a
+                    // pin can never mix parameter generations even while
+                    // the broadcast is still in flight on sibling shards.
+                    state.bump_epoch();
                     stats.record_reload(true);
                     harp_obs::event("serve.reload")
                         .field("path", path)
                         .field("params", params)
+                        .field("generation", *param_generation)
                         .emit();
                     ok_response(
                         id,
-                        serde_json::json!({ "epoch": state.epoch(), "params": params }),
+                        serde_json::json!({
+                            "epoch": state.epoch(),
+                            "generation": *param_generation,
+                            "params": params,
+                        }),
                     )
                 }
                 Err(e) => {

@@ -82,6 +82,14 @@ impl NetworkState {
         self.epoch
     }
 
+    /// Advance the epoch without touching the topology. Checkpoint
+    /// reloads use this so an epoch pin can never observe two parameter
+    /// generations: requests pinned to the pre-reload epoch are rejected
+    /// as stale by any shard that already swapped its store.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
     /// Directed edge ids currently failed.
     pub fn failed_edges(&self) -> &BTreeSet<EdgeId> {
         &self.failed

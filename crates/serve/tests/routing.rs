@@ -10,11 +10,13 @@
 //!   is answered with retryable errors, and the router never selects it
 //!   again while the survivors keep serving.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use harp_core::{Harp, HarpConfig, SplitModel};
+use harp_nn::save_params;
 use harp_paths::TunnelSet;
 use harp_serve::{parse_request, Fleet, InferJob, ReplySink, Request, RouteDecision, ServeStats};
 use harp_tensor::ParamStore;
@@ -33,24 +35,24 @@ fn square() -> (Topology, TunnelSet) {
     (topo, tunnels)
 }
 
+fn tiny_cfg() -> HarpConfig {
+    HarpConfig {
+        gnn_layers: 1,
+        gnn_hidden: 4,
+        d_model: 8,
+        settrans_layers: 1,
+        heads: 1,
+        d_ff: 8,
+        mlp_hidden: 8,
+        rau_iters: 1,
+    }
+}
+
 fn spawn_fleet(num_shards: usize, queue_limit: usize) -> (Fleet, Arc<AtomicBool>) {
     let (topo, tunnels) = square();
     let mut store = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(3);
-    let harp = Harp::new(
-        &mut store,
-        &mut rng,
-        HarpConfig {
-            gnn_layers: 1,
-            gnn_hidden: 4,
-            d_model: 8,
-            settrans_layers: 1,
-            heads: 1,
-            d_ff: 8,
-            mlp_hidden: 8,
-            rau_iters: 1,
-        },
-    );
+    let harp = Harp::new(&mut store, &mut rng, tiny_cfg());
     let model: Arc<dyn SplitModel + Send + Sync> = Arc::new(harp);
     let stop = Arc::new(AtomicBool::new(false));
     let fleet = Fleet::spawn(
@@ -105,6 +107,38 @@ fn topology_update(fail: &[(usize, usize)]) -> Request {
     .unwrap();
     let (_, req) = parse_request(&line).expect("valid update");
     req
+}
+
+/// Write a valid same-architecture checkpoint (different seed) and return
+/// a `reload_checkpoint` request pointing at it.
+fn reload_request(name: &str, seed: u64) -> Request {
+    let dir = std::env::temp_dir().join("harp_serve_routing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut other = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _ = Harp::new(&mut other, &mut rng, tiny_cfg());
+    save_params(&other, &path).unwrap();
+    let line = serde_json::to_string(&serde_json::json!({
+        "id": 1, "type": "reload_checkpoint", "path": path.to_str().unwrap()
+    }))
+    .unwrap();
+    let (_, req) = parse_request(&line).expect("valid reload");
+    req
+}
+
+/// The `param_generation`/`staleness` rows of the stats payload.
+fn generation_rows(fleet: &Fleet) -> Vec<(u64, u64, u64)> {
+    fleet
+        .shards_payload()
+        .as_array()
+        .expect("shards payload is an array")
+        .iter()
+        .map(|row| {
+            let f = |k: &str| row.get(k).and_then(Value::as_f64).unwrap() as u64;
+            (f("epoch"), f("param_generation"), f("staleness"))
+        })
+        .collect()
 }
 
 #[test]
@@ -224,6 +258,118 @@ fn router_fails_over_when_a_shard_dies_mid_batch() {
     assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
     assert_eq!(fleet.current_epoch(), 1);
 
+    stop.store(true, Ordering::SeqCst);
+    fleet.join();
+}
+
+#[test]
+fn generation_and_staleness_survive_a_reload_update_round() {
+    let (mut fleet, stop) = spawn_fleet(2, 64);
+
+    // cold fleet: generation 0, nobody stale
+    assert_eq!(fleet.generation_summary(), (0, 0));
+    for (epoch, generation, staleness) in generation_rows(&fleet) {
+        assert_eq!((epoch, generation, staleness), (0, 0, 0));
+    }
+
+    // reload: every shard advances to generation 1, and the reload is
+    // itself an epoch bump (pins to the pre-reload params go stale)
+    let (tx, rx) = mpsc::channel();
+    fleet.broadcast_control(
+        300,
+        reload_request("round.json", 99),
+        ReplySink::Channel(tx),
+    );
+    let v = recv_json(&rx);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("epoch").and_then(Value::as_u64), Some(1));
+    assert_eq!(v.get("generation").and_then(Value::as_u64), Some(1));
+    wait_until("all shards at generation 1", || {
+        generation_rows(&fleet).iter().all(|&r| r == (1, 1, 0))
+    });
+    assert_eq!(fleet.generation_summary(), (1, 0));
+
+    // a topology update must not disturb the generation accounting
+    let (tx, rx) = mpsc::channel();
+    fleet.broadcast_control(301, topology_update(&[(0, 1)]), ReplySink::Channel(tx));
+    let v = recv_json(&rx);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("epoch").and_then(Value::as_u64), Some(2));
+    wait_until("all shards at epoch 2, still generation 1", || {
+        generation_rows(&fleet).iter().all(|&r| r == (2, 1, 0))
+    });
+    assert_eq!(fleet.generation_summary(), (1, 0));
+
+    // and an infer pinned to the post-update epoch reports the generation
+    let (tx, rx) = mpsc::channel();
+    fleet
+        .submit_infer(infer_job(302, Some(2), ReplySink::Channel(tx)))
+        .expect("pin to current epoch routes");
+    let v = recv_json(&rx);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("generation").and_then(Value::as_u64), Some(1));
+
+    stop.store(true, Ordering::SeqCst);
+    fleet.join();
+}
+
+#[test]
+fn reload_mid_batch_never_mixes_generations_within_an_epoch() {
+    // The atomicity contract: a reload bumps the epoch, so requests
+    // observing epoch E must all have been served from the same parameter
+    // generation — even while the reload broadcast is still landing shard
+    // by shard on a busy multi-shard fleet.
+    let (mut fleet, stop) = spawn_fleet(3, 256);
+
+    let mut replies = Vec::new();
+    let (reload_tx, reload_rx) = mpsc::channel();
+    for i in 0..60u64 {
+        if i == 20 {
+            // fire the reload while infer work is queued mid-batch
+            fleet.broadcast_control(
+                1000,
+                reload_request("atomic.json", 41),
+                ReplySink::Channel(reload_tx.clone()),
+            );
+        }
+        let (tx, rx) = mpsc::channel();
+        if fleet
+            .submit_infer(infer_job(i, None, ReplySink::Channel(tx)))
+            .is_ok()
+        {
+            replies.push(rx);
+        }
+    }
+    let v = recv_json(&reload_rx);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("generation").and_then(Value::as_u64), Some(1));
+
+    // every epoch observed by any reply maps to exactly one generation
+    let mut by_epoch: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for rx in replies {
+        let v = recv_json(&rx);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        if v.get("degraded").and_then(Value::as_bool) == Some(true) {
+            continue; // degraded replies answer from fallback splits
+        }
+        let epoch = v.get("epoch").and_then(Value::as_u64).unwrap();
+        let generation = v.get("generation").and_then(Value::as_u64).unwrap();
+        by_epoch.entry(epoch).or_default().insert(generation);
+    }
+    for (epoch, generations) in &by_epoch {
+        assert_eq!(
+            generations.len(),
+            1,
+            "epoch {epoch} served from {} generations: {generations:?}",
+            generations.len()
+        );
+        // in this scenario only reloads bump the epoch, so they track 1:1
+        assert!(generations.contains(epoch));
+    }
+
+    wait_until("fleet settles at generation 1", || {
+        generation_rows(&fleet).iter().all(|&r| r == (1, 1, 0))
+    });
     stop.store(true, Ordering::SeqCst);
     fleet.join();
 }

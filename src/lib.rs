@@ -69,6 +69,13 @@ pub mod serve {
     pub use harp_serve::*;
 }
 
+/// End-to-end WAN lifecycle simulator: drift replay, failure storms, and
+/// online retraining against a live serving fleet (re-export of
+/// `harp-lifecycle`).
+pub mod lifecycle {
+    pub use harp_lifecycle::*;
+}
+
 /// Static analysis of recorded tapes: shape re-inference, gradient
 /// reachability, and numerical-hazard lints (re-export of `harp-verify`).
 pub mod verify {
