@@ -16,16 +16,26 @@
 //! Results go to `BENCH_lifecycle.json`; `--assert-*` flags turn SLA
 //! measurements into CI gates (non-zero exit on violation).
 //!
+//! `--trainer process` runs every retrain in an exec'd `harp-trainerd`
+//! child under `harp-super` supervision (this binary doubles as the
+//! child — it re-execs itself via `maybe_run_child`). `--chaos-proc`
+//! arms a per-attempt escalation script of process faults (real
+//! SIGKILLs, garbled IPC frames); with `--chaos` and no explicit script,
+//! a default kill+garble ladder is armed. `--assert-no-trainer-deaths`
+//! and `--assert-no-child-leaks` gate the supervision outcome.
+//!
 //! Usage: `cargo run --release -p harp-bench --bin bench_lifecycle -- \
 //!   [out.json] [--seed N] [--scenario quick|flagship] [--shards N] \
+//!   [--trainer thread|process] [--chaos-proc "spec;spec;..."] \
 //!   [--chaos] [--check] [--assert-zero-protocol-errors] \
 //!   [--assert-recover-ticks N] [--assert-max-staleness N] \
-//!   [--assert-mean-norm-mlu X]`
+//!   [--assert-mean-norm-mlu X] [--assert-no-trainer-deaths] \
+//!   [--assert-no-child-leaks]`
 
 use std::sync::Arc;
 
 use harp_chaos::FaultPlan;
-use harp_lifecycle::{run_lifecycle, LifecycleConfig, LifecycleReport, Scenario};
+use harp_lifecycle::{run_lifecycle, LifecycleConfig, LifecycleReport, Scenario, TrainerMode};
 use serde_json::Value;
 
 struct Gates {
@@ -33,13 +43,34 @@ struct Gates {
     max_recover_ticks: Option<usize>,
     max_staleness: Option<u64>,
     max_mean_norm_mlu: Option<f64>,
+    no_trainer_deaths: bool,
+    no_child_leaks: bool,
+}
+
+/// Pids still parented to this process — a supervised run must reap every
+/// trainer child it spawned, so after the drill this must come back empty.
+#[cfg(target_os = "linux")]
+fn leaked_children() -> Vec<String> {
+    let mut kids = Vec::new();
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        for tid in tasks.flatten() {
+            let raw = std::fs::read_to_string(tid.path().join("children")).unwrap_or_default();
+            kids.extend(raw.split_whitespace().map(str::to_string));
+        }
+    }
+    kids
+}
+
+#[cfg(not(target_os = "linux"))]
+fn leaked_children() -> Vec<String> {
+    Vec::new()
 }
 
 fn plan(spec: &str) -> Arc<FaultPlan> {
     Arc::new(FaultPlan::parse(spec).expect("valid fault plan"))
 }
 
-fn report_json(r: &LifecycleReport, chaos: bool, shards: usize) -> Value {
+fn report_json(r: &LifecycleReport, chaos: bool, shards: usize, trainer: TrainerMode) -> Value {
     let mut doc = r.to_json();
     if let Value::Object(map) = &mut doc {
         map.insert(
@@ -58,23 +89,38 @@ fn report_json(r: &LifecycleReport, chaos: bool, shards: usize) -> Value {
         );
         map.insert("chaos".into(), Value::from(chaos));
         map.insert("shards".into(), Value::from(shards as f64));
+        map.insert(
+            "trainer".into(),
+            Value::from(match trainer {
+                TrainerMode::Thread => "thread",
+                TrainerMode::Process => "process",
+            }),
+        );
     }
     doc
 }
 
 #[allow(clippy::too_many_lines)]
 fn main() {
+    // when exec'd as a trainer child (HARP_TRAINERD_CHILD=1) this call
+    // runs the child protocol on stdin/stdout and never returns
+    harp_lifecycle::maybe_run_child();
+
     let mut out_path = "BENCH_lifecycle.json".to_string();
     let mut seed = 7u64;
     let mut scenario_name = "flagship".to_string();
     let mut shards: Option<usize> = None;
     let mut chaos = false;
     let mut check = false;
+    let mut trainer = TrainerMode::Thread;
+    let mut chaos_proc: Vec<String> = Vec::new();
     let mut gates = Gates {
         zero_protocol_errors: false,
         max_recover_ticks: None,
         max_staleness: None,
         max_mean_norm_mlu: None,
+        no_trainer_deaths: false,
+        no_child_leaks: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -91,7 +137,27 @@ fn main() {
             "--shards" => shards = Some((num("--shards") as usize).max(1)),
             "--chaos" => chaos = true,
             "--check" => check = true,
+            "--trainer" => {
+                trainer = match args.next().as_deref() {
+                    Some("thread") => TrainerMode::Thread,
+                    Some("process") => TrainerMode::Process,
+                    other => panic!("--trainer requires thread|process, got {other:?}"),
+                };
+            }
+            "--chaos-proc" => {
+                let script = args
+                    .next()
+                    .expect("--chaos-proc requires \"spec;spec;...\"");
+                chaos_proc = script
+                    .split(';')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             "--assert-zero-protocol-errors" => gates.zero_protocol_errors = true,
+            "--assert-no-trainer-deaths" => gates.no_trainer_deaths = true,
+            "--assert-no-child-leaks" => gates.no_child_leaks = true,
             "--assert-recover-ticks" => {
                 gates.max_recover_ticks = Some(num("--assert-recover-ticks") as usize);
             }
@@ -129,16 +195,38 @@ fn main() {
             cfg.chaos_train = Some(plan("kill-worker@epoch=1,worker=0"));
             cfg.chaos_ship = Some(plan("corrupt-checkpoint@write=1,mode=flip"));
         }
+        cfg.trainer = trainer;
+        cfg.chaos_proc = chaos_proc.clone();
+        if cfg.chaos_proc.is_empty() && chaos && trainer == TrainerMode::Process {
+            // default process-fault ladder: attempt 0 is SIGKILLed
+            // mid-forward, attempt 1 garbles an IPC frame, attempt 2 runs
+            // clean — every retrain walks the whole escalation ladder
+            cfg.chaos_proc = vec![
+                "kill-trainer@epoch=0,phase=forward".to_string(),
+                "garble-ipc@frame=2".to_string(),
+            ];
+        }
+        for spec in &cfg.chaos_proc {
+            // fail fast on a typo instead of diagnosing a dead trainer
+            drop(plan(spec));
+        }
         cfg
     };
     let cfg = build_cfg("");
 
     println!(
-        "lifecycle drill: scenario {} seed {seed}, {} shard(s), chaos {}",
+        "lifecycle drill: scenario {} seed {seed}, {} shard(s), trainer {}, chaos {}",
         cfg.scenario.name,
         cfg.shards,
+        match cfg.trainer {
+            TrainerMode::Thread => "thread",
+            TrainerMode::Process => "process (supervised)",
+        },
         if chaos { "on" } else { "off" }
     );
+    if !cfg.chaos_proc.is_empty() {
+        println!("  process-fault ladder: {}", cfg.chaos_proc.join(" ; "));
+    }
     let report = match run_lifecycle(&cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -212,8 +300,17 @@ fn main() {
         report.degraded_ticks,
         report.protocol_errors
     );
+    if trainer == TrainerMode::Process {
+        println!(
+            "  supervision: restarts {}, ipc errors {}, trainer deaths {}, ships abandoned {}",
+            report.trainer_restarts,
+            report.trainer_ipc_errors,
+            report.trainer_deaths,
+            report.ships_abandoned
+        );
+    }
 
-    let doc = report_json(&report, chaos, cfg.shards);
+    let doc = report_json(&report, chaos, cfg.shards, trainer);
     let text = serde_json::to_string_pretty(&doc).expect("serialize lifecycle report");
     if let Err(e) = std::fs::write(&out_path, text) {
         eprintln!("error: write {out_path}: {e}");
@@ -256,6 +353,21 @@ fn main() {
             failures.push(format!(
                 "mean NormMLU {:.4} > allowed {max:.4}",
                 report.mean_norm_mlu
+            ));
+        }
+    }
+    if gates.no_trainer_deaths && (report.trainer_deaths > 0 || report.ships_abandoned > 0) {
+        failures.push(format!(
+            "{} trainer death(s), {} abandoned ship(s) (supervision must always recover)",
+            report.trainer_deaths, report.ships_abandoned
+        ));
+    }
+    if gates.no_child_leaks {
+        let kids = leaked_children();
+        if !kids.is_empty() {
+            failures.push(format!(
+                "leaked child process(es) after the drill: {}",
+                kids.join(", ")
             ));
         }
     }

@@ -30,6 +30,11 @@
 //! drop-conn@every=32                   drop one in every 32 accepted connections, forever
 //! delay-conn@every=16,ms=50            stall one in every 16 accepted connections 50 ms
 //! abort@epoch=2                        abort training after epoch 2 (simulated crash)
+//! kill-trainer@epoch=1,phase=forward   real SIGKILL of the trainer process at a phase
+//! kill-trainer@phase=ship              (phase: forward|checkpoint|ship; epoch ignored for ship)
+//! hang-trainer@epoch=1                 trainer livelocks before epoch 1 (watchdog drill)
+//! garble-ipc@frame=2                   mangle the trainer's 2nd outgoing IPC frame
+//! slow-ipc@every=4,ms=50               stall every 4th outgoing IPC frame 50 ms (periodic)
 //! seed=42                              seed for corruption byte positions (default 0)
 //! ```
 //!
@@ -45,6 +50,28 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Which trainer phase a [`FaultKind::KillTrainer`] fault strikes in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainerPhase {
+    /// Inside a forward/backward pass of the target epoch.
+    Forward,
+    /// Right before the target epoch's snapshot write.
+    Checkpoint,
+    /// After the parameter file is written, before the ship frame.
+    Ship,
+}
+
+impl TrainerPhase {
+    /// Stable name used in the plan grammar and events.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrainerPhase::Forward => "forward",
+            TrainerPhase::Checkpoint => "checkpoint",
+            TrainerPhase::Ship => "ship",
+        }
+    }
+}
 
 /// How [`FaultKind::CorruptCheckpoint`] mangles the byte stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,6 +138,38 @@ pub enum FaultKind {
         /// 0-based epoch after which training aborts.
         epoch: u64,
     },
+    /// SIGKILL the trainer **process** (for real — no unwinding, no
+    /// cleanup) at `phase` of epoch `epoch`. Only meaningful inside an
+    /// out-of-process trainer under `harp-super` supervision.
+    KillTrainer {
+        /// 0-based epoch targeted (ignored for [`TrainerPhase::Ship`]).
+        epoch: u64,
+        /// Where inside the epoch the kill lands.
+        phase: TrainerPhase,
+    },
+    /// Livelock the trainer process before epoch `epoch` starts: it keeps
+    /// running but stops speaking, so only the supervisor's heartbeat
+    /// watchdog can reclaim it.
+    HangTrainer {
+        /// 0-based epoch before which the trainer goes silent.
+        epoch: u64,
+    },
+    /// Mangle the bytes of the trainer's `frame`-th outgoing IPC frame
+    /// (0-based, counted after the config handshake) so the supervisor
+    /// sees a framing-level protocol error.
+    GarbleIpc {
+        /// 0-based outgoing-frame index to garble.
+        frame: u64,
+    },
+    /// Stall every `every`-th outgoing IPC frame for `ms` (periodic, never
+    /// exhausts) — latency chaos for the heartbeat watchdog's margins.
+    SlowIpc {
+        /// Period in outgoing frames (>= 1; fires on the `every`th,
+        /// `2*every`th, ... frame, 1-based).
+        every: u64,
+        /// Stall in milliseconds.
+        ms: u64,
+    },
 }
 
 impl FaultKind {
@@ -125,6 +184,10 @@ impl FaultKind {
             FaultKind::DropConnEvery { .. } => "drop-conn-every",
             FaultKind::DelayConnEvery { .. } => "delay-conn-every",
             FaultKind::Abort { .. } => "abort",
+            FaultKind::KillTrainer { .. } => "kill-trainer",
+            FaultKind::HangTrainer { .. } => "hang-trainer",
+            FaultKind::GarbleIpc { .. } => "garble-ipc",
+            FaultKind::SlowIpc { .. } => "slow-ipc",
         }
     }
 
@@ -133,7 +196,9 @@ impl FaultKind {
     pub fn is_periodic(&self) -> bool {
         matches!(
             self,
-            FaultKind::DropConnEvery { .. } | FaultKind::DelayConnEvery { .. }
+            FaultKind::DropConnEvery { .. }
+                | FaultKind::DelayConnEvery { .. }
+                | FaultKind::SlowIpc { .. }
         )
     }
 }
@@ -154,6 +219,16 @@ pub enum ConnFault {
     DelayMs(u64),
 }
 
+/// What [`FaultPlan::ipc_fault`] tells the trainer's frame writer to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IpcFault {
+    /// Mangle the frame bytes before writing (the supervisor must surface
+    /// a typed protocol error, never a panic).
+    Garble,
+    /// Sleep this many milliseconds before writing the frame.
+    DelayMs(u64),
+}
+
 /// A deterministic, seeded set of faults with fired-once semantics.
 ///
 /// All query methods take `&self` (latches and counters are atomics), so a
@@ -167,6 +242,8 @@ pub struct FaultPlan {
     writes: AtomicU64,
     /// Serve connections observed so far (drives `drop-conn`/`delay-conn`).
     conns: AtomicU64,
+    /// Outgoing IPC frames observed so far (drives `garble-ipc`/`slow-ipc`).
+    frames: AtomicU64,
 }
 
 /// Why a `HARP_FAULT` string failed to parse.
@@ -200,6 +277,7 @@ impl FaultPlan {
             seed,
             writes: AtomicU64::new(0),
             conns: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
         }
     }
 
@@ -294,6 +372,51 @@ impl FaultPlan {
                 },
                 "abort" => FaultKind::Abort {
                     epoch: require(get("epoch")?, "epoch")?,
+                },
+                "kill-trainer" => {
+                    let phase = match str_param(params, "phase") {
+                        Some("forward") => TrainerPhase::Forward,
+                        Some("checkpoint") => TrainerPhase::Checkpoint,
+                        Some("ship") => TrainerPhase::Ship,
+                        Some(other) => {
+                            return Err(PlanParseError {
+                                spec: spec.to_string(),
+                                reason: format!(
+                                    "unknown phase `{other}` (forward|checkpoint|ship)"
+                                ),
+                            })
+                        }
+                        None => {
+                            return Err(PlanParseError {
+                                spec: spec.to_string(),
+                                reason: "missing required parameter `phase`".to_string(),
+                            })
+                        }
+                    };
+                    let epoch = match phase {
+                        // ship happens once, after the last epoch
+                        TrainerPhase::Ship => get("epoch")?.unwrap_or(0),
+                        _ => require(get("epoch")?, "epoch")?,
+                    };
+                    FaultKind::KillTrainer { epoch, phase }
+                }
+                "hang-trainer" => FaultKind::HangTrainer {
+                    epoch: require(get("epoch")?, "epoch")?,
+                },
+                "garble-ipc" => FaultKind::GarbleIpc {
+                    frame: require(get("frame")?, "frame")?,
+                },
+                "slow-ipc" => match require(get("every")?, "every")? {
+                    every if every >= 1 => FaultKind::SlowIpc {
+                        every,
+                        ms: require(get("ms")?, "ms")?,
+                    },
+                    _ => {
+                        return Err(PlanParseError {
+                            spec: spec.to_string(),
+                            reason: "`every` must be >= 1".to_string(),
+                        })
+                    }
                 },
                 other => {
                     return Err(PlanParseError {
@@ -428,12 +551,73 @@ impl FaultPlan {
         }
         None
     }
+
+    /// True (latched) when a `kill-trainer` fault targets `(epoch, phase)`
+    /// — the testable predicate behind [`FaultPlan::maybe_kill_trainer`].
+    /// For [`TrainerPhase::Ship`] the epoch is ignored: shipping happens
+    /// once, after the last epoch.
+    pub fn kill_trainer_due(&self, epoch: u64, phase: TrainerPhase) -> bool {
+        self.fire(|k| {
+            matches!(k, FaultKind::KillTrainer { epoch: e, phase: p }
+                if *p == phase && (phase == TrainerPhase::Ship || *e == epoch))
+        })
+        .is_some()
+    }
+
+    /// SIGKILL the **current process** when a `kill-trainer` fault targets
+    /// `(epoch, phase)`. This is a real, uncatchable kill — no unwinding,
+    /// no destructors — exactly the failure a supervisor must absorb. Only
+    /// arm it inside an out-of-process trainer.
+    pub fn maybe_kill_trainer(&self, epoch: u64, phase: TrainerPhase) {
+        if self.kill_trainer_due(epoch, phase) {
+            harp_super::kill_self_hard();
+        }
+    }
+
+    /// True (latched) when a `hang-trainer` fault targets `epoch`. The
+    /// caller implements the livelock (the fault is a scripted silence,
+    /// not a kill).
+    pub fn hang_trainer_due(&self, epoch: u64) -> bool {
+        self.fire(|k| matches!(k, FaultKind::HangTrainer { epoch: e } if *e == epoch))
+            .is_some()
+    }
+
+    /// Count one outgoing IPC frame and return the fault to apply to it,
+    /// if any. One-shot `garble-ipc@frame=` faults take precedence (and
+    /// latch); otherwise the first matching periodic `slow-ipc@every=`
+    /// schedule fires without latching.
+    pub fn ipc_fault(&self) -> Option<IpcFault> {
+        let frame = self.frames.fetch_add(1, Ordering::SeqCst);
+        if self
+            .fire(|k| matches!(k, FaultKind::GarbleIpc { frame: f } if *f == frame))
+            .is_some()
+        {
+            return Some(IpcFault::Garble);
+        }
+        for armed in &self.faults {
+            // 1-based period, like the periodic conn faults
+            if let FaultKind::SlowIpc { every, ms } = armed.kind {
+                if (frame + 1).is_multiple_of(every) {
+                    harp_obs::event("chaos.fire")
+                        .field("fault", armed.kind.name())
+                        .field("frame", frame)
+                        .emit();
+                    return Some(IpcFault::DelayMs(ms));
+                }
+            }
+        }
+        None
+    }
 }
 
 fn mode_param(params: &str) -> Option<&str> {
+    str_param(params, "mode")
+}
+
+fn str_param<'a>(params: &'a str, key: &str) -> Option<&'a str> {
     params.split(',').find_map(|kv| {
         let (k, v) = kv.trim().split_once('=')?;
-        (k.trim() == "mode").then(|| v.trim())
+        (k.trim() == key).then(|| v.trim())
     })
 }
 
@@ -521,6 +705,70 @@ mod tests {
     }
 
     #[test]
+    fn parses_process_level_faults() {
+        let plan = FaultPlan::parse(
+            "kill-trainer@epoch=1,phase=forward; kill-trainer@epoch=2,phase=checkpoint; \
+             kill-trainer@phase=ship; hang-trainer@epoch=0; garble-ipc@frame=2; \
+             slow-ipc@every=4,ms=50",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.faults(),
+            vec![
+                FaultKind::KillTrainer {
+                    epoch: 1,
+                    phase: TrainerPhase::Forward
+                },
+                FaultKind::KillTrainer {
+                    epoch: 2,
+                    phase: TrainerPhase::Checkpoint
+                },
+                FaultKind::KillTrainer {
+                    epoch: 0,
+                    phase: TrainerPhase::Ship
+                },
+                FaultKind::HangTrainer { epoch: 0 },
+                FaultKind::GarbleIpc { frame: 2 },
+                FaultKind::SlowIpc { every: 4, ms: 50 },
+            ]
+        );
+    }
+
+    #[test]
+    fn kill_trainer_latches_per_phase_and_epoch() {
+        let plan = FaultPlan::parse("kill-trainer@epoch=1,phase=forward; kill-trainer@phase=ship")
+            .unwrap();
+        assert!(!plan.kill_trainer_due(0, TrainerPhase::Forward));
+        assert!(!plan.kill_trainer_due(1, TrainerPhase::Checkpoint));
+        assert!(plan.kill_trainer_due(1, TrainerPhase::Forward));
+        assert!(!plan.kill_trainer_due(1, TrainerPhase::Forward), "latched");
+        // ship matches regardless of epoch
+        assert!(plan.kill_trainer_due(99, TrainerPhase::Ship));
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn hang_trainer_latches_at_target_epoch() {
+        let plan = FaultPlan::parse("hang-trainer@epoch=2").unwrap();
+        assert!(!plan.hang_trainer_due(0));
+        assert!(!plan.hang_trainer_due(1));
+        assert!(plan.hang_trainer_due(2));
+        assert!(!plan.hang_trainer_due(2), "latched");
+    }
+
+    #[test]
+    fn ipc_faults_count_frames_and_slow_is_periodic() {
+        let plan = FaultPlan::parse("garble-ipc@frame=1; slow-ipc@every=3,ms=20").unwrap();
+        assert_eq!(plan.ipc_fault(), None); // frame 0
+        assert_eq!(plan.ipc_fault(), Some(IpcFault::Garble)); // frame 1
+        assert_eq!(plan.ipc_fault(), Some(IpcFault::DelayMs(20))); // frame 2 (3rd)
+        assert_eq!(plan.ipc_fault(), None); // frame 3
+        assert_eq!(plan.ipc_fault(), None); // frame 4
+        assert_eq!(plan.ipc_fault(), Some(IpcFault::DelayMs(20))); // frame 5 (6th)
+        assert!(plan.exhausted(), "slow-ipc is periodic, garble latched");
+    }
+
+    #[test]
     fn rejects_unknown_and_malformed_specs() {
         for bad in [
             "explode@now=1",
@@ -530,6 +778,13 @@ mod tests {
             "corrupt-checkpoint@write=0,mode=shred",
             "delay-conn@nth=1",
             "seed=banana",
+            "kill-trainer@epoch=1",
+            "kill-trainer@epoch=1,phase=sideways",
+            "kill-trainer@phase=forward",
+            "hang-trainer",
+            "garble-ipc@frame=soon",
+            "slow-ipc@every=0,ms=5",
+            "slow-ipc@every=2",
         ] {
             let err = FaultPlan::parse(bad).expect_err(bad);
             assert!(!err.to_string().is_empty(), "{bad}");

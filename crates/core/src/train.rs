@@ -373,6 +373,7 @@ pub fn train_model(
             let outcome = rt.try_par_chunks(chunk, |ci, _, ids| {
                 if let Some(plan) = &chaos {
                     plan.maybe_kill_worker(epoch as u64, ci as u64);
+                    plan.maybe_kill_trainer(epoch as u64, harp_chaos::TrainerPhase::Forward);
                 }
                 let mut items = Vec::with_capacity(ids.len());
                 for &i in ids {
@@ -542,6 +543,12 @@ pub fn train_model(
                         })
                         .collect(),
                 };
+                if let Some(plan) = &chaos {
+                    plan.maybe_kill_trainer(
+                        (epoch - 1) as u64,
+                        harp_chaos::TrainerPhase::Checkpoint,
+                    );
+                }
                 save_snapshot(store, &snap, path, chaos.as_deref())
                     .map_err(TrainError::Checkpoint)?;
                 harp_obs::event("train.checkpoint")

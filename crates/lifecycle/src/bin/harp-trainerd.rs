@@ -1,0 +1,12 @@
+//! `harp-trainerd` — the out-of-process trainer child.
+//!
+//! Spawned by a `harp-super` supervisor (never run by hand): speaks the
+//! length-prefixed NDJSON child protocol on stdin/stdout, fine-tunes the
+//! job from the config frame epoch-at-a-time with per-epoch snapshots,
+//! and ships a trained parameter file. Exit code 0 = shipped, nonzero =
+//! structured failure (a `failed` frame precedes it when the pipe is
+//! still writable).
+
+fn main() {
+    std::process::exit(harp_lifecycle::trainerd_main());
+}

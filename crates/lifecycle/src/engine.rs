@@ -47,6 +47,8 @@ use serde_json::Value;
 
 use crate::metrics::{LifecycleReport, RetrainOutcome, StormOutcome, TickSample};
 use crate::scenario::{warn_knob, Scenario};
+use crate::supervised::{run_supervised, SupervisedResult};
+use crate::trainerd::{JobInstance, TrainJob};
 
 /// A lifecycle run failed outside the scripted fault envelope.
 #[derive(Debug)]
@@ -75,6 +77,18 @@ impl From<io::Error> for LifecycleError {
     }
 }
 
+/// Where online retraining runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainerMode {
+    /// In-process trainer thread (the historical mode): cheap, but a
+    /// trainer crash is a run crash.
+    Thread,
+    /// Exec'd `harp-trainerd` child under `harp-super` supervision: the
+    /// trainer is its own failure domain — crashes, hangs, and garbled
+    /// IPC surface as restarts and staleness, never as engine failures.
+    Process,
+}
+
 /// Everything a lifecycle run needs beyond the [`Scenario`] itself: fleet
 /// shape, trainer parallelism, scratch space, and the three independent
 /// chaos plans (fleet, trainer, checkpoint shipping).
@@ -101,6 +115,20 @@ pub struct LifecycleConfig {
     pub chaos_train: Option<Arc<FaultPlan>>,
     /// Checkpoint corruption applied to shipped parameter files.
     pub chaos_ship: Option<Arc<FaultPlan>>,
+    /// Where retrains run ([`TrainerMode::Thread`] by default).
+    pub trainer: TrainerMode,
+    /// Child executable for [`TrainerMode::Process`]. `None` re-execs the
+    /// current binary, which must call `maybe_run_child` first thing in
+    /// `main` (as `bench_lifecycle` does); test harnesses pass the
+    /// dedicated `harp-trainerd` binary instead.
+    pub trainer_exe: Option<PathBuf>,
+    /// Process-fault escalation script for supervised retrains: one
+    /// `HARP_FAULT` spec per child attempt (`chaos_proc[n]` arms on
+    /// attempt n, later attempts run clean). Empty = no process chaos.
+    pub chaos_proc: Vec<String>,
+    /// Reload retries for a fleet-rejected ship before the generation is
+    /// abandoned.
+    pub reship_budget: u64,
 }
 
 impl LifecycleConfig {
@@ -127,6 +155,10 @@ impl LifecycleConfig {
             chaos_serve: None,
             chaos_train: None,
             chaos_ship: None,
+            trainer: TrainerMode::Thread,
+            trainer_exe: None,
+            chaos_proc: Vec::new(),
+            reship_budget: 3,
         }
     }
 
@@ -155,6 +187,24 @@ impl LifecycleConfig {
         if let Ok(raw) = std::env::var("HARP_LIFECYCLE_WORK_DIR") {
             if !raw.is_empty() {
                 self.work_dir = PathBuf::from(raw);
+            }
+        }
+        if let Ok(raw) = std::env::var("HARP_LIFECYCLE_TRAINER") {
+            match raw.as_str() {
+                "thread" => self.trainer = TrainerMode::Thread,
+                "process" => self.trainer = TrainerMode::Process,
+                _ => warn_knob("HARP_LIFECYCLE_TRAINER", &raw),
+            }
+        }
+        if let Ok(raw) = std::env::var("HARP_TRAINERD") {
+            if !raw.is_empty() {
+                self.trainer_exe = Some(PathBuf::from(raw));
+            }
+        }
+        if let Ok(raw) = std::env::var("HARP_LIFECYCLE_RESHIP_BUDGET") {
+            match raw.parse::<u64>() {
+                Ok(n) => self.reship_budget = n,
+                Err(_) => warn_knob("HARP_LIFECYCLE_RESHIP_BUDGET", &raw),
             }
         }
         self.scenario = self.scenario.apply_env();
@@ -188,12 +238,21 @@ impl ActiveStorm {
     }
 }
 
+/// A fine-tune in flight, joined at tick `due`. Thread mode carries the
+/// trained store directly; process mode carries the supervisor's outcome
+/// (the join thread only blocks on `supervise`, so the engine's virtual
+/// clock keeps ticking while the child trains in real time).
+enum RetrainWork {
+    Thread(JoinHandle<Result<ParamStore, String>>),
+    Process(JoinHandle<SupervisedResult>),
+}
+
 /// A fine-tune in flight on its own thread, joined at tick `due`.
 struct InFlightRetrain {
     generation: u64,
     trigger_tick: usize,
     due: usize,
-    handle: JoinHandle<Result<ParamStore, String>>,
+    work: RetrainWork,
 }
 
 /// Run one lifecycle drill to completion and score it.
@@ -290,11 +349,14 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
     let mut flash: Option<(usize, f64)> = None; // (end tick, multiplier)
 
     let mut ring: VecDeque<(Instance, f64)> = VecDeque::new();
+    // process mode keeps the raw (wire-form) twin of every ring entry so
+    // a triggered retrain can serialize its window into the child's job
+    let mut ring_raw: VecDeque<JobInstance> = VecDeque::new();
     let mut rolling: VecDeque<f64> = VecDeque::new();
     let mut warm: Option<Vec<f64>> = None;
 
     let mut in_flight: Option<InFlightRetrain> = None;
-    let mut pending_reship: Option<(u64, ParamStore)> = None;
+    let mut pending_reship: Option<(u64, ParamStore, u64)> = None; // (gen, params, attempts)
     let mut last_trigger: Option<usize> = None;
     let mut available_gen: u64 = 0;
     let mut served_gen: u64 = 0;
@@ -307,6 +369,14 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
     let mut max_staleness: u64 = 0;
     let mut stale_ticks = 0usize;
     let mut degraded_ticks = 0usize;
+    let mut trainer_restarts: u64 = 0;
+    let mut trainer_ipc_errors: u64 = 0;
+    let mut trainer_deaths: u64 = 0;
+    let mut ships_abandoned: u64 = 0;
+    // once a supervised trainer exhausts its restart budget the engine
+    // stops triggering retrains: the fleet serves its last good
+    // generation for the rest of the run (the surfaced staleness signal)
+    let mut trainer_dead = false;
 
     let mut tick = 0usize;
     let source = prefix.into_iter().chain(&mut stream);
@@ -372,6 +442,7 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
                 .collect();
             gen_down.clear();
             ring.clear();
+            ring_raw.clear();
             rolling.clear();
             warm = None;
             fleet_gen = 0;
@@ -485,11 +556,21 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
         }
 
         // ------------------------------------------------ model shipping
-        if let Some((g, store)) = pending_reship.take() {
-            // rewrite the ship file clean (the corruption latch already
-            // fired) and retry the broadcast
+        if let Some((g, store, attempts)) = pending_reship.take() {
+            // rewrite the ship file and retry the broadcast. The ship
+            // chaos plan is consulted again: a spec with several
+            // corrupt-checkpoint faults can poison successive re-ships
+            // and drive the retry budget.
             let path = ship_path(&cfg.work_dir, g);
             save_params(&store, &path)?;
+            let mut corrupted = false;
+            if let Some(plan) = &cfg.chaos_ship {
+                let mut bytes = fs::read(&path)?;
+                if plan.corrupt_checkpoint_write(&mut bytes).is_some() {
+                    fs::write(&path, &bytes)?;
+                    corrupted = true;
+                }
+            }
             req_id += 1;
             let (ok, resp) = reload(addr, req_id, &path, tick, &mut conn_drops, &mut events)?;
             if ok {
@@ -501,17 +582,81 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
                 if let Some(r) = retrains_out.iter_mut().find(|r| r.generation == g) {
                     r.shipped_tick = Some(tick);
                 }
-                events.push(format!("t={tick} reship gen={g} ok=true"));
+                events.push(format!(
+                    "t={tick} reship gen={g} corrupted={corrupted} ok=true"
+                ));
             } else {
                 reload_rejects += 1;
-                pending_reship = Some((g, store));
-                events.push(format!("t={tick} reship gen={g} ok=false"));
+                let attempts = attempts + 1;
+                if attempts >= cfg.reship_budget {
+                    // the generation is undeliverable: stop retrying and
+                    // let staleness reflect the gap
+                    ships_abandoned += 1;
+                    events.push(format!(
+                        "t={tick} ship_abandoned gen={g} attempts={attempts}"
+                    ));
+                    harp_obs::warn_always(
+                        "lifecycle.ship_abandoned",
+                        &[("generation", g.into()), ("attempts", attempts.into())],
+                    );
+                } else {
+                    pending_reship = Some((g, store, attempts));
+                    events.push(format!(
+                        "t={tick} reship gen={g} corrupted={corrupted} ok=false"
+                    ));
+                }
             }
         }
 
         if in_flight.as_ref().is_some_and(|fl| tick >= fl.due) {
             let fl = in_flight.take().expect("checked in flight");
-            match fl.handle.join() {
+            // Reduce either trainer flavor to joined(trained-or-failed).
+            // For a supervised child the wall-clock drama (restarts,
+            // backoff, watchdog kills) already happened inside the join;
+            // only its logical log is folded into the virtual-time event
+            // stream, at this deterministic rendezvous tick.
+            let joined: Result<Result<ParamStore, String>, ()> = match fl.work {
+                RetrainWork::Thread(handle) => handle.join().map_err(|_| ()),
+                RetrainWork::Process(handle) => match handle.join() {
+                    Ok(res) => {
+                        for line in &res.log {
+                            events.push(format!("t={tick} super {line}"));
+                        }
+                        trainer_restarts += res.restarts;
+                        trainer_ipc_errors += res.ipc_errors;
+                        match res.params_path {
+                            Some(path) => {
+                                // same architecture as the fleet: load the
+                                // child's file into a layout-matching store
+                                let mut store = current_params.clone();
+                                match harp_nn::load_params(&mut store, &path) {
+                                    Ok(()) => Ok(Ok(store)),
+                                    Err(e) => {
+                                        // an accepted ship with unreadable
+                                        // bits is a child bug, not ours
+                                        trainer_ipc_errors += 1;
+                                        Ok(Err(format!("shipped params unreadable: {e}")))
+                                    }
+                                }
+                            }
+                            None => {
+                                trainer_deaths += 1;
+                                trainer_dead = true;
+                                harp_obs::warn_always(
+                                    "lifecycle.trainer_dead",
+                                    &[
+                                        ("generation", fl.generation.into()),
+                                        ("detail", res.detail.clone().into()),
+                                    ],
+                                );
+                                Ok(Err(format!("trainer dead: {}", res.detail)))
+                            }
+                        }
+                    }
+                    Err(_) => Err(()),
+                },
+            };
+            match joined {
                 Ok(Ok(store)) => {
                     available_gen = fl.generation;
                     let path = ship_path(&cfg.work_dir, fl.generation);
@@ -535,7 +680,7 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
                         current_params = store;
                     } else {
                         reload_rejects += 1;
-                        pending_reship = Some((fl.generation, store));
+                        pending_reship = Some((fl.generation, store, 0));
                     }
                     events.push(format!(
                         "t={tick} ship gen={} corrupted={corrupted} ok={ok}",
@@ -616,7 +761,7 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
             .flat_map(|st| st.links.iter().copied())
             .collect();
         let multiplier = flash.map_or(1.0, |(_, m)| m);
-        let (inst, tm_pairs) = scored_instance(
+        let (inst, tm_pairs, scored_topo, scored_tm) = scored_instance(
             &item,
             state.tunnels(),
             &storm_down,
@@ -666,6 +811,17 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
         let model_mlu = inst.program.mlu(&splits);
         let nm = norm_mlu(model_mlu, oracle_mlu);
 
+        if cfg.trainer == TrainerMode::Process {
+            ring_raw.push_back(JobInstance::from_parts(
+                &scored_topo,
+                state.tunnels(),
+                &scored_tm,
+                oracle_mlu,
+            ));
+            while ring_raw.len() > sc.retrain.train_window {
+                ring_raw.pop_front();
+            }
+        }
         ring.push_back((inst, oracle_mlu));
         while ring.len() > sc.retrain.train_window {
             ring.pop_front();
@@ -706,6 +862,7 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
         let interval_ok = last_trigger.is_none_or(|t| tick >= t + sc.retrain.min_interval);
         if in_flight.is_none()
             && pending_reship.is_none()
+            && !trainer_dead
             && rolling.len() >= sc.retrain.rolling_window
             && interval_ok
             && rolling_mean > sc.retrain.normmlu_trigger
@@ -713,7 +870,6 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
         {
             let generation = available_gen + 1;
             last_trigger = Some(tick);
-            let window: Vec<(Instance, f64)> = ring.iter().cloned().collect();
             let warm_path = gen_dir(&cfg.work_dir, available_gen).join(SNAPSHOT_FILE);
             let dir = gen_dir(&cfg.work_dir, generation);
             let _ = fs::remove_dir_all(&dir);
@@ -721,18 +877,46 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
             let workers = cfg.train_workers;
             let epochs = sc.retrain.epochs;
             let lr = sc.retrain.lr;
-            let chaos = cfg.chaos_train.clone();
             let tseed = sc.seed ^ 0x7281 ^ generation;
-            let handle = std::thread::spawn(move || {
-                fine_tune(
-                    model_cfg, window, warm_path, dir, workers, epochs, lr, tseed, chaos,
-                )
-            });
+            let work = match cfg.trainer {
+                TrainerMode::Thread => {
+                    let window: Vec<(Instance, f64)> = ring.iter().cloned().collect();
+                    let chaos = cfg.chaos_train.clone();
+                    RetrainWork::Thread(std::thread::spawn(move || {
+                        fine_tune(
+                            model_cfg, window, warm_path, dir, workers, epochs, lr, tseed, chaos,
+                        )
+                    }))
+                }
+                TrainerMode::Process => {
+                    let exe = match &cfg.trainer_exe {
+                        Some(p) => p.clone(),
+                        None => std::env::current_exe()?,
+                    };
+                    let job = TrainJob {
+                        model: model_cfg,
+                        window: ring_raw.iter().cloned().collect(),
+                        warm_path,
+                        checkpoint_dir: dir,
+                        params_out: cfg.work_dir.join(format!("gen_{generation}.trained.json")),
+                        generation,
+                        workers,
+                        epochs,
+                        lr,
+                        seed: tseed,
+                        chaos: cfg.chaos_proc.clone(),
+                    };
+                    let sseed = sc.seed ^ 0x5EED_0005 ^ generation;
+                    RetrainWork::Process(std::thread::spawn(move || {
+                        run_supervised(&job, &exe, sseed)
+                    }))
+                }
+            };
             in_flight = Some(InFlightRetrain {
                 generation,
                 trigger_tick: tick,
                 due: tick + sc.retrain.ship_delay,
-                handle,
+                work,
             });
             events.push(format!(
                 "t={tick} retrain_trigger gen={generation} rolling={rolling_mean:.4}"
@@ -769,9 +953,26 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
 
     // ---------------------------------------------------------- wrap up
     if let Some(fl) = in_flight.take() {
-        // the run ended before the rendezvous tick; settle the thread but
+        // the run ended before the rendezvous tick; settle the trainer
+        // (thread join, or supervised child run to completion) but
         // nothing ships
-        let ok = matches!(fl.handle.join(), Ok(Ok(_)));
+        let ok = match fl.work {
+            RetrainWork::Thread(handle) => matches!(handle.join(), Ok(Ok(_))),
+            RetrainWork::Process(handle) => match handle.join() {
+                Ok(res) => {
+                    for line in &res.log {
+                        events.push(format!("t={tick} super {line}"));
+                    }
+                    trainer_restarts += res.restarts;
+                    trainer_ipc_errors += res.ipc_errors;
+                    if res.dead {
+                        trainer_deaths += 1;
+                    }
+                    res.params_path.is_some()
+                }
+                Err(_) => false,
+            },
+        };
         events.push(format!(
             "t={tick} retrain_abandoned gen={} trained={ok}",
             fl.generation
@@ -824,6 +1025,10 @@ pub fn run_lifecycle(cfg: &LifecycleConfig) -> Result<LifecycleReport, Lifecycle
         shed_total: counter("shed"),
         reload_ok: counter("reload_ok"),
         reload_failed: counter("reload_failed"),
+        trainer_restarts,
+        trainer_ipc_errors,
+        trainer_deaths,
+        ships_abandoned,
         events,
         wall_s: started.elapsed().as_secs_f64(),
     };
@@ -910,7 +1115,8 @@ fn true_instance(
 
 /// The scored view of one live tick: like [`true_instance`] but with the
 /// *fleet's* pruned tunnel set, so the served splits line up with the
-/// program one-to-one.
+/// program one-to-one. Also returns the drifted topology and scaled TM —
+/// the raw parts a process-mode retrain serializes into its job window.
 fn scored_instance(
     item: &StreamItem,
     fleet_tunnels: &harp_paths::TunnelSet,
@@ -918,7 +1124,7 @@ fn scored_instance(
     link_ids: &BTreeMap<(usize, usize), (EdgeId, EdgeId)>,
     zero_cap: f64,
     multiplier: f64,
-) -> (Instance, Vec<Value>) {
+) -> (Instance, Vec<Value>, Topology, harp_traffic::TrafficMatrix) {
     let mut caps = item.snapshot.capacities.clone();
     for l in storm_down {
         let (f, r) = link_ids[l];
@@ -931,7 +1137,7 @@ fn scored_instance(
     let tm = item.snapshot.tm.scaled(multiplier);
     let inst = Instance::compile(&topo, fleet_tunnels, &tm);
     let pairs = demand_pairs(&tm);
-    (inst, pairs)
+    (inst, pairs, topo, tm)
 }
 
 /// All strictly-positive demands of a TM as `[s, t, d]` JSON triples.

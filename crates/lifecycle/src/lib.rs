@@ -19,7 +19,13 @@
 mod engine;
 mod metrics;
 mod scenario;
+mod supervised;
+mod trainerd;
 
-pub use engine::{run_lifecycle, LifecycleConfig, LifecycleError};
+pub use engine::{run_lifecycle, LifecycleConfig, LifecycleError, TrainerMode};
 pub use metrics::{LifecycleReport, RetrainOutcome, StormOutcome, TickSample};
 pub use scenario::{FlashCrowd, RetrainPolicy, Scenario, Storm};
+pub use supervised::{run_supervised, SupervisedResult};
+pub use trainerd::{
+    job_from_json, job_to_json, maybe_run_child, run_trainerd, trainerd_main, JobInstance, TrainJob,
+};

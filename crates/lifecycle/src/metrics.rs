@@ -106,6 +106,17 @@ pub struct LifecycleReport {
     pub reload_ok: u64,
     /// Fleet-reported failed checkpoint reloads (current incarnation).
     pub reload_failed: u64,
+    /// Trainer-process restarts consumed across all supervised retrains
+    /// (always 0 in thread mode).
+    pub trainer_restarts: u64,
+    /// Supervisor-counted IPC protocol violations (garbled, truncated, or
+    /// malformed frames from the trainer child; always 0 in thread mode).
+    pub trainer_ipc_errors: u64,
+    /// Retrains whose trainer exhausted its restart budget and was
+    /// declared dead (the fleet kept serving the last good generation).
+    pub trainer_deaths: u64,
+    /// Pending re-ships abandoned after the reship retry budget ran out.
+    pub ships_abandoned: u64,
     /// The deterministic event log (virtual-time only, no wall clock).
     pub events: Vec<String>,
     /// Wall-clock runtime in seconds (excluded from determinism checks).
@@ -193,6 +204,10 @@ impl LifecycleReport {
             "shed": self.shed_total,
             "reload_ok": self.reload_ok,
             "reload_failed": self.reload_failed,
+            "trainer_restarts": self.trainer_restarts,
+            "trainer_ipc_errors": self.trainer_ipc_errors,
+            "trainer_deaths": self.trainer_deaths,
+            "ships_abandoned": self.ships_abandoned,
             "events": self.events.clone(),
         })
     }

@@ -1,0 +1,286 @@
+//! Crash-isolated retraining, end to end against the real exec'd
+//! `harp-trainerd` binary: a SIGKILL sweep over every trainer phase
+//! (forward, checkpoint write, ship rendezvous) must recover through the
+//! escalation ladder and ship **bitwise-identical** parameters to an
+//! unkilled run; garbled IPC must surface as typed protocol errors and
+//! restart cleanly; and a full lifecycle run in `trainer=process` mode
+//! must stay bitwise-reproducible per seed.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use harp_chaos::FaultPlan;
+use harp_core::{train_model, EvalOptions, Harp, HarpConfig, Instance, TrainConfig, SNAPSHOT_FILE};
+use harp_lifecycle::{
+    run_lifecycle, run_supervised, JobInstance, LifecycleConfig, Scenario, TrainJob, TrainerMode,
+};
+use harp_paths::TunnelSet;
+use harp_tensor::ParamStore;
+use harp_topology::Topology;
+use harp_traffic::TrafficMatrix;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// The dedicated child binary, built by cargo for this test run.
+const TRAINERD: &str = env!("CARGO_BIN_EXE_harp-trainerd");
+
+fn tiny_model() -> HarpConfig {
+    HarpConfig {
+        gnn_layers: 1,
+        gnn_hidden: 4,
+        d_model: 8,
+        settrans_layers: 1,
+        heads: 1,
+        d_ff: 8,
+        mlp_hidden: 8,
+        rau_iters: 1,
+    }
+}
+
+fn square() -> (Topology, TunnelSet) {
+    let mut topo = Topology::new(4);
+    topo.add_link(0, 1, 10.0).unwrap();
+    topo.add_link(1, 2, 10.0).unwrap();
+    topo.add_link(2, 3, 10.0).unwrap();
+    topo.add_link(3, 0, 10.0).unwrap();
+    topo.add_link(0, 2, 5.0).unwrap();
+    let tunnels = TunnelSet::k_shortest(&topo, &[0, 1, 2, 3], 3, 0.0);
+    (topo, tunnels)
+}
+
+fn demands(n: usize, scale: f64) -> TrafficMatrix {
+    let mut d = vec![0.0; n * n];
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                d[s * n + t] = scale * (((s * n + t) % 3) as f64 + 0.5);
+            }
+        }
+    }
+    TrafficMatrix::from_dense(n, d)
+}
+
+fn window() -> Vec<JobInstance> {
+    let (topo, tunnels) = square();
+    (0..2)
+        .map(|i| {
+            let tm = demands(4, 1.0 + f64::from(i) * 0.25);
+            JobInstance::from_parts(&topo, &tunnels, &tm, 1.0)
+        })
+        .collect()
+}
+
+/// Train one epoch directly to mint a warm-start snapshot for the jobs.
+fn donor_snapshot(dir: &Path) -> PathBuf {
+    let (topo, tunnels) = square();
+    let tm = demands(4, 1.0);
+    let inst = Instance::compile(&topo, &tunnels, &tm);
+    let refs = vec![(&inst, 1.0)];
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let harp = Harp::new(&mut store, &mut rng, tiny_model());
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        patience: 0,
+        workers: 1,
+        checkpoint_dir: Some(dir.to_path_buf()),
+        checkpoint_every: 1,
+        seed: 11,
+        ..TrainConfig::default()
+    };
+    train_model(&harp, &mut store, &refs, &refs, tc, EvalOptions::default()).expect("donor train");
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// A fresh work dir + job; `chaos` is the per-attempt escalation script.
+fn job_in(tag: &str, chaos: Vec<String>) -> (TrainJob, PathBuf) {
+    let work = std::env::temp_dir().join(format!("harp_supervised_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+    fs::create_dir_all(&work).expect("mkdir work");
+    let warm_path = donor_snapshot(&work.join("donor"));
+    let job = TrainJob {
+        model: tiny_model(),
+        window: window(),
+        warm_path,
+        checkpoint_dir: work.join("ckpt"),
+        params_out: work.join("trained.json"),
+        generation: 1,
+        workers: 1,
+        epochs: 2,
+        lr: 1e-3,
+        seed: 77,
+        chaos,
+    };
+    (job, work)
+}
+
+#[test]
+fn clean_supervised_run_ships_without_restarts() {
+    let (job, work) = job_in("clean", Vec::new());
+    let out = run_supervised(&job, Path::new(TRAINERD), 5);
+    assert!(!out.dead, "clean run must ship: {:?}", out.log);
+    assert_eq!(out.restarts, 0, "log: {:?}", out.log);
+    assert_eq!(out.ipc_errors, 0, "log: {:?}", out.log);
+    assert_eq!(out.heartbeat_misses, 0, "log: {:?}", out.log);
+    let p = out.params_path.expect("params path");
+    assert!(p.exists(), "shipped file must exist");
+    let _ = fs::remove_dir_all(&work);
+}
+
+/// Satellite drill: real SIGKILL at each trainer phase. Every killed run
+/// must recover in exactly one restart and ship the same bits as the
+/// unkilled baseline — crash recovery is invisible in the artifact.
+#[test]
+fn sigkill_at_every_phase_recovers_and_ships_identical_bits() {
+    let (base_job, base_work) = job_in("sweep_base", Vec::new());
+    let base = run_supervised(&base_job, Path::new(TRAINERD), 5);
+    assert!(!base.dead, "baseline must ship: {:?}", base.log);
+    let base_bytes = fs::read(base.params_path.expect("baseline path")).expect("baseline bytes");
+    let _ = fs::remove_dir_all(&base_work);
+
+    let phases = [
+        "kill-trainer@epoch=1,phase=forward",
+        "kill-trainer@epoch=0,phase=checkpoint",
+        "kill-trainer@phase=ship",
+    ];
+    for (i, spec) in phases.iter().enumerate() {
+        let (job, work) = job_in(&format!("sweep_{i}"), vec![(*spec).to_string()]);
+        let out = run_supervised(&job, Path::new(TRAINERD), 9 + i as u64);
+        assert!(!out.dead, "{spec}: must recover, log {:?}", out.log);
+        assert_eq!(out.restarts, 1, "{spec}: one restart, log {:?}", out.log);
+        let p = out.params_path.expect("recovered run ships");
+        let bytes = fs::read(&p).expect("shipped bytes");
+        assert_eq!(
+            bytes, base_bytes,
+            "{spec}: recovered ship must be bitwise-identical to the unkilled run"
+        );
+        let _ = fs::remove_dir_all(&work);
+    }
+}
+
+/// A child that garbles a frame mid-protocol is a typed IPC error; the
+/// supervisor restarts it and the retry ships the same bits.
+#[test]
+fn garbled_ipc_restarts_and_still_ships_identical_bits() {
+    let (base_job, base_work) = job_in("garble_base", Vec::new());
+    let base = run_supervised(&base_job, Path::new(TRAINERD), 5);
+    let base_bytes = fs::read(base.params_path.expect("baseline path")).expect("baseline bytes");
+    let _ = fs::remove_dir_all(&base_work);
+
+    // frame 2 is the first heartbeat (frame 1 is hello)
+    let (job, work) = job_in("garble", vec!["garble-ipc@frame=2".to_string()]);
+    let out = run_supervised(&job, Path::new(TRAINERD), 21);
+    assert!(!out.dead, "garble must recover: {:?}", out.log);
+    assert_eq!(out.restarts, 1, "log: {:?}", out.log);
+    assert!(
+        out.ipc_errors >= 1,
+        "garbled frame must count as a protocol error: {:?}",
+        out.log
+    );
+    let bytes = fs::read(out.params_path.expect("ships after garble")).expect("bytes");
+    assert_eq!(
+        bytes, base_bytes,
+        "garble recovery must not change the artifact"
+    );
+    let _ = fs::remove_dir_all(&work);
+}
+
+/// An escalation script that kills every attempt exhausts the restart
+/// budget and reports a dead trainer — the caller keeps last-good params.
+#[test]
+fn kill_every_attempt_exhausts_the_ladder() {
+    let spec = "kill-trainer@epoch=0,phase=forward".to_string();
+    let (job, work) = job_in("dead", vec![spec.clone(); 8]);
+    let out = run_supervised(&job, Path::new(TRAINERD), 3);
+    assert!(out.dead, "an always-killed trainer must die: {:?}", out.log);
+    assert!(out.params_path.is_none());
+    assert!(out.restarts >= 1);
+    assert!(
+        out.log.iter().any(|l| l.contains("params-only")),
+        "the ladder must reach the params-only rung: {:?}",
+        out.log
+    );
+    let _ = fs::remove_dir_all(&work);
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle engine in trainer=process mode
+// ---------------------------------------------------------------------
+
+fn process_config(seed: u64, tag: &str, chaos_proc: Vec<String>) -> LifecycleConfig {
+    let mut sc = Scenario::quick(seed);
+    sc.max_ticks = 12;
+    sc.bootstrap_ticks = 3;
+    sc.bootstrap_epochs = 2;
+    sc.storms[0].at_tick = 5;
+    sc.flash_crowds[0].at_tick = 9;
+    sc.flash_crowds[0].duration = 2;
+    sc.retrain.rolling_window = 2;
+    sc.retrain.min_interval = 3;
+    sc.retrain.epochs = 2;
+    sc.retrain.ship_delay = 1;
+    sc.retrain.normmlu_trigger = 1.0005;
+    let mut cfg = LifecycleConfig::new(sc);
+    cfg.work_dir = std::env::temp_dir().join(format!("harp_lifecycle_proc_{tag}_{seed}"));
+    cfg.trainer = TrainerMode::Process;
+    cfg.trainer_exe = Some(PathBuf::from(TRAINERD));
+    cfg.chaos_proc = chaos_proc;
+    cfg.chaos_serve = Some(Arc::new(
+        FaultPlan::parse("drop-conn@nth=4").expect("valid plan"),
+    ));
+    cfg
+}
+
+#[test]
+fn process_mode_lifecycle_is_bitwise_reproducible() {
+    let a = run_lifecycle(&process_config(33, "a", Vec::new())).expect("run a");
+    let b = run_lifecycle(&process_config(33, "b", Vec::new())).expect("run b");
+
+    assert_eq!(a.events, b.events, "event logs diverged");
+    assert_eq!(
+        a.deterministic_json().to_string(),
+        b.deterministic_json().to_string(),
+        "deterministic report projections diverged"
+    );
+
+    assert!(
+        a.events.iter().any(|e| e.contains("retrain_trigger")),
+        "the drill must actually retrain: {:?}",
+        a.events
+    );
+    assert!(
+        a.events.iter().any(|e| e.contains(" super ")),
+        "supervisor log lines must fold into the event stream: {:?}",
+        a.events
+    );
+    assert_eq!(a.trainer_deaths, 0, "clean children must never die");
+    assert_eq!(a.trainer_ipc_errors, 0);
+}
+
+#[test]
+fn process_mode_recovers_from_scripted_kills_deterministically() {
+    // every retrain's first attempt is SIGKILLed mid-forward; the ladder
+    // recovers each one, and the run is still bitwise-reproducible
+    let chaos = vec!["kill-trainer@epoch=0,phase=forward".to_string()];
+    let a = run_lifecycle(&process_config(41, "ka", chaos.clone())).expect("run a");
+    let b = run_lifecycle(&process_config(41, "kb", chaos)).expect("run b");
+
+    assert_eq!(a.events, b.events, "event logs diverged under kills");
+    assert_eq!(
+        a.deterministic_json().to_string(),
+        b.deterministic_json().to_string(),
+        "deterministic report projections diverged under kills"
+    );
+    assert_eq!(
+        a.trainer_deaths, 0,
+        "one kill per job must not exhaust the ladder"
+    );
+    if a.events.iter().any(|e| e.contains("retrain_trigger")) {
+        assert!(
+            a.trainer_restarts >= 1,
+            "each retrain eats exactly one scripted kill: {:?}",
+            a.events
+        );
+    }
+}

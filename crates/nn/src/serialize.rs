@@ -361,6 +361,41 @@ pub fn save_snapshot(
     atomic_write(path, &bytes)
 }
 
+/// Top-level snapshot sections, for localizing parse damage. A truncated
+/// file still contains every section key written before the cut, so the
+/// key at the greatest byte offset names where the damage starts. The
+/// `"params"` needle keeps its leading quote so it cannot false-match
+/// inside `"best_params"`.
+const SNAPSHOT_SECTIONS: [&str; 7] = [
+    "\"format_version\"",
+    "\"params\"",
+    "\"optimizer\"",
+    "\"rng\"",
+    "\"progress\"",
+    "\"best_params\"",
+    "\"history\"",
+];
+
+/// Name the last top-level section whose key survives in `raw` — the one a
+/// truncation or corruption most plausibly landed in. Purely a diagnostic
+/// aid: it scans the raw text, so it works even when the JSON no longer
+/// parses.
+fn furthest_section(raw: &str) -> &'static str {
+    let mut best: Option<(usize, &'static str)> = None;
+    for needle in SNAPSHOT_SECTIONS {
+        if let Some(pos) = raw.rfind(needle) {
+            let name = needle.trim_matches('"');
+            if best.is_none_or(|(p, _)| pos > p) {
+                best = Some((pos, name));
+            }
+        }
+    }
+    match best {
+        Some((_, name)) => name,
+        None => "preamble (no section key survives)",
+    }
+}
+
 /// Load a training snapshot saved with [`save_snapshot`], validating the
 /// **whole** artifact — format version, parameter layout, optimizer-state
 /// shape, RNG words, bookkeeping, best-params layout — against the live
@@ -376,7 +411,11 @@ pub fn load_snapshot(store: &mut ParamStore, path: &Path) -> io::Result<TrainSna
     let root: Value = serde_json::from_str(&json).map_err(|e| {
         io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("training snapshot is not valid JSON (corrupt or truncated?): {e}"),
+            format!(
+                "training snapshot is not valid JSON (corrupt or truncated in \
+                 section '{}'): {e}",
+                furthest_section(&json)
+            ),
         )
     })?;
 
@@ -828,6 +867,59 @@ mod tests {
         assert!(
             load_snapshot(&mut s2, &path).is_err(),
             "flipped byte must not load cleanly"
+        );
+    }
+
+    #[test]
+    fn snapshot_truncation_sweep_names_a_section_and_never_panics() {
+        let path = ckpt_path("snapshot_sweep");
+        let (store, snap) = sample_snapshot();
+        save_snapshot(&store, &snap, &path, None).unwrap();
+        let full = fs::read(&path).unwrap();
+
+        // Cut the file at every prefix length (0 = empty file, len-1 = one
+        // byte short). Every cut must come back as a typed InvalidData
+        // error — never a panic, never a half-loaded store — and once the
+        // cut lands past the first section key the message must localize
+        // the damage to a real section name.
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let (mut s, _) = sample_snapshot();
+            let err =
+                load_snapshot(&mut s, &path).expect_err("every truncated prefix must be rejected");
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "cut at {cut}: wrong error kind: {err}"
+            );
+            let msg = err.to_string();
+            if msg.contains("not valid JSON") {
+                assert!(
+                    msg.contains("section '"),
+                    "cut at {cut}: parse error must name a section: {msg}"
+                );
+            }
+        }
+
+        // The localization must actually track the cut point: a cut inside
+        // the history array blames 'history', one before any key blames the
+        // preamble.
+        let text = String::from_utf8(full.clone()).unwrap();
+        let hist_at = text.find("\"history\"").unwrap();
+        fs::write(&path, &full[..hist_at + "\"history\"".len() + 3]).unwrap();
+        let (mut s, _) = sample_snapshot();
+        let msg = load_snapshot(&mut s, &path).unwrap_err().to_string();
+        assert!(
+            msg.contains("section 'history'"),
+            "cut inside history must blame history: {msg}"
+        );
+
+        fs::write(&path, &full[..1]).unwrap();
+        let (mut s, _) = sample_snapshot();
+        let msg = load_snapshot(&mut s, &path).unwrap_err().to_string();
+        assert!(
+            msg.contains("preamble"),
+            "cut before any key must blame the preamble: {msg}"
         );
     }
 }

@@ -84,9 +84,10 @@ mod linux {
     use std::os::unix::net::UnixStream;
     use std::os::unix::prelude::{AsRawFd, RawFd};
 
-    /// Raw epoll FFI. The only unsafe code in the workspace: four libc
-    /// calls with fully-owned arguments (no borrowed pointers outlive the
-    /// call), wrapped immediately into `io::Result`.
+    /// Raw epoll FFI: four libc calls with fully-owned arguments (no
+    /// borrowed pointers outlive the call), wrapped immediately into
+    /// `io::Result`. (The only other unsafe in the workspace is the
+    /// equally small signal FFI in `harp-super`.)
     #[allow(unsafe_code)]
     mod sys {
         use std::io;

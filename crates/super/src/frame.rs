@@ -1,0 +1,271 @@
+//! Length-prefixed NDJSON framing for the supervisor <-> trainer pipe.
+//!
+//! One frame on the wire is
+//!
+//! ```text
+//! <decimal payload length>\n<payload JSON>\n
+//! ```
+//!
+//! The explicit length line lets the reader allocate exactly once and
+//! detect truncation (a torn write or a killed peer) as a *typed* error
+//! instead of a hung or corrupted parse. Everything hostile — garbage in
+//! the length line, an oversized claim, a mid-frame EOF, payload bytes
+//! that are not JSON — maps to a [`FrameError`] variant; the reader never
+//! panics on wire bytes.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use serde_json::Value;
+
+/// Default cap on a single frame's payload. Generous because the config
+/// frame carries a whole training window; a hostile length claim beyond
+/// the cap is rejected *before* any allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Most digits a length line may carry (enough for any length under the
+/// cap; anything longer is garbage, not a bigger frame).
+const MAX_LEN_DIGITS: usize = 10;
+
+/// A wire-level protocol violation (or I/O failure) while reading or
+/// decoding one frame. Every variant is a *typed* outcome: hostile bytes
+/// on the pipe surface here, never as a panic.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The length line is not a short run of ASCII digits.
+    BadLengthLine(String),
+    /// The length line claims a payload larger than the reader's cap.
+    Oversize {
+        /// Claimed payload length.
+        len: usize,
+        /// The reader's configured cap.
+        max: usize,
+    },
+    /// The stream ended inside a frame (torn write / killed peer).
+    TruncatedFrame {
+        /// Bytes the frame still owed when the stream ended.
+        missing: usize,
+    },
+    /// The byte after the payload was not the `\n` terminator.
+    MissingTerminator(u8),
+    /// The payload is not valid UTF-8 JSON.
+    BadJson(String),
+    /// The message decoded as JSON but violates the typed message schema.
+    BadMessage(String),
+    /// A real I/O error from the underlying pipe.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadLengthLine(s) => write!(f, "bad frame length line {s:?}"),
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame claims {len} bytes, cap is {max}")
+            }
+            FrameError::TruncatedFrame { missing } => {
+                write!(f, "stream ended mid-frame ({missing} bytes missing)")
+            }
+            FrameError::MissingTerminator(b) => {
+                write!(f, "frame not terminated by newline (got byte {b:#04x})")
+            }
+            FrameError::BadJson(e) => write!(f, "frame payload is not JSON: {e}"),
+            FrameError::BadMessage(e) => write!(f, "frame is not a valid message: {e}"),
+            FrameError::Io(e) => write!(f, "frame io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads frames off a buffered pipe with a payload-size cap.
+pub struct FrameReader<R> {
+    inner: R,
+    max: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// A reader with the default [`MAX_FRAME_BYTES`] cap.
+    pub fn new(inner: R) -> Self {
+        Self::with_max(inner, MAX_FRAME_BYTES)
+    }
+
+    /// A reader with an explicit payload cap.
+    pub fn with_max(inner: R, max: usize) -> Self {
+        FrameReader { inner, max }
+    }
+
+    /// Read one frame. `Ok(None)` is a clean EOF *between* frames; every
+    /// other irregularity is a typed [`FrameError`].
+    pub fn read_frame(&mut self) -> Result<Option<Value>, FrameError> {
+        // --- length line, byte by byte ---
+        let mut line: Vec<u8> = Vec::with_capacity(MAX_LEN_DIGITS);
+        loop {
+            let mut b = [0u8; 1];
+            match self.inner.read(&mut b) {
+                Ok(0) => {
+                    if line.is_empty() {
+                        return Ok(None); // clean end of stream
+                    }
+                    return Err(FrameError::TruncatedFrame { missing: 1 });
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+            if b[0] == b'\n' {
+                break;
+            }
+            line.push(b[0]);
+            if line.len() > MAX_LEN_DIGITS {
+                return Err(FrameError::BadLengthLine(lossy(&line)));
+            }
+        }
+        if line.is_empty() || !line.iter().all(u8::is_ascii_digit) {
+            return Err(FrameError::BadLengthLine(lossy(&line)));
+        }
+        let len: usize = std::str::from_utf8(&line)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| FrameError::BadLengthLine(lossy(&line)))?;
+        if len > self.max {
+            return Err(FrameError::Oversize { len, max: self.max });
+        }
+
+        // --- payload + terminator ---
+        let mut payload = vec![0u8; len];
+        read_exact_or_truncated(&mut self.inner, &mut payload)?;
+        let mut term = [0u8; 1];
+        read_exact_or_truncated(&mut self.inner, &mut term)?;
+        if term[0] != b'\n' {
+            return Err(FrameError::MissingTerminator(term[0]));
+        }
+
+        let text = std::str::from_utf8(&payload).map_err(|e| FrameError::BadJson(e.to_string()))?;
+        serde_json::from_str(text)
+            .map(Some)
+            .map_err(|e| FrameError::BadJson(e.to_string()))
+    }
+}
+
+/// `read_exact` that turns EOF into [`FrameError::TruncatedFrame`] with
+/// the number of bytes still owed.
+fn read_exact_or_truncated<R: BufRead>(r: &mut R, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::TruncatedFrame {
+                    missing: buf.len() - filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+fn lossy(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Serialize `v` into one complete frame (length line + payload + `\n`).
+/// Exposed separately from [`write_frame`] so chaos hooks can mangle the
+/// bytes before they hit the pipe.
+pub fn encode_frame(v: &Value) -> Vec<u8> {
+    let payload = v.to_string();
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(payload.len().to_string().as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// Write one frame and flush (a frame is only useful once the peer can
+/// see all of it).
+pub fn write_frame(w: &mut impl Write, v: &Value) -> io::Result<()> {
+    w.write_all(&encode_frame(v))?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read_all(bytes: &[u8]) -> Result<Option<Value>, FrameError> {
+        FrameReader::new(BufReader::new(bytes)).read_frame()
+    }
+
+    #[test]
+    fn round_trips_a_frame() {
+        let v = serde_json::json!({"type": "heartbeat", "epoch": 3});
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        let mut r = FrameReader::new(BufReader::new(buf.as_slice()));
+        assert_eq!(r.read_frame().unwrap(), Some(v));
+        assert!(r.read_frame().unwrap().is_none(), "clean EOF after frame");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_all(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_length_line_is_typed() {
+        for bad in [&b"xyz\n{}\n"[..], b"12a\n", b"-3\n", b"\n{}\n"] {
+            assert!(
+                matches!(read_all(bad), Err(FrameError::BadLengthLine(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_claim_is_rejected_before_allocation() {
+        let mut r = FrameReader::with_max(BufReader::new(&b"999999\n"[..]), 1024);
+        assert!(matches!(
+            r.read_frame(),
+            Err(FrameError::Oversize {
+                len: 999_999,
+                max: 1024
+            })
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_truncation() {
+        // claims 10 bytes, delivers 4
+        assert!(matches!(
+            read_all(b"10\n{\"a\""),
+            Err(FrameError::TruncatedFrame { missing: 6 })
+        ));
+        // payload complete but terminator missing
+        assert!(matches!(
+            read_all(b"2\n{}"),
+            Err(FrameError::TruncatedFrame { missing: 1 })
+        ));
+        // EOF inside the length line
+        assert!(matches!(
+            read_all(b"12"),
+            Err(FrameError::TruncatedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn non_json_payload_is_typed() {
+        assert!(matches!(read_all(b"3\nabc\n"), Err(FrameError::BadJson(_))));
+    }
+
+    #[test]
+    fn wrong_terminator_is_typed() {
+        assert!(matches!(
+            read_all(b"2\n{}X"),
+            Err(FrameError::MissingTerminator(b'X'))
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+//! # harp-super
+//!
+//! Process supervision for the HARP stack: run a trainer in its **own
+//! process** (its own failure domain) and keep the serving fleet alive
+//! through trainer crashes, hangs, and garbled IPC.
+//!
+//! Three layers:
+//!
+//! * [`frame`] — length-prefixed NDJSON framing over stdin/stdout pipes.
+//!   Every hostile input (garbage length line, oversized claim, mid-frame
+//!   EOF, non-JSON payload) is a typed [`FrameError`], never a panic.
+//! * [`msg`] — the typed message vocabulary ([`ChildMsg`], [`SuperMsg`]):
+//!   hello/config, heartbeat, progress, ship, shutdown. Decoding is
+//!   strict; schema violations are protocol errors.
+//! * [`process`] / [`supervisor`] — spawn/waitpid child management with
+//!   guaranteed reaping (no zombies, no leaks), a heartbeat watchdog with
+//!   startup-grace and per-epoch deadlines, seeded-deterministic
+//!   exponential backoff with jitter, and the escalation ladder:
+//!   restart-from-snapshot -> restart-from-params-only -> trainer dead
+//!   (fleet serves last-good parameters; staleness is the caller's
+//!   surfaced signal).
+//!
+//! The crate is deliberately generic: the job payload is an opaque JSON
+//! value, so the supervisor knows nothing about training. `harp-lifecycle`
+//! provides the trainer-side entrypoint (`harp-trainerd`) and folds
+//! supervisor outcomes into its deterministic virtual-clock event log.
+
+mod frame;
+mod msg;
+mod process;
+mod supervisor;
+
+pub use frame::{encode_frame, write_frame, FrameError, FrameReader, MAX_FRAME_BYTES};
+pub use msg::{ChildMsg, SuperMsg, PROTO_VERSION};
+pub use process::{kill_self_hard, status_label, ChildProc};
+pub use supervisor::{supervise, Rung, SupervisorConfig, SupervisorOutcome};

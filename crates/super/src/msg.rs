@@ -1,0 +1,242 @@
+//! The typed IPC vocabulary between a supervisor and its trainer child.
+//!
+//! The wire carries JSON objects with a `type` tag; this module is the
+//! single place that tag is interpreted. Decoding is strict: an unknown
+//! tag, a missing field, or a field of the wrong JSON type is a
+//! [`FrameError::BadMessage`] — hostile peers produce typed protocol
+//! errors, never panics or silently-defaulted fields.
+
+use serde_json::Value;
+
+use crate::frame::FrameError;
+
+/// Protocol revision spoken by both sides; the supervisor rejects a hello
+/// with any other value.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Messages the trainer child sends up to the supervisor.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChildMsg {
+    /// First frame after exec: the child is alive and speaks `proto`.
+    Hello {
+        /// Child's OS pid (informational; the supervisor trusts waitpid).
+        pid: u64,
+        /// Protocol revision ([`PROTO_VERSION`]).
+        proto: u64,
+    },
+    /// Liveness signal between progress frames.
+    Heartbeat {
+        /// Epoch the child is currently working on.
+        epoch: u64,
+    },
+    /// One training epoch finished.
+    Progress {
+        /// 0-based epoch that finished.
+        epoch: u64,
+        /// Mean training loss of that epoch.
+        loss: f64,
+        /// Validation NormMLU after that epoch.
+        val: f64,
+    },
+    /// The trained parameter file is on disk, ready to rendezvous.
+    Ship {
+        /// Parameter generation the file belongs to.
+        generation: u64,
+        /// Path of the written parameter file.
+        path: String,
+    },
+    /// The child failed in a structured way (training error, bad job).
+    Failed {
+        /// Human-readable failure detail.
+        detail: String,
+    },
+    /// Clean shutdown after a successful ship.
+    Done,
+}
+
+/// Messages the supervisor sends down to the trainer child.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SuperMsg {
+    /// The job description, sent once right after spawn.
+    Config {
+        /// 0-based attempt number (0 = first run, n = nth restart).
+        attempt: u64,
+        /// Opaque job payload; the supervisor never interprets it.
+        job: Value,
+    },
+    /// Polite stop request; the child should exit promptly.
+    Shutdown,
+}
+
+impl ChildMsg {
+    /// Encode for the wire.
+    pub fn to_value(&self) -> Value {
+        match self {
+            ChildMsg::Hello { pid, proto } => serde_json::json!({
+                "type": "hello", "pid": *pid as f64, "proto": *proto as f64,
+            }),
+            ChildMsg::Heartbeat { epoch } => serde_json::json!({
+                "type": "heartbeat", "epoch": *epoch as f64,
+            }),
+            ChildMsg::Progress { epoch, loss, val } => serde_json::json!({
+                "type": "progress", "epoch": *epoch as f64, "loss": loss, "val": val,
+            }),
+            ChildMsg::Ship { generation, path } => serde_json::json!({
+                "type": "ship", "generation": *generation as f64, "path": path,
+            }),
+            ChildMsg::Failed { detail } => serde_json::json!({
+                "type": "failed", "detail": detail,
+            }),
+            ChildMsg::Done => serde_json::json!({"type": "done"}),
+        }
+    }
+
+    /// Strict decode from a wire value.
+    pub fn from_value(v: &Value) -> Result<ChildMsg, FrameError> {
+        match msg_type(v)? {
+            "hello" => Ok(ChildMsg::Hello {
+                pid: get_u64(v, "pid")?,
+                proto: get_u64(v, "proto")?,
+            }),
+            "heartbeat" => Ok(ChildMsg::Heartbeat {
+                epoch: get_u64(v, "epoch")?,
+            }),
+            "progress" => Ok(ChildMsg::Progress {
+                epoch: get_u64(v, "epoch")?,
+                loss: get_f64(v, "loss")?,
+                val: get_f64(v, "val")?,
+            }),
+            "ship" => Ok(ChildMsg::Ship {
+                generation: get_u64(v, "generation")?,
+                path: get_str(v, "path")?,
+            }),
+            "failed" => Ok(ChildMsg::Failed {
+                detail: get_str(v, "detail")?,
+            }),
+            "done" => Ok(ChildMsg::Done),
+            other => Err(bad(format!("unknown child message type `{other}`"))),
+        }
+    }
+}
+
+impl SuperMsg {
+    /// Encode for the wire.
+    pub fn to_value(&self) -> Value {
+        match self {
+            SuperMsg::Config { attempt, job } => serde_json::json!({
+                "type": "config", "attempt": *attempt as f64, "job": job.clone(),
+            }),
+            SuperMsg::Shutdown => serde_json::json!({"type": "shutdown"}),
+        }
+    }
+
+    /// Strict decode from a wire value.
+    pub fn from_value(v: &Value) -> Result<SuperMsg, FrameError> {
+        match msg_type(v)? {
+            "config" => Ok(SuperMsg::Config {
+                attempt: get_u64(v, "attempt")?,
+                job: v
+                    .get("job")
+                    .cloned()
+                    .ok_or_else(|| bad("config message has no `job`".to_string()))?,
+            }),
+            "shutdown" => Ok(SuperMsg::Shutdown),
+            other => Err(bad(format!("unknown supervisor message type `{other}`"))),
+        }
+    }
+}
+
+fn bad(msg: String) -> FrameError {
+    FrameError::BadMessage(msg)
+}
+
+fn msg_type(v: &Value) -> Result<&str, FrameError> {
+    v.get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("message has no string `type` tag".to_string()))
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, FrameError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| bad(format!("field `{key}` missing or not a number")))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, FrameError> {
+    let f = get_f64(v, key)?;
+    if f < 0.0 || f.fract() != 0.0 {
+        return Err(bad(format!("field `{key}` is not a non-negative integer")));
+    }
+    Ok(f as u64) // lint: allow(as-cast) — checked non-negative integer
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, FrameError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("field `{key}` missing or not a string")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_messages_round_trip() {
+        for msg in [
+            ChildMsg::Hello { pid: 42, proto: 1 },
+            ChildMsg::Heartbeat { epoch: 3 },
+            ChildMsg::Progress {
+                epoch: 2,
+                loss: 0.5,
+                val: 1.01,
+            },
+            ChildMsg::Ship {
+                generation: 7,
+                path: "/tmp/p.json".to_string(),
+            },
+            ChildMsg::Failed {
+                detail: "boom".to_string(),
+            },
+            ChildMsg::Done,
+        ] {
+            assert_eq!(ChildMsg::from_value(&msg.to_value()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn super_messages_round_trip() {
+        for msg in [
+            SuperMsg::Config {
+                attempt: 2,
+                job: serde_json::json!({"k": 1}),
+            },
+            SuperMsg::Shutdown,
+        ] {
+            assert_eq!(SuperMsg::from_value(&msg.to_value()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn strict_decode_rejects_malformed_messages() {
+        for bad in [
+            serde_json::json!({}),
+            serde_json::json!({"type": "warp"}),
+            serde_json::json!({"type": "hello", "pid": 1}),
+            serde_json::json!({"type": "heartbeat", "epoch": "one"}),
+            serde_json::json!({"type": "heartbeat", "epoch": -1}),
+            serde_json::json!({"type": "heartbeat", "epoch": 1.5}),
+            serde_json::json!({"type": "ship", "generation": 1}),
+            serde_json::json!([1, 2, 3]),
+        ] {
+            assert!(
+                matches!(ChildMsg::from_value(&bad), Err(FrameError::BadMessage(_))),
+                "{bad}"
+            );
+        }
+        assert!(matches!(
+            SuperMsg::from_value(&serde_json::json!({"type": "config"})),
+            Err(FrameError::BadMessage(_))
+        ));
+    }
+}

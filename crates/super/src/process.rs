@@ -1,0 +1,244 @@
+//! Child process lifecycle: spawn with piped stdio, signal, reap.
+//!
+//! The invariant this module owes the rest of the stack: **no zombies and
+//! no leaked children**. Every [`ChildProc`] is reaped exactly once — by
+//! [`ChildProc::wait`], by [`ChildProc::terminate`], or (as a last
+//! resort) by `Drop`, which hard-kills and reaps whatever is still
+//! running when the handle goes away.
+
+use std::io;
+use std::path::Path;
+use std::process::{Child, ChildStdin, ChildStdout, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// Raw signal FFI: two libc calls with integer-only arguments, wrapped
+/// immediately into safe helpers.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    pub const SIGTERM: i32 = 15;
+    pub const SIGKILL: i32 = 9;
+
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+        fn getpid() -> i32;
+    }
+
+    /// Send `sig` to `pid`. Errors (e.g. the process is already gone) are
+    /// deliberately ignored: the follow-up `wait` is the source of truth.
+    pub fn send(pid: u32, sig: i32) {
+        let pid = i32::try_from(pid).unwrap_or(i32::MAX);
+        // SAFETY: integer-only syscall; no pointers cross the boundary.
+        let _ = unsafe { kill(pid, sig) };
+    }
+
+    /// This process's own pid.
+    pub fn self_pid() -> u32 {
+        // SAFETY: no arguments, returns the caller's pid.
+        let pid = unsafe { getpid() };
+        u32::try_from(pid).unwrap_or(0)
+    }
+}
+
+/// SIGKILL the *current* process — no unwinding, no destructors, no
+/// atexit. This is the chaos layer's "trainer crashed for real" primitive:
+/// unlike `panic!` or `abort()` it cannot be caught, and unlike
+/// `process::exit` it skips every cleanup path, exactly like an OOM kill.
+#[cfg(unix)]
+pub fn kill_self_hard() -> ! {
+    sys::send(sys::self_pid(), sys::SIGKILL);
+    // SIGKILL delivery can race the return from kill(2); park until it
+    // lands rather than execute even one more instruction of caller code.
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Non-unix fallback: the closest thing to an uncatchable kill.
+#[cfg(not(unix))]
+pub fn kill_self_hard() -> ! {
+    std::process::abort()
+}
+
+/// How often [`ChildProc::wait_timeout`] polls `try_wait`.
+const REAP_POLL: Duration = Duration::from_millis(5);
+
+/// A spawned child with piped stdin/stdout and guaranteed reaping.
+pub struct ChildProc {
+    child: Child,
+    reaped: bool,
+}
+
+impl ChildProc {
+    /// Spawn `exe args...` with `envs` added to the inherited environment,
+    /// stdin/stdout piped (the IPC channel), stderr inherited (diagnostics
+    /// flow straight through). Returns the handle plus both pipe ends.
+    pub fn spawn(
+        exe: &Path,
+        args: &[String],
+        envs: &[(String, String)],
+    ) -> io::Result<(ChildProc, ChildStdin, ChildStdout)> {
+        let mut cmd = Command::new(exe);
+        cmd.args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn()?;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "child stdin pipe missing"))?;
+        let stdout = child.stdout.take().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::BrokenPipe, "child stdout pipe missing")
+        })?;
+        Ok((
+            ChildProc {
+                child,
+                reaped: false,
+            },
+            stdin,
+            stdout,
+        ))
+    }
+
+    /// OS pid of the child.
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Block until the child exits and reap it.
+    pub fn wait(&mut self) -> io::Result<ExitStatus> {
+        let status = self.child.wait()?;
+        self.reaped = true;
+        Ok(status)
+    }
+
+    /// Poll-wait up to `timeout`; `Ok(None)` means it is still running.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> io::Result<Option<ExitStatus>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(status) = self.child.try_wait()? {
+                self.reaped = true;
+                return Ok(Some(status));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(REAP_POLL);
+        }
+    }
+
+    /// Clean kill semantics: SIGTERM, wait up to `grace`, then SIGKILL and
+    /// reap unconditionally. Always returns the final exit status.
+    pub fn terminate(&mut self, grace: Duration) -> io::Result<ExitStatus> {
+        if self.reaped {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "child already reaped",
+            ));
+        }
+        #[cfg(unix)]
+        sys::send(self.pid(), sys::SIGTERM);
+        #[cfg(not(unix))]
+        let _ = self.child.kill();
+        if let Some(status) = self.wait_timeout(grace)? {
+            return Ok(status);
+        }
+        #[cfg(unix)]
+        sys::send(self.pid(), sys::SIGKILL);
+        #[cfg(not(unix))]
+        let _ = self.child.kill();
+        self.wait()
+    }
+}
+
+impl Drop for ChildProc {
+    fn drop(&mut self) {
+        if !self.reaped {
+            // last-resort containment: a dropped handle must not leak a
+            // running child or leave a zombie behind
+            #[cfg(unix)]
+            sys::send(self.pid(), sys::SIGKILL);
+            #[cfg(not(unix))]
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+            self.reaped = true;
+        }
+    }
+}
+
+/// A deterministic, wall-clock-free label for an exit status: `exit(N)`
+/// for a normal exit, `signal(N)` for a signal death. Used in supervisor
+/// logs that must be bitwise-reproducible across runs.
+pub fn status_label(status: ExitStatus) -> String {
+    if let Some(code) = status.code() {
+        return format!("exit({code})");
+    }
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return format!("signal({sig})");
+        }
+    }
+    "unknown".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sh(script: &str) -> (ChildProc, ChildStdin, ChildStdout) {
+        ChildProc::spawn(
+            &PathBuf::from("/bin/sh"),
+            &["-c".to_string(), script.to_string()],
+            &[],
+        )
+        .expect("spawn /bin/sh")
+    }
+
+    #[test]
+    fn wait_reaps_a_clean_exit() {
+        let (mut child, _in, _out) = sh("exit 7");
+        let status = child.wait().unwrap();
+        assert_eq!(status.code(), Some(7));
+        assert_eq!(status_label(status), "exit(7)");
+    }
+
+    #[test]
+    fn terminate_escalates_to_sigkill_for_a_term_ignoring_child() {
+        // the child traps SIGTERM, so only the SIGKILL rung can end it;
+        // it echoes once the trap is armed so the test can't race it
+        let (mut child, _in, mut out) =
+            sh("trap '' TERM; echo armed; while :; do sleep 0.05; done");
+        let mut ready = [0u8; 6];
+        io::Read::read_exact(&mut out, &mut ready).expect("trap armed marker");
+        let status = child.terminate(Duration::from_millis(200)).unwrap();
+        assert_eq!(status_label(status), "signal(9)");
+    }
+
+    #[test]
+    fn terminate_honors_sigterm_within_grace() {
+        let (mut child, _in, _out) = sh("exec sleep 30");
+        let status = child.terminate(Duration::from_secs(5)).unwrap();
+        assert_eq!(status_label(status), "signal(15)");
+    }
+
+    #[test]
+    fn drop_reaps_a_running_child() {
+        let pid = {
+            let (child, _in, _out) = sh("exec sleep 30");
+            child.pid()
+        };
+        // after Drop the pid must be gone (or at worst a freshly reused
+        // pid): kill(pid, 0) probing via /proc avoids signal side effects
+        let alive = std::fs::read_to_string(format!("/proc/{pid}/stat"))
+            .map(|s| !s.contains(") Z "))
+            .unwrap_or(false);
+        assert!(!alive, "dropped child must be killed and reaped");
+    }
+}

@@ -1,0 +1,278 @@
+//! Hostile-IPC property tests for the supervision layer.
+//!
+//! The framing parser faces a pipe its peer may fill with anything: raw
+//! garbage, oversized length claims, frames cut mid-payload, valid JSON
+//! that violates the message schema. Every one of those must surface as
+//! a typed [`FrameError`] — never a panic, never an unbounded
+//! allocation. And whatever a hostile child does, the supervisor must
+//! come back with the child **reaped**: no zombies, no leaked processes.
+
+use std::io::Cursor;
+
+use harp_super::{
+    encode_frame, supervise, ChildMsg, FrameError, FrameReader, Rung, SupervisorConfig,
+    MAX_FRAME_BYTES,
+};
+use proptest::prelude::*;
+use serde_json::Value;
+
+fn read_all(bytes: &[u8]) -> Vec<Result<Option<Value>, FrameError>> {
+    let mut frames = FrameReader::new(Cursor::new(bytes.to_vec()));
+    let mut out = Vec::new();
+    loop {
+        match frames.read_frame() {
+            Ok(Some(v)) => out.push(Ok(Some(v))),
+            done @ Ok(None) => {
+                out.push(done);
+                return out;
+            }
+            err @ Err(_) => {
+                out.push(err);
+                return out;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic the frame reader; the stream always
+    /// ends in clean EOF or exactly one typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec((0u32..256).prop_map(|b| b as u8), 0..400),
+    ) {
+        let results = read_all(&bytes);
+        let last = results.last().expect("read_all always yields");
+        prop_assert!(
+            matches!(last, Ok(None) | Err(_)),
+            "stream must end in EOF or typed error"
+        );
+    }
+
+    /// Oversized length claims are rejected *before* any allocation —
+    /// as an oversize error (parsable length over the cap) or a bad
+    /// length line (too many digits) — never by attempting the read.
+    #[test]
+    fn oversized_length_prefixes_reject_without_allocating(
+        extra in 1u64..=u64::from(u32::MAX),
+    ) {
+        let len = MAX_FRAME_BYTES as u64 + extra;
+        let bytes = format!("{len}\n").into_bytes();
+        let mut frames = FrameReader::new(Cursor::new(bytes));
+        match frames.read_frame() {
+            Err(FrameError::Oversize { len: l, max }) => {
+                prop_assert_eq!(l, len as usize);
+                prop_assert_eq!(max, MAX_FRAME_BYTES);
+            }
+            Err(FrameError::BadLengthLine(_)) => {} // > 10 digits
+            other => prop_assert!(false, "expected typed rejection, got {other:?}"),
+        }
+    }
+
+    /// A valid frame truncated at any byte boundary is a typed error
+    /// (truncated frame, missing terminator, or bad length line) — and
+    /// never parses as a complete frame.
+    #[test]
+    fn truncated_frames_are_typed_errors(cut_frac in 0.0f64..1.0) {
+        let full = encode_frame(&serde_json::json!({
+            "type": "progress", "epoch": 3.0, "loss": 0.25, "val": 1.5,
+        }));
+        let cut = ((full.len() - 1) as f64 * cut_frac) as usize;
+        let mut frames = FrameReader::new(Cursor::new(full[..cut].to_vec()));
+        match frames.read_frame() {
+            Ok(None) => prop_assert_eq!(cut, 0, "only the empty prefix is clean EOF"),
+            Err(
+                FrameError::TruncatedFrame { .. }
+                | FrameError::BadLengthLine(_)
+                | FrameError::MissingTerminator(_),
+            ) => {}
+            other => prop_assert!(false, "cut at {cut}: unexpected {other:?}"),
+        }
+    }
+
+    /// Schema-hostile but well-framed JSON decodes to a typed
+    /// `BadMessage`, never a panic or a silently-defaulted message.
+    #[test]
+    fn hostile_schemas_are_bad_messages(
+        ty_chars in proptest::collection::vec(97u32..123, 0..8),
+        epoch in prop_oneof![Just(-1.0f64), Just(0.5), Just(f64::NAN), Just(1e300)],
+    ) {
+        let ty: String = ty_chars
+            .iter()
+            .map(|&c| char::from(c as u8)) // lint: allow(as-cast) — 97..123 fits u8
+            .collect();
+        let v = serde_json::json!({"type": ty.clone(), "epoch": epoch});
+        let framed = encode_frame(&v);
+        let results = read_all(&framed);
+        if let Some(Ok(Some(frame))) = results.first() {
+            if let Ok(msg) = ChildMsg::from_value(frame) {
+                // the only decodable combination is a real heartbeat
+                prop_assert!(matches!(msg, ChildMsg::Heartbeat { .. }));
+                prop_assert_eq!(ty.as_str(), "heartbeat");
+                prop_assert!(epoch >= 0.0 && epoch.fract() == 0.0);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supervisor vs hostile /bin/sh children: whatever the child does, the
+// supervisor returns with the child reaped and a deterministic outcome.
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+mod hostile_children {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+    use std::time::Duration;
+
+    /// The `/proc` children scan sees every child of the test *process*,
+    /// so these tests serialize on one lock — a parallel test's live
+    /// child is not a leak.
+    static CHILD_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> MutexGuard<'static, ()> {
+        CHILD_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn sh_cfg(script: &str) -> SupervisorConfig {
+        let mut cfg = SupervisorConfig::new("/bin/sh".into(), serde_json::json!({"job": "x"}));
+        cfg.args = vec!["-c".to_string(), script.to_string()];
+        cfg.restart_budget = 2;
+        cfg.snapshot_budget = 1;
+        cfg.backoff_base_ms = 1;
+        cfg.backoff_max_ms = 2;
+        cfg.startup_grace_ms = 2_000;
+        cfg.heartbeat_ms = 2_000;
+        cfg.term_grace_ms = 200;
+        cfg
+    }
+
+    fn no_runaway_children() {
+        // A reaped child leaves no entry under this process's children.
+        let mut kids = String::new();
+        for tid in std::fs::read_dir("/proc/self/task").expect("proc") {
+            let p = tid.expect("tid").path().join("children");
+            kids.push_str(&std::fs::read_to_string(p).unwrap_or_default());
+        }
+        // the cargo test harness itself spawns nothing long-lived here
+        assert!(
+            kids.split_whitespace().next().is_none(),
+            "leaked child pids: {kids}"
+        );
+    }
+
+    #[test]
+    fn garbage_spewing_child_is_ipc_error_and_reaped() {
+        let _serial = lock();
+        let cfg = sh_cfg("echo 'not a frame at all'; exit 0");
+        let mut rungs = Vec::new();
+        let out = supervise(&cfg, &mut |_, rung| rungs.push(rung));
+        assert!(out.dead, "garbage child must exhaust the budget");
+        assert!(out.shipped.is_none());
+        assert_eq!(out.restarts, 2);
+        assert!(
+            out.ipc_errors >= 1,
+            "garbled frames must count as protocol errors: {:?}",
+            out.log
+        );
+        // escalation ladder: first restart from snapshot, then params-only
+        assert_eq!(rungs, vec![Rung::FromSnapshot, Rung::ParamsOnly]);
+        no_runaway_children();
+    }
+
+    #[test]
+    fn instantly_dying_child_reports_exit_status_deterministically() {
+        let _serial = lock();
+        let cfg = sh_cfg("exit 3");
+        let out = supervise(&cfg, &mut |_, _| {});
+        assert!(out.dead);
+        assert_eq!(out.restarts, 2);
+        assert!(
+            out.detail.contains("exit(3)"),
+            "failure reason must carry the exit status: {}",
+            out.detail
+        );
+        no_runaway_children();
+    }
+
+    #[test]
+    fn hung_child_trips_watchdog_and_is_killed() {
+        let _serial = lock();
+        let mut cfg = sh_cfg("exec sleep 60");
+        cfg.restart_budget = 1;
+        cfg.snapshot_budget = 1;
+        cfg.startup_grace_ms = 150; // the hello never comes
+        let t0 = std::time::Instant::now();
+        let out = supervise(&cfg, &mut |_, _| {});
+        assert!(out.dead);
+        assert_eq!(out.heartbeat_misses, 2, "both attempts must time out");
+        assert!(
+            out.detail.contains("watchdog"),
+            "watchdog reason expected: {}",
+            out.detail
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "sleep-60 child must be SIGKILLed, not waited for"
+        );
+        no_runaway_children();
+    }
+
+    #[test]
+    fn mid_frame_eof_child_is_typed_error_not_panic() {
+        let _serial = lock();
+        // claims 100 bytes, delivers 9, then closes the pipe
+        let cfg = sh_cfg("printf '100\\nfragment!'");
+        let out = supervise(&cfg, &mut |_, _| {});
+        assert!(out.dead);
+        assert!(
+            out.log.iter().any(|l| l.contains("mid-frame")),
+            "truncation must be named in the log: {:?}",
+            out.log
+        );
+        no_runaway_children();
+    }
+
+    #[test]
+    fn scripted_ship_sequence_is_accepted() {
+        let _serial = lock();
+        // A fake trainer that plays the happy path from a byte recording:
+        // hello, ship, done. (It never reads config — the supervisor
+        // tolerates a child that front-runs the handshake.)
+        let dir = std::env::temp_dir().join(format!("harp_super_script_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame(
+            &ChildMsg::Hello {
+                pid: 1,
+                proto: harp_super::PROTO_VERSION,
+            }
+            .to_value(),
+        ));
+        bytes.extend_from_slice(&encode_frame(
+            &ChildMsg::Ship {
+                generation: 7,
+                path: "/tmp/params.json".to_string(),
+            }
+            .to_value(),
+        ));
+        bytes.extend_from_slice(&encode_frame(&ChildMsg::Done.to_value()));
+        let script_file = dir.join("frames.bin");
+        std::fs::write(&script_file, &bytes).expect("write frames");
+
+        let cfg = sh_cfg(&format!("cat {}; sleep 0.2", script_file.display()));
+        let out = supervise(&cfg, &mut |_, _| {});
+        assert_eq!(
+            out.shipped,
+            Some((7, "/tmp/params.json".to_string())),
+            "log: {:?}",
+            out.log
+        );
+        assert!(!out.dead);
+        no_runaway_children();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

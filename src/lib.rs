@@ -13,6 +13,12 @@ pub mod obs {
     pub use harp_obs::*;
 }
 
+/// Process supervision: framed IPC, heartbeat watchdog, backoff restarts,
+/// and the trainer escalation ladder (re-export of `harp-super`).
+pub mod supervision {
+    pub use harp_super::*;
+}
+
 /// Deterministic scoped-thread-pool executor used by training, evaluation
 /// sweeps, and the blocked matmul kernels (re-export of `harp-runtime`).
 pub mod runtime {
